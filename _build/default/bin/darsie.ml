@@ -1,0 +1,235 @@
+(* The darsie command-line driver.
+
+   Subcommands:
+     list                      - Table 1 application registry
+     asm APP                   - PTX-lite assembly of a workload kernel
+     analyze APP               - compiler markings (Figure 6 style)
+     run APP [-m MACHINE]      - functional + timing run of one app
+     limit APP                 - redundancy limit study of one app
+     experiment ID             - regenerate a paper figure/table
+     area                      - Section 6.3 area estimate *)
+
+open Cmdliner
+module W = Darsie_workloads.Workload
+
+let find_app abbr =
+  match Darsie_workloads.Registry.find abbr with
+  | Some w -> Ok w
+  | None ->
+    Error
+      (Printf.sprintf "unknown application %S (try: %s)" abbr
+         (String.concat ", " Darsie_workloads.Registry.abbrs))
+
+let app_arg =
+  let doc = "Application abbreviation from Table 1 (e.g. MM, LIB, HS)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let scale_arg =
+  let doc = "Input scale factor (1 = default benchmarked size)." in
+  Arg.(value & opt int 1 & info [ "scale"; "s" ] ~docv:"N" ~doc)
+
+let machine_conv =
+  let parse s =
+    match String.uppercase_ascii s with
+    | "BASE" -> Ok Darsie_harness.Suite.Base
+    | "UV" -> Ok Darsie_harness.Suite.Uv
+    | "DAC" | "DAC-IDEAL" -> Ok Darsie_harness.Suite.Dac_ideal
+    | "DARSIE" -> Ok Darsie_harness.Suite.Darsie
+    | "DARSIE-IGNORE-STORE" -> Ok Darsie_harness.Suite.Darsie_ignore_store
+    | "DARSIE-NO-CF-SYNC" -> Ok Darsie_harness.Suite.Darsie_no_cf_sync
+    | "SILICON-SYNC" -> Ok Darsie_harness.Suite.Silicon_sync
+    | _ -> Error (`Msg (Printf.sprintf "unknown machine %S" s))
+  in
+  Arg.conv (parse, fun fmt m ->
+      Format.pp_print_string fmt (Darsie_harness.Suite.machine_name m))
+
+let machine_arg =
+  let doc =
+    "Machine configuration: BASE, UV, DAC-IDEAL, DARSIE, \
+     DARSIE-IGNORE-STORE, DARSIE-NO-CF-SYNC or SILICON-SYNC."
+  in
+  Arg.(
+    value
+    & opt machine_conv Darsie_harness.Suite.Darsie
+    & info [ "machine"; "m" ] ~docv:"MACHINE" ~doc)
+
+let or_die = function
+  | Ok x -> x
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () = print_string (Darsie_harness.Figures.table1 ()) in
+  Cmd.v (Cmd.info "list" ~doc:"List the Table-1 applications")
+    Term.(const run $ const ())
+
+let asm_cmd =
+  let run abbr =
+    let w = or_die (find_app abbr) in
+    let p = w.W.prepare ~scale:1 in
+    print_string
+      (Darsie_isa.Printer.kernel_to_string p.W.launch.Darsie_isa.Kernel.kernel)
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Print a workload kernel's PTX-lite assembly")
+    Term.(const run $ app_arg)
+
+let analyze_cmd =
+  let run abbr =
+    let w = or_die (find_app abbr) in
+    let p = w.W.prepare ~scale:1 in
+    let launch = p.W.launch in
+    let analysis =
+      Darsie_compiler.Analysis.analyze launch.Darsie_isa.Kernel.kernel
+    in
+    Format.printf "%a" Darsie_compiler.Analysis.pp_markings analysis;
+    let promo = Darsie_compiler.Promotion.resolve analysis launch ~warp_size:32 in
+    Format.printf
+      "\nlaunch-time promotion: %s (x-dim condition %s)\n\
+       static TB-redundant instructions: %d\n"
+      (if promo.Darsie_compiler.Promotion.promoted then "CR -> DR"
+       else "CR -> vector")
+      (if promo.Darsie_compiler.Promotion.promoted then "holds" else "fails")
+      (Darsie_compiler.Promotion.skip_count_upper_bound promo)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Show the compiler's DR/CR/V markings (Figure 6 style)")
+    Term.(const run $ app_arg)
+
+let run_cmd =
+  let run abbr machine scale =
+    let w = or_die (find_app abbr) in
+    Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
+    let app = Darsie_harness.Suite.load_app ~scale w in
+    (* functional verification on a fresh copy *)
+    let fresh = w.W.prepare ~scale in
+    (match
+       Darsie_emu.Interp.run fresh.W.mem fresh.W.launch |> fun _ ->
+       fresh.W.verify fresh.W.mem
+     with
+    | Ok () -> Printf.printf "functional check: OK\n"
+    | Error e -> Printf.printf "functional check: FAILED (%s)\n" e);
+    let base = Darsie_harness.Suite.run_app app Darsie_harness.Suite.Base in
+    let r = Darsie_harness.Suite.run_app app machine in
+    let open Darsie_timing in
+    Printf.printf "machine: %s\n" (Darsie_harness.Suite.machine_name machine);
+    Printf.printf "cycles: %d (baseline %d, speedup %.2f)\n"
+      r.Darsie_harness.Suite.gpu.Gpu.cycles
+      base.Darsie_harness.Suite.gpu.Gpu.cycles
+      (float_of_int base.Darsie_harness.Suite.gpu.Gpu.cycles
+      /. float_of_int r.Darsie_harness.Suite.gpu.Gpu.cycles);
+    Printf.printf "stats: %s\n"
+      (Format.asprintf "%a" Stats.pp r.Darsie_harness.Suite.gpu.Gpu.stats);
+    Printf.printf "energy: %s\n"
+      (Format.asprintf "%a" Darsie_energy.Energy_model.pp
+         r.Darsie_harness.Suite.energy)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one application through the timing model")
+    Term.(const run $ app_arg $ machine_arg $ scale_arg)
+
+let limit_cmd =
+  let run abbr scale =
+    let w = or_die (find_app abbr) in
+    let p = w.W.prepare ~scale in
+    let r = Darsie_trace.Limit_study.measure p.W.mem p.W.launch in
+    let open Darsie_trace.Limit_study in
+    let pct n = 100.0 *. fraction n r in
+    Printf.printf
+      "%s: %d dynamic warp instructions\n\
+       grid-redundant: %5.1f%%\n\
+       TB-redundant:   %5.1f%%  (uniform %.1f%% / affine %.1f%% / \
+       unstructured %.1f%%)\n\
+       warp-redundant: %5.1f%%\n"
+      w.W.abbr r.total (pct r.grid_red) (pct r.tb_red) (pct r.tb_uniform)
+      (pct r.tb_affine) (pct r.tb_unstructured) (pct r.warp_red)
+  in
+  Cmd.v
+    (Cmd.info "limit" ~doc:"Redundancy limit study (Figures 1 and 2)")
+    Term.(const run $ app_arg $ scale_arg)
+
+let experiment_cmd =
+  let run id =
+    let module F = Darsie_harness.Figures in
+    let needs_matrix = [ "fig8"; "fig9"; "fig10"; "fig11"; "fig12" ] in
+    let matrix =
+      lazy
+        (Printf.printf "building evaluation matrix (13 apps x 7 machines)...\n%!";
+         Darsie_harness.Suite.build_matrix ())
+    in
+    match String.lowercase_ascii id with
+    | "fig1" ->
+      let _, _, text = F.fig1 () in
+      print_string text
+    | "fig2" ->
+      let _, text = F.fig2 () in
+      print_string text
+    | "fig6" -> print_string (F.fig6 ())
+    | "fig8" ->
+      let _, _, _, text = F.fig8 (Lazy.force matrix) in
+      print_string text
+    | "fig9" ->
+      let _, text = F.fig9 (Lazy.force matrix) in
+      print_string text
+    | "fig10" ->
+      let _, text = F.fig10 (Lazy.force matrix) in
+      print_string text
+    | "fig11" ->
+      let _, _, _, text = F.fig11 (Lazy.force matrix) in
+      print_string text
+    | "fig12" ->
+      let _, _, text = F.fig12 (Lazy.force matrix) in
+      print_string text
+    | "table1" -> print_string (F.table1 ())
+    | "table2" -> print_string (F.table2 ())
+    | "table3" -> print_string (F.table3 ())
+    | "area" ->
+      let _, text = F.area () in
+      print_string text
+    | "ablations" ->
+      List.iter
+        (fun sweep -> print_endline (Darsie_harness.Ablations.render sweep))
+        (Darsie_harness.Ablations.run_default ());
+      let apps =
+        List.map Darsie_harness.Suite.load_app
+          [ Darsie_workloads.Matmul.workload;
+            Darsie_workloads.Libor.workload;
+            Darsie_workloads.Hotspot.workload ]
+      in
+      print_string
+        (Darsie_harness.Ablations.render_schedulers
+           (Darsie_harness.Ablations.scheduler_comparison apps))
+    | other ->
+      ignore needs_matrix;
+      Printf.eprintf
+        "unknown experiment %S (fig1 fig2 fig6 fig8 fig9 fig10 fig11 fig12 \
+         table1 table2 table3 area ablations)\n"
+        other;
+      exit 1
+  in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id, e.g. fig8 or table1.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a paper figure or table")
+    Term.(const run $ id_arg)
+
+let area_cmd =
+  let run () =
+    let _, text = Darsie_harness.Figures.area () in
+    print_string text
+  in
+  Cmd.v (Cmd.info "area" ~doc:"DARSIE area estimate (Section 6.3)")
+    Term.(const run $ const ())
+
+let main =
+  let doc = "DARSIE: dimensionality-aware redundant SIMT instruction elimination" in
+  Cmd.group (Cmd.info "darsie" ~version:"1.0.0" ~doc)
+    [ list_cmd; asm_cmd; analyze_cmd; run_cmd; limit_cmd; experiment_cmd;
+      area_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/custom_kernel.ml: Array Builder Darsie_compiler Darsie_emu Darsie_isa Format Instr Kernel List Printer Printf

@@ -1,0 +1,1 @@
+examples/extension_3d.ml: Array Builder Darsie_compiler Darsie_core Darsie_emu Darsie_isa Darsie_timing Darsie_trace Engine Gpu Instr Kernel Kinfo List Printf Stats

@@ -1,0 +1,1 @@
+examples/figure3_walkthrough.ml: Array Darsie_emu Darsie_isa Darsie_trace Hashtbl Kernel List Option Parser Printf String Value

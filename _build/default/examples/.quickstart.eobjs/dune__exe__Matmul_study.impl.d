@@ -1,0 +1,1 @@
+examples/matmul_study.ml: Array Darsie_compiler Darsie_harness Darsie_isa Darsie_timing Darsie_trace Darsie_workloads Format Gpu List Printf Stats String

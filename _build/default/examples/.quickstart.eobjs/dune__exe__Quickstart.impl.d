@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Darsie_compiler Darsie_core Darsie_emu Darsie_isa Darsie_timing Darsie_trace Engine Format Gpu Kernel Kinfo Parser Printf Stats

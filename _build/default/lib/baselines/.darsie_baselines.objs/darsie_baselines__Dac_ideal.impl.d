@@ -1,0 +1,1 @@
+lib/baselines/dac_ideal.ml: Array Darsie_timing Darsie_trace Engine Kinfo

@@ -1,0 +1,1 @@
+lib/baselines/dac_ideal.mli: Darsie_timing

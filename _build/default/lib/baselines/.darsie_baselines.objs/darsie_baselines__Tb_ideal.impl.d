@@ -1,0 +1,1 @@
+lib/baselines/tb_ideal.ml: Array Config Darsie_timing Darsie_trace Engine Kinfo

@@ -1,0 +1,1 @@
+lib/baselines/tb_ideal.mli: Darsie_timing

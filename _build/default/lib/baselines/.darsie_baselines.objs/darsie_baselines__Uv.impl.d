@@ -1,0 +1,1 @@
+lib/baselines/uv.ml: Array Darsie_timing Darsie_trace Engine Hashtbl Kinfo Record

@@ -1,0 +1,1 @@
+lib/baselines/uv.mli: Darsie_timing

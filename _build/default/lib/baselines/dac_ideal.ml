@@ -1,0 +1,11 @@
+open Darsie_timing
+
+let factory : Engine.factory =
+ fun kinfo _cfg _stats ->
+  let base = Engine.base () in
+  {
+    base with
+    Engine.name = "DAC-IDEAL";
+    remove_at_fetch =
+      (fun _ op -> kinfo.Kinfo.dac_removable.(op.Darsie_trace.Record.idx));
+  }

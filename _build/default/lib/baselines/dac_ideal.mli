@@ -1,0 +1,14 @@
+(** The idealized Decoupled Affine Computation baseline (Wang & Lin,
+    ISCA'17), as modeled in the paper's §5.
+
+    DAC compiles affine computation into a separate scalar stream executed
+    once. The paper's DAC-IDEAL model assumes every statically affine or
+    uniform ALU instruction — redundant or not, in 1D and 2D kernels — is
+    executed only once with zero synchronization cost between the affine
+    and vector streams. Memory operations and control flow stay in the
+    SIMT stream, and unstructured redundancy cannot be removed.
+
+    Model: such instructions are filtered out of every warp's instruction
+    stream before fetch, at zero cost. *)
+
+val factory : Darsie_timing.Engine.factory

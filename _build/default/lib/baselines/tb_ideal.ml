@@ -1,0 +1,15 @@
+open Darsie_timing
+
+let factory : Engine.factory =
+ fun kinfo cfg _stats ->
+  let base = Engine.base () in
+  let full = (1 lsl cfg.Config.warp_size) - 1 in
+  {
+    base with
+    Engine.name = "TB-IDEAL";
+    remove_at_fetch =
+      (fun w op ->
+        kinfo.Kinfo.tb_redundant.(op.Darsie_trace.Record.idx)
+        && w.Engine.warp_in_tb <> 0
+        && op.Darsie_trace.Record.active land full = full);
+  }

@@ -1,0 +1,12 @@
+(** An idealized upper bound on TB-redundancy elimination.
+
+    Every TB-redundant instruction is executed exactly once per
+    threadblock (by its first warp) and removed from every other warp's
+    stream before fetch, with no skip-table capacity, coalescer-port,
+    LeaderWB or branch-synchronization costs. Comparing DARSIE against
+    this bound measures how much of the opportunity the real mechanism
+    captures; comparing it against the Figure-1 limit study measures what
+    the promotion rules leave behind. Not a paper configuration — an
+    analysis aid. *)
+
+val factory : Darsie_timing.Engine.factory

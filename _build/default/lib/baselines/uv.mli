@@ -1,0 +1,16 @@
+(** The Uniform Vector baseline (Xiang et al., ICS'13), as modeled in the
+    paper's §5.
+
+    UV detects inter-warp uniform values with an instruction reuse buffer
+    and prevents redundant instructions from {e executing} at the issue
+    stage — after they have been fetched, decoded and buffered. It removes
+    only uniform redundancy, never memory operations, and saves no fetch
+    bandwidth: exactly why the paper finds it barely improves performance
+    while DARSIE does.
+
+    Model: per resident threadblock, a reuse buffer with one slot per
+    static PC. The first warp to issue a uniform-redundant instruction
+    executes it and fills the slot at writeback; warps issuing the same
+    dynamic instance afterwards hit the buffer and are dropped at issue. *)
+
+val factory : Darsie_timing.Engine.factory

@@ -1,0 +1,1 @@
+lib/compiler/analysis.ml: Array Cfg Darsie_isa Format Instr Kernel List Marking Option Postdom Printer Queue

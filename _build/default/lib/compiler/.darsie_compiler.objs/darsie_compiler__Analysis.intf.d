@@ -1,0 +1,1 @@
+lib/compiler/analysis.mli: Cfg Darsie_isa Format Marking Postdom

@@ -1,0 +1,1 @@
+lib/compiler/cfg.ml: Array Darsie_isa Format Instr Kernel List

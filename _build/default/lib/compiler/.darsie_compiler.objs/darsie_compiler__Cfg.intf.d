@@ -1,0 +1,1 @@
+lib/compiler/cfg.mli: Darsie_isa Format

@@ -1,0 +1,1 @@
+lib/compiler/postdom.ml: Array Cfg List

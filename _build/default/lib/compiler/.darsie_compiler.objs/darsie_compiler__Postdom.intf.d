@@ -1,0 +1,1 @@
+lib/compiler/postdom.mli: Cfg

@@ -1,0 +1,1 @@
+lib/compiler/promotion.ml: Analysis Array Darsie_isa Instr Kernel Marking

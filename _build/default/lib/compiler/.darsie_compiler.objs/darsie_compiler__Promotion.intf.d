@@ -1,0 +1,1 @@
+lib/compiler/promotion.mli: Analysis Darsie_isa

@@ -1,0 +1,254 @@
+open Darsie_isa
+open Marking
+
+type inst_info = { cls : Marking.cls; skippable : bool }
+
+type t = {
+  kernel : Kernel.t;
+  cfg : Cfg.t;
+  postdom : Postdom.t;
+  info : inst_info array;
+  ins : (Marking.cls array * Marking.cls array) array;
+      (** per-block (vreg, preg) classes at block entry *)
+}
+
+let uniform_dr = { red = Def_redundant; shape = Uniform }
+
+let operand_cls_with ~tid_y (vregs : cls array) (_pregs : cls array) =
+  function
+  | Instr.Reg r -> vregs.(r)
+  | Instr.Imm _ | Instr.Param _ -> uniform_dr
+  | Instr.Sreg (Instr.Tid Instr.X) -> { red = Cond_redundant; shape = Affine }
+  | Instr.Sreg (Instr.Tid Instr.Y) ->
+    (* 3D extension (paper §2): tid.y repeats per warp when warps cover
+       whole xy-planes; the value has no single <base,stride> form, so
+       its shape is unstructured. *)
+    if tid_y then { red = Cond_redundant_xy; shape = Unstructured }
+    else Marking.bottom
+  | Instr.Sreg (Instr.Tid Instr.Z) -> Marking.bottom
+  | Instr.Sreg (Instr.Ntid _ | Instr.Ctaid _ | Instr.Nctaid _) -> uniform_dr
+
+let operand_cls vregs pregs op = operand_cls_with ~tid_y:false vregs pregs op
+
+(* Shape combinators. A shape describes the cross-threadblock pattern a
+   value would have when its redundancy condition holds; linear integer ops
+   preserve affineness, everything else collapses pattern-ful inputs to
+   Unstructured. *)
+
+let shape_linear a b = meet_shape a b
+
+let shape_mul a b =
+  match (a, b) with
+  | Affine, Affine -> Unstructured
+  | _ -> meet_shape a b
+
+let shape_shl a b =
+  match (a, b) with
+  | Uniform, Uniform -> Uniform
+  | Affine, Uniform -> Affine
+  | Varying, _ | _, Varying -> Varying
+  | (Unstructured | Uniform | Affine), _ -> Unstructured
+
+let shape_nonlinear shapes =
+  if List.for_all (fun s -> s = Uniform) shapes then Uniform
+  else if List.exists (fun s -> s = Varying) shapes then Varying
+  else Unstructured
+
+let binop_shape (op : Instr.binop) a b =
+  match op with
+  | Instr.Add | Instr.Sub -> shape_linear a b
+  | Instr.Mul -> shape_mul a b
+  | Instr.Shl -> shape_shl a b
+  | Instr.Mulhi | Instr.Div_s | Instr.Div_u | Instr.Rem_s | Instr.Rem_u
+  | Instr.Min_s | Instr.Max_s | Instr.Min_u | Instr.Max_u | Instr.And
+  | Instr.Or | Instr.Xor | Instr.Shr_u | Instr.Shr_s | Instr.Fadd
+  | Instr.Fsub | Instr.Fmul | Instr.Fdiv | Instr.Fmin | Instr.Fmax ->
+    shape_nonlinear [ a; b ]
+
+let unop_shape (op : Instr.unop) a =
+  match op with
+  | Instr.Mov -> a
+  | Instr.Neg | Instr.Not ->
+    (* -x and lnot x = -x - 1 are linear in x. *)
+    a
+  | Instr.Abs_s | Instr.Fneg | Instr.Fabs | Instr.Fsqrt | Instr.Frcp
+  | Instr.Fexp2 | Instr.Flog2 | Instr.Fsin | Instr.Fcos | Instr.Cvt_i2f
+  | Instr.Cvt_u2f | Instr.Cvt_f2i ->
+    shape_nonlinear [ a ]
+
+(* The class of the value an instruction computes, given source classes. *)
+let computed_cls ~tid_y vregs pregs (inst : Instr.t) =
+  let oc = operand_cls_with ~tid_y vregs pregs in
+  let pc p = pregs.(p) in
+  let red_of classes = List.fold_left (fun acc c -> meet_red acc c.red) Def_redundant classes in
+  let base =
+    match inst.Instr.body with
+    | Instr.Bin (op, _, a, b) ->
+      let ca = oc a and cb = oc b in
+      { red = red_of [ ca; cb ]; shape = binop_shape op ca.shape cb.shape }
+    | Instr.Un (op, _, a) ->
+      let ca = oc a in
+      { red = ca.red; shape = unop_shape op ca.shape }
+    | Instr.Tern (op, _, a, b, c) ->
+      let ca = oc a and cb = oc b and cc = oc c in
+      let shape =
+        match op with
+        | Instr.Mad -> shape_linear (shape_mul ca.shape cb.shape) cc.shape
+        | Instr.Fma -> shape_nonlinear [ ca.shape; cb.shape; cc.shape ]
+      in
+      { red = red_of [ ca; cb; cc ]; shape }
+    | Instr.Setp (_, _, _, a, b) ->
+      let ca = oc a and cb = oc b in
+      { red = red_of [ ca; cb ]; shape = shape_nonlinear [ ca.shape; cb.shape ] }
+    | Instr.Selp (_, a, b, p) ->
+      let ca = oc a and cb = oc b and cp = pc p in
+      {
+        red = red_of [ ca; cb; cp ];
+        shape = shape_nonlinear [ ca.shape; cb.shape; cp.shape ];
+      }
+    | Instr.Ld (_, _, base, _) ->
+      (* A load takes on the redundancy of the address it reads (§4.2);
+         uniform addresses yield one scalar for the whole TB, anything
+         else with a redundant address yields an unstructured vector. *)
+      let ca = oc base in
+      let shape =
+        match ca.shape with
+        | Uniform -> Uniform
+        | Affine | Unstructured ->
+          if ca.red = Vector then Varying else Unstructured
+        | Varying -> Varying
+      in
+      { red = ca.red; shape }
+    | Instr.Atom _ -> Marking.bottom
+    | Instr.St (_, base, _, v) ->
+      let ca = oc base and cv = oc v in
+      { red = red_of [ ca; cv ]; shape = shape_nonlinear [ ca.shape; cv.shape ] }
+    | Instr.Bra _ | Instr.Bar | Instr.Exit -> uniform_dr
+  in
+  match inst.Instr.guard with
+  | Some (_, p) -> meet base (pc p)
+  | None -> base
+
+(* Transfer one instruction over mutable copies of the register states. *)
+let transfer ~tid_y vregs pregs (inst : Instr.t) =
+  let produced = computed_cls ~tid_y vregs pregs inst in
+  let update arr idx =
+    match inst.Instr.guard with
+    | Some _ ->
+      (* A guarded write merges with the previous contents: inactive lanes
+         keep their old values, so the register's class is the meet. *)
+      arr.(idx) <- meet arr.(idx) produced
+    | None -> arr.(idx) <- produced
+  in
+  Option.iter (update vregs) (Instr.dst_reg inst);
+  Option.iter (update pregs) (Instr.dst_pred inst)
+
+let copy_state (v, p) = (Array.copy v, Array.copy p)
+
+let meet_state (v1, p1) (v2, p2) =
+  let changed = ref false in
+  let merge arr other =
+    Array.iteri
+      (fun i c ->
+        let m = meet arr.(i) c in
+        if not (Marking.equal m arr.(i)) then begin
+          arr.(i) <- m;
+          changed := true
+        end)
+      other
+  in
+  merge v1 v2;
+  merge p1 p2;
+  !changed
+
+let analyze ?(tid_y_redundancy = false) (kernel : Kernel.t) =
+  let tid_y = tid_y_redundancy in
+  let cfg = Cfg.build kernel in
+  let postdom = Postdom.compute cfg in
+  let nb = Cfg.num_blocks cfg in
+  let fresh () =
+    (Array.make (max kernel.Kernel.nregs 1) top,
+     Array.make (max kernel.Kernel.npregs 1) top)
+  in
+  let ins = Array.init nb (fun _ -> fresh ()) in
+  let transfer_block b (v, p) =
+    let block = cfg.Cfg.blocks.(b) in
+    for i = block.Cfg.first to block.Cfg.last do
+      transfer ~tid_y v p kernel.Kernel.insts.(i)
+    done
+  in
+  (* Worklist fixpoint. *)
+  let work = Queue.create () in
+  Queue.add 0 work;
+  let queued = Array.make nb false in
+  queued.(0) <- true;
+  while not (Queue.is_empty work) do
+    let b = Queue.pop work in
+    queued.(b) <- false;
+    let out = copy_state ins.(b) in
+    transfer_block b out;
+    List.iter
+      (fun s ->
+        if meet_state ins.(s) out && not queued.(s) then begin
+          queued.(s) <- true;
+          Queue.add s work
+        end)
+      cfg.Cfg.blocks.(b).Cfg.succs
+  done;
+  (* Annotation pass: replay each block from its (stable) in-state. *)
+  let info =
+    Array.make (Array.length kernel.Kernel.insts)
+      { cls = Marking.bottom; skippable = false }
+  in
+  for b = 0 to nb - 1 do
+    let v, p = copy_state ins.(b) in
+    let block = cfg.Cfg.blocks.(b) in
+    for i = block.Cfg.first to block.Cfg.last do
+      let inst = kernel.Kernel.insts.(i) in
+      let cls = computed_cls ~tid_y v p inst in
+      let skippable =
+        Instr.dst_reg inst <> None
+        && inst.Instr.guard = None
+        && not (Instr.is_atomic inst)
+      in
+      info.(i) <- { cls; skippable };
+      transfer ~tid_y v p inst
+    done
+  done;
+  { kernel; cfg; postdom; info; ins }
+
+let marking t i = t.info.(i).cls.red
+
+let shape t i = t.info.(i).cls.shape
+
+let skippable t i = t.info.(i).skippable
+
+let block_in t b = Array.copy (fst t.ins.(b))
+
+let reconvergence t i = Postdom.reconvergence_inst t.postdom i
+
+let hints t =
+  Array.map
+    (fun info ->
+      match info.cls.red with
+      | Vector -> 0
+      | Cond_redundant -> 1
+      | Def_redundant -> 2
+      | Cond_redundant_xy -> 3)
+    t.info
+
+let pp_markings fmt t =
+  Array.iteri
+    (fun i inst ->
+      let mark =
+        if not t.info.(i).skippable then "V "
+        else
+          match t.info.(i).cls.red with
+          | Def_redundant -> "DR"
+          | Cond_redundant -> "CR"
+          | Cond_redundant_xy -> "CRY"
+          | Vector -> "V "
+      in
+      Format.fprintf fmt "%s 0x%03x  %s@\n" mark (Kernel.pc_of_index i)
+        (Printer.instr_to_string inst))
+    t.kernel.Kernel.insts

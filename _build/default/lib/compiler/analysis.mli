@@ -1,0 +1,68 @@
+(** DARSIE's static redundancy-marking compiler pass (paper §4.2).
+
+    Seeds the analysis with the intrinsic values known to be uniform across
+    a threadblock ([%ctaid], [%ntid], [%nctaid], immediates, kernel
+    parameters — all {e definitely redundant}) and with [%tid.x]
+    ({e conditionally redundant}, affine), then propagates the classes
+    through the program-dependence structure with a forward dataflow over
+    the CFG. Loads inherit the redundancy of their address and produce
+    unstructured values. When multiple definitions reach an operand the
+    weakest wins.
+
+    The analysis is launch-independent; {!Promotion} later resolves
+    conditional markings against the launch-time threadblock dimensions. *)
+
+type inst_info = {
+  cls : Marking.cls;
+      (** class of the value the instruction produces (meet over source
+          operands and, for guarded instructions, the guard) *)
+  skippable : bool;
+      (** structurally eligible for DARSIE skipping: writes a vector
+          register, is unguarded, and is not an atomic *)
+}
+
+type t = {
+  kernel : Darsie_isa.Kernel.t;
+  cfg : Cfg.t;
+  postdom : Postdom.t;
+  info : inst_info array;
+  ins : (Marking.cls array * Marking.cls array) array;
+      (** per-block (vector, predicate) register classes at block entry *)
+}
+
+val analyze : ?tid_y_redundancy:bool -> Darsie_isa.Kernel.t -> t
+(** [tid_y_redundancy] (default false) additionally seeds [tid.y] as
+    conditionally redundant for 3D threadblocks — the extension the paper
+    notes in §2 but does not evaluate. *)
+
+val marking : t -> int -> Marking.redundancy
+(** Static marking of instruction [i]: DR, CR or V. *)
+
+val shape : t -> int -> Marking.shape
+
+val skippable : t -> int -> bool
+
+val block_in : t -> int -> Marking.cls array
+(** Per-vector-register classes at entry of block [b] (for tests and
+    debugging); index = register number. *)
+
+val reconvergence : t -> int -> int option
+(** Reconvergence instruction index for a branch at instruction [i] (the
+    immediate postdominator), [None] when paths rejoin only at exit. *)
+
+val operand_cls : Marking.cls array -> Marking.cls array -> Darsie_isa.Instr.operand -> Marking.cls
+(** [operand_cls vregs pregs op] — the seed/lookup rule exposed for tests:
+    intrinsic seeds for sregs, [Def_redundant]/[Uniform] for immediates and
+    parameters. ([pregs] is unused for vector operands but kept for
+    signature symmetry.) *)
+
+val hints : t -> int array
+(** The per-instruction 2-bit redundancy encodings the static compiler
+    embeds in the binary's spare bits (paper §4.2;
+    [Darsie_isa.Encode.encode ~hint]): 0 = vector, 1 = conditionally
+    redundant, 2 = definitely redundant, 3 = conditionally redundant on
+    the 3D xy condition. *)
+
+val pp_markings : Format.formatter -> t -> unit
+(** Figure-6 style dump: one line per instruction with its byte PC, its
+    DR/CR/V marking and its assembly text. *)

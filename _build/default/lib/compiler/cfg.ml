@@ -1,0 +1,92 @@
+open Darsie_isa
+
+type block = {
+  id : int;
+  first : int;
+  last : int;
+  succs : int list;
+  preds : int list;
+}
+
+type t = {
+  kernel : Kernel.t;
+  blocks : block array;
+  block_of_inst : int array;
+}
+
+let build (kernel : Kernel.t) =
+  let insts = kernel.Kernel.insts in
+  let n = Array.length insts in
+  let leader = Array.make n false in
+  leader.(0) <- true;
+  Array.iteri
+    (fun i inst ->
+      match Instr.branch_target inst with
+      | Some target ->
+        leader.(target) <- true;
+        if i + 1 < n then leader.(i + 1) <- true
+      | None -> if Instr.is_exit inst && i + 1 < n then leader.(i + 1) <- true)
+    insts;
+  let firsts = ref [] in
+  for i = n - 1 downto 0 do
+    if leader.(i) then firsts := i :: !firsts
+  done;
+  let firsts = Array.of_list !firsts in
+  let nb = Array.length firsts in
+  let block_of_inst = Array.make n 0 in
+  let last_of b = if b + 1 < nb then firsts.(b + 1) - 1 else n - 1 in
+  for b = 0 to nb - 1 do
+    for i = firsts.(b) to last_of b do
+      block_of_inst.(i) <- b
+    done
+  done;
+  let succs_of b =
+    let last = last_of b in
+    let inst = insts.(last) in
+    let fallthrough = if b + 1 < nb then [ b + 1 ] else [] in
+    match Instr.branch_target inst with
+    | Some target ->
+      let tb = block_of_inst.(target) in
+      (* An unguarded branch has no fallthrough. *)
+      if inst.Instr.guard = None then [ tb ]
+      else if List.mem tb fallthrough then fallthrough
+      else tb :: fallthrough
+    | None ->
+      if Instr.is_exit inst && inst.Instr.guard = None then []
+      else fallthrough
+  in
+  let succs = Array.init nb succs_of in
+  let preds = Array.make nb [] in
+  Array.iteri
+    (fun b ss -> List.iter (fun s -> preds.(s) <- b :: preds.(s)) ss)
+    succs;
+  let blocks =
+    Array.init nb (fun b ->
+        {
+          id = b;
+          first = firsts.(b);
+          last = last_of b;
+          succs = succs.(b);
+          preds = List.rev preds.(b);
+        })
+  in
+  { kernel; blocks; block_of_inst }
+
+let num_blocks t = Array.length t.blocks
+
+let entry t = t.blocks.(0)
+
+let exit_blocks t =
+  Array.to_list t.blocks
+  |> List.filter (fun b -> b.succs = [])
+  |> List.map (fun b -> b.id)
+
+let pp fmt t =
+  Array.iter
+    (fun b ->
+      Format.fprintf fmt "B%d [%d..%d] -> %a@\n" b.id b.first b.last
+        (Format.pp_print_list
+           ~pp_sep:(fun f () -> Format.pp_print_string f ",")
+           Format.pp_print_int)
+        b.succs)
+    t.blocks

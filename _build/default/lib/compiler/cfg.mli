@@ -1,0 +1,34 @@
+(** Control-flow graphs over PTX-lite kernels.
+
+    Basic blocks are maximal straight-line instruction ranges; block leaders
+    are the entry instruction, every branch target and every instruction
+    following a branch or exit. Barriers do not break blocks (they are not
+    control flow), but {!block_boundaries} exposes them for the
+    SILICON-SYNC experiment, which inserts TB-wide synchronization at every
+    basic-block boundary. *)
+
+type block = {
+  id : int;
+  first : int;  (** index of the first instruction *)
+  last : int;  (** index of the last instruction (inclusive) *)
+  succs : int list;  (** successor block ids *)
+  preds : int list;
+}
+
+type t = {
+  kernel : Darsie_isa.Kernel.t;
+  blocks : block array;
+  block_of_inst : int array;  (** instruction index -> block id *)
+}
+
+val build : Darsie_isa.Kernel.t -> t
+
+val num_blocks : t -> int
+
+val entry : t -> block
+
+val exit_blocks : t -> int list
+(** Blocks with no successors (those ending in an unguarded [Exit], or
+    falling off the end of the program). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type redundancy = Vector | Cond_redundant_xy | Cond_redundant | Def_redundant
+
+type shape = Varying | Unstructured | Affine | Uniform
+
+type cls = { red : redundancy; shape : shape }
+
+let top = { red = Def_redundant; shape = Uniform }
+
+let bottom = { red = Vector; shape = Varying }
+
+let red_rank = function
+  | Vector -> 0
+  | Cond_redundant_xy -> 1
+  | Cond_redundant -> 2
+  | Def_redundant -> 3
+
+let shape_rank = function
+  | Varying -> 0
+  | Unstructured -> 1
+  | Affine -> 2
+  | Uniform -> 3
+
+let meet_red a b = if red_rank a <= red_rank b then a else b
+
+let meet_shape a b = if shape_rank a <= shape_rank b then a else b
+
+let meet a b = { red = meet_red a.red b.red; shape = meet_shape a.shape b.shape }
+
+let equal a b = a.red = b.red && a.shape = b.shape
+
+let leq a b = red_rank a.red <= red_rank b.red && shape_rank a.shape <= shape_rank b.shape
+
+let red_to_string = function
+  | Vector -> "V"
+  | Cond_redundant_xy -> "CRY"
+  | Cond_redundant -> "CR"
+  | Def_redundant -> "DR"
+
+let shape_to_string = function
+  | Varying -> "varying"
+  | Unstructured -> "unstructured"
+  | Affine -> "affine"
+  | Uniform -> "uniform"
+
+let pp fmt c =
+  Format.fprintf fmt "%s/%s" (red_to_string c.red) (shape_to_string c.shape)

@@ -1,0 +1,51 @@
+(** The redundancy and value-shape lattices of the DARSIE compiler pass.
+
+    The paper (§4.2) classifies every register and instruction into one of
+    three redundancy states — definitely redundant, conditionally redundant
+    or true vector — with "weakest definition wins" when multiple states
+    reach an operand. Orthogonally, §2's taxonomy distinguishes the
+    {e shape} of redundant values: uniform (one scalar for the whole
+    threadblock), affine (a single [<base, stride>] pair replicated in each
+    warp) and unstructured (equal vectors with no pattern). We track shape
+    for every value, redundant or not, because DAC-IDEAL removes affine
+    values that are not redundant (e.g. a 1D kernel's [tid.x]). *)
+
+(** Redundancy across the warps of a threadblock, ordered
+    [Vector < Cond_redundant_xy < Cond_redundant < Def_redundant]. The
+    meet ({!meet_red}) picks the weakest.
+
+    [Cond_redundant] depends only on the launch's x-dimension condition
+    (the paper's main analysis, seeded by [tid.x]). [Cond_redundant_xy]
+    additionally requires the 3D-threadblock condition on [xdim * ydim]
+    (the paper's §2 observation that [tid.y] is conditionally redundant
+    in 3D TBs); it is weaker because both conditions must hold. *)
+type redundancy = Vector | Cond_redundant_xy | Cond_redundant | Def_redundant
+
+(** Value shape, ordered [Varying < Unstructured < Affine < Uniform]. *)
+type shape = Varying | Unstructured | Affine | Uniform
+
+type cls = { red : redundancy; shape : shape }
+(** The abstract class of one register at one program point. *)
+
+val top : cls
+(** Optimistic initial state for the fixpoint: [(Def_redundant, Uniform)]. *)
+
+val bottom : cls
+
+val meet_red : redundancy -> redundancy -> redundancy
+
+val meet_shape : shape -> shape -> shape
+
+val meet : cls -> cls -> cls
+
+val equal : cls -> cls -> bool
+
+val leq : cls -> cls -> bool
+(** Pointwise lattice order ([leq a b] iff [a] is at most as strong). *)
+
+val red_to_string : redundancy -> string
+(** ["DR"], ["CR"] or ["V"] — the paper's Figure 6 notation. *)
+
+val shape_to_string : shape -> string
+
+val pp : Format.formatter -> cls -> unit

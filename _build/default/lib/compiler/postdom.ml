@@ -1,0 +1,67 @@
+type t = {
+  cfg : Cfg.t;
+  (* pdom.(b).(a) = block a postdominates block b; index nb is the virtual
+     exit node. *)
+  pdom : bool array array;
+  ipdom : int option array;
+}
+
+let compute (cfg : Cfg.t) =
+  let nb = Cfg.num_blocks cfg in
+  let vexit = nb in
+  let succs b =
+    let block = cfg.Cfg.blocks.(b) in
+    if block.Cfg.succs = [] then [ vexit ] else block.Cfg.succs
+  in
+  (* Initialize: exit postdominated only by itself, others by everything. *)
+  let pdom =
+    Array.init (nb + 1) (fun b ->
+        if b = vexit then Array.init (nb + 1) (fun a -> a = vexit)
+        else Array.make (nb + 1) true)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Reverse program order converges fastest for postdominators. *)
+    for b = nb - 1 downto 0 do
+      for a = 0 to nb do
+        if a <> b then begin
+          let everywhere =
+            List.for_all (fun s -> pdom.(s).(a)) (succs b)
+          in
+          if pdom.(b).(a) && not everywhere then begin
+            pdom.(b).(a) <- false;
+            changed := true
+          end
+        end
+      done
+    done
+  done;
+  (* ipdom(b): the strict postdominator closest to b — the candidate whose
+     own postdominator set contains every other candidate. *)
+  let ipdom =
+    Array.init nb (fun b ->
+        let candidates =
+          List.filter
+            (fun a -> a <> b && a <> vexit && pdom.(b).(a))
+            (List.init nb (fun i -> i))
+        in
+        let closest =
+          List.find_opt
+            (fun p ->
+              List.for_all (fun q -> q = p || pdom.(p).(q)) candidates)
+            candidates
+        in
+        closest)
+  in
+  { cfg; pdom; ipdom }
+
+let postdominates t a b = t.pdom.(b).(a)
+
+let ipdom_block t b = t.ipdom.(b)
+
+let reconvergence_inst t i =
+  let b = t.cfg.Cfg.block_of_inst.(i) in
+  match t.ipdom.(b) with
+  | Some p -> Some t.cfg.Cfg.blocks.(p).Cfg.first
+  | None -> None

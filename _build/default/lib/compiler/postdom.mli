@@ -1,0 +1,25 @@
+(** Postdominator analysis for SIMT reconvergence.
+
+    GPUs reconverge divergent warps at the immediate postdominator (IPDOM)
+    of the divergent branch; the functional emulator's SIMT stack pushes the
+    IPDOM as the reconvergence PC. Computed with the classic iterative
+    bit-set dataflow over the reverse CFG with a virtual exit node joining
+    all exit blocks. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+val postdominates : t -> int -> int -> bool
+(** [postdominates t a b] — does block [a] postdominate block [b]? A block
+    postdominates itself. *)
+
+val ipdom_block : t -> int -> int option
+(** Immediate postdominator block of a block, or [None] for blocks
+    postdominated only by the virtual exit. *)
+
+val reconvergence_inst : t -> int -> int option
+(** [reconvergence_inst t i] is the instruction index where a divergent
+    branch at instruction [i] reconverges (the first instruction of the
+    branch block's immediate postdominator), or [None] when the paths only
+    rejoin at thread exit. *)

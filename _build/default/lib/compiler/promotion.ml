@@ -1,0 +1,50 @@
+open Darsie_isa
+
+type t = {
+  analysis : Analysis.t;
+  promoted : bool;
+  tb_redundant : bool array;
+  dac_removable : bool array;
+  uv_eligible : bool array;
+}
+
+let resolve (analysis : Analysis.t) (launch : Kernel.launch) ~warp_size =
+  let promoted = Kernel.xdim_condition launch ~warp_size in
+  let promoted_xy = Kernel.xydim_condition launch ~warp_size in
+  let n = Array.length analysis.Analysis.info in
+  let resolved_red i =
+    match Analysis.marking analysis i with
+    | Marking.Def_redundant -> true
+    | Marking.Cond_redundant -> promoted
+    | Marking.Cond_redundant_xy -> promoted_xy
+    | Marking.Vector -> false
+  in
+  let tb_redundant =
+    Array.init n (fun i -> Analysis.skippable analysis i && resolved_red i)
+  in
+  let insts = analysis.Analysis.kernel.Kernel.insts in
+  let dac_removable =
+    Array.init n (fun i ->
+        let inst = insts.(i) in
+        let alu =
+          Analysis.skippable analysis i
+          && (not (Instr.is_load inst))
+          && not (Instr.is_atomic inst)
+        in
+        alu
+        &&
+        match Analysis.shape analysis i with
+        | Marking.Uniform | Marking.Affine -> true
+        | Marking.Unstructured | Marking.Varying -> false)
+  in
+  let uv_eligible =
+    Array.init n (fun i ->
+        Analysis.skippable analysis i
+        && (not (Instr.is_load insts.(i)))
+        && Analysis.shape analysis i = Marking.Uniform
+        && resolved_red i)
+  in
+  { analysis; promoted; tb_redundant; dac_removable; uv_eligible }
+
+let skip_count_upper_bound t =
+  Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.tb_redundant

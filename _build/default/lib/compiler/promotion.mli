@@ -1,0 +1,30 @@
+(** Launch-time promotion of conditional redundancy (paper §4.2).
+
+    Conditionally redundant instructions are evaluated against the
+    launch-time threadblock dimensions: when the kernel uses
+    multi-dimensional threadblocks whose x dimension is a power of two no
+    larger than the warp size, they are promoted to definitely redundant;
+    otherwise they are demoted to true vector instructions. The promotion
+    models the GPU driver's JIT finalization pass (or the equivalent small
+    hardware check). *)
+
+type t = {
+  analysis : Analysis.t;
+  promoted : bool;  (** did the launch satisfy the x-dimension condition? *)
+  tb_redundant : bool array;
+      (** per instruction: resolved to definitely redundant and
+          structurally skippable by DARSIE *)
+  dac_removable : bool array;
+      (** per instruction: removed by the idealized DAC baseline — a
+          statically uniform or affine ALU instruction (1D or 2D,
+          redundant or not; never memory or control flow) *)
+  uv_eligible : bool array;
+      (** per instruction: eliminable by the UV baseline — uniform
+          redundant, non-memory *)
+}
+
+val resolve :
+  Analysis.t -> Darsie_isa.Kernel.launch -> warp_size:int -> t
+
+val skip_count_upper_bound : t -> int
+(** Number of static instructions resolved TB-redundant (for reporting). *)

@@ -1,0 +1,1 @@
+lib/core/darsie_engine.ml: Array Config Darsie_compiler Darsie_isa Darsie_timing Darsie_trace Engine Gpu Hashtbl Kinfo Majority Option Queue Record Skip_table Stats

@@ -1,0 +1,1 @@
+lib/core/darsie_engine.mli: Darsie_timing

@@ -1,0 +1,1 @@
+lib/core/skip_table.ml: Hashtbl List

@@ -1,0 +1,364 @@
+open Darsie_timing
+open Darsie_trace
+
+type options = { ignore_store : bool; no_cf_sync : bool }
+
+let default_options = { ignore_store = false; no_cf_sync = false }
+
+let name_of o =
+  match (o.ignore_store, o.no_cf_sync) with
+  | false, false -> "DARSIE"
+  | true, false -> "DARSIE-IGNORE-STORE"
+  | false, true -> "DARSIE-NO-CF-SYNC"
+  | true, true -> "DARSIE-IGNORE-STORE-NO-CF-SYNC"
+
+type sync_entry = {
+  mutable arrived : int;
+  mutable released : bool;
+  mutable first_succ : int;
+}
+
+type slot_state = {
+  skip : Skip_table.t;
+  majority : Majority.t;
+  syncs : (int * int, sync_entry) Hashtbl.t;  (* (branch pc, occ) *)
+  mutable warps : Engine.wctx array;
+  mutable bar_arrived : int;
+}
+
+let warp_drained (w : Engine.wctx) =
+  Engine.warp_done w && Queue.is_empty w.Engine.ibuf
+
+(* Warps still producing work: a finished warp must not gate
+   synchronization or register freeing. *)
+let alive_mask slot =
+  Array.fold_left
+    (fun acc (w : Engine.wctx) ->
+      if Engine.warp_done w then acc else acc lor (1 lsl w.Engine.warp_in_tb))
+    0 slot.warps
+
+let successor_of (w : Engine.wctx) =
+  if w.Engine.fi + 1 < Array.length w.Engine.trace then
+    w.Engine.trace.(w.Engine.fi + 1).Record.idx
+  else -1
+
+let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
+    (stats : Stats.t) =
+  (* The SM-wide PC skip table has skip_entries_per_tb x max_tbs_per_sm
+     entries (256 in the paper); when occupancy limits leave fewer
+     threadblocks resident, each resident TB's share of the pool grows. *)
+  let entries_per_tb =
+    if options.no_cf_sync then max_int / 2
+    else begin
+      let warps_per_tb =
+        Darsie_isa.Kernel.warps_per_block kinfo.Kinfo.launch
+          ~warp_size:cfg.Config.warp_size
+      in
+      let resident = Gpu.occupancy cfg kinfo.Kinfo.kernel ~warps_per_tb in
+      max cfg.Config.skip_entries_per_tb
+        (cfg.Config.skip_entries_per_tb * cfg.Config.max_tbs_per_sm / resident)
+    end
+  in
+  let rename_regs_per_tb =
+    if options.no_cf_sync then max_int / 2
+    else cfg.Config.rename_regs_per_tb
+  in
+  let slots : (int, slot_state) Hashtbl.t = Hashtbl.create 8 in
+  let fetch_ok : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  let stall_count : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* A warp stalled at a skip-table instruction registers in the entry's
+     warps-waiting bitmask (§4.3.2 field 2) and is woken by the leader's
+     writeback — re-checking costs no PC-coalescer port. [parked] maps a
+     warp to the trace index it is parked at. *)
+  let parked : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let full_mask = (1 lsl cfg.Config.warp_size) - 1 in
+  let set_ok (w : Engine.wctx) v = Hashtbl.replace fetch_ok w.Engine.wid v in
+  let bump_stall (w : Engine.wctx) =
+    let c =
+      match Hashtbl.find_opt stall_count w.Engine.wid with
+      | Some c -> c + 1
+      | None -> 1
+    in
+    Hashtbl.replace stall_count w.Engine.wid c;
+    c
+  in
+  let clear_stall (w : Engine.wctx) = Hashtbl.remove stall_count w.Engine.wid in
+  let elim_shape idx =
+    match kinfo.Kinfo.shape.(idx) with
+    | Darsie_compiler.Marking.Uniform ->
+      stats.Stats.elim_uniform <- stats.Stats.elim_uniform + 1
+    | Darsie_compiler.Marking.Affine ->
+      stats.Stats.elim_affine <- stats.Stats.elim_affine + 1
+    | Darsie_compiler.Marking.Unstructured | Darsie_compiler.Marking.Varying ->
+      stats.Stats.elim_unstructured <- stats.Stats.elim_unstructured + 1
+  in
+  (* Finished warps must not gate freeing (strict mode would deadlock on
+     them); the idealized no-sync mode instead holds versions for
+     laggards — it has unbounded rename registers, so early frees would
+     only force spurious re-execution. *)
+  let effective_majority slot =
+    if options.no_cf_sync then Majority.mask slot.majority
+    else Majority.mask slot.majority land alive_mask slot
+  in
+  let drop_from_majority slot (w : Engine.wctx) =
+    if Majority.on_path slot.majority w.Engine.warp_in_tb then begin
+      Majority.drop slot.majority w.Engine.warp_in_tb;
+      stats.Stats.majority_updates <- stats.Stats.majority_updates + 1;
+      Skip_table.recheck slot.skip ~majority:(effective_majority slot)
+    end
+  in
+  (* Branch-synchronization release: the majority of arrived warps picks
+     the continuation path; warps headed elsewhere leave the majority. *)
+  let release_sync slot entry =
+    let votes = Hashtbl.create 4 in
+    Array.iter
+      (fun (w : Engine.wctx) ->
+        let b = 1 lsl w.Engine.warp_in_tb in
+        if entry.arrived land b <> 0 then begin
+          let s = successor_of w in
+          Hashtbl.replace votes s
+            (1 + Option.value ~default:0 (Hashtbl.find_opt votes s))
+        end)
+      slot.warps;
+    let winner =
+      Hashtbl.fold
+        (fun succ n best ->
+          match best with
+          | Some (_, bn) when bn > n -> best
+          | Some (bs, bn) when bn = n && bs <= succ -> best
+          | _ -> Some (succ, n))
+        votes None
+    in
+    (match winner with
+    | Some (succ, _) ->
+      Array.iter
+        (fun (w : Engine.wctx) ->
+          let b = 1 lsl w.Engine.warp_in_tb in
+          if entry.arrived land b <> 0 && successor_of w <> succ then
+            drop_from_majority slot w)
+        slot.warps
+    | None -> ());
+    entry.released <- true
+  in
+  (* Process one warp's pre-fetch window; returns nothing, sets fetch_ok. *)
+  let probed = Hashtbl.create 8 in
+  let process_warp slot (w : Engine.wctx) =
+    let rec go chain =
+      if Engine.warp_done w then set_ok w true
+      else begin
+        let op = w.Engine.trace.(w.Engine.fi) in
+        let idx = op.Record.idx in
+        let win = w.Engine.warp_in_tb in
+        if kinfo.Kinfo.is_barrier.(idx) then set_ok w true
+        else if
+          op.Record.active land full_mask <> full_mask
+          && Majority.on_path slot.majority win
+          && not (Engine.warp_done w)
+        then begin
+          (* Intra-warp SIMD divergence: leave the majority path (§4.5). *)
+          drop_from_majority slot w;
+          set_ok w true
+        end
+        else if not (Majority.on_path slot.majority win) then set_ok w true
+        else if kinfo.Kinfo.is_branch.(idx) then begin
+          let key = (idx, op.Record.occ) in
+          let entry =
+            match Hashtbl.find_opt slot.syncs key with
+            | Some e -> e
+            | None ->
+              let e =
+                { arrived = 0; released = false; first_succ = successor_of w }
+              in
+              Hashtbl.add slot.syncs key e;
+              e
+          in
+          if options.no_cf_sync then begin
+            (* Idealized: no stall; deviation from the first arrival's
+               path drops the warp from the majority. *)
+            if successor_of w <> entry.first_succ then drop_from_majority slot w;
+            set_ok w true
+          end
+          else if entry.released then set_ok w true
+          else begin
+            entry.arrived <- entry.arrived lor (1 lsl win);
+            if entry.arrived land effective_majority slot
+               = effective_majority slot
+            then begin
+              release_sync slot entry;
+              set_ok w true
+            end
+            else begin
+              stats.Stats.darsie_sync_stalls <-
+                stats.Stats.darsie_sync_stalls + 1;
+              set_ok w false
+            end
+          end
+        end
+        else if kinfo.Kinfo.tb_redundant.(idx) then begin
+          (* PC coalescer: a bounded number of distinct skip PCs are
+             serviced per cycle; chained skips ride the +8 adders, and
+             warps already parked in an entry's waiting bitmask are woken
+             for free. *)
+          let is_parked = Hashtbl.find_opt parked w.Engine.wid = Some w.Engine.fi in
+          let port_ok =
+            chain > 0 || is_parked || Hashtbl.mem probed idx
+            || Hashtbl.length probed < cfg.Config.coalescer_ports
+          in
+          if not port_ok then set_ok w false
+          else begin
+            if (not is_parked) && not (Hashtbl.mem probed idx) then begin
+              Hashtbl.replace probed idx ();
+              stats.Stats.coalescer_probes <- stats.Stats.coalescer_probes + 1
+            end;
+            if not is_parked then
+              stats.Stats.skip_table_probes <- stats.Stats.skip_table_probes + 1;
+            match Skip_table.find slot.skip ~pc:idx ~occ:op.Record.occ with
+            | Some inst when inst.Skip_table.leader = win ->
+              (* The leader executes its own instruction. *)
+              Hashtbl.remove parked w.Engine.wid;
+              set_ok w true
+            | Some inst when inst.Skip_table.leader_wb || options.no_cf_sync ->
+              (* Follower skip: PC += 8, remap the register version. *)
+              Hashtbl.remove parked w.Engine.wid;
+              w.Engine.fi <- w.Engine.fi + 1;
+              stats.Stats.skipped_prefetch <- stats.Stats.skipped_prefetch + 1;
+              stats.Stats.rename_accesses <- stats.Stats.rename_accesses + 1;
+              elim_shape idx;
+              Skip_table.mark_passed slot.skip ~pc:idx ~occ:op.Record.occ
+                ~warp:win ~majority:(effective_majority slot);
+              clear_stall w;
+              if chain + 1 < cfg.Config.max_skips_per_warp_cycle then
+                go (chain + 1)
+              else set_ok w false
+            | Some _ ->
+              (* Follower parks in the warps-waiting bitmask until
+                 LeaderWB (§4.3.2, field 5). *)
+              Hashtbl.replace parked w.Engine.wid w.Engine.fi;
+              stats.Stats.darsie_sync_stalls <-
+                stats.Stats.darsie_sync_stalls + 1;
+              set_ok w false
+            | None ->
+              if not (Skip_table.has_entry_slot slot.skip ~pc:idx) then begin
+                (* Table full: execute normally, no skipping. *)
+                Hashtbl.remove parked w.Engine.wid;
+                set_ok w true
+              end
+              else if not (Skip_table.has_free_reg slot.skip) then begin
+                (* Freelist empty: synchronize until a version frees; a
+                   bounded fallback keeps forward progress. *)
+                if options.no_cf_sync then set_ok w true
+                else if bump_stall w > 64 then begin
+                  clear_stall w;
+                  Hashtbl.remove parked w.Engine.wid;
+                  set_ok w true
+                end
+                else begin
+                  Hashtbl.replace parked w.Engine.wid w.Engine.fi;
+                  stats.Stats.darsie_sync_stalls <-
+                    stats.Stats.darsie_sync_stalls + 1;
+                  set_ok w false
+                end
+              end
+              else begin
+                Skip_table.allocate slot.skip ~pc:idx ~occ:op.Record.occ
+                  ~leader:win ~is_load:kinfo.Kinfo.is_load.(idx);
+                stats.Stats.rename_accesses <- stats.Stats.rename_accesses + 1;
+                clear_stall w;
+                Hashtbl.remove parked w.Engine.wid;
+                set_ok w true
+              end
+          end
+        end
+        else set_ok w true
+      end
+    in
+    go 0
+  in
+  let cycle_skip ~cycle:_ =
+    Hashtbl.reset probed;
+    Hashtbl.iter
+      (fun _ slot ->
+        (* Release branch syncs that completed since last cycle (e.g. the
+           majority shrank). *)
+        Hashtbl.iter
+          (fun _ e ->
+            if (not e.released)
+               && e.arrived land effective_majority slot
+                  = effective_majority slot
+               && e.arrived <> 0
+            then release_sync slot e)
+          slot.syncs;
+        Array.iter (process_warp slot) slot.warps)
+      slots
+  in
+  let can_fetch (w : Engine.wctx) =
+    match Hashtbl.find_opt fetch_ok w.Engine.wid with
+    | Some ok -> ok
+    | None -> true
+  in
+  let on_issue ~cycle:_ (w : Engine.wctx) (op : Record.op) =
+    (match Hashtbl.find_opt slots w.Engine.tb_slot with
+    | None -> ()
+    | Some slot ->
+      if kinfo.Kinfo.is_barrier.(op.Record.idx) then begin
+        slot.bar_arrived <- slot.bar_arrived lor (1 lsl w.Engine.warp_in_tb);
+        let expected =
+          Array.fold_left
+            (fun acc (x : Engine.wctx) ->
+              if warp_drained x && x.Engine.wid <> w.Engine.wid then acc
+              else acc lor (1 lsl x.Engine.warp_in_tb))
+            0 slot.warps
+        in
+        if slot.bar_arrived land expected = expected then begin
+          (* All warps synchronized: majority bits set back to one and the
+             pre-barrier skip state retired (§4.3.3). *)
+          Majority.reset slot.majority;
+          Skip_table.flush_all slot.skip;
+          Hashtbl.reset slot.syncs;
+          slot.bar_arrived <- 0
+        end
+      end);
+    Engine.Execute
+  in
+  let on_writeback ~cycle:_ (w : Engine.wctx) (op : Record.op) =
+    if kinfo.Kinfo.tb_redundant.(op.Record.idx) then
+      match Hashtbl.find_opt slots w.Engine.tb_slot with
+      | None -> ()
+      | Some slot ->
+        Skip_table.mark_writeback slot.skip ~pc:op.Record.idx
+          ~occ:op.Record.occ ~majority:(effective_majority slot)
+  in
+  let on_store (w : Engine.wctx) =
+    if not options.ignore_store then
+      match Hashtbl.find_opt slots w.Engine.tb_slot with
+      | None -> ()
+      | Some slot -> Skip_table.flush_loads slot.skip
+  in
+  let on_tb_launch ~tb_slot ~warps =
+    Hashtbl.replace slots tb_slot
+      {
+        skip =
+          Skip_table.create ~max_entries:entries_per_tb
+            ~rename_regs:rename_regs_per_tb;
+        majority = Majority.create ~warps:(Array.length warps);
+        syncs = Hashtbl.create 64;
+        warps;
+        bar_arrived = 0;
+      };
+    Array.iter (fun (w : Engine.wctx) -> Hashtbl.remove fetch_ok w.Engine.wid) warps
+  in
+  let on_tb_finish ~tb_slot = Hashtbl.remove slots tb_slot in
+  {
+    Engine.name = name_of options;
+    cycle_skip;
+    can_fetch;
+    remove_at_fetch = (fun _ _ -> false);
+    on_issue;
+    on_writeback;
+    on_store;
+    on_tb_launch;
+    on_tb_finish;
+  }
+
+let factory ?options () : Engine.factory =
+ fun kinfo cfg stats -> make ?options kinfo cfg stats

@@ -1,0 +1,96 @@
+type instance = {
+  occ : int;
+  leader : int;
+  mutable leader_wb : bool;
+  mutable done_mask : int;
+  is_load : bool;
+}
+
+type entry = { pc : int; mutable instances : instance list }
+
+type t = {
+  max_entries : int;
+  rename_regs : int;
+  mutable free : int;
+  table : (int, entry) Hashtbl.t;
+}
+
+let create ~max_entries ~rename_regs =
+  { max_entries; rename_regs; free = rename_regs; table = Hashtbl.create 16 }
+
+let find t ~pc ~occ =
+  match Hashtbl.find_opt t.table pc with
+  | None -> None
+  | Some e -> List.find_opt (fun i -> i.occ = occ) e.instances
+
+let has_free_reg t = t.free > 0
+
+let has_entry_slot t ~pc =
+  Hashtbl.mem t.table pc || Hashtbl.length t.table < t.max_entries
+
+let can_allocate t ~pc = has_entry_slot t ~pc && has_free_reg t
+
+let allocate t ~pc ~occ ~leader ~is_load =
+  if not (can_allocate t ~pc) then
+    invalid_arg "Skip_table.allocate: table or freelist exhausted";
+  if find t ~pc ~occ <> None then
+    invalid_arg "Skip_table.allocate: instance already live";
+  let inst =
+    { occ; leader; leader_wb = false; done_mask = 1 lsl leader; is_load }
+  in
+  (match Hashtbl.find_opt t.table pc with
+  | Some e -> e.instances <- inst :: e.instances
+  | None -> Hashtbl.add t.table pc { pc; instances = [ inst ] });
+  t.free <- t.free - 1
+
+(* Free instances whose value is no longer needed: the leader has written
+   back and every warp currently on the majority path has passed. *)
+let freeable majority i = i.leader_wb && majority land lnot i.done_mask = 0
+
+let sweep_entry t majority e =
+  let live, dead = List.partition (fun i -> not (freeable majority i)) e.instances in
+  t.free <- t.free + List.length dead;
+  e.instances <- live;
+  if live = [] then Hashtbl.remove t.table e.pc
+
+let sweep t ~pc ~majority =
+  match Hashtbl.find_opt t.table pc with
+  | None -> ()
+  | Some e -> sweep_entry t majority e
+
+let mark_writeback t ~pc ~occ ~majority =
+  (match find t ~pc ~occ with
+  | Some i -> i.leader_wb <- true
+  | None -> ());
+  sweep t ~pc ~majority
+
+let mark_passed t ~pc ~occ ~warp ~majority =
+  (match find t ~pc ~occ with
+  | Some i -> i.done_mask <- i.done_mask lor (1 lsl warp)
+  | None -> ());
+  sweep t ~pc ~majority
+
+let recheck t ~majority =
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.table [] in
+  List.iter (sweep_entry t majority) entries
+
+let flush_loads t =
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.table [] in
+  List.iter
+    (fun e ->
+      let live, dead = List.partition (fun i -> not i.is_load) e.instances in
+      t.free <- t.free + List.length dead;
+      e.instances <- live;
+      if live = [] then Hashtbl.remove t.table e.pc)
+    entries
+
+let flush_all t =
+  Hashtbl.reset t.table;
+  t.free <- t.rename_regs
+
+let live_entries t = Hashtbl.length t.table
+
+let free_regs t = t.free
+
+let live_instances t =
+  Hashtbl.fold (fun _ e acc -> acc + List.length e.instances) t.table 0

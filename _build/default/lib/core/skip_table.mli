@@ -1,0 +1,69 @@
+(** The PC skip table with multithreaded register versioning (paper
+    §4.3.1–4.3.2).
+
+    One table per resident threadblock. Each entry tracks a static PC that
+    is currently being skipped; each live {e instance} of an entry is one
+    dynamic execution (a loop iteration) of that PC, holding one renamed
+    physical vector register from the per-TB freelist — the paper's
+    register versioning. An instance records its leader warp, whether the
+    leader has written the value back ([LeaderWB]) and which warps have
+    passed it; the physical register returns to the freelist once every
+    majority-path warp has passed.
+
+    The table is bounded: at most [max_entries] distinct PCs (8 per TB in
+    the paper) and [rename_regs] live instances (32 renamed registers per
+    TB). When either is exhausted, arriving warps simply execute the
+    instruction themselves. *)
+
+type instance = {
+  occ : int;
+  leader : int;  (** warp (within the TB) that executes the instruction *)
+  mutable leader_wb : bool;
+  mutable done_mask : int;  (** warps that have passed this instance *)
+  is_load : bool;
+}
+
+type t
+
+val create : max_entries:int -> rename_regs:int -> t
+
+val find : t -> pc:int -> occ:int -> instance option
+
+val can_allocate : t -> pc:int -> bool
+(** True when a new instance at [pc] could be created: the PC already has
+    an entry or a table slot is free, and the freelist is non-empty. *)
+
+val has_free_reg : t -> bool
+
+val has_entry_slot : t -> pc:int -> bool
+
+val allocate : t -> pc:int -> occ:int -> leader:int -> is_load:bool -> unit
+(** Create an instance with the leader already marked in [done_mask].
+
+    @raise Invalid_argument when [can_allocate] is false or the instance
+    already exists. *)
+
+val mark_writeback : t -> pc:int -> occ:int -> majority:int -> unit
+(** Leader wrote the value back; sets [LeaderWB] and may free the instance
+    when every majority warp has already passed. No-op if the instance is
+    gone. *)
+
+val mark_passed : t -> pc:int -> occ:int -> warp:int -> majority:int -> unit
+(** A follower skipped the instance; frees it when [done_mask] covers the
+    majority mask (and the leader has written back). *)
+
+val recheck : t -> majority:int -> unit
+(** Re-evaluate every instance's free condition after the majority mask
+    shrank. *)
+
+val flush_loads : t -> unit
+(** Remove every load entry (a store was executed — §4.4). *)
+
+val flush_all : t -> unit
+(** Barrier / TB retirement: drop all state, return all registers. *)
+
+val live_entries : t -> int
+
+val free_regs : t -> int
+
+val live_instances : t -> int

@@ -1,0 +1,1 @@
+lib/emu/interp.ml: Array Bytes Darsie_compiler Darsie_isa Instr Kernel List Memory Option Printf Simt_stack Value

@@ -1,0 +1,1 @@
+lib/emu/interp.mli: Darsie_isa Memory

@@ -1,0 +1,1 @@
+lib/emu/memory.ml: Array Bytes Darsie_isa Printf Value

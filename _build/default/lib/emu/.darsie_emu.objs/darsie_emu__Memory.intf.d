@@ -1,0 +1,1 @@
+lib/emu/memory.mli: Darsie_isa

@@ -1,0 +1,1 @@
+lib/emu/simt_stack.mli:

@@ -1,0 +1,395 @@
+open Darsie_isa
+
+type config = { warp_size : int; capture_operands : bool }
+
+let default_config = { warp_size = 32; capture_operands = false }
+
+type exec_record = {
+  tb : int;
+  warp : int;
+  inst_index : int;
+  occ : int;
+  active : int;
+  operands : Value.t array array;
+  dst_values : Value.t array option;
+  accesses : int array;
+}
+
+type stats = { warp_insts : int; thread_insts : int; max_stack_depth : int }
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun m -> raise (Fault m)) fmt
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+(* Per-warp architectural state. *)
+type warp_state = {
+  regs : Value.t array array;  (* [reg].[lane] *)
+  preds : bool array array;
+  stack : Simt_stack.t;
+  occs : int array;  (* per instruction index *)
+  tid_x : int array;
+  tid_y : int array;
+  tid_z : int array;
+  valid_mask : int;  (* lanes backed by real threads *)
+  mutable at_barrier : bool;
+  mutable exited : bool;
+}
+
+type tb_ctx = {
+  launch : Kernel.launch;
+  tb_index : int;
+  ctaid : int * int * int;
+  shared : Bytes.t;
+  warps : warp_state array;
+}
+
+let sreg_value ctx ws lane (s : Instr.sreg) =
+  let bx, by, bz = ctx.ctaid in
+  let bd = ctx.launch.Kernel.block_dim and gd = ctx.launch.Kernel.grid_dim in
+  let axis_of (x, y, z) = function Instr.X -> x | Instr.Y -> y | Instr.Z -> z in
+  match s with
+  | Instr.Tid a ->
+    axis_of (ws.tid_x.(lane), ws.tid_y.(lane), ws.tid_z.(lane)) a
+  | Instr.Ntid a -> axis_of (bd.Kernel.x, bd.Kernel.y, bd.Kernel.z) a
+  | Instr.Ctaid a -> axis_of (bx, by, bz) a
+  | Instr.Nctaid a -> axis_of (gd.Kernel.x, gd.Kernel.y, gd.Kernel.z) a
+
+let operand_value ctx ws lane (op : Instr.operand) =
+  match op with
+  | Instr.Reg r -> ws.regs.(r).(lane)
+  | Instr.Imm v -> v
+  | Instr.Sreg s -> Value.of_signed (sreg_value ctx ws lane s)
+  | Instr.Param i -> ctx.launch.Kernel.params.(i)
+
+let shared_load ctx addr =
+  if addr < 0 || addr + 4 > Bytes.length ctx.shared || addr land 3 <> 0 then
+    fault "shared load out of bounds or misaligned: 0x%x" addr;
+  Value.of_int32 (Bytes.get_int32_le ctx.shared addr)
+
+let shared_store ctx addr v =
+  if addr < 0 || addr + 4 > Bytes.length ctx.shared || addr land 3 <> 0 then
+    fault "shared store out of bounds or misaligned: 0x%x" addr;
+  Bytes.set_int32_le ctx.shared addr (Value.to_int32 v)
+
+let eval_binop (op : Instr.binop) a b =
+  match op with
+  | Instr.Add -> Value.add a b
+  | Instr.Sub -> Value.sub a b
+  | Instr.Mul -> Value.mul a b
+  | Instr.Mulhi -> Value.mulhi_s a b
+  | Instr.Div_s -> Value.div_s a b
+  | Instr.Div_u -> Value.div_u a b
+  | Instr.Rem_s -> Value.rem_s a b
+  | Instr.Rem_u -> Value.rem_u a b
+  | Instr.Min_s -> Value.min_s a b
+  | Instr.Max_s -> Value.max_s a b
+  | Instr.Min_u -> Value.min_u a b
+  | Instr.Max_u -> Value.max_u a b
+  | Instr.And -> Value.logand a b
+  | Instr.Or -> Value.logor a b
+  | Instr.Xor -> Value.logxor a b
+  | Instr.Shl -> Value.shl a b
+  | Instr.Shr_u -> Value.shr_u a b
+  | Instr.Shr_s -> Value.shr_s a b
+  | Instr.Fadd -> Value.fadd a b
+  | Instr.Fsub -> Value.fsub a b
+  | Instr.Fmul -> Value.fmul a b
+  | Instr.Fdiv -> Value.fdiv a b
+  | Instr.Fmin -> Value.fmin a b
+  | Instr.Fmax -> Value.fmax a b
+
+let eval_unop (op : Instr.unop) a =
+  match op with
+  | Instr.Mov -> a
+  | Instr.Not -> Value.lognot a
+  | Instr.Neg -> Value.neg a
+  | Instr.Abs_s -> Value.abs_s a
+  | Instr.Fneg -> Value.fneg a
+  | Instr.Fabs -> Value.fabs a
+  | Instr.Fsqrt -> Value.fsqrt a
+  | Instr.Frcp -> Value.frcp a
+  | Instr.Fexp2 -> Value.fexp2 a
+  | Instr.Flog2 -> Value.flog2 a
+  | Instr.Fsin -> Value.fsin a
+  | Instr.Fcos -> Value.fcos a
+  | Instr.Cvt_i2f -> Value.cvt_i2f a
+  | Instr.Cvt_u2f -> Value.cvt_u2f a
+  | Instr.Cvt_f2i -> Value.cvt_f2i a
+
+let eval_cmp (kind : Instr.cmp_kind) (cmp : Instr.cmp) a b =
+  let test c =
+    match cmp with
+    | Instr.Eq -> c = 0
+    | Instr.Ne -> c <> 0
+    | Instr.Lt -> c < 0
+    | Instr.Le -> c <= 0
+    | Instr.Gt -> c > 0
+    | Instr.Ge -> c >= 0
+  in
+  match kind with
+  | Instr.Scmp -> test (Value.cmp_s a b)
+  | Instr.Ucmp -> test (Value.cmp_u a b)
+  | Instr.Fcmp -> (
+    match Value.cmp_f a b with None -> cmp = Instr.Ne | Some c -> test c)
+
+let eval_atom (op : Instr.atom_op) old v cas_cmp =
+  match op with
+  | Instr.Atom_add -> Value.add old v
+  | Instr.Atom_max -> Value.max_s old v
+  | Instr.Atom_min -> Value.min_s old v
+  | Instr.Atom_exch -> v
+  | Instr.Atom_cas -> if old = cas_cmp then v else old
+
+let run ?(config = default_config) ?on_exec ?(max_warp_insts = 50_000_000)
+    (mem : Memory.t) (launch : Kernel.launch) =
+  let kernel = launch.Kernel.kernel in
+  let insts = kernel.Kernel.insts in
+  let ninsts = Array.length insts in
+  let ws_size = config.warp_size in
+  if ws_size < 1 || ws_size > 62 then
+    invalid_arg "Interp.run: warp size must be within 1..62";
+  let cfg = Darsie_compiler.Cfg.build kernel in
+  let postdom = Darsie_compiler.Postdom.compute cfg in
+  let reconv = Array.init ninsts (fun i ->
+      if Instr.is_branch insts.(i) then
+        match Darsie_compiler.Postdom.reconvergence_inst postdom i with
+        | Some r -> r
+        | None -> -1
+      else -1)
+  in
+  let nwarps = Kernel.warps_per_block launch ~warp_size:ws_size in
+  let total_warp_insts = ref 0 and total_thread_insts = ref 0 in
+  let max_depth = ref 1 in
+  let init_warp w =
+    let tid_x = Array.make ws_size 0
+    and tid_y = Array.make ws_size 0
+    and tid_z = Array.make ws_size 0 in
+    let valid = ref 0 in
+    for lane = 0 to ws_size - 1 do
+      match Kernel.thread_of_lane launch ~warp_size:ws_size ~warp:w ~lane with
+      | Some (x, y, z) ->
+        tid_x.(lane) <- x;
+        tid_y.(lane) <- y;
+        tid_z.(lane) <- z;
+        valid := !valid lor (1 lsl lane)
+      | None -> ()
+    done;
+    {
+      regs = Array.init (max kernel.Kernel.nregs 1) (fun _ -> Array.make ws_size Value.zero);
+      preds =
+        Array.init (max kernel.Kernel.npregs 1) (fun _ -> Array.make ws_size false);
+      stack = Simt_stack.create ~full_mask:!valid;
+      occs = Array.make ninsts 0;
+      tid_x;
+      tid_y;
+      tid_z;
+      valid_mask = !valid;
+      at_barrier = false;
+      exited = false;
+    }
+  in
+  let run_tb tb_index =
+    let ctx =
+      {
+        launch;
+        tb_index;
+        ctaid = Kernel.block_of_index launch tb_index;
+        shared = Bytes.make kernel.Kernel.shared_bytes '\000';
+        warps = Array.init nwarps init_warp;
+      }
+    in
+    (* Execute one instruction for warp [w]; returns [false] when the warp
+       can make no further progress this quantum (barrier or exit). *)
+    let step w =
+      let ws = ctx.warps.(w) in
+      Simt_stack.reconverge_if_needed ws.stack;
+      if Simt_stack.finished ws.stack then begin
+        ws.exited <- true;
+        false
+      end
+      else begin
+        let pc = Simt_stack.pc ws.stack in
+        if pc < 0 || pc >= ninsts then
+          fault "warp %d fell off the program at index %d" w pc;
+        let inst = insts.(pc) in
+        let mask = Simt_stack.active_mask ws.stack in
+        let occ = ws.occs.(pc) in
+        ws.occs.(pc) <- occ + 1;
+        incr total_warp_insts;
+        total_thread_insts := !total_thread_insts + popcount mask;
+        if !total_warp_insts > max_warp_insts then
+          fault "exceeded max_warp_insts (%d): runaway kernel?" max_warp_insts;
+        let d = Simt_stack.depth ws.stack in
+        if d > !max_depth then max_depth := d;
+        (* Predication: lanes where the guard holds. *)
+        let guard_mask =
+          match inst.Instr.guard with
+          | None -> mask
+          | Some (sense, p) ->
+            let m = ref 0 in
+            for lane = 0 to ws_size - 1 do
+              if
+                mask land (1 lsl lane) <> 0
+                && ws.preds.(p).(lane) = sense
+              then m := !m lor (1 lsl lane)
+            done;
+            !m
+        in
+        let opv lane op = operand_value ctx ws lane op in
+        let each_exec_lane f =
+          for lane = 0 to ws_size - 1 do
+            if guard_mask land (1 lsl lane) <> 0 then f lane
+          done
+        in
+        let accesses = ref [||] in
+        let continue_ = ref true in
+        (match inst.Instr.body with
+        | Instr.Bin (op, d, a, b) ->
+          each_exec_lane (fun lane ->
+              ws.regs.(d).(lane) <- eval_binop op (opv lane a) (opv lane b));
+          Simt_stack.advance ws.stack (pc + 1)
+        | Instr.Un (op, d, a) ->
+          each_exec_lane (fun lane ->
+              ws.regs.(d).(lane) <- eval_unop op (opv lane a));
+          Simt_stack.advance ws.stack (pc + 1)
+        | Instr.Tern (op, d, a, b, c) ->
+          each_exec_lane (fun lane ->
+              let va = opv lane a and vb = opv lane b and vc = opv lane c in
+              ws.regs.(d).(lane) <-
+                (match op with
+                | Instr.Mad -> Value.add (Value.mul va vb) vc
+                | Instr.Fma -> Value.ffma va vb vc));
+          Simt_stack.advance ws.stack (pc + 1)
+        | Instr.Setp (kind, cmp, p, a, b) ->
+          each_exec_lane (fun lane ->
+              ws.preds.(p).(lane) <- eval_cmp kind cmp (opv lane a) (opv lane b));
+          Simt_stack.advance ws.stack (pc + 1)
+        | Instr.Selp (d, a, b, p) ->
+          each_exec_lane (fun lane ->
+              ws.regs.(d).(lane) <-
+                (if ws.preds.(p).(lane) then opv lane a else opv lane b));
+          Simt_stack.advance ws.stack (pc + 1)
+        | Instr.Ld (space, d, base, off) ->
+          let addrs = ref [] in
+          each_exec_lane (fun lane ->
+              let addr = Value.truncate (Value.add (opv lane base) (Value.of_signed off)) in
+              addrs := addr :: !addrs;
+              ws.regs.(d).(lane) <-
+                (match space with
+                | Instr.Global -> Memory.load_u32 mem addr
+                | Instr.Shared -> shared_load ctx addr));
+          accesses := Array.of_list (List.rev !addrs);
+          Simt_stack.advance ws.stack (pc + 1)
+        | Instr.St (space, base, off, v) ->
+          let addrs = ref [] in
+          each_exec_lane (fun lane ->
+              let addr = Value.truncate (Value.add (opv lane base) (Value.of_signed off)) in
+              addrs := addr :: !addrs;
+              let value = opv lane v in
+              match space with
+              | Instr.Global -> Memory.store_u32 mem addr value
+              | Instr.Shared -> shared_store ctx addr value);
+          accesses := Array.of_list (List.rev !addrs);
+          Simt_stack.advance ws.stack (pc + 1)
+        | Instr.Atom (op, d, addr_op, v) ->
+          let addrs = ref [] in
+          each_exec_lane (fun lane ->
+              let addr = opv lane addr_op in
+              addrs := addr :: !addrs;
+              let old = Memory.load_u32 mem addr in
+              let cas_cmp = ws.regs.(d).(lane) in
+              Memory.store_u32 mem addr (eval_atom op old (opv lane v) cas_cmp);
+              ws.regs.(d).(lane) <- old);
+          accesses := Array.of_list (List.rev !addrs);
+          Simt_stack.advance ws.stack (pc + 1)
+        | Instr.Bra target ->
+          let taken = guard_mask in
+          if taken = mask then Simt_stack.advance ws.stack target
+          else if taken = 0 then Simt_stack.advance ws.stack (pc + 1)
+          else
+            Simt_stack.diverge ws.stack ~reconv:reconv.(pc) ~taken_pc:target
+              ~taken_mask:taken ~fallthrough_pc:(pc + 1)
+        | Instr.Bar ->
+          if Simt_stack.depth ws.stack > 1 then
+            fault "barrier executed under intra-warp divergence (pc %d)" pc;
+          Simt_stack.advance ws.stack (pc + 1);
+          ws.at_barrier <- true;
+          continue_ := false
+        | Instr.Exit ->
+          Simt_stack.retire_lanes ws.stack guard_mask;
+          if guard_mask <> mask then Simt_stack.advance ws.stack (pc + 1)
+          else ();
+          if Simt_stack.finished ws.stack then begin
+            ws.exited <- true;
+            continue_ := false
+          end);
+        (match on_exec with
+        | None -> ()
+        | Some f ->
+          let operands =
+            if config.capture_operands then
+              Array.of_list
+                (List.map
+                   (fun op ->
+                     Array.init ws_size (fun lane -> operand_value ctx ws lane op))
+                   (Instr.operands inst))
+            else [||]
+          in
+          let dst_values =
+            if config.capture_operands then
+              Option.map (fun d -> Array.copy ws.regs.(d)) (Instr.dst_reg inst)
+            else None
+          in
+          f
+            {
+              tb = tb_index;
+              warp = w;
+              inst_index = pc;
+              occ;
+              active = mask;
+              operands;
+              dst_values;
+              accesses = !accesses;
+            });
+        !continue_
+      end
+    in
+    (* Round-robin: run each warp until it blocks, release barriers when
+       every live warp has arrived. *)
+    let all_done () = Array.for_all (fun w -> w.exited) ctx.warps in
+    let iterations = ref 0 in
+    while not (all_done ()) do
+      incr iterations;
+      if !iterations > max_warp_insts then fault "threadblock made no progress";
+      let ran = ref false in
+      Array.iteri
+        (fun w ws ->
+          if not ws.exited && not ws.at_barrier then begin
+            ran := true;
+            while step w do
+              ()
+            done
+          end)
+        ctx.warps;
+      (* Barrier release: every warp is either exited or waiting. *)
+      if Array.for_all (fun w -> w.exited || w.at_barrier) ctx.warps then begin
+        let any_waiting = Array.exists (fun w -> w.at_barrier) ctx.warps in
+        if any_waiting then
+          Array.iter (fun w -> w.at_barrier <- false) ctx.warps
+        else if not (all_done ()) then fault "barrier deadlock"
+      end
+      else if not !ran then fault "scheduler made no progress"
+    done
+  in
+  for tb = 0 to Kernel.num_blocks launch - 1 do
+    run_tb tb
+  done;
+  {
+    warp_insts = !total_warp_insts;
+    thread_insts = !total_thread_insts;
+    max_stack_depth = !max_depth;
+  }

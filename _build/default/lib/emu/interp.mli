@@ -1,0 +1,60 @@
+(** Functional (architectural) emulator for PTX-lite kernels.
+
+    Executes a kernel launch against a {!Memory} instance, resolving SIMT
+    control flow with per-warp reconvergence stacks (immediate
+    postdominator). Threadblocks run one after another; warps within a
+    threadblock interleave round-robin between barriers — a legal
+    interleaving of the CUDA memory model for the regular workloads the
+    paper studies.
+
+    Every executed warp-instruction can be observed through the [on_exec]
+    callback; the trace library uses this to build timing traces and
+    redundancy limit studies. *)
+
+type config = {
+  warp_size : int;
+  capture_operands : bool;
+      (** when true, [exec_record.operands] and [dst_values] are
+          populated — required by the limit studies, off for plain timing
+          traces *)
+}
+
+val default_config : config
+(** Warp size 32, no operand capture. *)
+
+type exec_record = {
+  tb : int;  (** linear threadblock index in the grid *)
+  warp : int;  (** warp index within the threadblock *)
+  inst_index : int;
+  occ : int;  (** how many times this warp has executed this PC before *)
+  active : int;  (** SIMT active mask when the instruction issued *)
+  operands : Darsie_isa.Value.t array array;
+      (** per source operand, per lane (length [warp_size]); empty unless
+          [capture_operands] *)
+  dst_values : Darsie_isa.Value.t array option;
+      (** the destination vector register after the write; [None] when the
+          instruction writes no vector register or capture is off *)
+  accesses : int array;
+      (** byte addresses of the active lanes for memory instructions, in
+          lane order; empty otherwise *)
+}
+
+type stats = {
+  warp_insts : int;  (** dynamic warp-level instructions executed *)
+  thread_insts : int;  (** dynamic thread-level instructions *)
+  max_stack_depth : int;
+}
+
+exception Fault of string
+(** Raised on execution errors: barrier under divergence, barrier
+    deadlock, or runaway execution. *)
+
+val run :
+  ?config:config ->
+  ?on_exec:(exec_record -> unit) ->
+  ?max_warp_insts:int ->
+  Memory.t ->
+  Darsie_isa.Kernel.launch ->
+  stats
+(** [max_warp_insts] (default 50M) bounds total dynamic warp instructions
+    to catch runaway kernels. *)

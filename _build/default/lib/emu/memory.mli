@@ -1,0 +1,34 @@
+(** Flat, byte-addressed global memory with a bump allocator.
+
+    Models a GPU's global memory space: word accesses must be naturally
+    aligned, loads of never-written locations read zero, and the space
+    grows on demand. A bump allocator hands out 256-byte-aligned regions so
+    harness code can lay out kernel inputs the way [cudaMalloc] would. *)
+
+type t
+
+val create : ?initial_bytes:int -> unit -> t
+
+val load_u32 : t -> int -> Darsie_isa.Value.t
+(** @raise Invalid_argument on negative or misaligned addresses. *)
+
+val store_u32 : t -> int -> Darsie_isa.Value.t -> unit
+
+val load_f32 : t -> int -> float
+
+val store_f32 : t -> int -> float -> unit
+
+val alloc : t -> int -> int
+(** [alloc t nbytes] reserves a fresh 256-byte-aligned region and returns
+    its base address. Allocation starts above address 0 so that 0 behaves
+    like a null pointer. *)
+
+val write_i32s : t -> int -> int array -> unit
+(** Store an array of (signed) integers at consecutive words. *)
+
+val read_i32s : t -> int -> int -> int array
+(** [read_i32s t base n] reads [n] consecutive signed words. *)
+
+val write_f32s : t -> int -> float array -> unit
+
+val read_f32s : t -> int -> int -> float array

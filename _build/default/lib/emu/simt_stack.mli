@@ -1,0 +1,39 @@
+(** Per-warp SIMT reconvergence stack.
+
+    The classic immediate-postdominator stack: a divergent branch replaces
+    the top-of-stack PC with the reconvergence point and pushes one entry
+    per taken path; entries pop when execution reaches their reconvergence
+    PC. Lane masks are [warp_size]-bit integers. *)
+
+type t
+
+val create : full_mask:int -> t
+(** A fresh stack with a single entry at instruction index 0. *)
+
+val active_mask : t -> int
+(** Mask of the currently executing path; [0] once all lanes exited. *)
+
+val pc : t -> int
+(** Next instruction index of the current path. *)
+
+val finished : t -> bool
+
+val reconverge_if_needed : t -> unit
+(** Pop entries whose PC has reached their reconvergence point. Call before
+    fetching each instruction. *)
+
+val advance : t -> int -> unit
+(** Set the current path's next PC (fallthrough or uniform branch). *)
+
+val diverge : t -> reconv:int -> taken_pc:int -> taken_mask:int ->
+  fallthrough_pc:int -> unit
+(** Split the current path at a divergent branch. [taken_mask] must be a
+    non-empty strict subset of the active mask. The current entry continues
+    at [reconv] (index [-1] meaning thread exit) with the full path mask;
+    the not-taken and taken paths are pushed, taken on top. *)
+
+val retire_lanes : t -> int -> unit
+(** Remove exited lanes (mask) from every stack entry, popping entries that
+    become empty. *)
+
+val depth : t -> int

@@ -1,0 +1,1 @@
+lib/energy/area.ml: Config Darsie_timing Format

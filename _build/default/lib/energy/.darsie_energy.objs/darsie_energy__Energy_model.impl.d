@@ -1,0 +1,1 @@
+lib/energy/energy_model.ml: Config Darsie_timing Format Stats

@@ -1,0 +1,1 @@
+lib/energy/energy_model.mli: Darsie_timing Format

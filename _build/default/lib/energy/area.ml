@@ -1,0 +1,51 @@
+open Darsie_timing
+
+type t = {
+  skip_entry_bits : int;
+  skip_table_bits : int;
+  majority_bits : int;
+  rename_entry_bits : int;
+  rename_bits : int;
+  total_bits : int;
+  total_bytes : float;
+  fraction_of_rf : float;
+}
+
+let estimate ?(cfg = Config.default) () =
+  let pc_bits = 48 in
+  let warp_mask_bits = 32 in
+  let skip_entry_bits = pc_bits + warp_mask_bits + 1 + 1 in
+  let tbs = cfg.Config.max_tbs_per_sm in
+  let skip_table_bits =
+    skip_entry_bits * cfg.Config.skip_entries_per_tb * tbs
+  in
+  let majority_bits = warp_mask_bits * tbs in
+  (* 8-bit named register (CUDA allows 255 per thread) + 8-bit physical
+     register tag + 5-bit version number. *)
+  let rename_entry_bits = 8 + 8 + 5 in
+  let rename_bits = rename_entry_bits * cfg.Config.rename_regs_per_tb * tbs in
+  let total_bits = skip_table_bits + majority_bits + rename_bits in
+  let total_bytes = float_of_int total_bits /. 8.0 in
+  let rf_bytes =
+    float_of_int (cfg.Config.regfile_vregs * cfg.Config.warp_size * 4)
+  in
+  {
+    skip_entry_bits;
+    skip_table_bits;
+    majority_bits;
+    rename_entry_bits;
+    rename_bits;
+    total_bits;
+    total_bytes;
+    fraction_of_rf = total_bytes /. rf_bytes;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "skip table: %d bits/entry, %d bits total; majority mask: %d bits; \
+     rename/version: %d bits/entry, %d bits total; total %.2f kB (%.1f%% of \
+     the register file)"
+    t.skip_entry_bits t.skip_table_bits t.majority_bits t.rename_entry_bits
+    t.rename_bits
+    (t.total_bytes /. 1024.0)
+    (100.0 *. t.fraction_of_rf)

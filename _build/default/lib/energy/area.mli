@@ -1,0 +1,26 @@
+(** Area estimate of DARSIE's added structures (paper §6.3).
+
+    Reproduces the paper's bit-level arithmetic: a PC skip-table entry is
+    82 bits (48-bit PC + 32-bit warp-waiting mask + IsLoad + LeaderWB),
+    with 8 entries per TB and up to 32 resident TBs per SM; the majority
+    path mask is 32 bits per TB; rename/version-table entries are 21 bits
+    (8-bit named register + 8-bit physical tag + 5-bit version), 32 per TB.
+    The paper totals this at 5.31 kB — 2.1% of the Pascal register file. *)
+
+type t = {
+  skip_entry_bits : int;  (** 82 in the paper *)
+  skip_table_bits : int;
+  majority_bits : int;
+  rename_entry_bits : int;  (** 21 *)
+  rename_bits : int;
+  total_bits : int;
+  total_bytes : float;
+  fraction_of_rf : float;
+      (** of the per-SM register file (vregs × warp width × 4B) *)
+}
+
+val estimate : ?cfg:Darsie_timing.Config.t -> unit -> t
+(** Defaults to the paper's parameters: 8 skip entries/TB, 32 rename
+    registers/TB, 32 TBs/SM, warp size 32. *)
+
+val pp : Format.formatter -> t -> unit

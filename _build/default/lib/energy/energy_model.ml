@@ -1,0 +1,88 @@
+open Darsie_timing
+
+type params = {
+  e_fetch_decode : float;
+  e_issue : float;
+  e_rf_read : float;
+  e_rf_write : float;
+  e_alu : float;
+  e_sfu : float;
+  e_shared : float;
+  e_l1 : float;
+  e_dram : float;
+  e_skip_probe : float;
+  e_rename : float;
+  e_coalescer : float;
+  e_majority : float;
+  p_static : float;
+}
+
+let default_params =
+  {
+    e_fetch_decode = 28.0;
+    e_issue = 8.0;
+    e_rf_read = 14.2;
+    e_rf_write = 25.9;
+    e_alu = 45.0;
+    e_sfu = 180.0;
+    e_shared = 34.0;
+    e_l1 = 42.0;
+    e_dram = 320.0;
+    e_skip_probe = 1.1;
+    e_rename = 1.3;
+    e_coalescer = 0.6;
+    e_majority = 0.2;
+    p_static = 260.0;
+  }
+
+type breakdown = {
+  frontend : float;
+  register_file : float;
+  execute : float;
+  memory : float;
+  static : float;
+  darsie_overhead : float;
+  total : float;
+}
+
+let account ?(params = default_params) (cfg : Config.t) (s : Stats.t) =
+  let f = float_of_int in
+  let frontend =
+    (f s.Stats.fetched *. params.e_fetch_decode)
+    +. (f (s.Stats.issued + s.Stats.dropped_issue) *. params.e_issue)
+  in
+  let register_file =
+    (f s.Stats.rf_reads *. params.e_rf_read)
+    +. (f s.Stats.rf_writes *. params.e_rf_write)
+  in
+  let execute =
+    (f s.Stats.alu_ops *. params.e_alu) +. (f s.Stats.sfu_ops *. params.e_sfu)
+  in
+  let memory =
+    (f s.Stats.shared_accesses *. params.e_shared)
+    +. (f s.Stats.l1_accesses *. params.e_l1)
+    +. (f s.Stats.dram_transactions *. params.e_dram)
+  in
+  let static =
+    f s.Stats.cycles *. params.p_static *. f cfg.Config.num_sms
+  in
+  let darsie_overhead =
+    (f s.Stats.skip_table_probes *. params.e_skip_probe)
+    +. (f s.Stats.rename_accesses *. params.e_rename)
+    +. (f s.Stats.coalescer_probes *. params.e_coalescer)
+    +. (f s.Stats.majority_updates *. params.e_majority)
+  in
+  let total =
+    frontend +. register_file +. execute +. memory +. static
+    +. darsie_overhead
+  in
+  { frontend; register_file; execute; memory; static; darsie_overhead; total }
+
+let overhead_fraction b = if b.total = 0.0 then 0.0 else b.darsie_overhead /. b.total
+
+let pp fmt b =
+  Format.fprintf fmt
+    "total=%.3e pJ (frontend=%.2e rf=%.2e exec=%.2e mem=%.2e static=%.2e \
+     darsie=%.2e)"
+    b.total b.frontend b.register_file b.execute b.memory b.static
+    b.darsie_overhead

@@ -1,0 +1,46 @@
+(** GPUWattch-style event-based energy accounting.
+
+    Each timing-model event carries a per-event energy; total energy is the
+    dot product of the event counters with these coefficients plus
+    leakage proportional to runtime. Register-file energies come from the
+    paper's Table 2 (14.2 pJ/read, 25.9 pJ/write); the rest are set at
+    GPUWattch-scale magnitudes. The absolute joules are not meant to match
+    the authors' testbed — the normalized reductions (Figure 11) are the
+    reproduced quantity. *)
+
+type params = {
+  e_fetch_decode : float;  (** I-cache access + decode, per warp instr (pJ) *)
+  e_issue : float;  (** scheduler + scoreboard, per issued warp instr *)
+  e_rf_read : float;  (** per vector-register read (14.2 pJ, Table 2) *)
+  e_rf_write : float;  (** per vector-register write (25.9 pJ) *)
+  e_alu : float;  (** per warp-wide ALU operation *)
+  e_sfu : float;
+  e_shared : float;  (** per shared-memory access *)
+  e_l1 : float;  (** per L1 access *)
+  e_dram : float;  (** per 128B DRAM transaction *)
+  e_skip_probe : float;  (** DARSIE PC-skip-table probe *)
+  e_rename : float;  (** DARSIE rename/version-table access *)
+  e_coalescer : float;  (** DARSIE PC-coalescer use *)
+  e_majority : float;  (** majority-mask update *)
+  p_static : float;  (** leakage per SM per cycle (pJ) *)
+}
+
+val default_params : params
+
+type breakdown = {
+  frontend : float;  (** fetch + decode + issue *)
+  register_file : float;
+  execute : float;  (** ALU + SFU *)
+  memory : float;  (** shared + L1 + DRAM *)
+  static : float;
+  darsie_overhead : float;
+  total : float;  (** picojoules *)
+}
+
+val account : ?params:params -> Darsie_timing.Config.t -> Darsie_timing.Stats.t -> breakdown
+
+val overhead_fraction : breakdown -> float
+(** DARSIE's added-structure energy as a fraction of the total (the paper
+    reports 0.95%). *)
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Config Darsie_baselines Darsie_core Darsie_timing Darsie_workloads Engine Gpu List Printf Render Stats Stats_util Suite

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Config Darsie_compiler Darsie_energy Darsie_isa Darsie_timing Darsie_trace Darsie_workloads Format Gpu List Printf Render Stats Stats_util Suite

@@ -1,0 +1,1 @@
+lib/harness/figures.mli: Darsie_energy Darsie_timing Suite

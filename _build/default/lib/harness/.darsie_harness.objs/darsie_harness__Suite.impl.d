@@ -1,0 +1,1 @@
+lib/harness/suite.ml: Config Darsie_baselines Darsie_core Darsie_energy Darsie_timing Darsie_trace Darsie_workloads Engine Gpu Hashtbl Kinfo List Stats Stats_util

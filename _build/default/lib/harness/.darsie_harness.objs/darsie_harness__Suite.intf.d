@@ -1,0 +1,1 @@
+lib/harness/suite.mli: Darsie_energy Darsie_timing Darsie_trace Darsie_workloads Hashtbl

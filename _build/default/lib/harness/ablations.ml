@@ -1,0 +1,139 @@
+open Darsie_timing
+
+type point = {
+  value : int;
+  speedup : float;
+  reduction_pct : float;
+  sync_stalls : int;
+}
+
+type sweep = { parameter : string; app : string; points : point list }
+
+let measure (app : Suite.app) cfg =
+  let base = Gpu.run ~cfg Engine.base_factory app.Suite.kinfo app.Suite.trace in
+  let d =
+    Gpu.run ~cfg
+      (Darsie_core.Darsie_engine.factory ())
+      app.Suite.kinfo app.Suite.trace
+  in
+  ( float_of_int base.Gpu.cycles /. float_of_int d.Gpu.cycles,
+    Stats_util.percent
+      (Stats.total_eliminated d.Gpu.stats)
+      base.Gpu.stats.Stats.issued,
+    d.Gpu.stats.Stats.darsie_sync_stalls )
+
+let sweep_of ~parameter ~cfg_of ?(values = []) (app : Suite.app) =
+  let points =
+    List.map
+      (fun v ->
+        let speedup, reduction_pct, sync_stalls = measure app (cfg_of v) in
+        { value = v; speedup; reduction_pct; sync_stalls })
+      values
+  in
+  { parameter; app = app.Suite.workload.Darsie_workloads.Workload.abbr; points }
+
+let sweep_skip_entries ?(values = [ 1; 2; 4; 8; 16 ]) app =
+  sweep_of ~parameter:"skip entries/TB"
+    ~cfg_of:(fun v -> { Config.default with Config.skip_entries_per_tb = v })
+    ~values app
+
+let sweep_coalescer_ports ?(values = [ 1; 2; 4; 8 ]) app =
+  sweep_of ~parameter:"coalescer ports"
+    ~cfg_of:(fun v -> { Config.default with Config.coalescer_ports = v })
+    ~values app
+
+let sweep_rename_regs ?(values = [ 4; 8; 16; 32; 64 ]) app =
+  sweep_of ~parameter:"rename regs/TB"
+    ~cfg_of:(fun v -> { Config.default with Config.rename_regs_per_tb = v })
+    ~values app
+
+let sweep_max_chain ?(values = [ 1; 2; 4; 8; 16 ]) app =
+  sweep_of ~parameter:"max skips/warp/cycle"
+    ~cfg_of:(fun v ->
+      { Config.default with Config.max_skips_per_warp_cycle = v })
+    ~values app
+
+let scheduler_comparison apps =
+  List.map
+    (fun (app : Suite.app) ->
+      let run sched =
+        let cfg = { Config.default with Config.scheduler = sched } in
+        Gpu.ipc (Gpu.run ~cfg Engine.base_factory app.Suite.kinfo app.Suite.trace)
+      in
+      ( app.Suite.workload.Darsie_workloads.Workload.abbr,
+        run Config.Gto,
+        run Config.Lrr ))
+    apps
+
+let render_schedulers rows =
+  "baseline IPC by warp scheduler:\n"
+  ^ Render.table
+      ~header:[ "App"; "GTO"; "LRR"; "GTO/LRR" ]
+      (List.map
+         (fun (abbr, gto, lrr) ->
+           [ abbr; Render.f2 gto; Render.f2 lrr; Render.f2 (gto /. lrr) ])
+         rows)
+
+let mechanism_efficiency apps =
+  List.map
+    (fun (app : Suite.app) ->
+      let base =
+        Gpu.run Engine.base_factory app.Suite.kinfo app.Suite.trace
+      in
+      let darsie =
+        Gpu.run
+          (Darsie_core.Darsie_engine.factory ())
+          app.Suite.kinfo app.Suite.trace
+      in
+      let ideal =
+        Gpu.run Darsie_baselines.Tb_ideal.factory app.Suite.kinfo
+          app.Suite.trace
+      in
+      let sp r = float_of_int base.Gpu.cycles /. float_of_int r.Gpu.cycles in
+      let capture =
+        if ideal.Gpu.stats.Stats.skipped_prefetch = 0 then 1.0
+        else
+          float_of_int darsie.Gpu.stats.Stats.skipped_prefetch
+          /. float_of_int ideal.Gpu.stats.Stats.skipped_prefetch
+      in
+      ( app.Suite.workload.Darsie_workloads.Workload.abbr,
+        sp darsie,
+        sp ideal,
+        capture ))
+    apps
+
+let render_efficiency rows =
+  "DARSIE vs the TB-IDEAL elimination bound:\n"
+  ^ Render.table
+      ~header:[ "App"; "DARSIE"; "TB-IDEAL"; "skip capture" ]
+      (List.map
+         (fun (abbr, d, i, c) ->
+           [ abbr; Render.f2 d; Render.f2 i; Render.pct (100.0 *. c) ])
+         rows)
+
+let run_default () =
+  let mm = Suite.load_app Darsie_workloads.Matmul.workload in
+  let conv = Suite.load_app Darsie_workloads.Conv_tex.workload in
+  [
+    sweep_skip_entries mm;
+    sweep_rename_regs mm;
+    sweep_coalescer_ports conv;
+    sweep_max_chain conv;
+  ]
+
+let render s =
+  let rows =
+    List.map
+      (fun p ->
+        [
+          string_of_int p.value;
+          Render.f2 p.speedup;
+          Render.pct p.reduction_pct;
+          string_of_int p.sync_stalls;
+        ])
+      s.points
+  in
+  Printf.sprintf "%s on %s:\n%s" s.parameter s.app
+    (Render.table
+       ~header:[ s.parameter; "speedup"; "elim"; "sync stalls" ]
+       rows)

@@ -1,0 +1,375 @@
+open Darsie_timing
+module W = Darsie_workloads.Workload
+module L = Darsie_trace.Limit_study
+
+let dim_string (w : W.t) =
+  let x, y = w.W.block_dim in
+  Printf.sprintf "(%d,%d)" x y
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type fig1_row = {
+  abbr : string;
+  grid_pct : float;
+  tb_pct : float;
+  warp_pct : float;
+  vector_pct : float;
+}
+
+let limit_of (w : W.t) ~scale =
+  let p = w.W.prepare ~scale in
+  L.measure p.W.mem p.W.launch
+
+let fig1 ?(scale = 1) () =
+  let rows =
+    List.map
+      (fun (w : W.t) ->
+        let r = limit_of w ~scale in
+        let pct n = 100.0 *. L.fraction n r in
+        {
+          abbr = w.W.abbr;
+          grid_pct = pct r.L.grid_red;
+          tb_pct = pct r.L.tb_red;
+          warp_pct = pct r.L.warp_red;
+          vector_pct = 100.0 -. (100.0 *. L.fraction r.L.tb_red r);
+        })
+      Darsie_workloads.Registry.all
+  in
+  let avg f = Stats_util.mean (List.map f rows) in
+  let average =
+    {
+      abbr = "AVG";
+      grid_pct = avg (fun r -> r.grid_pct);
+      tb_pct = avg (fun r -> r.tb_pct);
+      warp_pct = avg (fun r -> r.warp_pct);
+      vector_pct = avg (fun r -> r.vector_pct);
+    }
+  in
+  let text =
+    Render.table
+      ~header:[ "App"; "Grid-red"; "TB-red"; "Warp-red"; "Vector" ]
+      (List.map
+         (fun r ->
+           [
+             r.abbr;
+             Render.pct r.grid_pct;
+             Render.pct r.tb_pct;
+             Render.pct r.warp_pct;
+             Render.pct r.vector_pct;
+           ])
+         (rows @ [ average ]))
+  in
+  (rows, average, text)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 2                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type fig2_row = {
+  abbr : string;
+  dim : string;
+  uniform : float;
+  affine : float;
+  unstructured : float;
+  non_redundant : float;
+}
+
+let fig2 ?(scale = 1) () =
+  let rows =
+    List.map
+      (fun (w : W.t) ->
+        let r = limit_of w ~scale in
+        let frac n = L.fraction n r in
+        {
+          abbr = w.W.abbr;
+          dim = (match w.W.dimensionality with W.D1 -> "1D" | W.D2 -> "2D");
+          uniform = frac r.L.tb_uniform;
+          affine = frac r.L.tb_affine;
+          unstructured = frac r.L.tb_unstructured;
+          non_redundant = 1.0 -. frac r.L.tb_red;
+        })
+      Darsie_workloads.Registry.all
+  in
+  let text =
+    Render.table
+      ~header:[ "App"; "Dim"; "Uniform"; "Affine"; "Unstructured"; "Non-red" ]
+      (List.map
+         (fun r ->
+           [
+             r.abbr;
+             r.dim;
+             Render.pct (100.0 *. r.uniform);
+             Render.pct (100.0 *. r.affine);
+             Render.pct (100.0 *. r.unstructured);
+             Render.pct (100.0 *. r.non_redundant);
+           ])
+         rows)
+  in
+  (rows, text)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  let p = Darsie_workloads.Matmul.workload.W.prepare ~scale:1 in
+  let analysis =
+    Darsie_compiler.Analysis.analyze p.W.launch.Darsie_isa.Kernel.kernel
+  in
+  Format.asprintf "%a" Darsie_compiler.Analysis.pp_markings analysis
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type fig8_row = {
+  abbr : string;
+  uv : float;
+  dac : float;
+  darsie : float;
+  darsie_ignore_store : float;
+}
+
+let split_dims (m : Suite.matrix) =
+  List.partition
+    (fun (a : Suite.app) -> a.Suite.workload.W.dimensionality = W.D1)
+    m.Suite.apps
+
+let fig8 (m : Suite.matrix) =
+  let row (a : Suite.app) =
+    let abbr = a.Suite.workload.W.abbr in
+    {
+      abbr;
+      uv = Suite.speedup m abbr Suite.Uv;
+      dac = Suite.speedup m abbr Suite.Dac_ideal;
+      darsie = Suite.speedup m abbr Suite.Darsie;
+      darsie_ignore_store = Suite.speedup m abbr Suite.Darsie_ignore_store;
+    }
+  in
+  let one_d, two_d = split_dims m in
+  let rows_1d = List.map row one_d and rows_2d = List.map row two_d in
+  let gmean_of name rows =
+    let g f = Stats_util.geomean (List.map f rows) in
+    {
+      abbr = name;
+      uv = g (fun r -> r.uv);
+      dac = g (fun r -> r.dac);
+      darsie = g (fun r -> r.darsie);
+      darsie_ignore_store = g (fun r -> r.darsie_ignore_store);
+    }
+  in
+  let g1 = gmean_of "GMEAN-1D" rows_1d and g2 = gmean_of "GMEAN-2D" rows_2d in
+  let all = rows_1d @ [ g1 ] @ rows_2d @ [ g2 ] in
+  let text =
+    Render.table
+      ~header:[ "App"; "UV"; "DAC-IDEAL"; "DARSIE"; "DARSIE-IGNORE-STORE" ]
+      (List.map
+         (fun r ->
+           [
+             r.abbr;
+             Render.f2 r.uv;
+             Render.f2 r.dac;
+             Render.f2 r.darsie;
+             Render.f2 r.darsie_ignore_store;
+           ])
+         all)
+  in
+  (rows_1d @ rows_2d, g1, g2, text)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 9 / 10                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type reduction_row = {
+  abbr : string;
+  machine : string;
+  uniform_pct : float;
+  affine_pct : float;
+  unstructured_pct : float;
+  total_pct : float;
+}
+
+let reduction_rows (m : Suite.matrix) apps =
+  List.concat_map
+    (fun (a : Suite.app) ->
+      let abbr = a.Suite.workload.W.abbr in
+      let base = (Suite.get m abbr Suite.Base).Suite.gpu.Gpu.stats in
+      List.map
+        (fun machine ->
+          let s = (Suite.get m abbr machine).Suite.gpu.Gpu.stats in
+          let p n = Stats_util.percent n base.Stats.issued in
+          {
+            abbr;
+            machine = Suite.machine_name machine;
+            uniform_pct = p s.Stats.elim_uniform;
+            affine_pct = p s.Stats.elim_affine;
+            unstructured_pct = p s.Stats.elim_unstructured;
+            total_pct = p (Stats.total_eliminated s);
+          })
+        [ Suite.Uv; Suite.Dac_ideal; Suite.Darsie ])
+    apps
+
+let gmean_reduction rows machine =
+  Stats_util.geomean
+    (List.filter_map
+       (fun r -> if r.machine = machine then Some r.total_pct else None)
+       rows)
+
+let render_reductions rows =
+  let gm m = gmean_reduction rows m in
+  Render.table
+    ~header:[ "App"; "Machine"; "Uniform"; "Affine"; "Unstructured"; "Total" ]
+    (List.map
+       (fun r ->
+         [
+           r.abbr;
+           r.machine;
+           Render.pct r.uniform_pct;
+           Render.pct r.affine_pct;
+           Render.pct r.unstructured_pct;
+           Render.pct r.total_pct;
+         ])
+       rows
+    @ [
+        [ "GMEAN"; "UV"; ""; ""; ""; Render.pct (gm "UV") ];
+        [ "GMEAN"; "DAC-IDEAL"; ""; ""; ""; Render.pct (gm "DAC-IDEAL") ];
+        [ "GMEAN"; "DARSIE"; ""; ""; ""; Render.pct (gm "DARSIE") ];
+      ])
+
+let fig9 m =
+  let one_d, _ = split_dims m in
+  let rows = reduction_rows m one_d in
+  (rows, render_reductions rows)
+
+let fig10 m =
+  let _, two_d = split_dims m in
+  let rows = reduction_rows m two_d in
+  (rows, render_reductions rows)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 11                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type fig11_row = { abbr : string; uv : float; dac : float; darsie : float }
+
+let fig11 (m : Suite.matrix) =
+  let row (a : Suite.app) =
+    let abbr = a.Suite.workload.W.abbr in
+    {
+      abbr;
+      uv = Suite.energy_reduction m abbr Suite.Uv;
+      dac = Suite.energy_reduction m abbr Suite.Dac_ideal;
+      darsie = Suite.energy_reduction m abbr Suite.Darsie;
+    }
+  in
+  let one_d, two_d = split_dims m in
+  let rows_1d = List.map row one_d and rows_2d = List.map row two_d in
+  let gmean_of name rows =
+    let g f = Stats_util.geomean (List.map f rows) in
+    {
+      abbr = name;
+      uv = g (fun r -> r.uv);
+      dac = g (fun r -> r.dac);
+      darsie = g (fun r -> r.darsie);
+    }
+  in
+  let g1 = gmean_of "GMEAN-1D" rows_1d and g2 = gmean_of "GMEAN-2D" rows_2d in
+  let text =
+    Render.table
+      ~header:[ "App"; "UV"; "DAC-IDEAL"; "DARSIE" ]
+      (List.map
+         (fun r ->
+           [ r.abbr; Render.pct r.uv; Render.pct r.dac; Render.pct r.darsie ])
+         (rows_1d @ [ g1 ] @ rows_2d @ [ g2 ]))
+  in
+  (rows_1d @ rows_2d, g1, g2, text)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 12                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type fig12_row = {
+  abbr : string;
+  darsie : float;
+  darsie_no_cf_sync : float;
+  silicon_sync : float;
+}
+
+let fig12 (m : Suite.matrix) =
+  let row (a : Suite.app) =
+    let abbr = a.Suite.workload.W.abbr in
+    {
+      abbr;
+      darsie = Suite.speedup m abbr Suite.Darsie;
+      darsie_no_cf_sync = Suite.speedup m abbr Suite.Darsie_no_cf_sync;
+      silicon_sync = Suite.speedup m abbr Suite.Silicon_sync;
+    }
+  in
+  let rows = List.map row m.Suite.apps in
+  let g f = Stats_util.geomean (List.map f rows) in
+  let gmean =
+    {
+      abbr = "GMEAN";
+      darsie = g (fun r -> r.darsie);
+      darsie_no_cf_sync = g (fun r -> r.darsie_no_cf_sync);
+      silicon_sync = g (fun r -> r.silicon_sync);
+    }
+  in
+  let text =
+    Render.table
+      ~header:[ "App"; "DARSIE"; "DARSIE-NO-CF-SYNC"; "SILICON-SYNC" ]
+      (List.map
+         (fun r ->
+           [
+             r.abbr;
+             Render.f2 r.darsie;
+             Render.f2 r.darsie_no_cf_sync;
+             Render.f2 r.silicon_sync;
+           ])
+         (rows @ [ gmean ]))
+  in
+  (rows, gmean, text)
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Render.table
+    ~header:[ "Name"; "Abbr"; "Suite"; "TB dim" ]
+    (List.map
+       (fun (w : W.t) -> [ w.W.full_name; w.W.abbr; w.W.suite; dim_string w ])
+       Darsie_workloads.Registry.all)
+
+let table2 ?(cfg = Config.default) () = Format.asprintf "%a@." Config.pp cfg
+
+let table3 () =
+  Render.table
+    ~header:
+      [ "Technique"; "Uniform red."; "Affine red."; "Unstructured red.";
+        "Min. pipeline mods" ]
+    [
+      [ "WIR"; "yes"; "no"; "no"; "no" ];
+      [ "G-Scalar"; "yes"; "no"; "no"; "no" ];
+      [ "UV"; "yes"; "no"; "no"; "yes" ];
+      [ "GP-SIMT"; "yes"; "yes"; "no"; "no" ];
+      [ "DAC"; "yes"; "yes"; "no"; "no" ];
+      [ "DARSIE"; "yes"; "yes"; "yes"; "yes" ];
+    ]
+
+let area ?cfg () =
+  let a = Darsie_energy.Area.estimate ?cfg () in
+  (a, Format.asprintf "%a@." Darsie_energy.Area.pp a)
+
+let darsie_overhead (m : Suite.matrix) =
+  let fracs =
+    List.map
+      (fun (a : Suite.app) ->
+        let r = Suite.get m a.Suite.workload.W.abbr Suite.Darsie in
+        100.0 *. Darsie_energy.Energy_model.overhead_fraction r.Suite.energy)
+      m.Suite.apps
+  in
+  let avg = Stats_util.mean fracs in
+  (avg, Printf.sprintf "DARSIE structure energy overhead: %.2f%% of total\n" avg)

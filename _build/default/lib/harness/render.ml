@@ -1,0 +1,28 @@
+let table ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render_row r =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           if i = 0 then
+             cell ^ String.make (widths.(i) - String.length cell) ' '
+           else String.make (widths.(i) - String.length cell) ' ' ^ cell)
+         r)
+  in
+  let sep =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let body = List.map render_row rows in
+  String.concat "\n" ((render_row (pad header) :: sep :: body) @ [ "" ])
+
+let pct x = Printf.sprintf "%.1f%%" x
+
+let f2 x = Printf.sprintf "%.2f" x

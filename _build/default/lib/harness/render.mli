@@ -1,0 +1,11 @@
+(** Plain-text table rendering for experiment output. *)
+
+val table : header:string list -> string list list -> string
+(** Left-aligned first column, right-aligned numeric columns, separator
+    under the header. *)
+
+val pct : float -> string
+(** Render a percentage with one decimal, e.g. ["23.4%"]. *)
+
+val f2 : float -> string
+(** Two-decimal float. *)

@@ -1,0 +1,13 @@
+let geomean xs =
+  match xs with
+  | [] -> 1.0
+  | _ ->
+    let logs = List.map (fun x -> log (max x 1e-4)) xs in
+    exp (List.fold_left ( +. ) 0.0 logs /. float_of_int (List.length xs))
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let percent part whole =
+  if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole

@@ -1,0 +1,11 @@
+(** Small numeric helpers for experiment aggregation. *)
+
+val geomean : float list -> float
+(** Geometric mean; non-positive inputs are clamped to [1e-4] (the paper
+    reports geometric means of percentages that can be ~0 for UV). Empty
+    input yields 1. *)
+
+val mean : float list -> float
+
+val percent : int -> int -> float
+(** [percent part whole] = 100 * part/whole (0 when whole = 0). *)

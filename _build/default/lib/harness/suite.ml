@@ -1,0 +1,104 @@
+open Darsie_timing
+module W = Darsie_workloads.Workload
+
+type app = {
+  workload : W.t;
+  trace : Darsie_trace.Record.t;
+  kinfo : Kinfo.t;
+}
+
+let load_app ?(scale = 1) (workload : W.t) =
+  let prepared = workload.W.prepare ~scale in
+  let kinfo = Kinfo.make ~warp_size:32 prepared.W.launch in
+  let trace = Darsie_trace.Record.generate prepared.W.mem prepared.W.launch in
+  { workload; trace; kinfo }
+
+type machine =
+  | Base
+  | Uv
+  | Dac_ideal
+  | Darsie
+  | Darsie_ignore_store
+  | Darsie_no_cf_sync
+  | Silicon_sync
+
+let machine_name = function
+  | Base -> "BASE"
+  | Uv -> "UV"
+  | Dac_ideal -> "DAC-IDEAL"
+  | Darsie -> "DARSIE"
+  | Darsie_ignore_store -> "DARSIE-IGNORE-STORE"
+  | Darsie_no_cf_sync -> "DARSIE-NO-CF-SYNC"
+  | Silicon_sync -> "SILICON-SYNC"
+
+let all_machines =
+  [ Base; Uv; Dac_ideal; Darsie; Darsie_ignore_store; Darsie_no_cf_sync;
+    Silicon_sync ]
+
+type run = {
+  machine : machine;
+  gpu : Gpu.result;
+  energy : Darsie_energy.Energy_model.breakdown;
+}
+
+type matrix = {
+  cfg : Config.t;
+  apps : app list;
+  runs : (string * machine, run) Hashtbl.t;
+}
+
+let factory_of = function
+  | Base | Silicon_sync -> Engine.base_factory
+  | Uv -> Darsie_baselines.Uv.factory
+  | Dac_ideal -> Darsie_baselines.Dac_ideal.factory
+  | Darsie -> Darsie_core.Darsie_engine.factory ()
+  | Darsie_ignore_store ->
+    Darsie_core.Darsie_engine.factory
+      ~options:{ Darsie_core.Darsie_engine.ignore_store = true; no_cf_sync = false }
+      ()
+  | Darsie_no_cf_sync ->
+    Darsie_core.Darsie_engine.factory
+      ~options:{ Darsie_core.Darsie_engine.ignore_store = false; no_cf_sync = true }
+      ()
+
+let run_app ?(cfg = Config.default) app machine =
+  let cfg =
+    match machine with
+    | Silicon_sync -> { cfg with Config.sync_at_branches = true }
+    | _ -> cfg
+  in
+  let gpu = Gpu.run ~cfg (factory_of machine) app.kinfo app.trace in
+  let energy = Darsie_energy.Energy_model.account cfg gpu.Gpu.stats in
+  { machine; gpu; energy }
+
+let build_matrix ?(cfg = Config.default) ?(scale = 1)
+    ?(machines = all_machines)
+    ?(apps = Darsie_workloads.Registry.all) () =
+  let apps = List.map (load_app ~scale) apps in
+  let runs = Hashtbl.create 128 in
+  List.iter
+    (fun app ->
+      List.iter
+        (fun m ->
+          Hashtbl.replace runs (app.workload.W.abbr, m) (run_app ~cfg app m))
+        machines)
+    apps;
+  { cfg; apps; runs }
+
+let get m abbr machine = Hashtbl.find m.runs (abbr, machine)
+
+let speedup m abbr machine =
+  let base = get m abbr Base and r = get m abbr machine in
+  float_of_int base.gpu.Gpu.cycles /. float_of_int r.gpu.Gpu.cycles
+
+let energy_reduction m abbr machine =
+  let base = get m abbr Base and r = get m abbr machine in
+  100.0
+  *. (1.0
+     -. r.energy.Darsie_energy.Energy_model.total
+        /. base.energy.Darsie_energy.Energy_model.total)
+
+let instr_reduction m abbr machine =
+  let base = get m abbr Base and r = get m abbr machine in
+  let eliminated = Stats.total_eliminated r.gpu.Gpu.stats in
+  Stats_util.percent eliminated base.gpu.Gpu.stats.Stats.issued

@@ -1,0 +1,63 @@
+(** The evaluation suite: loads every Table-1 application, generates its
+    trace once, and replays it through every machine configuration. All
+    figure modules project their rows out of one {!matrix}. *)
+
+type app = {
+  workload : Darsie_workloads.Workload.t;
+  trace : Darsie_trace.Record.t;
+  kinfo : Darsie_timing.Kinfo.t;
+}
+
+val load_app : ?scale:int -> Darsie_workloads.Workload.t -> app
+
+(** The machine configurations of the paper's evaluation. *)
+type machine =
+  | Base
+  | Uv
+  | Dac_ideal
+  | Darsie
+  | Darsie_ignore_store
+  | Darsie_no_cf_sync
+  | Silicon_sync
+      (** baseline hardware with a TB-wide barrier at every basic-block
+          boundary (paper Fig. 12's silicon experiment) *)
+
+val machine_name : machine -> string
+
+val all_machines : machine list
+
+type run = {
+  machine : machine;
+  gpu : Darsie_timing.Gpu.result;
+  energy : Darsie_energy.Energy_model.breakdown;
+}
+
+type matrix = {
+  cfg : Darsie_timing.Config.t;
+  apps : app list;  (** paper order: 1D then 2D *)
+  runs : (string * machine, run) Hashtbl.t;  (** keyed by (abbr, machine) *)
+}
+
+val run_app :
+  ?cfg:Darsie_timing.Config.t -> app -> machine -> run
+
+val build_matrix :
+  ?cfg:Darsie_timing.Config.t ->
+  ?scale:int ->
+  ?machines:machine list ->
+  ?apps:Darsie_workloads.Workload.t list ->
+  unit ->
+  matrix
+
+val get : matrix -> string -> machine -> run
+(** @raise Not_found if that cell was not run. *)
+
+val speedup : matrix -> string -> machine -> float
+(** Cycles(BASE) / cycles(machine) for one app. *)
+
+val energy_reduction : matrix -> string -> machine -> float
+(** Percent energy saved vs BASE. *)
+
+val instr_reduction : matrix -> string -> machine -> float
+(** Percent of baseline-executed warp instructions eliminated (pre-fetch
+    skips + issue drops). *)

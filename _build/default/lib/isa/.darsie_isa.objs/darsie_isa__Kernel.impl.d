@@ -1,0 +1,1 @@
+lib/isa/kernel.ml: Array Instr List Option Printf Value

@@ -1,0 +1,1 @@
+lib/isa/kernel.mli: Instr Value

@@ -1,0 +1,1 @@
+lib/isa/parser.ml: Array Hashtbl Instr Kernel List Printf String Value

@@ -1,0 +1,1 @@
+lib/isa/printer.ml: Array Format Hashtbl Instr Kernel Printf

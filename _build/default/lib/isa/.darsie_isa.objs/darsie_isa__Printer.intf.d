@@ -1,0 +1,1 @@
+lib/isa/printer.mli: Format Instr Kernel

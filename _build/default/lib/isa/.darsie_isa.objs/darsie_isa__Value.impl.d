@@ -1,0 +1,1 @@
+lib/isa/value.ml: Float Format Int32 Int64

@@ -1,0 +1,160 @@
+open Instr
+
+(* An emitted instruction whose branch target may still be symbolic. *)
+type pending = { guard : (bool * int) option; body : body; target : int option }
+
+type t = {
+  name : string;
+  nparams : int;
+  shared_bytes : int;
+  mutable next_reg : int;
+  mutable next_pred : int;
+  mutable code : pending list;  (* reversed *)
+  mutable count : int;
+  mutable label_positions : int option array;
+  mutable next_label : int;
+}
+
+type label = int
+
+let create ~name ?(nparams = 0) ?(shared_bytes = 0) () =
+  {
+    name;
+    nparams;
+    shared_bytes;
+    next_reg = 0;
+    next_pred = 0;
+    code = [];
+    count = 0;
+    label_positions = Array.make 8 None;
+    next_label = 0;
+  }
+
+let reg b =
+  let r = b.next_reg in
+  b.next_reg <- r + 1;
+  r
+
+let regs b n = List.init n (fun _ -> reg b)
+
+let pred b =
+  let p = b.next_pred in
+  b.next_pred <- p + 1;
+  p
+
+let fresh_label b =
+  if b.next_label = Array.length b.label_positions then begin
+    let bigger = Array.make (2 * b.next_label) None in
+    Array.blit b.label_positions 0 bigger 0 b.next_label;
+    b.label_positions <- bigger
+  end;
+  let l = b.next_label in
+  b.next_label <- l + 1;
+  l
+
+let place b l =
+  match b.label_positions.(l) with
+  | Some _ -> invalid_arg "Builder.place: label already placed"
+  | None -> b.label_positions.(l) <- Some b.count
+
+let here b =
+  let l = fresh_label b in
+  place b l;
+  l
+
+let push b pending =
+  b.code <- pending :: b.code;
+  b.count <- b.count + 1
+
+let emit b ?guard body = push b { guard; body; target = None }
+
+let bin b op dst a b' = emit b (Bin (op, dst, a, b'))
+
+let un b op dst a = emit b (Un (op, dst, a))
+
+let mov b dst a = un b Mov dst a
+
+let add b dst x y = bin b Add dst x y
+
+let sub b dst x y = bin b Sub dst x y
+
+let mul b dst x y = bin b Mul dst x y
+
+let shl b dst x y = bin b Shl dst x y
+
+let mad b dst x y z = emit b (Tern (Mad, dst, x, y, z))
+
+let fma b dst x y z = emit b (Tern (Fma, dst, x, y, z))
+
+let fadd b dst x y = bin b Fadd dst x y
+
+let fsub b dst x y = bin b Fsub dst x y
+
+let fmul b dst x y = bin b Fmul dst x y
+
+let setp b kind cmp p x y = emit b (Setp (kind, cmp, p, x, y))
+
+let selp b dst x y p = emit b (Selp (dst, x, y, p))
+
+let ld b space dst base ?(off = 0) () = emit b (Ld (space, dst, base, off))
+
+let st b space base ?(off = 0) v = emit b (St (space, base, off, v))
+
+let atom b op dst addr v = emit b (Atom (op, dst, addr, v))
+
+let bra b ?guard l = push b { guard; body = Bra 0; target = Some l }
+
+let bar b = emit b Bar
+
+let exit_ b = emit b Exit
+
+let finish b =
+  let resolve l =
+    match b.label_positions.(l) with
+    | Some i -> i
+    | None -> invalid_arg "Builder.finish: label referenced but never placed"
+  in
+  let pendings = Array.of_list (List.rev b.code) in
+  let insts =
+    Array.map
+      (fun p ->
+        let body =
+          match p.target with Some l -> Bra (resolve l) | None -> p.body
+        in
+        { Instr.body; guard = p.guard })
+      pendings
+  in
+  Kernel.make ~name:b.name ~npregs:b.next_pred ~nparams:b.nparams
+    ~shared_bytes:b.shared_bytes insts
+
+module O = struct
+  let r n = Reg n
+
+  let i n = Imm (Value.of_signed n)
+
+  let f x = Imm (Value.of_float x)
+
+  let p n = Param n
+
+  let tid_x = Sreg (Tid X)
+
+  let tid_y = Sreg (Tid Y)
+
+  let tid_z = Sreg (Tid Z)
+
+  let ntid_x = Sreg (Ntid X)
+
+  let ntid_y = Sreg (Ntid Y)
+
+  let ntid_z = Sreg (Ntid Z)
+
+  let tid_all a = Sreg (Tid a)
+
+  let ctaid_x = Sreg (Ctaid X)
+
+  let ctaid_y = Sreg (Ctaid Y)
+
+  let nctaid_x = Sreg (Nctaid X)
+
+  let nctaid_y = Sreg (Nctaid Y)
+end

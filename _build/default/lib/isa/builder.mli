@@ -1,0 +1,128 @@
+(** Programmatic kernel construction.
+
+    A mutable builder with fresh-register allocation and forward-referencing
+    labels; the workload kernels (lib/workloads) are written against this
+    interface. Example:
+    {[
+      let b = Builder.create ~name:"saxpy" ~nparams:3 () in
+      let open Builder.O in
+      let i = Builder.reg b in
+      Builder.mad b i (sreg ctaid_x) (sreg ntid_x) (sreg tid_x);
+      ...
+      Builder.exit_ b;
+      let kernel = Builder.finish b
+    ]} *)
+
+type t
+
+type label
+
+val create : name:string -> ?nparams:int -> ?shared_bytes:int -> unit -> t
+
+val reg : t -> int
+(** Allocate a fresh vector register. *)
+
+val regs : t -> int -> int list
+(** Allocate [n] fresh vector registers. *)
+
+val pred : t -> int
+(** Allocate a fresh predicate register. *)
+
+val fresh_label : t -> label
+
+val place : t -> label -> unit
+(** Bind a label to the next emitted instruction.
+
+    @raise Invalid_argument if the label was already placed. *)
+
+val here : t -> label
+(** [fresh_label] + [place] in one step (for backward branches). *)
+
+val emit : t -> ?guard:bool * int -> Instr.body -> unit
+
+val finish : t -> Kernel.t
+(** Resolve all branch targets and produce the kernel.
+
+    @raise Invalid_argument if a referenced label was never placed. *)
+
+(** {1 Instruction sugar} *)
+
+val bin : t -> Instr.binop -> int -> Instr.operand -> Instr.operand -> unit
+
+val un : t -> Instr.unop -> int -> Instr.operand -> unit
+
+val mov : t -> int -> Instr.operand -> unit
+
+val add : t -> int -> Instr.operand -> Instr.operand -> unit
+
+val sub : t -> int -> Instr.operand -> Instr.operand -> unit
+
+val mul : t -> int -> Instr.operand -> Instr.operand -> unit
+
+val shl : t -> int -> Instr.operand -> Instr.operand -> unit
+
+val mad : t -> int -> Instr.operand -> Instr.operand -> Instr.operand -> unit
+(** Integer multiply-add [dst = a*b + c]. *)
+
+val fma : t -> int -> Instr.operand -> Instr.operand -> Instr.operand -> unit
+
+val fadd : t -> int -> Instr.operand -> Instr.operand -> unit
+
+val fsub : t -> int -> Instr.operand -> Instr.operand -> unit
+
+val fmul : t -> int -> Instr.operand -> Instr.operand -> unit
+
+val setp :
+  t -> Instr.cmp_kind -> Instr.cmp -> int -> Instr.operand -> Instr.operand
+  -> unit
+
+val selp : t -> int -> Instr.operand -> Instr.operand -> int -> unit
+
+val ld : t -> Instr.space -> int -> Instr.operand -> ?off:int -> unit -> unit
+
+val st :
+  t -> Instr.space -> Instr.operand -> ?off:int -> Instr.operand -> unit
+
+val atom : t -> Instr.atom_op -> int -> Instr.operand -> Instr.operand -> unit
+
+val bra : t -> ?guard:bool * int -> label -> unit
+
+val bar : t -> unit
+
+val exit_ : t -> unit
+
+(** Operand constructors. *)
+module O : sig
+  val r : int -> Instr.operand
+
+  val i : int -> Instr.operand
+  (** Signed integer immediate. *)
+
+  val f : float -> Instr.operand
+  (** Float immediate (IEEE-754 single bits). *)
+
+  val p : int -> Instr.operand
+  (** Kernel parameter. *)
+
+  val tid_x : Instr.operand
+
+  val tid_y : Instr.operand
+
+  val tid_z : Instr.operand
+
+  val ntid_x : Instr.operand
+
+  val ntid_y : Instr.operand
+
+  val ntid_z : Instr.operand
+
+  val tid_all : Instr.axis -> Instr.operand
+
+  val ctaid_x : Instr.operand
+
+  val ctaid_y : Instr.operand
+
+  val nctaid_x : Instr.operand
+
+  val nctaid_y : Instr.operand
+end

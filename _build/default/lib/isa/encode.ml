@@ -1,0 +1,411 @@
+open Instr
+
+type hint = int
+
+let hint_bits = 2
+
+type error =
+  | Too_many_immediates
+  | Offset_out_of_range of int
+  | Register_out_of_range of int
+  | Predicate_out_of_range of int
+  | Target_out_of_range of int
+
+let error_to_string = function
+  | Too_many_immediates -> "more than one wide immediate operand"
+  | Offset_out_of_range n -> Printf.sprintf "offset %d out of range" n
+  | Register_out_of_range n -> Printf.sprintf "register %d out of range" n
+  | Predicate_out_of_range n -> Printf.sprintf "predicate %d out of range" n
+  | Target_out_of_range n -> Printf.sprintf "branch target %d out of range" n
+
+(* Field layout, LSB first:
+   hint:2 | opcode:6 | gvalid:1 | gsense:1 | gpred:3 | dst:8 | mod:6 |
+   slotA:12 | slotB:12 | slotC:12                      (= 63 bits)
+   A slot is tag:2 | payload:10. mov_wide instead uses bits [63:32] as a
+   full 32-bit immediate. *)
+
+let small_imm_max = 1023
+
+let max_target = 1023
+
+(* opcode numbers *)
+let binop_code = function
+  | Add -> 0 | Sub -> 1 | Mul -> 2 | Mulhi -> 3 | Div_s -> 4 | Div_u -> 5
+  | Rem_s -> 6 | Rem_u -> 7 | Min_s -> 8 | Max_s -> 9 | Min_u -> 10
+  | Max_u -> 11 | And -> 12 | Or -> 13 | Xor -> 14 | Shl -> 15 | Shr_u -> 16
+  | Shr_s -> 17 | Fadd -> 18 | Fsub -> 19 | Fmul -> 20 | Fdiv -> 21
+  | Fmin -> 22 | Fmax -> 23
+  [@@ocamlformat "disable"]
+
+let binop_of_code = function
+  | 0 -> Add | 1 -> Sub | 2 -> Mul | 3 -> Mulhi | 4 -> Div_s | 5 -> Div_u
+  | 6 -> Rem_s | 7 -> Rem_u | 8 -> Min_s | 9 -> Max_s | 10 -> Min_u
+  | 11 -> Max_u | 12 -> And | 13 -> Or | 14 -> Xor | 15 -> Shl | 16 -> Shr_u
+  | 17 -> Shr_s | 18 -> Fadd | 19 -> Fsub | 20 -> Fmul | 21 -> Fdiv
+  | 22 -> Fmin | _ -> Fmax
+  [@@ocamlformat "disable"]
+
+let unop_code = function
+  | Mov -> 0 | Not -> 1 | Neg -> 2 | Abs_s -> 3 | Fneg -> 4 | Fabs -> 5
+  | Fsqrt -> 6 | Frcp -> 7 | Fexp2 -> 8 | Flog2 -> 9 | Fsin -> 10
+  | Fcos -> 11 | Cvt_i2f -> 12 | Cvt_u2f -> 13 | Cvt_f2i -> 14
+  [@@ocamlformat "disable"]
+
+let unop_of_code = function
+  | 0 -> Mov | 1 -> Not | 2 -> Neg | 3 -> Abs_s | 4 -> Fneg | 5 -> Fabs
+  | 6 -> Fsqrt | 7 -> Frcp | 8 -> Fexp2 | 9 -> Flog2 | 10 -> Fsin
+  | 11 -> Fcos | 12 -> Cvt_i2f | 13 -> Cvt_u2f | _ -> Cvt_f2i
+  [@@ocamlformat "disable"]
+
+let op_bin = 0 (* 0..23 *)
+
+let op_un = 24 (* 24..38 *)
+
+let op_mad = 39
+
+let op_fma = 40
+
+let op_setp = 41
+
+let op_selp = 42
+
+let op_ld_global = 43
+
+let op_ld_shared = 44
+
+let op_st_global = 45
+
+let op_st_shared = 46
+
+let op_atom = 47 (* 47..51 *)
+
+let op_bra = 52
+
+let op_bar = 53
+
+let op_exit = 54
+
+let op_mov_wide = 55
+
+let atom_code = function
+  | Atom_add -> 0
+  | Atom_max -> 1
+  | Atom_min -> 2
+  | Atom_exch -> 3
+  | Atom_cas -> 4
+
+let atom_of_code = function
+  | 0 -> Atom_add
+  | 1 -> Atom_max
+  | 2 -> Atom_min
+  | 3 -> Atom_exch
+  | _ -> Atom_cas
+
+let cmp_code = function Eq -> 0 | Ne -> 1 | Lt -> 2 | Le -> 3 | Gt -> 4 | Ge -> 5
+
+let cmp_of_code = function
+  | 0 -> Eq
+  | 1 -> Ne
+  | 2 -> Lt
+  | 3 -> Le
+  | 4 -> Gt
+  | _ -> Ge
+
+let kind_code = function Scmp -> 0 | Ucmp -> 1 | Fcmp -> 2
+
+let kind_of_code = function 0 -> Scmp | 1 -> Ucmp | _ -> Fcmp
+
+let sreg_payload s =
+  let kind, axis =
+    match s with
+    | Tid a -> (0, a)
+    | Ntid a -> (1, a)
+    | Ctaid a -> (2, a)
+    | Nctaid a -> (3, a)
+  in
+  let ax = match axis with X -> 0 | Y -> 1 | Z -> 2 in
+  (kind * 3) + ax
+
+let sreg_of_payload p =
+  let ax = match p mod 3 with 0 -> X | 1 -> Y | _ -> Z in
+  match p / 3 with 0 -> Tid ax | 1 -> Ntid ax | 2 -> Ctaid ax | _ -> Nctaid ax
+
+let ( let* ) = Result.bind
+
+let check_reg r =
+  if r < 0 || r > 255 then Error (Register_out_of_range r) else Ok r
+
+let check_pred p =
+  if p < 0 || p > 7 then Error (Predicate_out_of_range p) else Ok p
+
+let slot_of_operand = function
+  | Reg r ->
+    let* r = check_reg r in
+    Ok ((0 lsl 10) lor r)
+  | Sreg s -> Ok ((1 lsl 10) lor sreg_payload s)
+  | Param i ->
+    if i < 0 || i > 255 then Error (Register_out_of_range i)
+    else Ok ((2 lsl 10) lor i)
+  | Imm v ->
+    if v >= 0 && v <= small_imm_max then Ok ((3 lsl 10) lor v)
+    else Error Too_many_immediates
+
+let operand_of_slot slot =
+  let tag = (slot lsr 10) land 3 and payload = slot land 0x3FF in
+  match tag with
+  | 0 -> Reg payload
+  | 1 -> Sreg (sreg_of_payload payload)
+  | 2 -> Param payload
+  | _ -> Imm payload
+
+let pack ~hint ~opcode ~guard ~dst ~md ~a ~b ~c =
+  let g =
+    match guard with
+    | None -> 0
+    | Some (sense, p) -> 1 lor ((if sense then 1 else 0) lsl 1) lor (p lsl 2)
+  in
+  let open Int64 in
+  logor (of_int (hint land 3))
+    (logor
+       (shift_left (of_int (opcode land 63)) 2)
+       (logor
+          (shift_left (of_int (g land 31)) 8)
+          (logor
+             (shift_left (of_int (dst land 255)) 13)
+             (logor
+                (shift_left (of_int (md land 63)) 21)
+                (logor
+                   (shift_left (of_int (a land 4095)) 27)
+                   (logor
+                      (shift_left (of_int (b land 4095)) 39)
+                      (shift_left (of_int (c land 4095)) 51)))))))
+
+let field w lo width =
+  Int64.to_int (Int64.logand (Int64.shift_right_logical w lo) (Int64.of_int ((1 lsl width) - 1)))
+
+let encode ?(hint = 0) (t : Instr.t) =
+  let* () =
+    match t.guard with
+    | Some (_, p) -> Result.map (fun _ -> ()) (check_pred p)
+    | None -> Ok ()
+  in
+  let pack = pack ~hint ~guard:t.guard in
+  let zero = (0 lsl 10) lor 0 in
+  match t.body with
+  | Un (Mov, d, Imm v) when v > small_imm_max ->
+    (* wide-immediate move: the 32-bit constant occupies bits [63:32] *)
+    let* d = check_reg d in
+    let base = pack ~opcode:op_mov_wide ~dst:d ~md:0 ~a:0 ~b:0 ~c:0 in
+    let low = Int64.logand base 0xFFFFFFFFL in
+    Ok (Int64.logor low (Int64.shift_left (Int64.of_int v) 32))
+  | Bin (op, d, a, b) ->
+    let* d = check_reg d in
+    let* sa = slot_of_operand a in
+    let* sb = slot_of_operand b in
+    Ok (pack ~opcode:(op_bin + binop_code op) ~dst:d ~md:0 ~a:sa ~b:sb ~c:zero)
+  | Un (op, d, a) ->
+    let* d = check_reg d in
+    let* sa = slot_of_operand a in
+    Ok (pack ~opcode:(op_un + unop_code op) ~dst:d ~md:0 ~a:sa ~b:zero ~c:zero)
+  | Tern (op, d, a, b, c) ->
+    let* d = check_reg d in
+    let* sa = slot_of_operand a in
+    let* sb = slot_of_operand b in
+    let* sc = slot_of_operand c in
+    Ok
+      (pack
+         ~opcode:(match op with Mad -> op_mad | Fma -> op_fma)
+         ~dst:d ~md:0 ~a:sa ~b:sb ~c:sc)
+  | Setp (kind, cmp, p, a, b) ->
+    let* p = check_pred p in
+    let* sa = slot_of_operand a in
+    let* sb = slot_of_operand b in
+    Ok
+      (pack ~opcode:op_setp ~dst:p
+         ~md:(cmp_code cmp lor (kind_code kind lsl 3))
+         ~a:sa ~b:sb ~c:zero)
+  | Selp (d, a, b, p) ->
+    let* d = check_reg d in
+    let* p = check_pred p in
+    let* sa = slot_of_operand a in
+    let* sb = slot_of_operand b in
+    Ok (pack ~opcode:op_selp ~dst:d ~md:p ~a:sa ~b:sb ~c:zero)
+  | Ld (space, d, base, off) ->
+    let* d = check_reg d in
+    let* sb = slot_of_operand base in
+    if off < 0 || off > small_imm_max then Error (Offset_out_of_range off)
+    else
+      Ok
+        (pack
+           ~opcode:(match space with Global -> op_ld_global | Shared -> op_ld_shared)
+           ~dst:d ~md:0 ~a:sb ~b:((3 lsl 10) lor off) ~c:zero)
+  | St (space, base, off, v) ->
+    let* sb = slot_of_operand base in
+    let* sv = slot_of_operand v in
+    if off < 0 || off > small_imm_max then Error (Offset_out_of_range off)
+    else
+      Ok
+        (pack
+           ~opcode:(match space with Global -> op_st_global | Shared -> op_st_shared)
+           ~dst:0 ~md:0 ~a:sb ~b:((3 lsl 10) lor off) ~c:sv)
+  | Atom (op, d, addr, v) ->
+    let* d = check_reg d in
+    let* sa = slot_of_operand addr in
+    let* sv = slot_of_operand v in
+    Ok (pack ~opcode:(op_atom + atom_code op) ~dst:d ~md:0 ~a:sa ~b:sv ~c:zero)
+  | Bra target ->
+    if target < 0 || target > max_target then Error (Target_out_of_range target)
+    else Ok (pack ~opcode:op_bra ~dst:0 ~md:0 ~a:target ~b:zero ~c:zero)
+  | Bar -> Ok (pack ~opcode:op_bar ~dst:0 ~md:0 ~a:zero ~b:zero ~c:zero)
+  | Exit -> Ok (pack ~opcode:op_exit ~dst:0 ~md:0 ~a:zero ~b:zero ~c:zero)
+
+let encodable t = Result.is_ok (encode t)
+
+let decode w =
+  let hint = field w 0 2 in
+  let opcode = field w 2 6 in
+  let g = field w 8 5 in
+  let guard =
+    if g land 1 = 0 then None else Some (g land 2 <> 0, (g lsr 2) land 7)
+  in
+  let dst = field w 13 8 in
+  let md = field w 21 6 in
+  let a = field w 27 12 and b = field w 39 12 and c = field w 51 12 in
+  let oa () = operand_of_slot a and ob () = operand_of_slot b in
+  let oc () = operand_of_slot c in
+  let body =
+    if opcode >= op_bin && opcode < op_bin + 24 then
+      Ok (Bin (binop_of_code (opcode - op_bin), dst, oa (), ob ()))
+    else if opcode >= op_un && opcode < op_un + 15 then
+      Ok (Un (unop_of_code (opcode - op_un), dst, oa ()))
+    else if opcode = op_mad then Ok (Tern (Mad, dst, oa (), ob (), oc ()))
+    else if opcode = op_fma then Ok (Tern (Fma, dst, oa (), ob (), oc ()))
+    else if opcode = op_setp then
+      Ok
+        (Setp (kind_of_code ((md lsr 3) land 3), cmp_of_code (md land 7), dst, oa (), ob ()))
+    else if opcode = op_selp then Ok (Selp (dst, oa (), ob (), md))
+    else if opcode = op_ld_global || opcode = op_ld_shared then
+      let space = if opcode = op_ld_global then Global else Shared in
+      Ok (Ld (space, dst, oa (), b land 0x3FF))
+    else if opcode = op_st_global || opcode = op_st_shared then
+      let space = if opcode = op_st_global then Global else Shared in
+      Ok (St (space, oa (), b land 0x3FF, oc ()))
+    else if opcode >= op_atom && opcode < op_atom + 5 then
+      Ok (Atom (atom_of_code (opcode - op_atom), dst, oa (), ob ()))
+    else if opcode = op_bra then Ok (Bra a)
+    else if opcode = op_bar then Ok Bar
+    else if opcode = op_exit then Ok Exit
+    else if opcode = op_mov_wide then
+      Ok (Un (Mov, dst, Imm (Int64.to_int (Int64.shift_right_logical w 32))))
+    else Error (Printf.sprintf "unknown opcode %d" opcode)
+  in
+  Result.map (fun body -> ({ body; guard }, hint)) body
+
+(* ------------------------------------------------------------------ *)
+(* Legalization                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let legalize (k : Kernel.t) =
+  let scratch_base = k.Kernel.nregs in
+  (* First pass: rewrite instructions, remembering how many encoded
+     instructions each original one expands into. *)
+  let expansions =
+    Array.map
+      (fun (inst : Instr.t) ->
+        if encodable inst then [ inst ]
+        else begin
+          (* materialize wide immediates (and fold wide offsets) into
+             three rotating scratch registers via wide moves *)
+          let pre = ref [] in
+          let next_scratch = ref 0 in
+          let take_scratch () =
+            let s = scratch_base + min !next_scratch 2 in
+            incr next_scratch;
+            s
+          in
+          let fix_op op =
+            match op with
+            | Imm v when v > small_imm_max ->
+              let s = take_scratch () in
+              pre := Instr.mk ?guard:inst.Instr.guard (Un (Mov, s, Imm v)) :: !pre;
+              Reg s
+            | _ -> op
+          in
+          let fix_mem base off =
+            if off >= 0 && off <= small_imm_max then (fix_op base, off)
+            else begin
+              let base = fix_op base in
+              let s = take_scratch () in
+              pre :=
+                Instr.mk ?guard:inst.Instr.guard (Un (Mov, s, Imm (Value.of_signed off)))
+                :: !pre;
+              let s2 = take_scratch () in
+              pre :=
+                Instr.mk ?guard:inst.Instr.guard (Bin (Add, s2, Reg s, base)) :: !pre;
+              (Reg s2, 0)
+            end
+          in
+          let body =
+            match inst.Instr.body with
+            | Bin (op, d, a, b) -> Bin (op, d, fix_op a, fix_op b)
+            | Un (op, d, a) -> Un (op, d, fix_op a)
+            | Tern (op, d, a, b, c) -> Tern (op, d, fix_op a, fix_op b, fix_op c)
+            | Setp (kind, cmp, p, a, b) -> Setp (kind, cmp, p, fix_op a, fix_op b)
+            | Selp (d, a, b, p) -> Selp (d, fix_op a, fix_op b, p)
+            | Ld (space, d, base, off) ->
+              let base, off = fix_mem base off in
+              Ld (space, d, base, off)
+            | St (space, base, off, v) ->
+              let v = fix_op v in
+              let base, off = fix_mem base off in
+              St (space, base, off, v)
+            | Atom (op, d, addr, v) -> Atom (op, d, fix_op addr, fix_op v)
+            | (Bra _ | Bar | Exit) as b -> b
+          in
+          List.rev (Instr.mk ?guard:inst.Instr.guard body :: !pre)
+        end)
+      k.Kernel.insts
+  in
+  (* Second pass: remap branch targets to the new indices. *)
+  let n = Array.length expansions in
+  let new_index = Array.make (n + 1) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun i group ->
+      new_index.(i) <- !total;
+      total := !total + List.length group)
+    expansions;
+  new_index.(n) <- !total;
+  let out =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun group ->
+              Array.of_list
+                (List.map
+                   (fun (inst : Instr.t) ->
+                     match inst.Instr.body with
+                     | Bra t -> { inst with Instr.body = Bra new_index.(t) }
+                     | _ -> inst)
+                   group))
+            expansions))
+  in
+  Kernel.make ~name:k.Kernel.name ~npregs:k.Kernel.npregs
+    ~nparams:k.Kernel.nparams ~shared_bytes:k.Kernel.shared_bytes out
+
+let encode_kernel ?hints (k : Kernel.t) =
+  let n = Array.length k.Kernel.insts in
+  let hints = match hints with Some h -> h | None -> Array.make n 0 in
+  let out = Array.make n 0L in
+  let rec go i =
+    if i >= n then Ok out
+    else
+      match encode ~hint:hints.(i) k.Kernel.insts.(i) with
+      | Ok w ->
+        out.(i) <- w;
+        go (i + 1)
+      | Error e -> Error (i, e)
+  in
+  go 0
+
+let image_bytes k = Instr.width_bytes * Array.length k.Kernel.insts

@@ -1,0 +1,61 @@
+(** Binary encoding of PTX-lite instructions into 64-bit words.
+
+    The paper relies on two encoding facts (§4, §4.2): every machine
+    instruction is 64 bits long — so a redundant instruction is skipped by
+    adding 8 to the PC — and the RISC-like machine ISA has spare bits, one
+    or two of which carry the compiler's redundancy marking into the
+    hardware. This module realizes both: a fixed 64-bit format with a
+    2-bit redundancy-hint field, plus the legalization pass a real
+    compiler would run (at most one 32-bit immediate per instruction;
+    extra immediates are materialized into registers).
+
+    Word layout (most significant bits first):
+    {v
+    [63:62] redundancy hint   (0 = vector, 1 = CR, 2 = DR, 3 = CR-xy)
+    [61:56] opcode
+    [55:50] guard             (valid, sense, predicate)
+    [49:42] destination       (vector or predicate register)
+    [41:36] modifier          (space / atomic op / cmp / cmp kind)
+    [35:32] operand tags      (2 x 2 bits for the small slots)
+    [31:0]  big slot          (one immediate, branch target, or
+                               offset:16 | small operands)
+    v}
+    Exact field packing is internal; the contract is
+    [decode (encode i) = Ok i] for every legal instruction. *)
+
+type hint = int
+(** Redundancy hint, 0..3. *)
+
+val hint_bits : int
+(** 2 — the spare bits consumed, as in the paper's SASS discussion. *)
+
+type error =
+  | Too_many_immediates  (** more than one 32-bit immediate operand *)
+  | Offset_out_of_range of int  (** ld/st offset beyond 16 bits signed *)
+  | Register_out_of_range of int
+  | Predicate_out_of_range of int
+  | Target_out_of_range of int
+
+val error_to_string : error -> string
+
+val encode : ?hint:hint -> Instr.t -> (int64, error) result
+
+val decode : int64 -> (Instr.t * hint, string) result
+(** Inverse of {!encode}; fails only on corrupted words. *)
+
+val encodable : Instr.t -> bool
+
+val legalize : Kernel.t -> Kernel.t
+(** Rewrite the kernel so that every instruction is encodable, by
+    materializing surplus immediate operands into [mov] instructions on a
+    fresh scratch register (what a real register allocator/emitter does).
+    Semantics are preserved; the instruction count may grow. *)
+
+val encode_kernel :
+  ?hints:hint array -> Kernel.t -> (int64 array, int * error) result
+(** Encode all instructions (after you have {!legalize}d if needed); on
+    failure returns the offending instruction index. [hints] defaults to
+    all-vector. *)
+
+val image_bytes : Kernel.t -> int
+(** Size of the encoded kernel image: 8 bytes per instruction. *)

@@ -1,0 +1,149 @@
+type axis = X | Y | Z
+
+type sreg = Tid of axis | Ntid of axis | Ctaid of axis | Nctaid of axis
+
+type operand = Reg of int | Imm of Value.t | Sreg of sreg | Param of int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Mulhi
+  | Div_s
+  | Div_u
+  | Rem_s
+  | Rem_u
+  | Min_s
+  | Max_s
+  | Min_u
+  | Max_u
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr_u
+  | Shr_s
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fmin
+  | Fmax
+
+type unop =
+  | Mov
+  | Not
+  | Neg
+  | Abs_s
+  | Fneg
+  | Fabs
+  | Fsqrt
+  | Frcp
+  | Fexp2
+  | Flog2
+  | Fsin
+  | Fcos
+  | Cvt_i2f
+  | Cvt_u2f
+  | Cvt_f2i
+
+type ternop = Mad | Fma
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type cmp_kind = Scmp | Ucmp | Fcmp
+
+type space = Global | Shared
+
+type atom_op = Atom_add | Atom_max | Atom_min | Atom_exch | Atom_cas
+
+type body =
+  | Bin of binop * int * operand * operand
+  | Un of unop * int * operand
+  | Tern of ternop * int * operand * operand * operand
+  | Setp of cmp_kind * cmp * int * operand * operand
+  | Selp of int * operand * operand * int
+  | Ld of space * int * operand * int
+  | St of space * operand * int * operand
+  | Atom of atom_op * int * operand * operand
+  | Bra of int
+  | Bar
+  | Exit
+
+type t = { body : body; guard : (bool * int) option }
+
+let mk ?guard body = { body; guard }
+
+let width_bytes = 8
+
+let dst_reg t =
+  match t.body with
+  | Bin (_, d, _, _) | Un (_, d, _) | Tern (_, d, _, _, _)
+  | Selp (d, _, _, _) | Ld (_, d, _, _) | Atom (_, d, _, _) ->
+    Some d
+  | Setp _ | St _ | Bra _ | Bar | Exit -> None
+
+let dst_pred t =
+  match t.body with Setp (_, _, p, _, _) -> Some p | _ -> None
+
+let operands t =
+  match t.body with
+  | Bin (_, _, a, b) -> [ a; b ]
+  | Un (_, _, a) -> [ a ]
+  | Tern (_, _, a, b, c) -> [ a; b; c ]
+  | Setp (_, _, _, a, b) -> [ a; b ]
+  | Selp (_, a, b, _) -> [ a; b ]
+  | Ld (_, _, a, _) -> [ a ]
+  | St (_, a, _, v) -> [ a; v ]
+  | Atom (op, d, a, v) ->
+    (* CAS additionally reads the destination register as the compare
+       value. *)
+    if op = Atom_cas then [ a; v; Reg d ] else [ a; v ]
+  | Bra _ | Bar | Exit -> []
+
+let src_regs t =
+  let regs =
+    List.filter_map (function Reg r -> Some r | _ -> None) (operands t)
+  in
+  List.rev (List.fold_left (fun acc r -> if List.mem r acc then acc else r :: acc) [] regs)
+
+let src_preds t =
+  let guard = match t.guard with Some (_, p) -> [ p ] | None -> [] in
+  match t.body with Selp (_, _, _, p) -> guard @ [ p ] | _ -> guard
+
+let is_load t = match t.body with Ld _ -> true | _ -> false
+
+let is_store t = match t.body with St _ -> true | _ -> false
+
+let is_atomic t = match t.body with Atom _ -> true | _ -> false
+
+let is_branch t = match t.body with Bra _ -> true | _ -> false
+
+let is_barrier t = match t.body with Bar -> true | _ -> false
+
+let is_exit t = match t.body with Exit -> true | _ -> false
+
+let is_float_op t =
+  match t.body with
+  | Bin ((Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax), _, _, _) -> true
+  | Un ((Fneg | Fabs | Fsqrt | Frcp | Fexp2 | Flog2 | Fsin | Fcos
+        | Cvt_i2f | Cvt_u2f | Cvt_f2i), _, _) ->
+    true
+  | Tern (Fma, _, _, _, _) -> true
+  | Setp (Fcmp, _, _, _, _) -> true
+  | Bin _ | Un _ | Tern _ | Setp _ | Selp _ | Ld _ | St _ | Atom _ | Bra _
+  | Bar | Exit ->
+    false
+
+let is_sfu t =
+  match t.body with
+  | Bin ((Div_s | Div_u | Rem_s | Rem_u | Fdiv), _, _, _) -> true
+  | Un ((Fsqrt | Frcp | Fexp2 | Flog2 | Fsin | Fcos), _, _) -> true
+  | Bin _ | Un _ | Tern _ | Setp _ | Selp _ | Ld _ | St _ | Atom _ | Bra _
+  | Bar | Exit ->
+    false
+
+let has_side_effect t =
+  match t.body with St _ | Atom _ | Bar | Exit -> true | _ -> false
+
+let branch_target t = match t.body with Bra target -> Some target | _ -> None

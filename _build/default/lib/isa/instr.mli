@@ -1,0 +1,160 @@
+(** The PTX-lite virtual instruction set.
+
+    This is a register-allocated, PTX-like SIMT ISA modeled on the PTXPlus
+    representation the paper runs on (GPGPU-Sim's register-allocated PTX).
+    All instructions are notionally 64 bits long, so a thread's program
+    counter is [8 * index] and skipping an instruction is a [PC += 8] — the
+    property DARSIE's fetch-stage skipper relies on (§4 of the paper). *)
+
+(** Thread-geometry axis. *)
+type axis = X | Y | Z
+
+(** Special (intrinsic) read-only registers. *)
+type sreg =
+  | Tid of axis  (** thread index within the threadblock *)
+  | Ntid of axis  (** threadblock dimensions *)
+  | Ctaid of axis  (** threadblock index within the grid *)
+  | Nctaid of axis  (** grid dimensions *)
+
+(** Source operands. [Reg] is a general-purpose vector register (one 32-bit
+    word per lane), [Imm] an immediate encoded as a 32-bit word (float
+    immediates use their IEEE-754 bit pattern), [Sreg] an intrinsic register
+    and [Param] the i-th 32-bit kernel launch parameter. *)
+type operand = Reg of int | Imm of Value.t | Sreg of sreg | Param of int
+
+(** Two-source integer and floating-point operations. *)
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Mulhi
+  | Div_s
+  | Div_u
+  | Rem_s
+  | Rem_u
+  | Min_s
+  | Max_s
+  | Min_u
+  | Max_u
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr_u
+  | Shr_s
+  | Fadd
+  | Fsub
+  | Fmul
+  | Fdiv
+  | Fmin
+  | Fmax
+
+(** One-source operations. *)
+type unop =
+  | Mov
+  | Not
+  | Neg
+  | Abs_s
+  | Fneg
+  | Fabs
+  | Fsqrt
+  | Frcp
+  | Fexp2
+  | Flog2
+  | Fsin
+  | Fcos
+  | Cvt_i2f
+  | Cvt_u2f
+  | Cvt_f2i
+
+(** Three-source operations. [Mad]/[Fma] compute [a*b + c]. *)
+type ternop = Mad | Fma
+
+(** Comparison predicates for [Setp]. *)
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+(** Whether a comparison is over signed ints, unsigned ints or floats.
+    Float comparisons are ordered: unordered operands compare false. *)
+type cmp_kind = Scmp | Ucmp | Fcmp
+
+(** Memory state spaces. [Param] values are operands, not a space: the only
+    addressable spaces are global and per-threadblock shared memory. *)
+type space = Global | Shared
+
+(** Atomic read-modify-write operations on global memory. *)
+type atom_op = Atom_add | Atom_max | Atom_min | Atom_exch | Atom_cas
+
+(** Instruction bodies. Branch targets are instruction indices into the
+    enclosing kernel (multiply by 8 for a byte PC). *)
+type body =
+  | Bin of binop * int * operand * operand  (** [Bin (op, dst, a, b)] *)
+  | Un of unop * int * operand
+  | Tern of ternop * int * operand * operand * operand
+  | Setp of cmp_kind * cmp * int * operand * operand
+      (** [Setp (kind, cmp, pdst, a, b)] writes predicate register [pdst]. *)
+  | Selp of int * operand * operand * int
+      (** [Selp (dst, a, b, p)] selects [a] where predicate [p] holds. *)
+  | Ld of space * int * operand * int
+      (** [Ld (space, dst, base, offset)] loads the 32-bit word at
+          [base + offset]. *)
+  | St of space * operand * int * operand
+      (** [St (space, base, offset, value)]. *)
+  | Atom of atom_op * int * operand * operand
+      (** [Atom (op, dst, addr, value)] on global memory; [dst] receives the
+          old value. For [Atom_cas] the compare value is the current [dst]
+          register content. *)
+  | Bra of int  (** unconditional or guarded branch to instruction index *)
+  | Bar  (** threadblock-wide barrier (__syncthreads) *)
+  | Exit  (** thread termination *)
+
+type t = {
+  body : body;
+  guard : (bool * int) option;
+      (** [Some (sense, p)] executes the instruction only in lanes where
+          predicate [p] equals [sense]. *)
+}
+
+val mk : ?guard:bool * int -> body -> t
+
+val width_bytes : int
+(** Encoded size of every instruction: 8 bytes. *)
+
+val dst_reg : t -> int option
+(** Destination vector register, if the instruction writes one. *)
+
+val dst_pred : t -> int option
+
+val src_regs : t -> int list
+(** Source vector registers read, including [Selp]/[Atom_cas] extra reads
+    (deduplicated, in operand order). *)
+
+val src_preds : t -> int list
+(** Source predicate registers, including the guard. *)
+
+val operands : t -> operand list
+(** All source operands in order (registers, immediates, sregs, params). *)
+
+val is_load : t -> bool
+
+val is_store : t -> bool
+
+val is_atomic : t -> bool
+
+val is_branch : t -> bool
+
+val is_barrier : t -> bool
+
+val is_exit : t -> bool
+
+val is_float_op : t -> bool
+(** True for instructions executed on floating-point pipelines. *)
+
+val is_sfu : t -> bool
+(** True for transcendental/division ops that use the special-function
+    unit. *)
+
+val has_side_effect : t -> bool
+(** Stores, atomics, barriers and exits: instructions DARSIE must never
+    skip regardless of operand redundancy. *)
+
+val branch_target : t -> int option

@@ -1,0 +1,93 @@
+type dim3 = { x : int; y : int; z : int }
+
+let dim3 ?(y = 1) ?(z = 1) x = { x; y; z }
+
+let dim3_count d = d.x * d.y * d.z
+
+type t = {
+  name : string;
+  insts : Instr.t array;
+  nregs : int;
+  npregs : int;
+  nparams : int;
+  shared_bytes : int;
+}
+
+let make ~name ?(npregs = 0) ?(nparams = 0) ?(shared_bytes = 0) insts =
+  if Array.length insts = 0 then
+    invalid_arg "Kernel.make: empty instruction stream";
+  let nregs = ref 0 and npreds = ref npregs in
+  let see_reg r = if r + 1 > !nregs then nregs := r + 1 in
+  let see_pred p = if p + 1 > !npreds then npreds := p + 1 in
+  Array.iteri
+    (fun i inst ->
+      (match Instr.branch_target inst with
+      | Some t when t < 0 || t >= Array.length insts ->
+        invalid_arg
+          (Printf.sprintf "Kernel.make: branch at %d targets invalid index %d"
+             i t)
+      | _ -> ());
+      Option.iter see_reg (Instr.dst_reg inst);
+      List.iter see_reg (Instr.src_regs inst);
+      Option.iter see_pred (Instr.dst_pred inst);
+      List.iter see_pred (Instr.src_preds inst))
+    insts;
+  { name; insts; nregs = !nregs; npregs = !npreds; nparams; shared_bytes }
+
+let pc_of_index i = i * Instr.width_bytes
+
+let index_of_pc pc = pc / Instr.width_bytes
+
+type launch = {
+  kernel : t;
+  grid_dim : dim3;
+  block_dim : dim3;
+  params : Value.t array;
+}
+
+let launch kernel ~grid ~block ~params =
+  if Array.length params <> kernel.nparams then
+    invalid_arg
+      (Printf.sprintf "Kernel.launch %s: expected %d params, got %d"
+         kernel.name kernel.nparams (Array.length params));
+  let positive d = d.x > 0 && d.y > 0 && d.z > 0 in
+  if not (positive grid && positive block) then
+    invalid_arg "Kernel.launch: dimensions must be positive";
+  if dim3_count block > 1024 then
+    invalid_arg "Kernel.launch: threadblock exceeds 1024 threads";
+  { kernel; grid_dim = grid; block_dim = block; params }
+
+let threads_per_block l = dim3_count l.block_dim
+
+let warps_per_block l ~warp_size =
+  (threads_per_block l + warp_size - 1) / warp_size
+
+let num_blocks l = dim3_count l.grid_dim
+
+let thread_of_lane l ~warp_size ~warp ~lane =
+  let linear = (warp * warp_size) + lane in
+  if linear >= threads_per_block l then None
+  else
+    let bx = l.block_dim.x and by = l.block_dim.y in
+    let x = linear mod bx in
+    let y = linear / bx mod by in
+    let z = linear / (bx * by) in
+    Some (x, y, z)
+
+let block_of_index l i =
+  let gx = l.grid_dim.x and gy = l.grid_dim.y in
+  (i mod gx, i / gx mod gy, i / (gx * gy))
+
+let is_multidimensional l = l.block_dim.y > 1 || l.block_dim.z > 1
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let xdim_condition l ~warp_size =
+  is_multidimensional l
+  && l.block_dim.x <= warp_size
+  && is_power_of_two l.block_dim.x
+
+let xydim_condition l ~warp_size =
+  l.block_dim.z > 1
+  && l.block_dim.x * l.block_dim.y <= warp_size
+  && is_power_of_two (l.block_dim.x * l.block_dim.y)

@@ -1,0 +1,85 @@
+(** Kernel programs and launch geometry. *)
+
+type dim3 = { x : int; y : int; z : int }
+
+val dim3 : ?y:int -> ?z:int -> int -> dim3
+(** [dim3 x ~y ~z] with [y] and [z] defaulting to 1. *)
+
+val dim3_count : dim3 -> int
+(** Total element count [x * y * z]. *)
+
+type t = {
+  name : string;
+  insts : Instr.t array;
+  nregs : int;  (** number of vector registers used (R0..nregs-1) *)
+  npregs : int;  (** number of predicate registers *)
+  nparams : int;  (** number of 32-bit launch parameters *)
+  shared_bytes : int;  (** per-threadblock shared memory footprint *)
+}
+
+val make :
+  name:string ->
+  ?npregs:int ->
+  ?nparams:int ->
+  ?shared_bytes:int ->
+  Instr.t array ->
+  t
+(** Build a kernel, inferring [nregs] and (at least) [npregs] from the
+    instruction stream and validating that every branch target is a valid
+    instruction index.
+
+    @raise Invalid_argument on out-of-range branch targets or an empty
+    instruction stream. *)
+
+val pc_of_index : int -> int
+(** Byte program counter of an instruction index ([8 * index]). *)
+
+val index_of_pc : int -> int
+
+(** A kernel launch: grid and threadblock dimensions plus parameter
+    values. Mirrors a CUDA [<<<grid, block>>>] launch. *)
+type launch = {
+  kernel : t;
+  grid_dim : dim3;
+  block_dim : dim3;
+  params : Value.t array;
+}
+
+val launch :
+  t -> grid:dim3 -> block:dim3 -> params:Value.t array -> launch
+(** @raise Invalid_argument if the parameter count does not match
+    [kernel.nparams], a dimension is non-positive, or the threadblock
+    exceeds 1024 threads. *)
+
+val threads_per_block : launch -> int
+
+val warps_per_block : launch -> warp_size:int -> int
+(** Number of warps per threadblock, rounding up. *)
+
+val num_blocks : launch -> int
+
+val thread_of_lane :
+  launch -> warp_size:int -> warp:int -> lane:int -> (int * int * int) option
+(** [(tid.x, tid.y, tid.z)] of the given lane of the warp-th warp of a
+    threadblock, or [None] if the linear thread id falls outside the block
+    (partial last warp). Threads are linearized x-first, then y, then z —
+    the CUDA layout that creates the dimensionality redundancy the paper
+    studies (§2). *)
+
+val block_of_index : launch -> int -> int * int * int
+(** [(ctaid.x, ctaid.y, ctaid.z)] of the linear block index, x-first. *)
+
+val is_multidimensional : launch -> bool
+(** True when [block_dim.y > 1] or [block_dim.z > 1]. *)
+
+val xdim_condition : launch -> warp_size:int -> bool
+(** The paper's §4.2 launch-time promotion test: the threadblock is
+    multi-dimensional, and its x dimension is a power of two that is at
+    most the warp size. When true, conditionally redundant instructions
+    become definitely redundant. *)
+
+val xydim_condition : launch -> warp_size:int -> bool
+(** The 3D extension of the promotion test (paper §2): the threadblock is
+    three-dimensional and [xdim * ydim] is a power of two no larger than
+    the warp size, so warps cover whole xy-planes and the [tid.y] pattern
+    repeats per warp. *)

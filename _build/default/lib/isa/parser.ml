@@ -1,0 +1,374 @@
+open Instr
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+let strip_comment s =
+  let n = String.length s in
+  let rec scan i =
+    if i >= n then s
+    else if s.[i] = '#' then String.sub s 0 i
+    else if i + 1 < n && s.[i] = '/' && s.[i + 1] = '/' then String.sub s 0 i
+    else scan (i + 1)
+  in
+  scan 0
+
+let trim = String.trim
+
+(* Split an operand list on top-level commas; commas never appear inside
+   bracketed memory operands in this grammar, so a flat split suffices. *)
+let split_operands s =
+  if trim s = "" then []
+  else String.split_on_char ',' s |> List.map trim
+
+let axis_of_string line = function
+  | "x" -> X
+  | "y" -> Y
+  | "z" -> Z
+  | a -> fail line "unknown axis %S" a
+
+let parse_int line s =
+  let s = trim s in
+  match int_of_string_opt s with
+  | Some v -> Value.of_signed v
+  | None -> fail line "bad integer literal %S" s
+
+let parse_immediate line s =
+  let n = String.length s in
+  if n > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+    (* Hex literals may end in 'f' — check before float detection. *)
+    parse_int line s
+  else if n > 2 && s.[0] = '-' && String.length s > 3 && s.[1] = '0'
+          && (s.[2] = 'x' || s.[2] = 'X') then parse_int line s
+  else if n > 2 && s.[0] = '0' && (s.[1] = 'f' || s.[1] = 'F') then
+    (* PTX float bit-pattern form, e.g. 0f3F800000. *)
+    match int_of_string_opt ("0x" ^ String.sub s 2 (n - 2)) with
+    | Some bits -> Value.truncate bits
+    | None -> fail line "bad float bit pattern %S" s
+  else if n > 1 && (s.[n - 1] = 'f' || s.[n - 1] = 'F')
+          && String.exists (fun c -> c = '.' || c = 'e' || c = 'E')
+               (String.sub s 0 (n - 1)) then
+    match float_of_string_opt (String.sub s 0 (n - 1)) with
+    | Some f -> Value.of_float f
+    | None -> fail line "bad float literal %S" s
+  else parse_int line s
+
+let parse_operand line s =
+  let s = trim s in
+  if s = "" then fail line "empty operand"
+  else if s.[0] = '%' then begin
+    let body = String.sub s 1 (String.length s - 1) in
+    let named prefix mk =
+      if String.length body > String.length prefix
+         && String.sub body 0 (String.length prefix) = prefix then
+        let rest =
+          String.sub body (String.length prefix)
+            (String.length body - String.length prefix)
+        in
+        Some (mk rest)
+      else None
+    in
+    let sreg_axis prefix mk =
+      (* e.g. "tid.x" *)
+      named (prefix ^ ".") (fun rest -> Sreg (mk (axis_of_string line rest)))
+    in
+    let candidates =
+      [
+        sreg_axis "tid" (fun a -> Tid a);
+        sreg_axis "ntid" (fun a -> Ntid a);
+        sreg_axis "ctaid" (fun a -> Ctaid a);
+        sreg_axis "nctaid" (fun a -> Nctaid a);
+        named "param" (fun rest -> Param (Value.to_signed (parse_int line rest)));
+        named "r" (fun rest -> Reg (Value.to_signed (parse_int line rest)));
+      ]
+    in
+    match List.find_map (fun c -> c) candidates with
+    | Some op -> op
+    | None -> fail line "unknown register operand %S" s
+  end
+  else Imm (parse_immediate line s)
+
+let parse_reg line s =
+  match parse_operand line s with
+  | Reg r -> r
+  | _ -> fail line "expected a vector register, got %S" s
+
+let parse_pred line s =
+  let s = trim s in
+  let n = String.length s in
+  if n >= 3 && s.[0] = '%' && s.[1] = 'p' then
+    match int_of_string_opt (String.sub s 2 (n - 2)) with
+    | Some p -> p
+    | None -> fail line "bad predicate register %S" s
+  else fail line "expected a predicate register, got %S" s
+
+(* Memory operand: [base] or [base+offset] (offset may be negative). *)
+let parse_mem line s =
+  let s = trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    fail line "expected a [base+offset] memory operand, got %S" s
+  else
+    let inner = trim (String.sub s 1 (n - 2)) in
+    match String.index_opt inner '+' with
+    | Some i ->
+      let base = parse_operand line (String.sub inner 0 i) in
+      let off =
+        Value.to_signed
+          (parse_int line (String.sub inner (i + 1) (String.length inner - i - 1)))
+      in
+      (base, off)
+    | None ->
+      (* A leading '-' after base would be unusual; only support '+'. *)
+      (parse_operand line inner, 0)
+
+let cmp_of_string line = function
+  | "eq" -> Eq
+  | "ne" -> Ne
+  | "lt" -> Lt
+  | "le" -> Le
+  | "gt" -> Gt
+  | "ge" -> Ge
+  | c -> fail line "unknown comparison %S" c
+
+let cmp_kind_of_string line = function
+  | "s32" -> Scmp
+  | "u32" | "b32" -> Ucmp
+  | "f32" -> Fcmp
+  | k -> fail line "unknown comparison type %S" k
+
+let space_of_string line = function
+  | "global" -> Global
+  | "shared" -> Shared
+  | s -> fail line "unknown state space %S" s
+
+let atom_of_string line = function
+  | "add" -> Atom_add
+  | "max" -> Atom_max
+  | "min" -> Atom_min
+  | "exch" -> Atom_exch
+  | "cas" -> Atom_cas
+  | a -> fail line "unknown atomic op %S" a
+
+(* Map a dotted mnemonic to an instruction constructor. Type suffixes that
+   do not change semantics (u32 vs s32 for wrapping ops) are accepted
+   interchangeably. *)
+let parse_body ~resolve line mnemonic operand_text =
+  let ops = split_operands operand_text in
+  let parts = String.split_on_char '.' mnemonic in
+  let op1 o = parse_operand line o in
+  let bin op =
+    match ops with
+    | [ d; a; b ] -> Bin (op, parse_reg line d, op1 a, op1 b)
+    | _ -> fail line "%s expects 3 operands" mnemonic
+  in
+  let un op =
+    match ops with
+    | [ d; a ] -> Un (op, parse_reg line d, op1 a)
+    | _ -> fail line "%s expects 2 operands" mnemonic
+  in
+  let tern op =
+    match ops with
+    | [ d; a; b; c ] -> Tern (op, parse_reg line d, op1 a, op1 b, op1 c)
+    | _ -> fail line "%s expects 4 operands" mnemonic
+  in
+  match parts with
+  | "add" :: ("u32" | "s32") :: _ | [ "add" ] -> bin Add
+  | "sub" :: ("u32" | "s32") :: _ | [ "sub" ] -> bin Sub
+  | "mul" :: "lo" :: _ | "mul" :: ("u32" | "s32") :: _ -> bin Mul
+  | "mul" :: "hi" :: _ -> bin Mulhi
+  | "mul" :: "f32" :: _ -> bin Fmul
+  | [ "div"; "s32" ] -> bin Div_s
+  | [ "div"; "u32" ] -> bin Div_u
+  | [ "div"; "f32" ] -> bin Fdiv
+  | [ "rem"; "s32" ] -> bin Rem_s
+  | [ "rem"; "u32" ] -> bin Rem_u
+  | [ "min"; "s32" ] -> bin Min_s
+  | [ "max"; "s32" ] -> bin Max_s
+  | [ "min"; "u32" ] -> bin Min_u
+  | [ "max"; "u32" ] -> bin Max_u
+  | [ "min"; "f32" ] -> bin Fmin
+  | [ "max"; "f32" ] -> bin Fmax
+  | "and" :: _ -> bin And
+  | "or" :: _ -> bin Or
+  | "xor" :: _ -> bin Xor
+  | "shl" :: _ -> bin Shl
+  | [ "shr"; ("u32" | "b32") ] -> bin Shr_u
+  | [ "shr"; "s32" ] -> bin Shr_s
+  | [ "add"; "f32" ] -> bin Fadd
+  | [ "sub"; "f32" ] -> bin Fsub
+  | "mov" :: _ -> un Mov
+  | "not" :: _ -> un Not
+  | [ "neg"; "s32" ] | [ "neg" ] -> un Neg
+  | [ "abs"; "s32" ] -> un Abs_s
+  | [ "neg"; "f32" ] -> un Fneg
+  | [ "abs"; "f32" ] -> un Fabs
+  | "sqrt" :: _ -> un Fsqrt
+  | "rcp" :: _ -> un Frcp
+  | "ex2" :: _ -> un Fexp2
+  | "lg2" :: _ -> un Flog2
+  | "sin" :: _ -> un Fsin
+  | "cos" :: _ -> un Fcos
+  | [ "cvt"; "f32"; "s32" ] -> un Cvt_i2f
+  | [ "cvt"; "f32"; "u32" ] -> un Cvt_u2f
+  | [ "cvt"; "s32"; "f32" ] | [ "cvt"; "u32"; "f32" ] -> un Cvt_f2i
+  | "mad" :: "f32" :: _ | "fma" :: _ -> tern Fma
+  | "mad" :: _ -> tern Mad
+  | [ "setp"; cmp; kind ] -> begin
+    match ops with
+    | [ p; a; b ] ->
+      Setp
+        ( cmp_kind_of_string line kind,
+          cmp_of_string line cmp,
+          parse_pred line p,
+          op1 a,
+          op1 b )
+    | _ -> fail line "setp expects 3 operands"
+  end
+  | "selp" :: _ -> begin
+    match ops with
+    | [ d; a; b; p ] ->
+      Selp (parse_reg line d, op1 a, op1 b, parse_pred line p)
+    | _ -> fail line "selp expects 4 operands"
+  end
+  | "ld" :: space :: _ -> begin
+    match ops with
+    | [ d; mem ] ->
+      let base, off = parse_mem line mem in
+      Ld (space_of_string line space, parse_reg line d, base, off)
+    | _ -> fail line "ld expects 2 operands"
+  end
+  | "st" :: space :: _ -> begin
+    match ops with
+    | [ mem; v ] ->
+      let base, off = parse_mem line mem in
+      St (space_of_string line space, base, off, op1 v)
+    | _ -> fail line "st expects 2 operands"
+  end
+  | "atom" :: "global" :: aop :: _ -> begin
+    match ops with
+    | [ d; mem; v ] ->
+      let base, off = parse_mem line mem in
+      if off <> 0 then fail line "atomics take a bare [address] operand";
+      Atom (atom_of_string line aop, parse_reg line d, base, op1 v)
+    | _ -> fail line "atom expects 3 operands"
+  end
+  | [ "bra" ] -> begin
+    match ops with
+    | [ target ] -> Bra (resolve target)
+    | _ -> fail line "bra expects 1 operand"
+  end
+  | "bar" :: _ -> if ops = [] then Bar else fail line "bar takes no operands"
+  | [ "exit" ] -> if ops = [] then Exit else fail line "exit takes no operands"
+  | _ -> fail line "unknown mnemonic %S" mnemonic
+
+(* Parse "@%p0 bra foo;" into (guard, mnemonic, operand text). *)
+let parse_instr_parts line s =
+  let s = trim s in
+  let s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = ';' then trim (String.sub s 0 (n - 1)) else s
+  in
+  let guard, rest =
+    if String.length s > 0 && s.[0] = '@' then begin
+      match String.index_opt s ' ' with
+      | None -> fail line "guard without instruction"
+      | Some i ->
+        let g = String.sub s 1 (i - 1) in
+        let sense, preg_text =
+          if String.length g > 0 && g.[0] = '!' then
+            (false, String.sub g 1 (String.length g - 1))
+          else (true, g)
+        in
+        let p = parse_pred line preg_text in
+        (Some (sense, p), trim (String.sub s i (String.length s - i)))
+    end
+    else (None, s)
+  in
+  match String.index_opt rest ' ' with
+  | None -> (guard, rest, "")
+  | Some i ->
+    ( guard,
+      String.sub rest 0 i,
+      trim (String.sub rest i (String.length rest - i)) )
+
+let parse_instr_line ~resolve line s =
+  let guard, mnemonic, operand_text = parse_instr_parts line s in
+  { body = parse_body ~resolve line mnemonic operand_text; guard }
+
+let parse_instr ~resolve s = parse_instr_line ~resolve 0 s
+
+type raw_line =
+  | Directive of string * string
+  | Label of string
+  | Instruction of string
+
+let classify line s =
+  let s = trim (strip_comment s) in
+  if s = "" then None
+  else if s.[0] = '.' then begin
+    match String.index_opt s ' ' with
+    | None -> fail line "directive %S needs an argument" s
+    | Some i ->
+      Some
+        (Directive
+           (String.sub s 0 i, trim (String.sub s i (String.length s - i))))
+  end
+  else
+    let n = String.length s in
+    if s.[n - 1] = ':' && not (String.contains s ' ') then
+      Some (Label (String.sub s 0 (n - 1)))
+    else Some (Instruction s)
+
+let parse_kernel text =
+  let lines = String.split_on_char '\n' text in
+  let name = ref None and nparams = ref 0 and shared_bytes = ref 0 in
+  let npregs = ref 0 in
+  let labels = Hashtbl.create 16 in
+  (* First pass: directives, label indices, and the instruction lines. *)
+  let insts_rev = ref [] and count = ref 0 in
+  List.iteri
+    (fun i raw ->
+      let line = i + 1 in
+      match classify line raw with
+      | None -> ()
+      | Some (Directive (".kernel", v)) -> name := Some v
+      | Some (Directive (".params", v)) ->
+        nparams := Value.to_signed (parse_int line v)
+      | Some (Directive (".shared", v)) ->
+        shared_bytes := Value.to_signed (parse_int line v)
+      | Some (Directive (".pregs", v)) ->
+        npregs := Value.to_signed (parse_int line v)
+      | Some (Directive (d, _)) -> fail line "unknown directive %S" d
+      | Some (Label l) ->
+        if Hashtbl.mem labels l then fail line "duplicate label %S" l;
+        Hashtbl.replace labels l !count
+      | Some (Instruction s) ->
+        insts_rev := (line, s) :: !insts_rev;
+        incr count)
+    lines;
+  let resolve_at line l =
+    match Hashtbl.find_opt labels l with
+    | Some i -> i
+    | None -> (
+      (* Accept bare L<index> targets even without an explicit label. *)
+      match
+        if String.length l > 1 && l.[0] = 'L' then
+          int_of_string_opt (String.sub l 1 (String.length l - 1))
+        else None
+      with
+      | Some i -> i
+      | None -> fail line "unknown label %S" l)
+  in
+  let insts =
+    List.rev_map
+      (fun (line, s) ->
+        parse_instr_line ~resolve:(resolve_at line) line s)
+      !insts_rev
+  in
+  match !name with
+  | None -> fail 1 ".kernel directive missing"
+  | Some name ->
+    Kernel.make ~name ~npregs:!npregs ~nparams:!nparams
+      ~shared_bytes:!shared_bytes (Array.of_list insts)

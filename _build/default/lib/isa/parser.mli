@@ -1,0 +1,32 @@
+(** Assembler for the PTX-lite textual syntax produced by {!Printer}.
+
+    The accepted grammar (one instruction per line):
+    {v
+    .kernel NAME          directives; .params and .shared are optional
+    .params N
+    .shared BYTES
+    label:                labels may share a line with nothing else
+      mov.u32 %r0, %tid.x;
+      setp.lt.s32 %p0, %r0, 42;
+    @%p0 bra label;       guards: @%pN or @!%pN
+      ld.global.u32 %r1, [%r2+4];
+      st.shared.u32 [%r3], %r1;
+      exit;
+    v}
+    Comments start with [//] or [#]. Integer immediates may be decimal
+    (optionally negative) or [0x] hexadecimal; float immediates use a
+    trailing [f] (e.g. [1.5f]) or the PTX bit-pattern form [0f3F800000].
+    Trailing semicolons are optional. Type suffixes are checked loosely:
+    e.g. [add.s32] and [add.u32] denote the same wrapping addition. *)
+
+exception Parse_error of int * string
+(** [(line, message)]; lines are 1-based. *)
+
+val parse_kernel : string -> Kernel.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_instr : resolve:(string -> int) -> string -> Instr.t
+(** Parse a single instruction line; [resolve] maps label names to
+    instruction indices.
+
+    @raise Parse_error on malformed input (line number 0). *)

@@ -1,0 +1,140 @@
+open Instr
+
+let axis_name = function X -> "x" | Y -> "y" | Z -> "z"
+
+let sreg_name = function
+  | Tid a -> "%tid." ^ axis_name a
+  | Ntid a -> "%ntid." ^ axis_name a
+  | Ctaid a -> "%ctaid." ^ axis_name a
+  | Nctaid a -> "%nctaid." ^ axis_name a
+
+let operand fmt = function
+  | Reg r -> Format.fprintf fmt "%%r%d" r
+  | Imm v ->
+    if v < 65536 then Format.fprintf fmt "%d" v
+    else Format.fprintf fmt "0x%x" v
+  | Sreg s -> Format.pp_print_string fmt (sreg_name s)
+  | Param i -> Format.fprintf fmt "%%param%d" i
+
+let binop_name = function
+  | Add -> "add.u32"
+  | Sub -> "sub.u32"
+  | Mul -> "mul.lo.u32"
+  | Mulhi -> "mul.hi.s32"
+  | Div_s -> "div.s32"
+  | Div_u -> "div.u32"
+  | Rem_s -> "rem.s32"
+  | Rem_u -> "rem.u32"
+  | Min_s -> "min.s32"
+  | Max_s -> "max.s32"
+  | Min_u -> "min.u32"
+  | Max_u -> "max.u32"
+  | And -> "and.b32"
+  | Or -> "or.b32"
+  | Xor -> "xor.b32"
+  | Shl -> "shl.b32"
+  | Shr_u -> "shr.u32"
+  | Shr_s -> "shr.s32"
+  | Fadd -> "add.f32"
+  | Fsub -> "sub.f32"
+  | Fmul -> "mul.f32"
+  | Fdiv -> "div.f32"
+  | Fmin -> "min.f32"
+  | Fmax -> "max.f32"
+
+let unop_name = function
+  | Mov -> "mov.u32"
+  | Not -> "not.b32"
+  | Neg -> "neg.s32"
+  | Abs_s -> "abs.s32"
+  | Fneg -> "neg.f32"
+  | Fabs -> "abs.f32"
+  | Fsqrt -> "sqrt.f32"
+  | Frcp -> "rcp.f32"
+  | Fexp2 -> "ex2.f32"
+  | Flog2 -> "lg2.f32"
+  | Fsin -> "sin.f32"
+  | Fcos -> "cos.f32"
+  | Cvt_i2f -> "cvt.f32.s32"
+  | Cvt_u2f -> "cvt.f32.u32"
+  | Cvt_f2i -> "cvt.s32.f32"
+
+let ternop_name = function Mad -> "mad.lo.u32" | Fma -> "fma.f32"
+
+let cmp_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+
+let cmp_kind_name = function Scmp -> "s32" | Ucmp -> "u32" | Fcmp -> "f32"
+
+let space_name = function Global -> "global" | Shared -> "shared"
+
+let atom_name = function
+  | Atom_add -> "add"
+  | Atom_max -> "max"
+  | Atom_min -> "min"
+  | Atom_exch -> "exch"
+  | Atom_cas -> "cas"
+
+let label_of_target target = Printf.sprintf "L%d" target
+
+let body fmt = function
+  | Bin (op, d, a, b) ->
+    Format.fprintf fmt "%s %%r%d, %a, %a" (binop_name op) d operand a
+      operand b
+  | Un (op, d, a) ->
+    Format.fprintf fmt "%s %%r%d, %a" (unop_name op) d operand a
+  | Tern (op, d, a, b, c) ->
+    Format.fprintf fmt "%s %%r%d, %a, %a, %a" (ternop_name op) d operand a
+      operand b operand c
+  | Setp (kind, cmp, p, a, b) ->
+    Format.fprintf fmt "setp.%s.%s %%p%d, %a, %a" (cmp_name cmp)
+      (cmp_kind_name kind) p operand a operand b
+  | Selp (d, a, b, p) ->
+    Format.fprintf fmt "selp.b32 %%r%d, %a, %a, %%p%d" d operand a operand b
+      p
+  | Ld (space, d, base, off) ->
+    Format.fprintf fmt "ld.%s.u32 %%r%d, [%a+%d]" (space_name space) d
+      operand base off
+  | St (space, base, off, v) ->
+    Format.fprintf fmt "st.%s.u32 [%a+%d], %a" (space_name space) operand
+      base off operand v
+  | Atom (op, d, addr, v) ->
+    Format.fprintf fmt "atom.global.%s.u32 %%r%d, [%a], %a" (atom_name op) d
+      operand addr operand v
+  | Bra target -> Format.fprintf fmt "bra %s" (label_of_target target)
+  | Bar -> Format.pp_print_string fmt "bar.sync"
+  | Exit -> Format.pp_print_string fmt "exit"
+
+let instr fmt t =
+  (match t.guard with
+  | Some (true, p) -> Format.fprintf fmt "@@%%p%d " p
+  | Some (false, p) -> Format.fprintf fmt "@@!%%p%d " p
+  | None -> ());
+  Format.fprintf fmt "%a;" body t.body
+
+let instr_to_string t = Format.asprintf "%a" instr t
+
+let kernel fmt (k : Kernel.t) =
+  Format.fprintf fmt ".kernel %s@\n" k.Kernel.name;
+  Format.fprintf fmt ".params %d@\n" k.Kernel.nparams;
+  Format.fprintf fmt ".shared %d@\n" k.Kernel.shared_bytes;
+  let targets = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      match Instr.branch_target i with
+      | Some t -> Hashtbl.replace targets t ()
+      | None -> ())
+    k.Kernel.insts;
+  Array.iteri
+    (fun i inst ->
+      if Hashtbl.mem targets i then
+        Format.fprintf fmt "%s:@\n" (label_of_target i);
+      Format.fprintf fmt "  %a@\n" instr inst)
+    k.Kernel.insts
+
+let kernel_to_string k = Format.asprintf "%a" kernel k

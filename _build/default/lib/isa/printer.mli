@@ -1,0 +1,19 @@
+(** Textual rendering of PTX-lite kernels and instructions.
+
+    The output is the canonical assembly syntax accepted by {!Parser};
+    [Parser.parse_kernel (Printer.kernel_to_string k)] reconstructs [k]
+    exactly. *)
+
+val operand : Format.formatter -> Instr.operand -> unit
+
+val instr : Format.formatter -> Instr.t -> unit
+(** Render one instruction (without label or trailing newline); branch
+    targets print as [L<index>]. *)
+
+val instr_to_string : Instr.t -> string
+
+val kernel : Format.formatter -> Kernel.t -> unit
+(** Render a full kernel: directives, labels on branch targets, one
+    instruction per line. *)
+
+val kernel_to_string : Kernel.t -> string

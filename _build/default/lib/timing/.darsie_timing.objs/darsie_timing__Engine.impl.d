@@ -1,0 +1,1 @@
+lib/timing/engine.ml: Array Config Darsie_trace Kinfo Queue Stats

@@ -1,0 +1,1 @@
+lib/timing/engine.mli: Config Darsie_trace Kinfo Queue Stats

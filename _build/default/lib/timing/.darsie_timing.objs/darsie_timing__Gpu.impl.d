@@ -1,0 +1,1 @@
+lib/timing/gpu.ml: Array Config Darsie_isa Darsie_trace Kernel Kinfo Mem_model Record Sm Stats

@@ -1,0 +1,1 @@
+lib/timing/gpu.mli: Config Darsie_isa Darsie_trace Engine Kinfo Stats

@@ -1,0 +1,1 @@
+lib/timing/kinfo.ml: Analysis Array Darsie_compiler Darsie_isa Instr Kernel List Marking Promotion

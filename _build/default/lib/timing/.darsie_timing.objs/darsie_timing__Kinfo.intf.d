@@ -1,0 +1,1 @@
+lib/timing/kinfo.mli: Darsie_compiler Darsie_isa

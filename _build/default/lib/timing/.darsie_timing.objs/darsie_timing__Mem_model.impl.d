@@ -1,0 +1,1 @@
+lib/timing/mem_model.ml: Array Hashtbl List

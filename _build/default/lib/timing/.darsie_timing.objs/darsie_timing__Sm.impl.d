@@ -1,0 +1,1 @@
+lib/timing/sm.ml: Array Config Darsie_compiler Darsie_isa Darsie_trace Engine Kinfo List Mem_model Queue Record Stats

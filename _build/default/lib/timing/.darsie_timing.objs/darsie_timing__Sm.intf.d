@@ -1,0 +1,1 @@
+lib/timing/sm.mli: Config Darsie_trace Engine Kinfo Mem_model Stats

@@ -1,0 +1,57 @@
+(** Timing-model configuration (paper Table 2, scaled).
+
+    The paper models a GTX 1080 Ti (Pascal): 28 SMs, 64 warps/SM, 32
+    TBs/SM, 2K vector registers per SM, 4 GTO warp schedulers. We default
+    to 4 SMs so the full evaluation runs in seconds on a laptop; all other
+    per-SM parameters follow the paper. *)
+
+(** Warp-issue scheduling policy: greedy-then-oldest (the paper's best
+    performer) or loose round robin. The paper reports these regular
+    applications are largely insensitive to the choice. *)
+type scheduler = Gto | Lrr
+
+type t = {
+  num_sms : int;
+  warp_size : int;
+  max_warps_per_sm : int;
+  max_tbs_per_sm : int;
+  regfile_vregs : int;  (** vector registers per SM *)
+  rf_banks : int;
+  num_schedulers : int;
+  scheduler : scheduler;
+  issue_per_scheduler : int;  (** dual issue = 2 *)
+  fetch_width : int;  (** instructions fetched per SM per cycle *)
+  ibuf_depth : int;  (** per-warp instruction buffer entries *)
+  shared_bytes_per_sm : int;
+  barrier_lat : int;
+      (** cycles from last-warp arrival to barrier release (the barrier
+          network round trip; also charged to SILICON-SYNC branches) *)
+  alu_lat : int;
+  sfu_lat : int;
+  shared_lat : int;
+  icache_bytes : int;  (** per-SM instruction cache *)
+  icache_line : int;  (** instructions share 128B lines (16 instructions) *)
+  icache_miss_lat : int;
+  collector_units : int;
+      (** operand-collector units: instructions concurrently gathering
+          register operands (structural limit on issue) *)
+  l1_lat : int;
+  l1_bytes : int;
+  l1_assoc : int;
+  l1_line : int;
+  dram_lat : int;
+  dram_txn_cycles : int;  (** cycles of DRAM channel occupancy per 128B transaction *)
+  sfu_per_cycle : int;
+  mem_per_cycle : int;  (** memory instructions issued per SM per cycle *)
+  sync_at_branches : bool;
+      (** SILICON-SYNC: a TB-wide barrier at every basic-block boundary *)
+  skip_entries_per_tb : int;  (** DARSIE PC-skip-table entries per TB *)
+  rename_regs_per_tb : int;  (** DARSIE renamed physical registers per TB *)
+  coalescer_ports : int;  (** PC-coalescer ports: distinct skip PCs per cycle *)
+  max_skips_per_warp_cycle : int;
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit
+(** Render the configuration as a Table-2 style listing. *)

@@ -1,0 +1,50 @@
+type wctx = {
+  wid : int;
+  tb_slot : int;
+  tb_id : int;
+  warp_in_tb : int;
+  trace : Darsie_trace.Record.op array;
+  mutable fi : int;
+  ibuf : (Darsie_trace.Record.op * int) Queue.t;
+  pending : int array;
+  mutable pending_count : int;
+  mutable at_barrier : bool;
+  mutable finished : bool;
+  mutable last_issued : int;
+  mutable fetch_ready_at : int;
+}
+
+let warp_done w = w.fi >= Array.length w.trace
+
+let next_op w = if warp_done w then None else Some w.trace.(w.fi)
+
+type issue_decision = Execute | Drop
+
+type t = {
+  name : string;
+  cycle_skip : cycle:int -> unit;
+  can_fetch : wctx -> bool;
+  remove_at_fetch : wctx -> Darsie_trace.Record.op -> bool;
+  on_issue : cycle:int -> wctx -> Darsie_trace.Record.op -> issue_decision;
+  on_writeback : cycle:int -> wctx -> Darsie_trace.Record.op -> unit;
+  on_store : wctx -> unit;
+  on_tb_launch : tb_slot:int -> warps:wctx array -> unit;
+  on_tb_finish : tb_slot:int -> unit;
+}
+
+let base () =
+  {
+    name = "BASE";
+    cycle_skip = (fun ~cycle:_ -> ());
+    can_fetch = (fun _ -> true);
+    remove_at_fetch = (fun _ _ -> false);
+    on_issue = (fun ~cycle:_ _ _ -> Execute);
+    on_writeback = (fun ~cycle:_ _ _ -> ());
+    on_store = (fun _ -> ());
+    on_tb_launch = (fun ~tb_slot:_ ~warps:_ -> ());
+    on_tb_finish = (fun ~tb_slot:_ -> ());
+  }
+
+type factory = Kinfo.t -> Config.t -> Stats.t -> t
+
+let base_factory : factory = fun _ _ _ -> base ()

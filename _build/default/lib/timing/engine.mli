@@ -1,0 +1,65 @@
+(** The instruction-elimination engine interface.
+
+    The SM pipeline is a fixed machine; BASE, UV, DAC-IDEAL, DARSIE and the
+    DARSIE ablations are all engines plugged into it — mirroring the
+    paper's controlled comparison. An engine can:
+
+    - remove instructions from the stream before they are fetched at zero
+      cost ([remove_at_fetch], used by the idealized DAC);
+    - skip instructions pre-fetch with its own per-cycle logic
+      ([cycle_skip], used by DARSIE: advances warps' trace cursors and
+      accounts for skip-table/renaming activity and synchronization);
+    - hold a warp back from fetching ([can_fetch] = false, used by DARSIE
+      for branch synchronization, follower LeaderWB waits and freelist
+      pressure);
+    - drop instructions at issue after fetch/decode ([on_issue] = [Drop],
+      used by UV's reuse buffer);
+    - observe writebacks, stores and TB lifecycle events. *)
+
+(** Per-warp pipeline context, owned by the SM but visible to engines. *)
+type wctx = {
+  wid : int;  (** SM-local warp slot *)
+  tb_slot : int;  (** SM-local threadblock slot *)
+  tb_id : int;  (** global threadblock index *)
+  warp_in_tb : int;
+  trace : Darsie_trace.Record.op array;
+  mutable fi : int;  (** next trace index to fetch *)
+  ibuf : (Darsie_trace.Record.op * int) Queue.t;
+      (** fetched (op, fetch_cycle) pairs awaiting issue *)
+  pending : int array;  (** scoreboard: outstanding writes per vreg *)
+  mutable pending_count : int;
+  mutable at_barrier : bool;
+  mutable finished : bool;
+  mutable last_issued : int;  (** cycle of last issue, for GTO *)
+  mutable fetch_ready_at : int;  (** earliest cycle the next fetch may
+                                     complete (I-cache miss fill) *)
+}
+
+val warp_done : wctx -> bool
+(** Trace exhausted and nothing left in flight for fetch purposes. *)
+
+val next_op : wctx -> Darsie_trace.Record.op option
+
+type issue_decision = Execute | Drop
+
+type t = {
+  name : string;
+  cycle_skip : cycle:int -> unit;
+      (** called once per SM cycle, before fetch *)
+  can_fetch : wctx -> bool;
+  remove_at_fetch : wctx -> Darsie_trace.Record.op -> bool;
+  on_issue : cycle:int -> wctx -> Darsie_trace.Record.op -> issue_decision;
+  on_writeback : cycle:int -> wctx -> Darsie_trace.Record.op -> unit;
+  on_store : wctx -> unit;  (** a store or atomic issued by this warp's TB *)
+  on_tb_launch : tb_slot:int -> warps:wctx array -> unit;
+  on_tb_finish : tb_slot:int -> unit;
+}
+
+val base : unit -> t
+(** The do-nothing engine: the baseline GPU. *)
+
+type factory = Kinfo.t -> Config.t -> Stats.t -> t
+(** Engines are instantiated per SM with the kernel's static information,
+    the configuration and the SM's stats block. *)
+
+val base_factory : factory

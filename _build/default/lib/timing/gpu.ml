@@ -1,0 +1,72 @@
+open Darsie_isa
+open Darsie_trace
+
+type result = {
+  cycles : int;
+  stats : Stats.t;
+  per_sm : Stats.t array;
+  engine : string;
+  tbs_per_sm : int;
+}
+
+let occupancy (cfg : Config.t) (kernel : Kernel.t) ~warps_per_tb =
+  let by_warps = cfg.Config.max_warps_per_sm / warps_per_tb in
+  let by_shared =
+    if kernel.Kernel.shared_bytes = 0 then max_int
+    else cfg.Config.shared_bytes_per_sm / kernel.Kernel.shared_bytes
+  in
+  let by_regs =
+    let per_tb = max 1 (kernel.Kernel.nregs * warps_per_tb) in
+    cfg.Config.regfile_vregs / per_tb
+  in
+  max 1 (min (min cfg.Config.max_tbs_per_sm by_warps) (min by_shared by_regs))
+
+let run ?(cfg = Config.default) factory (kinfo : Kinfo.t)
+    (trace : Record.t) =
+  let kernel = kinfo.Kinfo.kernel in
+  let warps_per_tb = Record.warps_per_tb trace in
+  let tbs_per_sm = occupancy cfg kernel ~warps_per_tb in
+  let dram =
+    Mem_model.Dram.create ~txn_cycles:cfg.Config.dram_txn_cycles
+      ~latency:cfg.Config.dram_lat
+  in
+  let sms =
+    Array.init cfg.Config.num_sms (fun _ ->
+        Sm.create cfg kinfo factory dram ~slots:tbs_per_sm ~warps_per_tb)
+  in
+  let ntbs = Record.num_tbs trace in
+  let next_tb = ref 0 in
+  let dispatch () =
+    Array.iter
+      (fun sm ->
+        while !next_tb < ntbs && Sm.can_accept sm do
+          Sm.launch_tb sm ~tb_id:!next_tb ~traces:trace.Record.tbs.(!next_tb);
+          incr next_tb
+        done)
+      sms
+  in
+  let safety = 500_000_000 in
+  let cycles = ref 0 in
+  dispatch ();
+  while Array.exists Sm.busy sms || !next_tb < ntbs do
+    incr cycles;
+    if !cycles > safety then
+      failwith "Gpu.run: exceeded simulation cycle bound (deadlock?)";
+    Array.iter Sm.step sms;
+    dispatch ()
+  done;
+  let per_sm = Array.map Sm.stats sms in
+  let agg = Stats.create () in
+  Array.iter (fun s -> Stats.add agg s) per_sm;
+  agg.Stats.cycles <- !cycles;
+  {
+    cycles = !cycles;
+    stats = agg;
+    per_sm;
+    engine = Sm.engine_name sms.(0);
+    tbs_per_sm;
+  }
+
+let ipc r =
+  if r.cycles = 0 then 0.0
+  else float_of_int r.stats.Stats.issued /. float_of_int r.cycles

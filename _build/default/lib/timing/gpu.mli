@@ -1,0 +1,26 @@
+(** Whole-GPU simulation: threadblock dispatch over multiple SMs sharing
+    one DRAM channel. *)
+
+type result = {
+  cycles : int;
+  stats : Stats.t;  (** aggregated over SMs (cycles = max) *)
+  per_sm : Stats.t array;
+  engine : string;
+  tbs_per_sm : int;  (** resident threadblock occupancy used *)
+}
+
+val occupancy : Config.t -> Darsie_isa.Kernel.t -> warps_per_tb:int -> int
+(** Resident threadblocks per SM given the warp, register, shared-memory
+    and slot limits. *)
+
+val run :
+  ?cfg:Config.t -> Engine.factory -> Kinfo.t -> Darsie_trace.Record.t -> result
+(** Replay a recorded trace through the timing model with the given
+    engine. Threadblocks are dispatched to SMs greedily in index order as
+    slots free up.
+
+    @raise Failure if simulation exceeds a safety cycle bound. *)
+
+val ipc : result -> float
+(** Executed warp instructions (including eliminated ones' useful work is
+    excluded) per cycle: [issued / cycles]. *)

@@ -1,0 +1,540 @@
+open Darsie_trace
+
+type slot_state = {
+  mutable occupied : bool;
+  mutable tb_id : int;
+  mutable inflight_ops : int;
+  mutable barrier_release_at : int;  (* -1 when no release pending *)
+}
+
+type in_flight = {
+  fly_warp : Engine.wctx;
+  fly_op : Record.op;
+  finish : int;
+}
+
+type t = {
+  cfg : Config.t;
+  kinfo : Kinfo.t;
+  stats : Stats.t;
+  engine : Engine.t;
+  dram : Mem_model.Dram.t;
+  l1 : Mem_model.L1.t;
+  icache : Mem_model.L1.t;
+  collectors : int array;  (* per-unit busy-until cycle *)
+  slots : slot_state array;
+  warps : Engine.wctx option array;  (* wid = slot * warps_per_tb + lane *)
+  warps_per_tb : int;
+  mutable inflight : in_flight list;
+  mutable fetch_ptr : int;
+  greedy : int array;  (* per scheduler: preferred wid, or -1 *)
+  mutable cycle : int;
+  bank_use : int array;  (* per-RF-bank reads scheduled this cycle *)
+}
+
+let create cfg kinfo factory dram ~slots ~warps_per_tb =
+  let stats = Stats.create () in
+  {
+    cfg;
+    kinfo;
+    stats;
+    engine = factory kinfo cfg stats;
+    dram;
+    l1 =
+      Mem_model.L1.create ~bytes:cfg.Config.l1_bytes ~assoc:cfg.Config.l1_assoc
+        ~line:cfg.Config.l1_line;
+    icache =
+      Mem_model.L1.create ~bytes:cfg.Config.icache_bytes ~assoc:4
+        ~line:cfg.Config.icache_line;
+    collectors = Array.make cfg.Config.collector_units 0;
+    slots =
+      Array.init slots (fun _ ->
+          {
+            occupied = false;
+            tb_id = -1;
+            inflight_ops = 0;
+            barrier_release_at = -1;
+          });
+    warps = Array.make (slots * warps_per_tb) None;
+    warps_per_tb;
+    inflight = [];
+    fetch_ptr = 0;
+    greedy = Array.make cfg.Config.num_schedulers (-1);
+    cycle = 0;
+    bank_use = Array.make cfg.Config.rf_banks 0;
+  }
+
+let can_accept t = Array.exists (fun s -> not s.occupied) t.slots
+
+let launch_tb t ~tb_id ~traces =
+  let slot_idx =
+    let rec find i =
+      if i >= Array.length t.slots then
+        invalid_arg "Sm.launch_tb: no free slot"
+      else if not t.slots.(i).occupied then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  let slot = t.slots.(slot_idx) in
+  slot.occupied <- true;
+  slot.tb_id <- tb_id;
+  slot.inflight_ops <- 0;
+  slot.barrier_release_at <- -1;
+  if Array.length traces > t.warps_per_tb then
+    invalid_arg "Sm.launch_tb: threadblock has too many warps for this SM";
+  let nregs = max t.kinfo.Kinfo.kernel.Darsie_isa.Kernel.nregs 1 in
+  let warps =
+    Array.init (Array.length traces) (fun w ->
+        {
+          Engine.wid = (slot_idx * t.warps_per_tb) + w;
+          tb_slot = slot_idx;
+          tb_id;
+          warp_in_tb = w;
+          trace = traces.(w);
+          fi = 0;
+          ibuf = Queue.create ();
+          pending = Array.make nregs 0;
+          pending_count = 0;
+          at_barrier = false;
+          finished = false;
+          last_issued = 0;
+          fetch_ready_at = 0;
+        })
+  in
+  Array.iteri
+    (fun w ctx -> t.warps.((slot_idx * t.warps_per_tb) + w) <- Some ctx)
+    warps;
+  for w = Array.length traces to t.warps_per_tb - 1 do
+    t.warps.((slot_idx * t.warps_per_tb) + w) <- None
+  done;
+  t.engine.Engine.on_tb_launch ~tb_slot:slot_idx ~warps
+
+let busy t =
+  Array.exists (fun s -> s.occupied) t.slots || t.inflight <> []
+
+let stats t = t.stats
+
+let engine_name t = t.engine.Engine.name
+
+let cycle t = t.cycle
+
+(* A warp has issued everything when its trace cursor is exhausted and its
+   I-buffer has drained. *)
+let warp_drained (w : Engine.wctx) =
+  Engine.warp_done w && Queue.is_empty w.Engine.ibuf
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+(* ------------------------------------------------------------------ *)
+(* Writeback                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let writeback t =
+  let stats = t.stats in
+  let still = ref [] in
+  List.iter
+    (fun f ->
+      if f.finish <= t.cycle then begin
+        let w = f.fly_warp in
+        (match t.kinfo.Kinfo.dst_reg.(f.fly_op.Record.idx) with
+        | Some d ->
+          w.Engine.pending.(d) <- w.Engine.pending.(d) - 1;
+          w.Engine.pending_count <- w.Engine.pending_count - 1;
+          stats.Stats.rf_writes <- stats.Stats.rf_writes + 1
+        | None -> ());
+        t.slots.(w.Engine.tb_slot).inflight_ops <-
+          t.slots.(w.Engine.tb_slot).inflight_ops - 1;
+        t.engine.Engine.on_writeback ~cycle:t.cycle w f.fly_op
+      end
+      else still := f :: !still)
+    t.inflight;
+  t.inflight <- !still
+
+(* ------------------------------------------------------------------ *)
+(* Barrier release and TB retirement                                   *)
+(* ------------------------------------------------------------------ *)
+
+let slot_warps t slot_idx =
+  let base = slot_idx * t.warps_per_tb in
+  let rec collect w acc =
+    if w < 0 then acc
+    else
+      collect (w - 1)
+        (match t.warps.(base + w) with Some c -> c :: acc | None -> acc)
+  in
+  collect (t.warps_per_tb - 1) []
+
+let barriers_and_retirement t =
+  Array.iteri
+    (fun slot_idx slot ->
+      if slot.occupied then begin
+        let warps = slot_warps t slot_idx in
+        let any_waiting =
+          List.exists (fun w -> w.Engine.at_barrier) warps
+        in
+        if any_waiting then begin
+          let all_arrived =
+            List.for_all
+              (fun w -> w.Engine.at_barrier || warp_drained w)
+              warps
+          in
+          List.iter
+            (fun w ->
+              if w.Engine.at_barrier then
+                t.stats.Stats.barrier_stall_cycles <-
+                  t.stats.Stats.barrier_stall_cycles + 1)
+            warps;
+          (* The barrier network takes barrier_lat cycles from last-warp
+             arrival to release. *)
+          if all_arrived && slot.barrier_release_at < 0 then
+            slot.barrier_release_at <- t.cycle + t.cfg.Config.barrier_lat;
+          if slot.barrier_release_at >= 0 && t.cycle >= slot.barrier_release_at
+          then begin
+            List.iter (fun w -> w.Engine.at_barrier <- false) warps;
+            slot.barrier_release_at <- -1
+          end
+        end;
+        (* Retirement: all warps drained, nothing in flight. *)
+        if
+          slot.inflight_ops = 0
+          && List.for_all warp_drained warps
+          && not (List.exists (fun w -> w.Engine.at_barrier) warps)
+        then begin
+          slot.occupied <- false;
+          let base = slot_idx * t.warps_per_tb in
+          for w = 0 to t.warps_per_tb - 1 do
+            t.warps.(base + w) <- None
+          done;
+          t.engine.Engine.on_tb_finish ~tb_slot:slot_idx
+        end
+      end)
+    t.slots
+
+(* ------------------------------------------------------------------ *)
+(* Issue                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic architectural register -> bank map; renamed (DARSIE)
+   registers live in a strided region of the same banks, which is how
+   follower reads create extra conflicts. *)
+let bank_of t (w : Engine.wctx) reg =
+  ((w.Engine.wid * t.kinfo.Kinfo.kernel.Darsie_isa.Kernel.nregs) + reg)
+  mod t.cfg.Config.rf_banks
+
+let scoreboard_ready (w : Engine.wctx) kinfo idx =
+  let srcs = kinfo.Kinfo.src_regs.(idx) in
+  List.for_all (fun r -> w.Engine.pending.(r) = 0) srcs
+  &&
+  match kinfo.Kinfo.dst_reg.(idx) with
+  | Some d -> w.Engine.pending.(d) = 0
+  | None -> true
+
+type issue_budget = {
+  mutable mem_left : int;
+  mutable sfu_left : int;
+}
+
+(* Issue one op from warp [w]; returns false if the head op cannot issue. *)
+let try_issue_head t budget (w : Engine.wctx) =
+  if w.Engine.at_barrier then false
+  else
+    match Queue.peek_opt w.Engine.ibuf with
+    | None -> false
+    | Some (op, fetch_cycle) ->
+      let idx = op.Record.idx in
+      let kinfo = t.kinfo in
+      let unit_class = kinfo.Kinfo.unit_of.(idx) in
+      let structural_ok =
+        match unit_class with
+        | Kinfo.Mem_global | Kinfo.Mem_shared -> budget.mem_left > 0
+        | Kinfo.Sfu -> budget.sfu_left > 0
+        | Kinfo.Alu | Kinfo.Ctrl -> true
+      in
+      (* operand collection: instructions reading registers need a free
+         operand-collector unit *)
+      let collector =
+        if kinfo.Kinfo.nsrcs.(idx) = 0 then Some (-1)
+        else begin
+          let found = ref None in
+          Array.iteri
+            (fun u busy -> if !found = None && busy <= t.cycle then found := Some u)
+            t.collectors;
+          !found
+        end
+      in
+      if fetch_cycle >= t.cycle || not structural_ok || collector = None
+         || not (scoreboard_ready w kinfo idx)
+      then false
+      else begin
+        ignore (Queue.pop w.Engine.ibuf);
+        let stats = t.stats in
+        let cfg = t.cfg in
+        w.Engine.last_issued <- t.cycle;
+        (match t.engine.Engine.on_issue ~cycle:t.cycle w op with
+        | Engine.Drop ->
+          (* Eliminated at issue (UV): consumed fetch/decode and an issue
+             slot but no execution resources; the reuse-buffer value is
+             available to dependents next cycle. *)
+          stats.Stats.dropped_issue <- stats.Stats.dropped_issue + 1;
+          (match kinfo.Kinfo.shape.(idx) with
+          | Darsie_compiler.Marking.Uniform ->
+            stats.Stats.elim_uniform <- stats.Stats.elim_uniform + 1
+          | Darsie_compiler.Marking.Affine ->
+            stats.Stats.elim_affine <- stats.Stats.elim_affine + 1
+          | Darsie_compiler.Marking.Unstructured | Darsie_compiler.Marking.Varying ->
+            stats.Stats.elim_unstructured <- stats.Stats.elim_unstructured + 1);
+          (match kinfo.Kinfo.dst_reg.(idx) with
+          | Some d ->
+            w.Engine.pending.(d) <- w.Engine.pending.(d) + 1;
+            w.Engine.pending_count <- w.Engine.pending_count + 1;
+            t.slots.(w.Engine.tb_slot).inflight_ops <-
+              t.slots.(w.Engine.tb_slot).inflight_ops + 1;
+            t.inflight <-
+              { fly_warp = w; fly_op = op; finish = t.cycle + 1 } :: t.inflight
+          | None -> ())
+        | Engine.Execute ->
+          stats.Stats.issued <- stats.Stats.issued + 1;
+          stats.Stats.executed_threads <-
+            stats.Stats.executed_threads + popcount op.Record.active;
+          (* Register file reads and bank conflicts. *)
+          let conflicts = ref 0 in
+          List.iter
+            (fun r ->
+              let b = bank_of t w r in
+              if t.bank_use.(b) > 0 then incr conflicts;
+              t.bank_use.(b) <- t.bank_use.(b) + 1;
+              stats.Stats.rf_reads <- stats.Stats.rf_reads + 1)
+            kinfo.Kinfo.src_regs.(idx);
+          stats.Stats.rf_bank_conflicts <-
+            stats.Stats.rf_bank_conflicts + !conflicts;
+          (match collector with
+          | Some u when u >= 0 -> t.collectors.(u) <- t.cycle + 2 + !conflicts
+          | _ -> ());
+          let finish =
+            match unit_class with
+            | Kinfo.Alu ->
+              stats.Stats.alu_ops <- stats.Stats.alu_ops + 1;
+              t.cycle + cfg.Config.alu_lat + !conflicts
+            | Kinfo.Ctrl ->
+              if kinfo.Kinfo.is_barrier.(idx) then w.Engine.at_barrier <- true
+              else if kinfo.Kinfo.is_branch.(idx) && cfg.Config.sync_at_branches
+              then w.Engine.at_barrier <- true;
+              t.cycle + cfg.Config.alu_lat
+            | Kinfo.Sfu ->
+              budget.sfu_left <- budget.sfu_left - 1;
+              stats.Stats.sfu_ops <- stats.Stats.sfu_ops + 1;
+              t.cycle + cfg.Config.sfu_lat + !conflicts
+            | Kinfo.Mem_shared ->
+              budget.mem_left <- budget.mem_left - 1;
+              stats.Stats.mem_ops <- stats.Stats.mem_ops + 1;
+              let sc =
+                Mem_model.shared_conflicts ~banks:cfg.Config.warp_size
+                  op.Record.accesses
+              in
+              stats.Stats.shared_accesses <-
+                stats.Stats.shared_accesses + 1 + sc;
+              stats.Stats.shared_bank_conflicts <-
+                stats.Stats.shared_bank_conflicts + sc;
+              t.cycle + cfg.Config.shared_lat + sc + !conflicts
+            | Kinfo.Mem_global ->
+              budget.mem_left <- budget.mem_left - 1;
+              stats.Stats.mem_ops <- stats.Stats.mem_ops + 1;
+              let lines =
+                Mem_model.coalesce ~line_bytes:cfg.Config.l1_line
+                  op.Record.accesses
+              in
+              let nlines = List.length lines in
+              if kinfo.Kinfo.is_atomic.(idx) then begin
+                (* Atomics bypass the L1 and serialize at DRAM. *)
+                t.engine.Engine.on_store w;
+                stats.Stats.dram_transactions <-
+                  stats.Stats.dram_transactions + nlines;
+                Mem_model.Dram.request t.dram ~now:(t.cycle + cfg.Config.l1_lat)
+                  ~ntxns:nlines
+              end
+              else if kinfo.Kinfo.is_store.(idx) then begin
+                (* Write-through, no-allocate: stores drain to DRAM and do
+                   not stall the pipeline. *)
+                t.engine.Engine.on_store w;
+                stats.Stats.l1_accesses <- stats.Stats.l1_accesses + nlines;
+                stats.Stats.dram_transactions <-
+                  stats.Stats.dram_transactions + nlines;
+                ignore
+                  (Mem_model.Dram.request t.dram ~now:(t.cycle + cfg.Config.l1_lat)
+                     ~ntxns:nlines);
+                t.cycle + cfg.Config.alu_lat
+              end
+              else begin
+                stats.Stats.l1_accesses <- stats.Stats.l1_accesses + nlines;
+                let misses =
+                  List.fold_left
+                    (fun acc line ->
+                      if Mem_model.L1.access t.l1 line then acc else acc + 1)
+                    0 lines
+                in
+                stats.Stats.l1_misses <- stats.Stats.l1_misses + misses;
+                if misses = 0 then
+                  t.cycle + cfg.Config.l1_lat + nlines - 1 + !conflicts
+                else begin
+                  stats.Stats.dram_transactions <-
+                    stats.Stats.dram_transactions + misses;
+                  Mem_model.Dram.request t.dram ~now:(t.cycle + cfg.Config.l1_lat)
+                    ~ntxns:misses
+                end
+              end
+          in
+          (* Track every executed op for TB retirement; register release
+             happens at writeback only for ops that write one. *)
+          (match kinfo.Kinfo.dst_reg.(idx) with
+          | Some d ->
+            w.Engine.pending.(d) <- w.Engine.pending.(d) + 1;
+            w.Engine.pending_count <- w.Engine.pending_count + 1
+          | None -> ());
+          t.slots.(w.Engine.tb_slot).inflight_ops <-
+            t.slots.(w.Engine.tb_slot).inflight_ops + 1;
+          t.inflight <- { fly_warp = w; fly_op = op; finish } :: t.inflight);
+        true
+      end
+
+let issue t =
+  Array.fill t.bank_use 0 (Array.length t.bank_use) 0;
+  let cfg = t.cfg in
+  let nw = Array.length t.warps in
+  let budget =
+    { mem_left = cfg.Config.mem_per_cycle; sfu_left = cfg.Config.sfu_per_cycle }
+  in
+  for sched = 0 to cfg.Config.num_schedulers - 1 do
+    (* Candidates: this scheduler's warps with an issueable head. *)
+    let issueable wid =
+      match t.warps.(wid) with
+      | Some w when not w.Engine.at_barrier -> (
+        match Queue.peek_opt w.Engine.ibuf with
+        | Some (op, fc) ->
+          fc < t.cycle && scoreboard_ready w t.kinfo op.Record.idx
+        | None -> false)
+      | _ -> false
+    in
+    let pick () =
+      match cfg.Config.scheduler with
+      | Config.Gto ->
+        (* Greedy-then-oldest: stick with the last warp this scheduler
+           issued from; otherwise take the lowest warp slot (oldest TB). *)
+        let g = t.greedy.(sched) in
+        if g >= 0 && g mod cfg.Config.num_schedulers = sched && issueable g
+        then Some g
+        else begin
+          let found = ref None in
+          let wid = ref sched in
+          while !found = None && !wid < nw do
+            if issueable !wid then found := Some !wid;
+            wid := !wid + cfg.Config.num_schedulers
+          done;
+          !found
+        end
+      | Config.Lrr ->
+        (* Loose round robin: resume scanning after the last pick. *)
+        let per_sched = (nw + cfg.Config.num_schedulers - 1) / cfg.Config.num_schedulers in
+        let last = t.greedy.(sched) in
+        let start =
+          if last >= 0 then ((last - sched) / cfg.Config.num_schedulers) + 1
+          else 0
+        in
+        let found = ref None in
+        let k = ref 0 in
+        while !found = None && !k < per_sched do
+          let slot = (start + !k) mod per_sched in
+          let wid = sched + (slot * cfg.Config.num_schedulers) in
+          if wid < nw && issueable wid then found := Some wid;
+          incr k
+        done;
+        !found
+    in
+    match pick () with
+    | None -> t.greedy.(sched) <- -1
+    | Some wid ->
+      t.greedy.(sched) <- wid;
+      (match t.warps.(wid) with
+      | None -> ()
+      | Some w ->
+        let issued = ref 0 in
+        while
+          !issued < cfg.Config.issue_per_scheduler && try_issue_head t budget w
+        do
+          incr issued
+        done)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Fetch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fetch t =
+  let cfg = t.cfg in
+  let nw = Array.length t.warps in
+  if nw = 0 then ()
+  else begin
+    let fetched = ref 0 and scanned = ref 0 in
+    let ptr = ref t.fetch_ptr in
+    while !fetched < cfg.Config.fetch_width && !scanned < nw do
+      (match t.warps.(!ptr mod nw) with
+      | Some w
+        when (not w.Engine.finished)
+             && (not w.Engine.at_barrier)
+             && t.cycle >= w.Engine.fetch_ready_at
+             && Queue.length w.Engine.ibuf < cfg.Config.ibuf_depth
+             && (not (Engine.warp_done w))
+             && t.engine.Engine.can_fetch w -> begin
+        (* Zero-cost stream removal (DAC-IDEAL). *)
+        let continue_removing = ref true in
+        while !continue_removing do
+          match Engine.next_op w with
+          | Some op when t.engine.Engine.remove_at_fetch w op ->
+            w.Engine.fi <- w.Engine.fi + 1;
+            t.stats.Stats.skipped_prefetch <- t.stats.Stats.skipped_prefetch + 1;
+            (match t.kinfo.Kinfo.shape.(op.Record.idx) with
+            | Darsie_compiler.Marking.Uniform ->
+              t.stats.Stats.elim_uniform <- t.stats.Stats.elim_uniform + 1
+            | Darsie_compiler.Marking.Affine ->
+              t.stats.Stats.elim_affine <- t.stats.Stats.elim_affine + 1
+            | Darsie_compiler.Marking.Unstructured | Darsie_compiler.Marking.Varying
+              ->
+              t.stats.Stats.elim_unstructured <-
+                t.stats.Stats.elim_unstructured + 1)
+          | _ -> continue_removing := false
+        done;
+        match Engine.next_op w with
+        | Some op ->
+          incr fetched;
+          let pc = Darsie_isa.Kernel.pc_of_index op.Record.idx in
+          if Mem_model.L1.access t.icache pc then begin
+            t.stats.Stats.fetched <- t.stats.Stats.fetched + 1;
+            Queue.push (op, t.cycle) w.Engine.ibuf;
+            w.Engine.fi <- w.Engine.fi + 1
+          end
+          else begin
+            (* I-cache miss: the line fills and the warp refetches *)
+            t.stats.Stats.icache_misses <- t.stats.Stats.icache_misses + 1;
+            w.Engine.fetch_ready_at <- t.cycle + cfg.Config.icache_miss_lat
+          end;
+          t.fetch_ptr <- (!ptr + 1) mod nw
+        | None -> ()
+      end
+      | _ -> ());
+      incr ptr;
+      incr scanned
+    done;
+    if !fetched = 0 then
+      t.stats.Stats.fetch_stall_cycles <- t.stats.Stats.fetch_stall_cycles + 1
+  end
+
+let step t =
+  t.cycle <- t.cycle + 1;
+  t.stats.Stats.cycles <- t.cycle;
+  writeback t;
+  barriers_and_retirement t;
+  issue t;
+  t.engine.Engine.cycle_skip ~cycle:t.cycle;
+  fetch t

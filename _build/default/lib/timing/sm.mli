@@ -1,0 +1,41 @@
+(** One streaming multiprocessor: the paper's Figure 4 pipeline.
+
+    Per cycle: writeback of completed operations, barrier release, GTO
+    dual-issue from per-warp instruction buffers (with scoreboard and
+    structural hazards, register-file bank conflicts, and the memory
+    system), then the plugged-in engine's pre-fetch skip phase, then
+    loose-round-robin fetch into the I-buffers.
+
+    The SM is trace-driven: each resident warp replays the instruction
+    stream recorded by the functional emulator. *)
+
+type t
+
+val create :
+  Config.t ->
+  Kinfo.t ->
+  Engine.factory ->
+  Mem_model.Dram.t ->
+  slots:int ->
+  warps_per_tb:int ->
+  t
+
+val can_accept : t -> bool
+(** Has a free threadblock slot. *)
+
+val launch_tb : t -> tb_id:int -> traces:Darsie_trace.Record.op array array -> unit
+(** Install a threadblock's per-warp traces into a free slot.
+
+    @raise Invalid_argument when no slot is free. *)
+
+val step : t -> unit
+(** Advance one cycle. *)
+
+val busy : t -> bool
+(** True while any threadblock is resident or operations are in flight. *)
+
+val stats : t -> Stats.t
+
+val engine_name : t -> string
+
+val cycle : t -> int

@@ -1,0 +1,1 @@
+lib/trace/limit_study.ml: Array Darsie_emu Darsie_isa Hashtbl Instr Interp Kernel Value

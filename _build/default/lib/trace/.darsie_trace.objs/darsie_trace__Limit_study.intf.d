@@ -1,0 +1,1 @@
+lib/trace/limit_study.mli: Darsie_emu Darsie_isa

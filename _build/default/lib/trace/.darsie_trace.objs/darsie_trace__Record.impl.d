@@ -1,0 +1,1 @@
+lib/trace/record.ml: Array Darsie_emu Darsie_isa Interp Kernel Vec

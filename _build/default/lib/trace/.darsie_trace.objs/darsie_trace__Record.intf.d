@@ -1,0 +1,1 @@
+lib/trace/record.mli: Darsie_emu Darsie_isa

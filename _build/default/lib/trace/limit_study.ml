@@ -1,0 +1,186 @@
+open Darsie_isa
+open Darsie_emu
+
+type result = {
+  total : int;
+  eligible : int;
+  grid_red : int;
+  tb_red : int;
+  warp_red : int;
+  tb_uniform : int;
+  tb_affine : int;
+  tb_unstructured : int;
+}
+
+let vector_uniform v =
+  Array.length v = 0 || Array.for_all (fun x -> x = v.(0)) v
+
+(* v.(i) = base + stride * (i mod period) for some period dividing the
+   warp. Multi-dimensional threadblocks with xdim < warp size lay tid.x
+   out periodically within the warp (e.g. [0..15, 0..15] for a 16-wide
+   row in a 32-wide warp); the paper treats such <base, stride> patterns
+   as affine. *)
+let affine_with_period v period =
+  let n = Array.length v in
+  if period < 2 then vector_uniform v
+  else begin
+    let stride = Value.sub v.(1) v.(0) in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      let j = i mod period in
+      let expected = Value.add v.(0) (Value.truncate (Value.mul stride j)) in
+      if v.(i) <> expected then ok := false
+    done;
+    !ok
+  end
+
+let vector_affine v =
+  let n = Array.length v in
+  if n <= 1 then true
+  else begin
+    let rec try_period p = p >= 2 && (affine_with_period v p || try_period (p / 2)) in
+    try_period n
+  end
+
+(* Per-(pc, occurrence) aggregation within one threadblock. The signature
+   is the source operand vectors plus, for loads, the loaded destination
+   vector: a load is only eliminable if every warp actually received the
+   same data, and its taxonomy class is judged by the values it produced
+   (addresses based on affine-redundant indices load unstructured data —
+   §2). *)
+type agg = {
+  mutable sig_ : Value.t array array;  (* first arriving warp's operands *)
+  mutable dst : Value.t array option;  (* first warp's loaded value *)
+  mutable same : bool;
+  mutable warps : int;
+  mutable clean : bool;  (* every arrival eligible and full-mask *)
+}
+
+(* Cross-threadblock aggregation. *)
+type grid_agg = {
+  mutable gsig : Value.t array array;
+  mutable gsame : bool;
+  mutable gtbs : int;
+}
+
+type taxonomy = T_uniform | T_affine | T_unstructured
+
+let classify_sig sig_ =
+  if Array.for_all vector_uniform sig_ then T_uniform
+  else if Array.for_all vector_affine sig_ then T_affine
+  else T_unstructured
+
+(* Loads are classified by the pattern of the data they produced. *)
+let classify_agg ~is_load agg =
+  match (is_load, agg.dst) with
+  | true, Some dst ->
+    if vector_uniform dst then T_uniform
+    else if vector_affine dst then T_affine
+    else T_unstructured
+  | _ -> classify_sig agg.sig_
+
+let sig_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> x = y) a b
+
+let measure ?(warp_size = 32) mem (launch : Kernel.launch) =
+  let kernel = launch.Kernel.kernel in
+  let insts = kernel.Kernel.insts in
+  let ntbs = Kernel.num_blocks launch in
+  let nwarps = Kernel.warps_per_block launch ~warp_size in
+  let full = (1 lsl warp_size) - 1 in
+  let eligible_inst =
+    Array.map
+      (fun i ->
+        not
+          (Instr.is_branch i || Instr.is_barrier i || Instr.is_exit i
+          || Instr.is_atomic i))
+      insts
+  in
+  let total = ref 0
+  and eligible = ref 0
+  and warp_red = ref 0
+  and tb_red = ref 0
+  and tb_uniform = ref 0
+  and tb_affine = ref 0
+  and tb_unstructured = ref 0 in
+  let tb_table : (int * int, agg) Hashtbl.t = Hashtbl.create 4096 in
+  let grid_table : (int * int, grid_agg) Hashtbl.t = Hashtbl.create 4096 in
+  let current_tb = ref (-1) in
+  let feed_grid key ok sig_ =
+    match Hashtbl.find_opt grid_table key with
+    | None -> Hashtbl.add grid_table key { gsig = sig_; gsame = ok; gtbs = 1 }
+    | Some g ->
+      g.gtbs <- g.gtbs + 1;
+      if g.gsame then
+        if not ok then g.gsame <- false
+        else if not (sig_equal g.gsig sig_) then g.gsame <- false
+  in
+  let is_load_inst = Array.map Instr.is_load insts in
+  let flush_tb () =
+    Hashtbl.iter
+      (fun ((idx, _) as key) agg ->
+        let is_tb_red = agg.same && agg.clean && agg.warps = nwarps in
+        if is_tb_red then begin
+          tb_red := !tb_red + nwarps;
+          (match classify_agg ~is_load:is_load_inst.(idx) agg with
+          | T_uniform -> tb_uniform := !tb_uniform + nwarps
+          | T_affine -> tb_affine := !tb_affine + nwarps
+          | T_unstructured -> tb_unstructured := !tb_unstructured + nwarps)
+        end;
+        feed_grid key is_tb_red agg.sig_)
+      tb_table;
+    Hashtbl.reset tb_table
+  in
+  let on_exec (r : Interp.exec_record) =
+    if r.Interp.tb <> !current_tb then begin
+      if !current_tb >= 0 then flush_tb ();
+      current_tb := r.Interp.tb
+    end;
+    incr total;
+    let idx = r.Interp.inst_index in
+    let ok_inst = eligible_inst.(idx) in
+    if ok_inst then incr eligible;
+    let clean = ok_inst && r.Interp.active = full in
+    if clean && Array.for_all vector_uniform r.Interp.operands then
+      incr warp_red;
+    let key = (idx, r.Interp.occ) in
+    match Hashtbl.find_opt tb_table key with
+    | None ->
+      Hashtbl.add tb_table key
+        {
+          sig_ = r.Interp.operands;
+          dst = (if is_load_inst.(idx) then r.Interp.dst_values else None);
+          same = true;
+          warps = 1;
+          clean;
+        }
+    | Some agg ->
+      agg.warps <- agg.warps + 1;
+      agg.clean <- agg.clean && clean;
+      if agg.same && not (sig_equal agg.sig_ r.Interp.operands) then
+        agg.same <- false;
+      if agg.same && is_load_inst.(idx) then
+        match (agg.dst, r.Interp.dst_values) with
+        | Some a, Some b when a <> b -> agg.same <- false
+        | _ -> ()
+  in
+  let config = { Interp.warp_size; capture_operands = true } in
+  ignore (Interp.run ~config ~on_exec mem launch);
+  if !current_tb >= 0 then flush_tb ();
+  let grid_red = ref 0 in
+  Hashtbl.iter
+    (fun _ g -> if g.gsame && g.gtbs = ntbs then grid_red := !grid_red + (ntbs * nwarps))
+    grid_table;
+  {
+    total = !total;
+    eligible = !eligible;
+    grid_red = !grid_red;
+    tb_red = !tb_red;
+    warp_red = !warp_red;
+    tb_uniform = !tb_uniform;
+    tb_affine = !tb_affine;
+    tb_unstructured = !tb_unstructured;
+  }
+
+let fraction n r = if r.total = 0 then 0.0 else float_of_int n /. float_of_int r.total

@@ -1,0 +1,52 @@
+(** Dynamic redundancy limit studies (paper Figures 1 and 2).
+
+    Executes a kernel launch with full operand capture and classifies every
+    dynamic warp-level instruction by comparing its source operand vectors
+    across the warps of its threadblock (and across threadblocks for the
+    grid level):
+
+    - {e warp-wide redundant} ("scalar"): every source operand vector holds
+      one scalar replicated across the lanes;
+    - {e TB-wide redundant}: every warp of the threadblock executed the
+      same dynamic instance (same PC, same occurrence) with identical
+      source operand vectors, all under a full active mask;
+    - {e grid-wide redundant}: TB-wide redundant in every threadblock with
+      identical operands across threadblocks.
+
+    TB-redundant instances are further classified by the paper's taxonomy:
+    uniform (all operands scalar), affine (all operands scalar or a single
+    [<base, stride>] pattern, at least one strided) or unstructured.
+
+    Instructions executed in diverged control flow (partial active mask, or
+    not reached by every warp) are considered non-redundant, as in the
+    paper's Figure 2. Control flow (branches, barriers, exits) and atomics
+    are never counted as redundant. *)
+
+type result = {
+  total : int;  (** all dynamic warp-level instructions *)
+  eligible : int;  (** excluding control flow and atomics *)
+  grid_red : int;
+  tb_red : int;  (** includes grid-redundant instances *)
+  warp_red : int;  (** warp-wide scalar instances *)
+  tb_uniform : int;  (** taxonomy split of [tb_red] *)
+  tb_affine : int;
+  tb_unstructured : int;
+}
+
+val measure :
+  ?warp_size:int -> Darsie_emu.Memory.t -> Darsie_isa.Kernel.launch -> result
+
+val fraction : int -> result -> float
+(** [fraction n r] is [n / r.total] (0 when the trace is empty). *)
+
+(** Operand-vector pattern tests, exposed for unit tests. *)
+
+val vector_uniform : Darsie_isa.Value.t array -> bool
+
+val vector_affine : Darsie_isa.Value.t array -> bool
+(** True when the vector is [base + stride * (lane mod period)] for some
+    power-of-two period dividing the warp size — a single
+    [<base, stride>] pattern, possibly repeated per threadblock row (the
+    layout multi-dimensional TBs give [tid.x] when the x dimension is
+    smaller than the warp). Uniform vectors are affine with stride 0;
+    arithmetic is modulo 2{^32}. *)

@@ -1,0 +1,41 @@
+open Darsie_isa
+open Darsie_emu
+
+type op = { idx : int; occ : int; active : int; accesses : int array }
+
+type t = {
+  launch : Kernel.launch;
+  warp_size : int;
+  tbs : op array array array;
+  emu_stats : Interp.stats;
+}
+
+let generate ?(warp_size = 32) mem (launch : Kernel.launch) =
+  let ntbs = Kernel.num_blocks launch in
+  let nwarps = Kernel.warps_per_block launch ~warp_size in
+  let vecs = Array.init ntbs (fun _ -> Array.init nwarps (fun _ -> Vec.create ())) in
+  let on_exec (r : Interp.exec_record) =
+    Vec.push
+      vecs.(r.Interp.tb).(r.Interp.warp)
+      {
+        idx = r.Interp.inst_index;
+        occ = r.Interp.occ;
+        active = r.Interp.active;
+        accesses = r.Interp.accesses;
+      }
+  in
+  let config = { Interp.warp_size; capture_operands = false } in
+  let emu_stats = Interp.run ~config ~on_exec mem launch in
+  let tbs = Array.map (Array.map Vec.to_array) vecs in
+  { launch; warp_size; tbs; emu_stats }
+
+let total_ops t =
+  Array.fold_left
+    (fun acc tb -> Array.fold_left (fun a w -> a + Array.length w) acc tb)
+    0 t.tbs
+
+let num_tbs t = Array.length t.tbs
+
+let warps_per_tb t = Kernel.warps_per_block t.launch ~warp_size:t.warp_size
+
+let full_mask t = (1 lsl t.warp_size) - 1

@@ -1,0 +1,34 @@
+(** Dynamic execution traces for the timing model.
+
+    The timing simulator is trace-driven (like Accel-Sim): the functional
+    emulator resolves control flow and memory addresses per warp, and the
+    timing model replays each warp's instruction stream. One {!op} is one
+    dynamic warp-level instruction. *)
+
+type op = {
+  idx : int;  (** static instruction index in the kernel *)
+  occ : int;  (** occurrence number of this PC within this warp *)
+  active : int;  (** SIMT active mask at issue *)
+  accesses : int array;
+      (** byte addresses touched by active lanes (memory ops only) *)
+}
+
+type t = {
+  launch : Darsie_isa.Kernel.launch;
+  warp_size : int;
+  tbs : op array array array;  (** [tb].[warp].[n] *)
+  emu_stats : Darsie_emu.Interp.stats;
+}
+
+val generate :
+  ?warp_size:int -> Darsie_emu.Memory.t -> Darsie_isa.Kernel.launch -> t
+(** Functionally execute the launch (mutating [mem]) and collect per-warp
+    traces. *)
+
+val total_ops : t -> int
+
+val num_tbs : t -> int
+
+val warps_per_tb : t -> int
+
+val full_mask : t -> int

@@ -1,0 +1,15 @@
+(** A minimal growable array (OCaml 5.1 predates [Stdlib.Dynarray]). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+
+val to_array : 'a t -> 'a array
+
+val iter : ('a -> unit) -> 'a t -> unit

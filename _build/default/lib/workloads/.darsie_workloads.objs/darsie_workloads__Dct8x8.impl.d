@@ -1,0 +1,1 @@
+lib/workloads/dct8x8.ml: Array Builder Darsie_emu Darsie_isa Float Instr Kernel Util Workload

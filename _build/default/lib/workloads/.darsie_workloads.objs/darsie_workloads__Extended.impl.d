@@ -1,0 +1,1 @@
+lib/workloads/extended.ml: Array Builder Darsie_emu Darsie_isa Instr Kernel Util Workload

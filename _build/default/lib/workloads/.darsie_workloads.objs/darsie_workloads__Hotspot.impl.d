@@ -1,0 +1,1 @@
+lib/workloads/hotspot.ml: Array Builder Darsie_emu Darsie_isa Instr Kernel Util Workload

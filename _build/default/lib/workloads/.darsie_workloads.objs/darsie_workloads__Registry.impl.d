@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Backprop Bin_opt Conv_tex Coulomb Dct8x8 Extended Fast_walsh Floyd_warshall Hotspot Libor List Matmul Nlm Pathfinder Srad String Workload

@@ -1,0 +1,1 @@
+lib/workloads/util.ml: Array Builder Darsie_isa Instr Int32

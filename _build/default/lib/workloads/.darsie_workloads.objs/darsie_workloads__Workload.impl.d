@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Array Darsie_emu Darsie_isa Float Printf

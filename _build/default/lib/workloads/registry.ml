@@ -1,0 +1,32 @@
+let one_d =
+  [
+    Bin_opt.workload;
+    Pathfinder.workload;
+    Fast_walsh.workload;
+    Srad.workload;
+    Libor.workload;
+  ]
+
+let two_d =
+  [
+    Nlm.workload;
+    Backprop.workload;
+    Dct8x8.workload;
+    Floyd_warshall.workload;
+    Hotspot.workload;
+    Coulomb.workload;
+    Conv_tex.workload;
+    Matmul.workload;
+  ]
+
+let all = one_d @ two_d
+
+let extended = Extended.all
+
+let find abbr =
+  let needle = String.lowercase_ascii abbr in
+  List.find_opt
+    (fun w -> String.lowercase_ascii w.Workload.abbr = needle)
+    (all @ extended)
+
+let abbrs = List.map (fun w -> w.Workload.abbr) all

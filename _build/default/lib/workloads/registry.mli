@@ -1,0 +1,18 @@
+(** All Table-1 applications, in the paper's order (1D first, then 2D). *)
+
+val all : Workload.t list
+
+val one_d : Workload.t list
+
+val two_d : Workload.t list
+
+val find : string -> Workload.t option
+(** Look up by abbreviation, case-insensitive; covers Table 1 and the
+    extended set. *)
+
+val abbrs : string list
+
+val extended : Workload.t list
+(** Additional kernels beyond Table 1 (reduction, transpose, histogram,
+    SpMV, n-body, 3D stencil) used for broader simulator validation; not
+    part of the paper's experiments. *)

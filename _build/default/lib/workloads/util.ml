@@ -1,0 +1,48 @@
+open Darsie_isa
+
+module Rng = struct
+  type t = { mutable s : int }
+
+  let create seed = { s = (if seed = 0 then 0x9E3779B9 else seed land 0x3FFFFFFF) }
+
+  let next t =
+    (* xorshift over 30 bits, deterministic across platforms *)
+    let x = t.s in
+    let x = x lxor (x lsl 13) land 0x3FFFFFFF in
+    let x = x lxor (x lsr 17) in
+    let x = x lxor (x lsl 5) land 0x3FFFFFFF in
+    t.s <- x;
+    x
+
+  let int t bound = if bound <= 0 then 0 else next t mod bound
+
+  let r32 f = Int32.float_of_bits (Int32.bits_of_float f)
+
+  let float t bound = r32 (float_of_int (next t) /. 1073741824.0 *. bound)
+
+  let f32_array t n bound = Array.init n (fun _ -> float t bound)
+
+  let i32_array t n bound = Array.init n (fun _ -> int t bound)
+end
+
+let r32 f = Int32.float_of_bits (Int32.bits_of_float f)
+
+let counted_loop b ~bound body =
+  let i = Builder.reg b in
+  let p = Builder.pred b in
+  Builder.mov b i (Builder.O.i 0);
+  let top = Builder.here b in
+  body i;
+  Builder.add b i (Builder.O.r i) (Builder.O.i 1);
+  Builder.setp b Instr.Scmp Instr.Lt p (Builder.O.r i) bound;
+  Builder.bra b ~guard:(true, p) top
+
+let global_id_x b =
+  let r = Builder.reg b in
+  Builder.mad b r Builder.O.ctaid_x Builder.O.ntid_x Builder.O.tid_x;
+  r
+
+let global_id_y b =
+  let r = Builder.reg b in
+  Builder.mad b r Builder.O.ctaid_y Builder.O.ntid_y Builder.O.tid_y;
+  r

@@ -1,0 +1,38 @@
+(** Shared helpers for workload construction: a deterministic PRNG for
+    inputs, single-precision rounding for CPU references, and common
+    Builder idioms. *)
+
+(** Deterministic xorshift PRNG (inputs must not depend on OCaml's seeded
+    hashing or [Random]'s global state). *)
+module Rng : sig
+  type t
+
+  val create : int -> t
+
+  val int : t -> int -> int
+  (** uniform in [0, bound). *)
+
+  val float : t -> float -> float
+  (** uniform in [0, bound), rounded to single precision. *)
+
+  val f32_array : t -> int -> float -> float array
+
+  val i32_array : t -> int -> int -> int array
+end
+
+val r32 : float -> float
+(** Round to IEEE-754 single precision (for CPU references that must track
+    the kernel's f32 arithmetic). *)
+
+val counted_loop :
+  Darsie_isa.Builder.t -> bound:Darsie_isa.Instr.operand -> (int -> unit) ->
+  unit
+(** [counted_loop b ~bound body] emits a loop running [body i] with counter
+    register [i] going 0, 1, ... while [i+1 < bound] allows; [bound] must
+    be at least 1 (the body always runs once). The counter and branch are
+    uniform when [bound] is uniform, so the loop adds no divergence. *)
+
+val global_id_x : Darsie_isa.Builder.t -> int
+(** Emit [ctaid.x * ntid.x + tid.x] into a fresh register. *)
+
+val global_id_y : Darsie_isa.Builder.t -> int

@@ -1,0 +1,56 @@
+type prepared = {
+  mem : Darsie_emu.Memory.t;
+  launch : Darsie_isa.Kernel.launch;
+  verify : Darsie_emu.Memory.t -> (unit, string) result;
+}
+
+type dimensionality = D1 | D2
+
+type t = {
+  abbr : string;
+  full_name : string;
+  suite : string;
+  block_dim : int * int;
+  dimensionality : dimensionality;
+  prepare : scale:int -> prepared;
+}
+
+let check_f32 ?(tol = 1e-3) ~name ~expected actual =
+  if Array.length expected <> Array.length actual then
+    Error
+      (Printf.sprintf "%s: length mismatch (%d vs %d)" name
+         (Array.length expected) (Array.length actual))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i e ->
+        if !bad = None then begin
+          let a = actual.(i) in
+          let denom = max (abs_float e) 1.0 in
+          if abs_float (a -. e) /. denom > tol || Float.is_nan a then
+            bad := Some (i, e, a)
+        end)
+      expected;
+    match !bad with
+    | None -> Ok ()
+    | Some (i, e, a) ->
+      Error (Printf.sprintf "%s: element %d: expected %g, got %g" name i e a)
+  end
+
+let check_i32 ~name ~expected actual =
+  if Array.length expected <> Array.length actual then
+    Error
+      (Printf.sprintf "%s: length mismatch (%d vs %d)" name
+         (Array.length expected) (Array.length actual))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i e -> if !bad = None && actual.(i) <> e then bad := Some i)
+      expected;
+    match !bad with
+    | None -> Ok ()
+    | Some i ->
+      Error
+        (Printf.sprintf "%s: element %d: expected %d, got %d" name i
+           expected.(i) actual.(i))
+  end

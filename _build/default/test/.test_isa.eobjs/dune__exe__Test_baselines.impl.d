@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Darsie_baselines Darsie_core Darsie_emu Darsie_isa Darsie_timing Darsie_trace Engine Gpu Kernel Kinfo Parser Stats

@@ -1,0 +1,1 @@
+test/test_compiler.ml: Alcotest Analysis Array Cfg Darsie_compiler Darsie_emu Darsie_isa Darsie_trace Encode Format Kernel List Marking Parser Postdom Printf Promotion String

@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Array Darsie_emu Darsie_isa Instr Interp Kernel List Memory Parser Printer Printf QCheck QCheck_alcotest Simt_stack Value

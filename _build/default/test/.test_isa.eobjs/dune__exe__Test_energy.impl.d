@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Area Config Darsie_energy Darsie_timing Energy_model Stats

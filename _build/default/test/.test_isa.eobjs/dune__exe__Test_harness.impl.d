@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Darsie_energy Darsie_harness Darsie_workloads Figures Hashtbl Lazy List Render Stats_util String Suite

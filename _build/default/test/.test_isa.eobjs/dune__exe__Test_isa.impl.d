@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Builder Darsie_emu Darsie_isa Darsie_workloads Encode Float Gen Instr Int64 Kernel List Parser Printer QCheck QCheck_alcotest Result Test Value

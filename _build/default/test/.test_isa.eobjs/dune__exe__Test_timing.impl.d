@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Array Config Darsie_core Darsie_emu Darsie_isa Darsie_timing Darsie_trace Engine Gpu Instr Kernel Kinfo List Mem_model Parser Printf Stats String

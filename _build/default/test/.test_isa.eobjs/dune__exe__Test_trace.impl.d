@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Darsie_emu Darsie_isa Darsie_trace Kernel Limit_study List Parser QCheck QCheck_alcotest Record Value Vec

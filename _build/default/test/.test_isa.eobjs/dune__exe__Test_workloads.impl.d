@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Darsie_emu Darsie_harness Darsie_timing Darsie_trace Darsie_workloads Float Gpu List Printf Stats

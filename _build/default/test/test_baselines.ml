@@ -1,0 +1,226 @@
+(* Tests for the UV and DAC-IDEAL baseline engines (paper §5). *)
+
+open Darsie_isa
+open Darsie_timing
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let run_machine factory ?(grid = Kernel.dim3 2) ?(block = Kernel.dim3 16 ~y:16)
+    ktext params =
+  let k = Parser.parse_kernel ktext in
+  let mem = Darsie_emu.Memory.create () in
+  let params =
+    Array.map
+      (fun need ->
+        if need then begin
+          let b = Darsie_emu.Memory.alloc mem 65536 in
+          Darsie_emu.Memory.write_i32s mem b (Array.init 16384 (fun i -> i));
+          b
+        end
+        else 0)
+      params
+  in
+  let launch = Kernel.launch k ~grid ~block ~params in
+  let kinfo = Kinfo.make ~warp_size:32 launch in
+  let trace = Darsie_trace.Record.generate mem launch in
+  let base = Gpu.run Engine.base_factory kinfo trace in
+  let r = Gpu.run factory kinfo trace in
+  (base, r)
+
+let uniform_kernel =
+  {|
+.kernel u
+.params 2
+  mov.u32 %r0, %ctaid.x;
+  mul.lo.u32 %r1, %r0, 3;
+  add.u32 %r2, %r1, %param0;
+  ld.global.u32 %r3, [%param0+0];
+  mad.lo.u32 %r4, %tid.y, %ntid.x, %tid.x;
+  shl.b32 %r4, %r4, 2;
+  add.u32 %r4, %r4, %param1;
+  st.global.u32 [%r4+0], %r2;
+  exit;
+|}
+
+(* ------------------------------------------------------------------ *)
+(* UV                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_uv_drops_uniform () =
+  let base, uv = run_machine Darsie_baselines.Uv.factory uniform_kernel [| true; true |] in
+  (* Up to 3 uniform ALU ops (mov, mul, add) x 7 followers x 2 TBs can be
+     dropped; warps that issue before the first writeback miss the reuse
+     buffer (the opportunistic behaviour that keeps UV's gains small). The
+     uniform LOAD is never dropped by UV. *)
+  check_bool "drops bounded by uniform instances" true
+    (uv.Gpu.stats.Stats.dropped_issue <= 3 * 7 * 2);
+  check_int "stream conserved" base.Gpu.stats.Stats.issued
+    (uv.Gpu.stats.Stats.issued + uv.Gpu.stats.Stats.dropped_issue);
+  (* the defining property: UV still fetches everything *)
+  check_int "fetches unchanged" base.Gpu.stats.Stats.fetched
+    uv.Gpu.stats.Stats.fetched;
+  check_int "nothing skipped pre-fetch" 0 uv.Gpu.stats.Stats.skipped_prefetch
+
+let test_uv_reuse_buffer_miss () =
+  (* back-to-back dependent uniform ops: the second warp can only reuse
+     after the first's writeback; with a single warp per TB nothing is
+     ever dropped *)
+  let _, uv =
+    run_machine Darsie_baselines.Uv.factory ~block:(Kernel.dim3 32)
+      uniform_kernel [| true; true |]
+  in
+  check_int "single warp drops nothing" 0 uv.Gpu.stats.Stats.dropped_issue
+
+let test_uv_affine_untouched () =
+  let k =
+    {|
+.kernel aff
+.params 1
+  mul.lo.u32 %r0, %tid.x, 4;
+  add.u32 %r1, %r0, %param0;
+  ld.global.u32 %r2, [%r1+0];
+  exit;
+|}
+  in
+  let _, uv = run_machine Darsie_baselines.Uv.factory k [| true |] in
+  check_int "UV cannot touch affine redundancy" 0
+    uv.Gpu.stats.Stats.dropped_issue
+
+(* ------------------------------------------------------------------ *)
+(* DAC-IDEAL                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_dac_removes_affine_prefetch () =
+  let k =
+    {|
+.kernel aff
+.params 1
+  mul.lo.u32 %r0, %tid.x, 4;
+  add.u32 %r1, %r0, %param0;
+  ld.global.u32 %r2, [%r1+0];
+  exit;
+|}
+  in
+  let base, dac = run_machine Darsie_baselines.Dac_ideal.factory k [| true |] in
+  (* mul and add removed for every warp instance; the load stays *)
+  check_int "affine ALU removed" (2 * 8 * 2) dac.Gpu.stats.Stats.skipped_prefetch;
+  check_int "loads and exit still issued" (2 * 8 * 2)
+    dac.Gpu.stats.Stats.issued;
+  check_bool "fetches reduced" true
+    (dac.Gpu.stats.Stats.fetched < base.Gpu.stats.Stats.fetched)
+
+let test_dac_removes_1d_affine () =
+  (* the idealized DAC removes affine work even in 1D blocks where it is
+     not redundant — DARSIE's demotion does not apply to it *)
+  let k =
+    {|
+.kernel aff1d
+.params 1
+  mul.lo.u32 %r0, %tid.x, 4;
+  add.u32 %r1, %r0, %param0;
+  ld.global.u32 %r2, [%r1+0];
+  exit;
+|}
+  in
+  let _, dac =
+    run_machine Darsie_baselines.Dac_ideal.factory ~block:(Kernel.dim3 256) k
+      [| true |]
+  in
+  check_int "1D affine removed too" (2 * 8 * 2)
+    dac.Gpu.stats.Stats.skipped_prefetch
+
+let test_dac_keeps_unstructured () =
+  (* a value loaded from memory and reused: unstructured, DAC keeps it *)
+  let k =
+    {|
+.kernel unstr
+.params 1
+  mul.lo.u32 %r0, %tid.x, 4;
+  add.u32 %r1, %r0, %param0;
+  ld.global.u32 %r2, [%r1+0];
+  add.u32 %r3, %r2, 1;
+  mul.lo.u32 %r4, %r3, %r3;
+  exit;
+|}
+  in
+  let _, dac = run_machine Darsie_baselines.Dac_ideal.factory k [| true |] in
+  (* only the 2 affine address ops removed; the data-dependent adds/muls
+     stay *)
+  check_int "unstructured chain kept" (2 * 8 * 2)
+    dac.Gpu.stats.Stats.skipped_prefetch
+
+let test_dac_zero_sync_cost () =
+  let _, dac =
+    run_machine Darsie_baselines.Dac_ideal.factory uniform_kernel
+      [| true; true |]
+  in
+  check_int "no stalls" 0 dac.Gpu.stats.Stats.darsie_sync_stalls
+
+let test_tb_ideal_bound () =
+  let k =
+    {|
+.kernel aff
+.params 1
+  mul.lo.u32 %r0, %tid.x, 4;
+  add.u32 %r1, %r0, %param0;
+  ld.global.u32 %r2, [%r1+0];
+  exit;
+|}
+  in
+  let base, ideal = run_machine Darsie_baselines.Tb_ideal.factory k [| true |] in
+  (* warp 0 of each TB executes the redundant chain; 7 followers skip all
+     three (including the load, which DAC cannot remove) *)
+  check_int "followers removed" (3 * 7 * 2) ideal.Gpu.stats.Stats.skipped_prefetch;
+  check_int "stream conserved" base.Gpu.stats.Stats.issued
+    (ideal.Gpu.stats.Stats.issued + ideal.Gpu.stats.Stats.skipped_prefetch);
+  check_int "zero sync cost" 0 ideal.Gpu.stats.Stats.darsie_sync_stalls;
+  check_bool "ideal at least as fast as base" true
+    (ideal.Gpu.cycles <= base.Gpu.cycles)
+
+let test_tb_ideal_dominates_darsie_skips () =
+  let k =
+    {|
+.kernel chain
+.params 1
+  mul.lo.u32 %r0, %tid.x, 4;
+  add.u32 %r1, %r0, %param0;
+  ld.global.u32 %r2, [%r1+0];
+  add.u32 %r3, %r2, 7;
+  xor.b32 %r4, %r3, %r0;
+  exit;
+|}
+  in
+  let _, ideal = run_machine Darsie_baselines.Tb_ideal.factory k [| true |] in
+  let _, darsie =
+    run_machine (Darsie_core.Darsie_engine.factory ()) k [| true |]
+  in
+  check_bool "ideal skips at least as much as DARSIE" true
+    (ideal.Gpu.stats.Stats.skipped_prefetch
+    >= darsie.Gpu.stats.Stats.skipped_prefetch)
+
+let () =
+  Alcotest.run "darsie_baselines"
+    [
+      ( "uv",
+        [
+          Alcotest.test_case "drops uniform at issue" `Quick test_uv_drops_uniform;
+          Alcotest.test_case "reuse-buffer miss" `Quick test_uv_reuse_buffer_miss;
+          Alcotest.test_case "affine untouched" `Quick test_uv_affine_untouched;
+        ] );
+      ( "dac-ideal",
+        [
+          Alcotest.test_case "removes affine pre-fetch" `Quick
+            test_dac_removes_affine_prefetch;
+          Alcotest.test_case "removes 1D affine" `Quick test_dac_removes_1d_affine;
+          Alcotest.test_case "keeps unstructured" `Quick test_dac_keeps_unstructured;
+          Alcotest.test_case "zero sync cost" `Quick test_dac_zero_sync_cost;
+        ] );
+      ( "tb-ideal",
+        [
+          Alcotest.test_case "upper bound" `Quick test_tb_ideal_bound;
+          Alcotest.test_case "dominates darsie" `Quick
+            test_tb_ideal_dominates_darsie_skips;
+        ] );
+    ]

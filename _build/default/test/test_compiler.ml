@@ -1,0 +1,571 @@
+(* Tests for the compiler substrate: CFG construction, postdominators,
+   the marking lattice, the redundancy dataflow and launch-time
+   promotion. *)
+
+open Darsie_isa
+open Darsie_compiler
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let parse = Parser.parse_kernel
+
+(* ------------------------------------------------------------------ *)
+(* Marking lattice                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let all_red =
+  Marking.[ Vector; Cond_redundant_xy; Cond_redundant; Def_redundant ]
+
+let all_shapes = Marking.[ Varying; Unstructured; Affine; Uniform ]
+
+let all_cls =
+  List.concat_map
+    (fun r -> List.map (fun s -> { Marking.red = r; shape = s }) all_shapes)
+    all_red
+
+let test_lattice_meet () =
+  let open Marking in
+  check_bool "weakest wins" true (meet_red Vector Def_redundant = Vector);
+  check_bool "CR vs DR" true (meet_red Cond_redundant Def_redundant = Cond_redundant);
+  check_bool "shape meet" true (meet_shape Affine Uniform = Affine);
+  (* meet is commutative, associative and idempotent over the whole
+     (small) lattice. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check_bool "meet commutes" true (Marking.equal (meet a b) (meet b a));
+          check_bool "meet lower bound" true (Marking.leq (meet a b) a);
+          List.iter
+            (fun c ->
+              check_bool "meet associates" true
+                (Marking.equal (meet a (meet b c)) (meet (meet a b) c)))
+            all_cls)
+        all_cls;
+      check_bool "idempotent" true (Marking.equal (meet a a) a);
+      check_bool "top is identity" true (Marking.equal (meet a Marking.top) a);
+      check_bool "bottom absorbs" true
+        (Marking.equal (meet a Marking.bottom) Marking.bottom))
+    all_cls
+
+(* ------------------------------------------------------------------ *)
+(* CFG                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let diamond_kernel =
+  parse
+    {|
+.kernel diamond
+  setp.lt.s32 %p0, %tid.x, 16;
+@%p0 bra then;
+  add.u32 %r0, %r0, 1;
+  bra join;
+then:
+  add.u32 %r0, %r0, 2;
+join:
+  st.global.u32 [%param0], %r0;
+  exit;
+|}
+
+let test_cfg_diamond () =
+  let cfg = Cfg.build diamond_kernel in
+  check_int "four blocks" 4 (Cfg.num_blocks cfg);
+  let b0 = cfg.Cfg.blocks.(0) in
+  Alcotest.(check (list int)) "entry successors" [ 2; 1 ] b0.Cfg.succs;
+  let b3 = cfg.Cfg.blocks.(3) in
+  Alcotest.(check (list int)) "join has no successors" [] b3.Cfg.succs;
+  Alcotest.(check (list int)) "join preds" [ 1; 2 ] b3.Cfg.preds
+
+let loop_kernel =
+  parse
+    {|
+.kernel loop
+  mov.u32 %r0, 0;
+top:
+  add.u32 %r0, %r0, 1;
+  setp.lt.s32 %p0, %r0, 10;
+@%p0 bra top;
+  exit;
+|}
+
+let test_cfg_loop () =
+  let cfg = Cfg.build loop_kernel in
+  check_int "three blocks" 3 (Cfg.num_blocks cfg);
+  let body = cfg.Cfg.blocks.(1) in
+  check_bool "loop back edge" true (List.mem 1 body.Cfg.succs);
+  check_bool "loop exit edge" true (List.mem 2 body.Cfg.succs)
+
+let test_cfg_unconditional_branch () =
+  let k =
+    parse
+      {|
+.kernel skip
+  bra target;
+  add.u32 %r0, %r0, 1;
+target:
+  exit;
+|}
+  in
+  let cfg = Cfg.build k in
+  let b0 = cfg.Cfg.blocks.(0) in
+  Alcotest.(check (list int)) "no fallthrough after unguarded bra" [ 2 ]
+    b0.Cfg.succs;
+  let b1 = cfg.Cfg.blocks.(1) in
+  Alcotest.(check (list int)) "dead block still linked" [ 2 ] b1.Cfg.succs
+
+(* ------------------------------------------------------------------ *)
+(* Postdominators                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_postdom_diamond () =
+  let cfg = Cfg.build diamond_kernel in
+  let pd = Postdom.compute cfg in
+  check_bool "join postdominates entry" true (Postdom.postdominates pd 3 0);
+  check_bool "join postdominates both arms" true
+    (Postdom.postdominates pd 3 1 && Postdom.postdominates pd 3 2);
+  check_bool "arm does not postdominate entry" false
+    (Postdom.postdominates pd 1 0);
+  Alcotest.(check (option int)) "ipdom of entry" (Some 3) (Postdom.ipdom_block pd 0);
+  (* The branch at instruction 1 reconverges at the join block's first
+     instruction (index 5). *)
+  Alcotest.(check (option int)) "reconvergence inst" (Some 5)
+    (Postdom.reconvergence_inst pd 1)
+
+let test_postdom_loop () =
+  let cfg = Cfg.build loop_kernel in
+  let pd = Postdom.compute cfg in
+  Alcotest.(check (option int)) "loop branch reconverges at exit block"
+    (Some 2)
+    (Postdom.ipdom_block pd 1);
+  check_bool "exit block postdominates all" true
+    (Postdom.postdominates pd 2 0 && Postdom.postdominates pd 2 1)
+
+let test_postdom_no_reconvergence () =
+  (* Two arms that both exit: reconvergence only at thread exit. *)
+  let k =
+    parse
+      {|
+.kernel split
+  setp.lt.s32 %p0, %tid.x, 4;
+@%p0 bra a;
+  exit;
+a:
+  exit;
+|}
+  in
+  let cfg = Cfg.build k in
+  let pd = Postdom.compute cfg in
+  Alcotest.(check (option int)) "no ipdom" None (Postdom.ipdom_block pd 0);
+  Alcotest.(check (option int)) "no reconvergence point" None
+    (Postdom.reconvergence_inst pd 1)
+
+(* ------------------------------------------------------------------ *)
+(* Redundancy analysis                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's Figure 3 kernel: read an integer array at base 10 indexed
+   by tid.x (we use a parameter for the base). *)
+let fig3_kernel =
+  parse
+    {|
+.kernel fig3
+.params 1
+  mul.lo.u32 %r1, %tid.x, 4;
+  add.u32 %r2, %r1, %param0;
+  ld.global.u32 %r3, [%r2+0];
+  exit;
+|}
+
+let test_analysis_fig3 () =
+  let a = Analysis.analyze fig3_kernel in
+  (* MUL tid.x,4 -> conditionally redundant affine *)
+  check_bool "mul is CR" true (Analysis.marking a 0 = Marking.Cond_redundant);
+  check_bool "mul is affine" true (Analysis.shape a 0 = Marking.Affine);
+  (* ADD propagates *)
+  check_bool "add is CR" true (Analysis.marking a 1 = Marking.Cond_redundant);
+  check_bool "add is affine" true (Analysis.shape a 1 = Marking.Affine);
+  (* the load takes the address's redundancy with unstructured shape *)
+  check_bool "ld is CR" true (Analysis.marking a 2 = Marking.Cond_redundant);
+  check_bool "ld is unstructured" true
+    (Analysis.shape a 2 = Marking.Unstructured);
+  check_bool "ld skippable" true (Analysis.skippable a 2)
+
+let test_analysis_uniform_seeds () =
+  let k =
+    parse
+      {|
+.kernel seeds
+.params 1
+  mov.u32 %r0, %ctaid.x;
+  mov.u32 %r1, %ntid.y;
+  mov.u32 %r2, %param0;
+  mov.u32 %r3, 42;
+  add.u32 %r4, %r0, %r1;
+  exit;
+|}
+  in
+  let a = Analysis.analyze k in
+  for i = 0 to 4 do
+    check_bool
+      (Printf.sprintf "inst %d is DR" i)
+      true
+      (Analysis.marking a i = Marking.Def_redundant);
+    check_bool
+      (Printf.sprintf "inst %d is uniform" i)
+      true
+      (Analysis.shape a i = Marking.Uniform)
+  done
+
+let test_analysis_tid_y_varies () =
+  let k =
+    parse
+      {|
+.kernel tidy
+  mov.u32 %r0, %tid.y;
+  add.u32 %r1, %r0, 1;
+  exit;
+|}
+  in
+  let a = Analysis.analyze k in
+  check_bool "tid.y move is vector" true (Analysis.marking a 0 = Marking.Vector);
+  check_bool "dependent op is vector" true (Analysis.marking a 1 = Marking.Vector)
+
+let test_analysis_weakest_wins () =
+  let k =
+    parse
+      {|
+.kernel weakest
+  mov.u32 %r0, %ctaid.x;
+  mov.u32 %r1, %tid.x;
+  mov.u32 %r2, %tid.y;
+  add.u32 %r3, %r0, %r1;
+  add.u32 %r4, %r0, %r2;
+  add.u32 %r5, %r1, %r2;
+  exit;
+|}
+  in
+  let a = Analysis.analyze k in
+  check_bool "DR+CR = CR" true (Analysis.marking a 3 = Marking.Cond_redundant);
+  check_bool "DR+V = V" true (Analysis.marking a 4 = Marking.Vector);
+  check_bool "CR+V = V" true (Analysis.marking a 5 = Marking.Vector)
+
+let test_analysis_affine_algebra () =
+  let k =
+    parse
+      {|
+.kernel affine
+  shl.b32 %r0, %tid.x, 2;
+  add.u32 %r1, %r0, %tid.x;
+  mul.lo.u32 %r2, %tid.x, %tid.x;
+  xor.b32 %r3, %tid.x, 5;
+  mul.lo.u32 %r4, %tid.x, %ctaid.x;
+  exit;
+|}
+  in
+  let a = Analysis.analyze k in
+  check_bool "shl by uniform stays affine" true (Analysis.shape a 0 = Marking.Affine);
+  check_bool "affine + affine stays affine" true (Analysis.shape a 1 = Marking.Affine);
+  check_bool "affine * affine is unstructured" true
+    (Analysis.shape a 2 = Marking.Unstructured);
+  check_bool "xor of affine is unstructured" true
+    (Analysis.shape a 3 = Marking.Unstructured);
+  check_bool "affine * uniform stays affine" true (Analysis.shape a 4 = Marking.Affine);
+  (* all of these are still conditionally redundant *)
+  for i = 0 to 4 do
+    check_bool
+      (Printf.sprintf "inst %d CR" i)
+      true
+      (Analysis.marking a i = Marking.Cond_redundant)
+  done
+
+let test_analysis_loop_fixpoint () =
+  (* A register that is CR on entry but merged with a vector value around
+     the loop must settle at vector. *)
+  let k =
+    parse
+      {|
+.kernel mix
+  mov.u32 %r0, %tid.x;
+top:
+  add.u32 %r0, %r0, %tid.y;
+  setp.lt.s32 %p0, %r0, 100;
+@%p0 bra top;
+  add.u32 %r1, %r0, 1;
+  exit;
+|}
+  in
+  let a = Analysis.analyze k in
+  check_bool "loop-carried add degrades to vector" true
+    (Analysis.marking a 1 = Marking.Vector);
+  check_bool "use after the loop is vector" true
+    (Analysis.marking a 4 = Marking.Vector)
+
+let test_analysis_load_from_vector_address () =
+  let k =
+    parse
+      {|
+.kernel vload
+  mov.u32 %r0, %tid.y;
+  shl.b32 %r1, %r0, 2;
+  ld.global.u32 %r2, [%r1+0];
+  exit;
+|}
+  in
+  let a = Analysis.analyze k in
+  check_bool "load from vector address is vector" true
+    (Analysis.marking a 2 = Marking.Vector)
+
+let test_analysis_atomics_and_guards () =
+  let k =
+    parse
+      {|
+.kernel atomics
+  mov.u32 %r1, %ctaid.x;
+  atom.global.add.u32 %r0, [%param0], %r1;
+  setp.lt.s32 %p0, %tid.y, 4;
+@%p0 add.u32 %r2, %r1, 1;
+  exit;
+|}
+  in
+  let a = Analysis.analyze k in
+  check_bool "atomic result is vector" true (Analysis.marking a 1 = Marking.Vector);
+  check_bool "atomic not skippable" false (Analysis.skippable a 1);
+  check_bool "guarded instr not skippable" false (Analysis.skippable a 3)
+
+let test_analysis_store_not_skippable () =
+  let a = Analysis.analyze fig3_kernel in
+  let k =
+    parse
+      {|
+.kernel st
+  st.global.u32 [%param0], %ctaid.x;
+  exit;
+|}
+  in
+  let a2 = Analysis.analyze k in
+  check_bool "store not skippable" false (Analysis.skippable a2 0);
+  check_bool "exit not skippable" false (Analysis.skippable a 3)
+
+(* ------------------------------------------------------------------ *)
+(* Promotion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let launch_with k bx by =
+  Kernel.launch k ~grid:(Kernel.dim3 4) ~block:(Kernel.dim3 bx ~y:by)
+    ~params:(Array.make k.Kernel.nparams 0x2000)
+
+let test_promotion_2d () =
+  let a = Analysis.analyze fig3_kernel in
+  let p = Promotion.resolve a (launch_with fig3_kernel 16 16) ~warp_size:32 in
+  check_bool "promoted" true p.Promotion.promoted;
+  check_bool "mul skippable" true p.Promotion.tb_redundant.(0);
+  check_bool "add skippable" true p.Promotion.tb_redundant.(1);
+  check_bool "ld skippable" true p.Promotion.tb_redundant.(2);
+  check_bool "exit not skippable" false p.Promotion.tb_redundant.(3);
+  check_int "three static skips" 3 (Promotion.skip_count_upper_bound p)
+
+let test_promotion_1d () =
+  let a = Analysis.analyze fig3_kernel in
+  let p = Promotion.resolve a (launch_with fig3_kernel 256 1) ~warp_size:32 in
+  check_bool "not promoted" false p.Promotion.promoted;
+  check_bool "mul demoted to vector" false p.Promotion.tb_redundant.(0);
+  (* but DAC-IDEAL still removes the affine arithmetic in 1D *)
+  check_bool "DAC removes the mul" true p.Promotion.dac_removable.(0);
+  check_bool "DAC removes the add" true p.Promotion.dac_removable.(1);
+  check_bool "DAC keeps the load" false p.Promotion.dac_removable.(2)
+
+let test_promotion_bad_xdim () =
+  let a = Analysis.analyze fig3_kernel in
+  let p = Promotion.resolve a (launch_with fig3_kernel 48 2) ~warp_size:32 in
+  check_bool "xdim 48 not promoted" false p.Promotion.promoted;
+  let p = Promotion.resolve a (launch_with fig3_kernel 12 4) ~warp_size:32 in
+  check_bool "xdim 12 not promoted (not a power of 2)" false
+    p.Promotion.promoted;
+  let p = Promotion.resolve a (launch_with fig3_kernel 32 2) ~warp_size:32 in
+  check_bool "xdim 32 promoted" true p.Promotion.promoted
+
+let test_promotion_uniform_always () =
+  let k =
+    parse
+      {|
+.kernel uni
+.params 1
+  mov.u32 %r0, %ctaid.x;
+  shl.b32 %r1, %r0, 2;
+  exit;
+|}
+  in
+  let a = Analysis.analyze k in
+  let p = Promotion.resolve a (launch_with k 256 1) ~warp_size:32 in
+  check_bool "uniform redundancy survives 1D" true p.Promotion.tb_redundant.(0);
+  check_bool "uv eligible" true p.Promotion.uv_eligible.(0)
+
+let test_uv_excludes_loads () =
+  let k =
+    parse
+      {|
+.kernel uvload
+.params 1
+  ld.global.u32 %r0, [%param0+0];
+  add.u32 %r1, %r0, 1;
+  exit;
+|}
+  in
+  let a = Analysis.analyze k in
+  let p = Promotion.resolve a (launch_with k 16 16) ~warp_size:32 in
+  check_bool "uniform load is TB-redundant for DARSIE" true
+    p.Promotion.tb_redundant.(0);
+  check_bool "UV never skips loads" false p.Promotion.uv_eligible.(0);
+  check_bool "dependent add uniform, UV eligible" true p.Promotion.uv_eligible.(1)
+
+(* ------------------------------------------------------------------ *)
+(* 3D extension: tid.y conditional redundancy                          *)
+(* ------------------------------------------------------------------ *)
+
+let tidy_kernel =
+  parse
+    {|
+.kernel t3d
+.params 1
+  mul.lo.u32 %r0, %tid.y, 4;
+  add.u32 %r1, %r0, %param0;
+  ld.global.u32 %r2, [%r1+0];
+  mul.lo.u32 %r3, %tid.x, %tid.y;
+  exit;
+|}
+
+let test_tid_y_extension_markings () =
+  let off = Analysis.analyze tidy_kernel in
+  check_bool "tid.y is vector without the extension" true
+    (Analysis.marking off 0 = Marking.Vector);
+  let on = Analysis.analyze ~tid_y_redundancy:true tidy_kernel in
+  check_bool "tid.y chain is CR-xy" true
+    (Analysis.marking on 0 = Marking.Cond_redundant_xy);
+  check_bool "load inherits CR-xy" true
+    (Analysis.marking on 2 = Marking.Cond_redundant_xy);
+  (* a value mixing tid.x and tid.y takes the weaker condition *)
+  check_bool "mixed x*y is CR-xy (weakest wins)" true
+    (Analysis.marking on 3 = Marking.Cond_redundant_xy);
+  check_bool "CR-xy weaker than CR" true
+    Marking.(meet_red Cond_redundant Cond_redundant_xy = Cond_redundant_xy)
+
+let test_xydim_condition () =
+  let mk bx by bz =
+    Kernel.launch tidy_kernel ~grid:(Kernel.dim3 2)
+      ~block:(Kernel.dim3 bx ~y:by ~z:bz)
+      ~params:[| 0x2000 |]
+  in
+  check_bool "4x4x4 satisfies xy condition" true
+    (Kernel.xydim_condition (mk 4 4 4) ~warp_size:32);
+  check_bool "4x8x2 satisfies (xy = 32)" true
+    (Kernel.xydim_condition (mk 4 8 2) ~warp_size:32);
+  check_bool "8x8x2 too wide (xy = 64)" false
+    (Kernel.xydim_condition (mk 8 8 2) ~warp_size:32);
+  check_bool "2D block fails (needs z > 1)" false
+    (Kernel.xydim_condition (mk 4 4 1) ~warp_size:32)
+
+let test_tid_y_promotion () =
+  let a = Analysis.analyze ~tid_y_redundancy:true tidy_kernel in
+  let launch bx by bz =
+    Kernel.launch tidy_kernel ~grid:(Kernel.dim3 2)
+      ~block:(Kernel.dim3 bx ~y:by ~z:bz)
+      ~params:[| 0x2000 |]
+  in
+  let p3d = Promotion.resolve a (launch 4 4 4) ~warp_size:32 in
+  check_bool "3D block promotes the tid.y chain" true
+    p3d.Promotion.tb_redundant.(0);
+  check_bool "3D block promotes the tid.y load" true
+    p3d.Promotion.tb_redundant.(2);
+  let p2d = Promotion.resolve a (launch 16 16 1) ~warp_size:32 in
+  check_bool "2D block demotes the tid.y chain" false
+    p2d.Promotion.tb_redundant.(0);
+  (* sanity: the dynamic limit study agrees that tid.y work is
+     TB-redundant under a 4x4x4 launch *)
+  let mem = Darsie_emu.Memory.create () in
+  let base = Darsie_emu.Memory.alloc mem 4096 in
+  Darsie_emu.Memory.write_i32s mem base (Array.init 64 (fun i -> i * 37));
+  let l =
+    Kernel.launch tidy_kernel ~grid:(Kernel.dim3 2)
+      ~block:(Kernel.dim3 4 ~y:4 ~z:4)
+      ~params:[| base |]
+  in
+  let r = Darsie_trace.Limit_study.measure mem l in
+  check_bool "dynamically TB-redundant too" true
+    (r.Darsie_trace.Limit_study.tb_red = r.Darsie_trace.Limit_study.eligible)
+
+(* The compiler-to-binary bridge: markings travel in the encoded words'
+   spare bits (§4.2). *)
+let test_hints_in_binary () =
+  let k = Encode.legalize fig3_kernel in
+  let a = Analysis.analyze k in
+  let hints = Analysis.hints a in
+  match Encode.encode_kernel ~hints k with
+  | Error (i, e) ->
+    Alcotest.failf "instruction %d unencodable: %s" i (Encode.error_to_string e)
+  | Ok words ->
+    Array.iteri
+      (fun i w ->
+        match Encode.decode w with
+        | Ok (_, h) -> check_int (Printf.sprintf "hint %d survives" i) hints.(i) h
+        | Error m -> Alcotest.fail m)
+      words;
+    (* the tid.x chain carries CR hints through the binary *)
+    check_bool "CR hints present in the image" true
+      (Array.exists (fun h -> h = 1) hints)
+
+(* Figure 6 style dump sanity. *)
+let test_pp_markings () =
+  let a = Analysis.analyze fig3_kernel in
+  let s = Format.asprintf "%a" Analysis.pp_markings a in
+  check_bool "dump mentions CR" true
+    (String.length s > 0
+    && String.split_on_char '\n' s
+       |> List.exists (fun l -> String.length l >= 2 && String.sub l 0 2 = "CR"))
+
+let () =
+  Alcotest.run "darsie_compiler"
+    [
+      ("lattice", [ Alcotest.test_case "meet laws" `Quick test_lattice_meet ]);
+      ( "cfg",
+        [
+          Alcotest.test_case "diamond" `Quick test_cfg_diamond;
+          Alcotest.test_case "loop" `Quick test_cfg_loop;
+          Alcotest.test_case "unconditional" `Quick test_cfg_unconditional_branch;
+        ] );
+      ( "postdom",
+        [
+          Alcotest.test_case "diamond" `Quick test_postdom_diamond;
+          Alcotest.test_case "loop" `Quick test_postdom_loop;
+          Alcotest.test_case "no reconvergence" `Quick test_postdom_no_reconvergence;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "figure 3" `Quick test_analysis_fig3;
+          Alcotest.test_case "uniform seeds" `Quick test_analysis_uniform_seeds;
+          Alcotest.test_case "tid.y varies" `Quick test_analysis_tid_y_varies;
+          Alcotest.test_case "weakest wins" `Quick test_analysis_weakest_wins;
+          Alcotest.test_case "affine algebra" `Quick test_analysis_affine_algebra;
+          Alcotest.test_case "loop fixpoint" `Quick test_analysis_loop_fixpoint;
+          Alcotest.test_case "vector load" `Quick test_analysis_load_from_vector_address;
+          Alcotest.test_case "atomics and guards" `Quick test_analysis_atomics_and_guards;
+          Alcotest.test_case "stores" `Quick test_analysis_store_not_skippable;
+          Alcotest.test_case "figure 6 dump" `Quick test_pp_markings;
+          Alcotest.test_case "hints in binary" `Quick test_hints_in_binary;
+        ] );
+      ( "tid-y-extension",
+        [
+          Alcotest.test_case "markings" `Quick test_tid_y_extension_markings;
+          Alcotest.test_case "xy condition" `Quick test_xydim_condition;
+          Alcotest.test_case "promotion" `Quick test_tid_y_promotion;
+        ] );
+      ( "promotion",
+        [
+          Alcotest.test_case "2d promotes" `Quick test_promotion_2d;
+          Alcotest.test_case "1d demotes" `Quick test_promotion_1d;
+          Alcotest.test_case "bad xdim" `Quick test_promotion_bad_xdim;
+          Alcotest.test_case "uniform always redundant" `Quick test_promotion_uniform_always;
+          Alcotest.test_case "uv excludes loads" `Quick test_uv_excludes_loads;
+        ] );
+    ]

@@ -1,0 +1,99 @@
+(* Tests for the energy and area models. *)
+
+open Darsie_timing
+open Darsie_energy
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_float = Alcotest.(check (float 1e-6))
+
+let test_energy_zero () =
+  let b = Energy_model.account Config.default (Stats.create ()) in
+  check_float "empty stats cost nothing" 0.0 b.Energy_model.total
+
+let test_energy_accounting () =
+  let s = Stats.create () in
+  s.Stats.fetched <- 10;
+  s.Stats.issued <- 10;
+  s.Stats.rf_reads <- 100;
+  s.Stats.rf_writes <- 50;
+  s.Stats.cycles <- 1000;
+  let p = Energy_model.default_params in
+  let b = Energy_model.account Config.default s in
+  check_float "rf energy uses Table 2 values"
+    ((100.0 *. p.Energy_model.e_rf_read) +. (50.0 *. p.Energy_model.e_rf_write))
+    b.Energy_model.register_file;
+  check_float "static scales with SMs and cycles"
+    (1000.0 *. p.Energy_model.p_static *. 4.0)
+    b.Energy_model.static;
+  check_float "totals add up"
+    (b.Energy_model.frontend +. b.Energy_model.register_file
+    +. b.Energy_model.execute +. b.Energy_model.memory +. b.Energy_model.static
+    +. b.Energy_model.darsie_overhead)
+    b.Energy_model.total
+
+let test_energy_paper_rf_values () =
+  let p = Energy_model.default_params in
+  check_float "14.2 pJ/read" 14.2 p.Energy_model.e_rf_read;
+  check_float "25.9 pJ/write" 25.9 p.Energy_model.e_rf_write
+
+let test_energy_monotone_in_events () =
+  let s1 = Stats.create () and s2 = Stats.create () in
+  s1.Stats.dram_transactions <- 10;
+  s2.Stats.dram_transactions <- 20;
+  let b1 = Energy_model.account Config.default s1 in
+  let b2 = Energy_model.account Config.default s2 in
+  check_bool "more DRAM, more energy" true
+    (b2.Energy_model.total > b1.Energy_model.total)
+
+let test_energy_overhead_fraction () =
+  let s = Stats.create () in
+  s.Stats.skip_table_probes <- 1000;
+  s.Stats.alu_ops <- 1000;
+  let b = Energy_model.account Config.default s in
+  let f = Energy_model.overhead_fraction b in
+  check_bool "overhead fraction small but positive" true (f > 0.0 && f < 0.1)
+
+(* ------------------------------------------------------------------ *)
+(* Area (paper §6.3)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_area_paper_numbers () =
+  let a = Area.estimate () in
+  check_int "82-bit skip entries" 82 a.Area.skip_entry_bits;
+  check_int "skip table: 82 x 8 x 32" (82 * 8 * 32) a.Area.skip_table_bits;
+  check_int "majority: 32 x 32" 1024 a.Area.majority_bits;
+  check_int "21-bit rename entries" 21 a.Area.rename_entry_bits;
+  check_int "rename: 21 x 32 x 32" (21 * 32 * 32) a.Area.rename_bits;
+  (* the paper's headline: 5.31 kB total, 2.1% of the register file *)
+  check_bool "5.31 kB" true
+    (abs_float ((a.Area.total_bytes /. 1024.0) -. 5.3125) < 0.01);
+  check_bool "~2.1% of RF" true
+    (abs_float ((100.0 *. a.Area.fraction_of_rf) -. 2.07) < 0.1)
+
+let test_area_scales_with_config () =
+  let cfg = { Config.default with Config.skip_entries_per_tb = 16 } in
+  let a = Area.estimate ~cfg () in
+  check_int "doubling entries doubles the table" (82 * 16 * 32)
+    a.Area.skip_table_bits
+
+let () =
+  Alcotest.run "darsie_energy"
+    [
+      ( "energy",
+        [
+          Alcotest.test_case "zero" `Quick test_energy_zero;
+          Alcotest.test_case "accounting" `Quick test_energy_accounting;
+          Alcotest.test_case "paper RF values" `Quick test_energy_paper_rf_values;
+          Alcotest.test_case "monotone" `Quick test_energy_monotone_in_events;
+          Alcotest.test_case "overhead fraction" `Quick
+            test_energy_overhead_fraction;
+        ] );
+      ( "area",
+        [
+          Alcotest.test_case "paper numbers" `Quick test_area_paper_numbers;
+          Alcotest.test_case "config scaling" `Quick test_area_scales_with_config;
+        ] );
+    ]

@@ -1,0 +1,695 @@
+(* Unit and property tests for the PTX-lite ISA: value semantics, kernel
+   geometry, parser/printer round-trips and the builder. *)
+
+open Darsie_isa
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Value semantics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_value_wrap () =
+  check_int "add wraps" 0 (Value.add 0xFFFFFFFF 1);
+  check_int "sub wraps" 0xFFFFFFFF (Value.sub 0 1);
+  check_int "mul low bits" ((0xFFFF * 0xFFFF) land 0xFFFFFFFF)
+    (Value.mul 0xFFFF 0xFFFF);
+  check_int "mul wraps" 1 (Value.mul 0xFFFFFFFF 0xFFFFFFFF);
+  check_int "neg" 0xFFFFFFFF (Value.neg 1)
+
+let test_value_signed () =
+  check_int "to_signed negative" (-1) (Value.to_signed 0xFFFFFFFF);
+  check_int "to_signed positive" 5 (Value.to_signed 5);
+  check_int "of_signed roundtrip" 0xFFFFFFFE (Value.of_signed (-2));
+  check_int "div_s truncates toward zero" (Value.of_signed (-2))
+    (Value.div_s (Value.of_signed (-7)) 3);
+  check_int "rem_s sign follows dividend" (Value.of_signed (-1))
+    (Value.rem_s (Value.of_signed (-7)) 3)
+
+let test_value_div_by_zero () =
+  check_int "div_u by zero" 0xFFFFFFFF (Value.div_u 42 0);
+  check_int "div_s by zero" 0xFFFFFFFF (Value.div_s 42 0);
+  check_int "rem_u by zero yields dividend" 42 (Value.rem_u 42 0)
+
+let test_value_shifts () =
+  check_int "shl" 8 (Value.shl 1 3);
+  check_int "shl by 32 clamps" 0 (Value.shl 1 32);
+  check_int "shr_u" 1 (Value.shr_u 8 3);
+  check_int "shr_s sign fill" 0xFFFFFFFF
+    (Value.shr_s (Value.of_signed (-1)) 4);
+  check_int "shr_s by 35 fills sign" 0xFFFFFFFF
+    (Value.shr_s (Value.of_signed (-1)) 35);
+  check_int "shr_u by 35 is 0" 0 (Value.shr_u 0xFFFFFFFF 35)
+
+let test_value_float () =
+  let one = Value.of_float 1.0 in
+  check_int "1.0f bits" 0x3F800000 one;
+  check_int "fadd" (Value.of_float 3.0) (Value.fadd one (Value.of_float 2.0));
+  check_int "fneg flips sign bit" 0xBF800000 (Value.fneg one);
+  check_int "fabs" one (Value.fabs (Value.fneg one));
+  Alcotest.(check (float 1e-6))
+    "roundtrip" 2.5
+    (Value.to_float (Value.of_float 2.5));
+  check_int "cvt_i2f" (Value.of_float (-3.0))
+    (Value.cvt_i2f (Value.of_signed (-3)));
+  check_int "cvt_f2i truncates" (Value.of_signed (-2))
+    (Value.cvt_f2i (Value.of_float (-2.7)));
+  check_int "cvt_f2i NaN is 0" 0 (Value.cvt_f2i (Value.of_float Float.nan))
+
+let test_value_minmax () =
+  let m1 = Value.of_signed (-1) in
+  check_int "min_s" m1 (Value.min_s m1 1);
+  check_int "min_u treats -1 as max" 1 (Value.min_u m1 1);
+  check_int "max_s" 1 (Value.max_s m1 1);
+  check_int "abs_s" 1 (Value.abs_s m1)
+
+let test_value_cmp () =
+  check_bool "cmp_s" true (Value.cmp_s (Value.of_signed (-5)) 3 < 0);
+  check_bool "cmp_u" true (Value.cmp_u (Value.of_signed (-5)) 3 > 0);
+  check_bool "cmp_f nan unordered" true
+    (Value.cmp_f (Value.of_float Float.nan) (Value.of_float 1.0) = None)
+
+(* qcheck: algebraic properties of wrapping arithmetic. *)
+let value_gen = QCheck.map Value.truncate QCheck.(int_bound 0x3FFFFFFF |> map (fun x -> x * 7 + x))
+
+(* Differential reference: 32-bit semantics computed through Int64. *)
+let i64_ref op a b =
+  let open Int64 in
+  let mask = 0xFFFFFFFFL in
+  let r =
+    match op with
+    | `Add -> add (of_int a) (of_int b)
+    | `Sub -> sub (of_int a) (of_int b)
+    | `Mul -> mul (of_int a) (of_int b)
+    | `Shl -> if b land 0xFFFFFFFF >= 32 then 0L else shift_left (of_int a) b
+    | `Shr_u -> if b land 0xFFFFFFFF >= 32 then 0L else shift_right_logical (of_int a) b
+  in
+  to_int (logand r mask)
+
+let qcheck_tests =
+  let open QCheck in
+  let v2 = pair value_gen value_gen in
+  let vshift = pair value_gen (map (fun x -> x mod 40) (int_bound 1000)) in
+  [
+    Test.make ~name:"add matches Int64 reference" ~count:500 v2 (fun (a, b) ->
+        Value.add a b = i64_ref `Add a b);
+    Test.make ~name:"sub matches Int64 reference" ~count:500 v2 (fun (a, b) ->
+        Value.sub a b = i64_ref `Sub a b);
+    Test.make ~name:"mul matches Int64 reference" ~count:500 v2 (fun (a, b) ->
+        Value.mul a b = i64_ref `Mul a b);
+    Test.make ~name:"shl matches Int64 reference" ~count:500 vshift
+      (fun (a, b) -> Value.shl a b = i64_ref `Shl a b);
+    Test.make ~name:"shr_u matches Int64 reference" ~count:500 vshift
+      (fun (a, b) -> Value.shr_u a b = i64_ref `Shr_u a b);
+    Test.make ~name:"mulhi_s matches Int64 reference" ~count:500 v2
+      (fun (a, b) ->
+        let p =
+          Int64.mul
+            (Int64.of_int (Value.to_signed a))
+            (Int64.of_int (Value.to_signed b))
+        in
+        Value.mulhi_s a b
+        = Int64.to_int (Int64.logand (Int64.shift_right p 32) 0xFFFFFFFFL));
+    Test.make ~name:"div_s agrees with euclid identity" ~count:500 v2
+      (fun (a, b) ->
+        b = 0
+        || Value.to_signed a
+           = (Value.to_signed (Value.div_s a b) * Value.to_signed b)
+             + Value.to_signed (Value.rem_s a b));
+    Test.make ~name:"add is commutative" ~count:500 v2 (fun (a, b) ->
+        Value.add a b = Value.add b a);
+    Test.make ~name:"add/sub roundtrip" ~count:500 v2 (fun (a, b) ->
+        Value.sub (Value.add a b) b = a);
+    Test.make ~name:"mul is commutative" ~count:500 v2 (fun (a, b) ->
+        Value.mul a b = Value.mul b a);
+    Test.make ~name:"to_signed/of_signed roundtrip" ~count:500 value_gen
+      (fun a -> Value.of_signed (Value.to_signed a) = a);
+    Test.make ~name:"lognot involutive" ~count:500 value_gen (fun a ->
+        Value.lognot (Value.lognot a) = a);
+    Test.make ~name:"canonical form" ~count:500 v2 (fun (a, b) ->
+        let r = Value.add a b in
+        r >= 0 && r <= 0xFFFFFFFF);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Kernel geometry                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let dummy_kernel =
+  Kernel.make ~name:"k" [| Instr.mk Instr.Exit |]
+
+let test_geometry_1d () =
+  let l =
+    Kernel.launch dummy_kernel ~grid:(Kernel.dim3 4) ~block:(Kernel.dim3 256)
+      ~params:[||]
+  in
+  check_int "threads" 256 (Kernel.threads_per_block l);
+  check_int "warps" 8 (Kernel.warps_per_block l ~warp_size:32);
+  check_bool "not multidim" false (Kernel.is_multidimensional l);
+  check_bool "xdim condition fails in 1D" false
+    (Kernel.xdim_condition l ~warp_size:32);
+  (match Kernel.thread_of_lane l ~warp_size:32 ~warp:2 ~lane:5 with
+  | Some (x, y, z) ->
+    check_int "tid.x" 69 x;
+    check_int "tid.y" 0 y;
+    check_int "tid.z" 0 z
+  | None -> Alcotest.fail "lane should be valid")
+
+let test_geometry_2d () =
+  let l =
+    Kernel.launch dummy_kernel ~grid:(Kernel.dim3 2 ~y:3)
+      ~block:(Kernel.dim3 16 ~y:16) ~params:[||]
+  in
+  check_int "threads" 256 (Kernel.threads_per_block l);
+  check_bool "multidim" true (Kernel.is_multidimensional l);
+  check_bool "xdim condition holds" true (Kernel.xdim_condition l ~warp_size:32);
+  (* The paper's key layout fact: threads are linearized x-first, so with
+     xdim=16 a 32-wide warp covers two rows and every warp's tid.x pattern
+     repeats. *)
+  (match Kernel.thread_of_lane l ~warp_size:32 ~warp:0 ~lane:17 with
+  | Some (x, y, _) ->
+    check_int "tid.x wraps at xdim" 1 x;
+    check_int "tid.y" 1 y
+  | None -> Alcotest.fail "valid lane");
+  match Kernel.thread_of_lane l ~warp_size:32 ~warp:3 ~lane:17 with
+  | Some (x, y, _) ->
+    check_int "tid.x identical across warps" 1 x;
+    check_int "tid.y differs across warps" 7 y
+  | None -> Alcotest.fail "valid lane"
+
+let test_geometry_partial_warp () =
+  let l =
+    Kernel.launch dummy_kernel ~grid:(Kernel.dim3 1) ~block:(Kernel.dim3 40)
+      ~params:[||]
+  in
+  check_int "two warps for 40 threads" 2 (Kernel.warps_per_block l ~warp_size:32);
+  check_bool "lane 7 of warp 1 valid" true
+    (Kernel.thread_of_lane l ~warp_size:32 ~warp:1 ~lane:7 <> None);
+  check_bool "lane 8 of warp 1 invalid" true
+    (Kernel.thread_of_lane l ~warp_size:32 ~warp:1 ~lane:8 = None)
+
+let test_geometry_xdim_condition () =
+  let mk bx by =
+    Kernel.launch dummy_kernel ~grid:(Kernel.dim3 1)
+      ~block:(Kernel.dim3 bx ~y:by) ~params:[||]
+  in
+  check_bool "16x16 ok" true (Kernel.xdim_condition (mk 16 16) ~warp_size:32);
+  check_bool "32x32 ok" true (Kernel.xdim_condition (mk 32 32) ~warp_size:32);
+  check_bool "8x8 ok" true (Kernel.xdim_condition (mk 8 8) ~warp_size:32);
+  check_bool "48x8 too wide" false (Kernel.xdim_condition (mk 48 8) ~warp_size:32);
+  check_bool "12x12 not a power of two" false
+    (Kernel.xdim_condition (mk 12 12) ~warp_size:32);
+  check_bool "256x1 is 1D" false (Kernel.xdim_condition (mk 256 1) ~warp_size:32)
+
+let test_block_of_index () =
+  let l =
+    Kernel.launch dummy_kernel ~grid:(Kernel.dim3 3 ~y:2)
+      ~block:(Kernel.dim3 8) ~params:[||]
+  in
+  Alcotest.(check (triple int int int)) "block 0" (0, 0, 0) (Kernel.block_of_index l 0);
+  Alcotest.(check (triple int int int)) "block 4" (1, 1, 0) (Kernel.block_of_index l 4)
+
+let test_kernel_validation () =
+  Alcotest.check_raises "empty kernel rejected"
+    (Invalid_argument "Kernel.make: empty instruction stream") (fun () ->
+      ignore (Kernel.make ~name:"bad" [||]));
+  Alcotest.check_raises "bad branch target"
+    (Invalid_argument "Kernel.make: branch at 0 targets invalid index 7")
+    (fun () -> ignore (Kernel.make ~name:"bad" [| Instr.mk (Instr.Bra 7) |]));
+  let k =
+    Kernel.make ~name:"k"
+      [| Instr.mk (Instr.Bin (Instr.Add, 5, Instr.Reg 3, Instr.Imm 1));
+         Instr.mk Instr.Exit |]
+  in
+  check_int "nregs inferred" 6 k.Kernel.nregs
+
+let test_launch_validation () =
+  Alcotest.check_raises "too many threads"
+    (Invalid_argument "Kernel.launch: threadblock exceeds 1024 threads")
+    (fun () ->
+      ignore
+        (Kernel.launch dummy_kernel ~grid:(Kernel.dim3 1)
+           ~block:(Kernel.dim3 64 ~y:32) ~params:[||]))
+
+(* ------------------------------------------------------------------ *)
+(* Parser / printer                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let sample_asm =
+  {|
+.kernel sample
+.params 2
+.shared 128
+  mov.u32 %r0, %tid.x;       // thread index
+  mov.u32 %r1, %ctaid.x;
+  mad.lo.u32 %r2, %r1, %ntid.x, %r0;
+  shl.b32 %r3, %r2, 2;
+  add.u32 %r4, %r3, %param0;
+  ld.global.u32 %r5, [%r4+0];
+  setp.lt.s32 %p0, %r5, 100;
+@%p0 bra skip;
+  add.u32 %r5, %r5, 1;
+skip:
+  st.global.u32 [%r4+0], %r5;
+  st.shared.u32 [%r3], %r5;
+  bar.sync;
+  atom.global.add.u32 %r6, [%param1], %r5;
+  exit;
+|}
+
+let test_parse_sample () =
+  let k = Parser.parse_kernel sample_asm in
+  check_int "instruction count" 14 (Array.length k.Kernel.insts);
+  check_int "params" 2 k.Kernel.nparams;
+  check_int "shared" 128 k.Kernel.shared_bytes;
+  check_int "nregs" 7 k.Kernel.nregs;
+  check_int "npregs" 1 k.Kernel.npregs;
+  (* the guarded branch goes to the store at index 9 *)
+  match k.Kernel.insts.(7).Instr.body with
+  | Instr.Bra t -> check_int "branch target" 9 t
+  | _ -> Alcotest.fail "expected a branch at index 7"
+
+let test_parse_roundtrip_sample () =
+  let k = Parser.parse_kernel sample_asm in
+  let k2 = Parser.parse_kernel (Printer.kernel_to_string k) in
+  check_bool "roundtrip equal" true (k = k2)
+
+let test_parse_immediates () =
+  let resolve _ = 0 in
+  let i1 = Parser.parse_instr ~resolve "add.u32 %r0, %r1, -5" in
+  (match i1.Instr.body with
+  | Instr.Bin (Instr.Add, 0, Instr.Reg 1, Instr.Imm v) ->
+    check_int "negative imm" (Value.of_signed (-5)) v
+  | _ -> Alcotest.fail "bad parse");
+  let i2 = Parser.parse_instr ~resolve "mov.u32 %r0, 0x1f" in
+  (match i2.Instr.body with
+  | Instr.Un (Instr.Mov, 0, Instr.Imm 31) -> ()
+  | _ -> Alcotest.fail "hex imm");
+  let i3 = Parser.parse_instr ~resolve "mov.u32 %r0, 1.5f" in
+  (match i3.Instr.body with
+  | Instr.Un (Instr.Mov, 0, Instr.Imm v) ->
+    check_int "float imm" (Value.of_float 1.5) v
+  | _ -> Alcotest.fail "float imm");
+  let i4 = Parser.parse_instr ~resolve "mov.u32 %r0, 0f3F800000" in
+  match i4.Instr.body with
+  | Instr.Un (Instr.Mov, 0, Instr.Imm v) ->
+    check_int "ptx float bits" (Value.of_float 1.0) v
+  | _ -> Alcotest.fail "ptx float imm"
+
+let test_parse_guards () =
+  let resolve _ = 3 in
+  let i = Parser.parse_instr ~resolve "@!%p2 bra somewhere;" in
+  check_bool "negated guard" true (i.Instr.guard = Some (false, 2));
+  check_bool "is branch" true (Instr.is_branch i)
+
+let test_parse_errors () =
+  let expect_fail s =
+    match Parser.parse_kernel s with
+    | exception Parser.Parse_error _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "expected parse failure for %S" s
+  in
+  expect_fail ".kernel k\n  frobnicate %r0;";
+  expect_fail ".kernel k\n  add.u32 %r0, %r1;";
+  expect_fail ".kernel k\n  bra nowhere;";
+  expect_fail "  exit;";
+  expect_fail ".kernel k\n  ld.global.u32 %r0, %r1;";
+  expect_fail ".kernel k\nfoo:\nfoo:\n  exit;"
+
+(* qcheck: random builder programs survive a print/parse roundtrip. *)
+let arbitrary_body =
+  let open QCheck.Gen in
+  let reg = int_bound 7 in
+  let operand =
+    oneof
+      [
+        map (fun r -> Instr.Reg r) reg;
+        map (fun v -> Instr.Imm (Value.truncate v)) (int_bound 1000000);
+        return (Instr.Sreg (Instr.Tid Instr.X));
+        return (Instr.Sreg (Instr.Ctaid Instr.Y));
+        map (fun i -> Instr.Param i) (int_bound 3);
+      ]
+  in
+  let binop =
+    oneofl
+      [ Instr.Add; Instr.Sub; Instr.Mul; Instr.Div_s; Instr.And; Instr.Shl;
+        Instr.Fadd; Instr.Fmul; Instr.Min_u; Instr.Shr_s ]
+  in
+  let unop =
+    oneofl [ Instr.Mov; Instr.Not; Instr.Neg; Instr.Fsqrt; Instr.Cvt_i2f ]
+  in
+  oneof
+    [
+      map3 (fun op d (a, b) -> Instr.Bin (op, d, a, b)) binop reg
+        (pair operand operand);
+      map3 (fun op d a -> Instr.Un (op, d, a)) unop reg operand;
+      map3
+        (fun d (a, b) c -> Instr.Tern (Instr.Mad, d, a, b, c))
+        reg (pair operand operand) operand;
+      map3
+        (fun p (a, b) cmp -> Instr.Setp (Instr.Scmp, cmp, p, a, b))
+        (int_bound 3) (pair operand operand)
+        (oneofl [ Instr.Eq; Instr.Lt; Instr.Ge ]);
+      map3 (fun d a off -> Instr.Ld (Instr.Global, d, a, 4 * off)) reg operand
+        (int_bound 16);
+      map3 (fun a off v -> Instr.St (Instr.Shared, a, 4 * off, v)) operand
+        (int_bound 16) operand;
+      map3
+        (fun d (a, v) op -> Instr.Atom (op, d, a, v))
+        reg (pair operand operand)
+        (oneofl
+           [ Instr.Atom_add; Instr.Atom_max; Instr.Atom_min; Instr.Atom_exch;
+             Instr.Atom_cas ]);
+      map3
+        (fun d (a, b) p -> Instr.Selp (d, a, b, p))
+        reg (pair operand operand) (int_bound 3);
+    ]
+
+let arbitrary_kernel =
+  let open QCheck.Gen in
+  let guard =
+    oneof [ return None; map2 (fun s p -> Some (s, p mod 4)) bool (int_bound 100) ]
+  in
+  let body_list = list_size (int_range 1 20) (pair guard arbitrary_body) in
+  map
+    (fun bodies ->
+      let insts =
+        List.map (fun (g, b) -> Instr.mk ?guard:g b) bodies
+        @ [ Instr.mk Instr.Exit ]
+      in
+      Kernel.make ~name:"rand" ~nparams:4 ~shared_bytes:256
+        (Array.of_list insts))
+    body_list
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~name:"print/parse roundtrip" ~count:200
+    (QCheck.make ~print:Printer.kernel_to_string arbitrary_kernel) (fun k ->
+      Parser.parse_kernel (Printer.kernel_to_string k) = k)
+
+let qcheck_parser_total =
+  (* arbitrary input must be rejected cleanly, never crash *)
+  QCheck.Test.make ~name:"parser is total (Parse_error only)" ~count:300
+    QCheck.(string_gen_of_size (Gen.int_bound 120) Gen.printable)
+    (fun s ->
+      match Parser.parse_kernel (".kernel k\n" ^ s ^ "\n  exit;") with
+      | (_ : Kernel.t) -> true
+      | exception Parser.Parse_error _ -> true
+      | exception Invalid_argument _ -> true
+      | exception _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_builder_loop () =
+  let b = Builder.create ~name:"count" ~nparams:1 () in
+  let r = Builder.reg b in
+  let p = Builder.pred b in
+  Builder.mov b r (Builder.O.i 0);
+  let top = Builder.here b in
+  Builder.add b r (Builder.O.r r) (Builder.O.i 1);
+  Builder.setp b Instr.Scmp Instr.Lt p (Builder.O.r r) (Builder.O.p 0);
+  Builder.bra b ~guard:(true, p) top;
+  Builder.exit_ b;
+  let k = Builder.finish b in
+  check_int "5 instructions" 5 (Array.length k.Kernel.insts);
+  (match k.Kernel.insts.(3).Instr.body with
+  | Instr.Bra 1 -> ()
+  | _ -> Alcotest.fail "backward branch resolves to index 1");
+  check_int "one vreg" 1 k.Kernel.nregs;
+  check_int "one preg" 1 k.Kernel.npregs
+
+let test_builder_forward_label () =
+  let b = Builder.create ~name:"fwd" () in
+  let l = Builder.fresh_label b in
+  Builder.bra b l;
+  Builder.mov b (Builder.reg b) (Builder.O.i 1);
+  Builder.place b l;
+  Builder.exit_ b;
+  let k = Builder.finish b in
+  match k.Kernel.insts.(0).Instr.body with
+  | Instr.Bra 2 -> ()
+  | _ -> Alcotest.fail "forward branch resolves to index 2"
+
+let test_builder_unplaced_label () =
+  let b = Builder.create ~name:"bad" () in
+  let l = Builder.fresh_label b in
+  Builder.bra b l;
+  Builder.exit_ b;
+  Alcotest.check_raises "unplaced label"
+    (Invalid_argument "Builder.finish: label referenced but never placed")
+    (fun () -> ignore (Builder.finish b))
+
+(* ------------------------------------------------------------------ *)
+(* Binary encoding (64-bit words, redundancy-hint bits)                *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_inst ?(hint = 0) inst =
+  match Encode.encode ~hint inst with
+  | Error e -> Alcotest.failf "encode failed: %s" (Encode.error_to_string e)
+  | Ok w -> (
+    match Encode.decode w with
+    | Ok (inst', hint') ->
+      check_bool "instruction roundtrips" true (inst = inst');
+      check_int "hint roundtrips" hint hint'
+    | Error msg -> Alcotest.failf "decode failed: %s" msg)
+
+let test_encode_roundtrip_basics () =
+  roundtrip_inst (Instr.mk (Instr.Bin (Instr.Add, 3, Instr.Reg 1, Instr.Imm 42)));
+  roundtrip_inst ~hint:2
+    (Instr.mk (Instr.Tern (Instr.Mad, 7, Instr.Sreg (Instr.Tid Instr.X),
+                           Instr.Param 2, Instr.Reg 9)));
+  roundtrip_inst ~hint:1
+    (Instr.mk (Instr.Ld (Instr.Shared, 4, Instr.Reg 2, 128)));
+  roundtrip_inst
+    (Instr.mk (Instr.St (Instr.Global, Instr.Reg 1, 12, Instr.Sreg (Instr.Ctaid Instr.Y))));
+  roundtrip_inst
+    (Instr.mk (Instr.Setp (Instr.Fcmp, Instr.Le, 3, Instr.Reg 0, Instr.Reg 5)));
+  roundtrip_inst (Instr.mk (Instr.Selp (2, Instr.Imm 7, Instr.Reg 1, 4)));
+  roundtrip_inst (Instr.mk (Instr.Atom (Instr.Atom_cas, 6, Instr.Reg 1, Instr.Reg 2)));
+  roundtrip_inst ~hint:3 (Instr.mk ~guard:(false, 5) (Instr.Bra 1000));
+  roundtrip_inst (Instr.mk Instr.Bar);
+  roundtrip_inst ~hint:2 (Instr.mk Instr.Exit)
+
+let test_encode_wide_mov () =
+  (* a float immediate needs the full 32 bits *)
+  let bits = Value.of_float 1.5 in
+  roundtrip_inst (Instr.mk (Instr.Un (Instr.Mov, 9, Instr.Imm bits)));
+  roundtrip_inst (Instr.mk (Instr.Un (Instr.Mov, 9, Instr.Imm 0xFFFFFFFF)))
+
+let test_encode_errors () =
+  let big_imm = Instr.mk (Instr.Bin (Instr.Add, 0, Instr.Reg 1, Instr.Imm 0x10000)) in
+  check_bool "wide immediate in an add is rejected" false
+    (Encode.encodable big_imm);
+  check_bool "big offset rejected" false
+    (Encode.encodable (Instr.mk (Instr.Ld (Instr.Global, 0, Instr.Reg 1, 4096))));
+  check_bool "register out of range" false
+    (Encode.encodable (Instr.mk (Instr.Un (Instr.Mov, 300, Instr.Reg 0))));
+  check_bool "predicate out of range" false
+    (Encode.encodable (Instr.mk ~guard:(true, 9) Instr.Exit));
+  check_bool "far branch rejected" false
+    (Encode.encodable (Instr.mk (Instr.Bra 5000)))
+
+let test_encode_hint_bits () =
+  check_int "two spare bits, as in the paper" 2 Encode.hint_bits;
+  (* the hint must not disturb the instruction *)
+  let inst = Instr.mk (Instr.Bin (Instr.Xor, 1, Instr.Reg 2, Instr.Reg 3)) in
+  let words =
+    List.map
+      (fun h -> Result.get_ok (Encode.encode ~hint:h inst))
+      [ 0; 1; 2; 3 ]
+  in
+  check_int "four distinct words" 4 (List.length (List.sort_uniq compare words));
+  List.iteri
+    (fun h w ->
+      match Encode.decode w with
+      | Ok (i, h') -> check_bool "same instr, own hint" true (i = inst && h' = h)
+      | Error m -> Alcotest.fail m)
+    words
+
+let test_legalize_preserves_semantics () =
+  (* a kernel full of wide immediates and offsets; the legalized version
+     must compute the same result *)
+  let k =
+    Parser.parse_kernel
+      {|
+.kernel wide
+.params 1
+  mov.u32 %r0, 0x12345678;
+  add.u32 %r1, %r0, 0xABCDE;
+  mad.lo.u32 %r2, %r1, 0x10000, 0xFFFFF;
+  shl.b32 %r3, %tid.x, 2;
+  add.u32 %r3, %r3, %param0;
+  st.global.u32 [%r3+4096], %r2;
+  exit;
+|}
+  in
+  let lk = Encode.legalize k in
+  check_bool "legalized is encodable" true
+    (Result.is_ok (Encode.encode_kernel lk));
+  check_bool "legalization grew the kernel" true
+    (Array.length lk.Kernel.insts > Array.length k.Kernel.insts);
+  let run kernel =
+    let mem = Darsie_emu.Memory.create () in
+    let base = Darsie_emu.Memory.alloc mem 65536 in
+    let launch =
+      Kernel.launch kernel ~grid:(Kernel.dim3 1) ~block:(Kernel.dim3 32)
+        ~params:[| base |]
+    in
+    ignore (Darsie_emu.Interp.run mem launch);
+    Darsie_emu.Memory.read_i32s mem (base + 4096) 32
+  in
+  Alcotest.(check (array int)) "same results" (run k) (run lk)
+
+let test_legalize_remaps_branches () =
+  let k =
+    Parser.parse_kernel
+      {|
+.kernel remap
+.params 1
+  mov.u32 %r0, 0;
+top:
+  add.u32 %r0, %r0, 0x1FFFF;
+  setp.lt.u32 %p0, %r0, 0xFFFFF;
+@%p0 bra top;
+  shl.b32 %r1, %tid.x, 2;
+  add.u32 %r1, %r1, %param0;
+  st.global.u32 [%r1+0], %r0;
+  exit;
+|}
+  in
+  let lk = Encode.legalize k in
+  check_bool "legalized encodable" true (Result.is_ok (Encode.encode_kernel lk));
+  let run kernel =
+    let mem = Darsie_emu.Memory.create () in
+    let base = Darsie_emu.Memory.alloc mem 4096 in
+    let launch =
+      Kernel.launch kernel ~grid:(Kernel.dim3 1) ~block:(Kernel.dim3 32)
+        ~params:[| base |]
+    in
+    ignore (Darsie_emu.Interp.run mem launch);
+    Darsie_emu.Memory.read_i32s mem base 32
+  in
+  Alcotest.(check (array int)) "loop results match" (run k) (run lk)
+
+let test_encode_workload_kernels () =
+  (* every Table-1 kernel legalizes into a fully encodable binary image *)
+  List.iter
+    (fun (w : Darsie_workloads.Workload.t) ->
+      let p = w.Darsie_workloads.Workload.prepare ~scale:1 in
+      let k = p.Darsie_workloads.Workload.launch.Kernel.kernel in
+      let lk = Encode.legalize k in
+      match Encode.encode_kernel lk with
+      | Ok words ->
+        check_int
+          (w.Darsie_workloads.Workload.abbr ^ " image size")
+          (8 * Array.length lk.Kernel.insts)
+          (8 * Array.length words);
+        (* decode back and compare *)
+        Array.iteri
+          (fun i word ->
+            match Encode.decode word with
+            | Ok (inst, _) ->
+              if inst <> lk.Kernel.insts.(i) then
+                Alcotest.failf "%s: instruction %d does not roundtrip"
+                  w.Darsie_workloads.Workload.abbr i
+            | Error m -> Alcotest.fail m)
+          words
+      | Error (i, e) ->
+        Alcotest.failf "%s: instruction %d unencodable: %s"
+          w.Darsie_workloads.Workload.abbr i (Encode.error_to_string e))
+    Darsie_workloads.Registry.all
+
+let qcheck_encode_roundtrip =
+  QCheck.Test.make ~name:"legalize + encode/decode roundtrip" ~count:200
+    (QCheck.make ~print:Printer.kernel_to_string arbitrary_kernel) (fun k ->
+      let lk = Encode.legalize k in
+      match Encode.encode_kernel lk with
+      | Error _ -> false
+      | Ok words ->
+        Array.for_all2
+          (fun w inst ->
+            match Encode.decode w with
+            | Ok (inst', _) -> inst = inst'
+            | Error _ -> false)
+          words lk.Kernel.insts)
+
+(* ------------------------------------------------------------------ *)
+(* Instruction predicates                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_instr_predicates () =
+  let ld = Instr.mk (Instr.Ld (Instr.Global, 0, Instr.Reg 1, 0)) in
+  let st = Instr.mk (Instr.St (Instr.Global, Instr.Reg 0, 0, Instr.Reg 1)) in
+  let atom = Instr.mk (Instr.Atom (Instr.Atom_add, 0, Instr.Reg 1, Instr.Reg 2)) in
+  check_bool "ld is load" true (Instr.is_load ld);
+  check_bool "ld has no side effect" false (Instr.has_side_effect ld);
+  check_bool "st has side effect" true (Instr.has_side_effect st);
+  check_bool "atom has side effect" true (Instr.has_side_effect atom);
+  check_bool "atom dst" true (Instr.dst_reg atom = Some 0);
+  let sfu = Instr.mk (Instr.Un (Instr.Fsqrt, 0, Instr.Reg 1)) in
+  check_bool "sqrt is sfu" true (Instr.is_sfu sfu);
+  check_bool "sqrt is float" true (Instr.is_float_op sfu);
+  let mad = Instr.mk (Instr.Tern (Instr.Mad, 0, Instr.Reg 1, Instr.Reg 2, Instr.Reg 1)) in
+  Alcotest.(check (list int)) "src regs deduplicated" [ 1; 2 ] (Instr.src_regs mad);
+  let cas = Instr.mk (Instr.Atom (Instr.Atom_cas, 3, Instr.Reg 1, Instr.Reg 2)) in
+  Alcotest.(check (list int)) "cas reads its dst" [ 1; 2; 3 ] (Instr.src_regs cas)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest (qcheck_roundtrip :: qcheck_parser_total :: qcheck_tests) in
+  Alcotest.run "darsie_isa"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "wrapping" `Quick test_value_wrap;
+          Alcotest.test_case "signed" `Quick test_value_signed;
+          Alcotest.test_case "div by zero" `Quick test_value_div_by_zero;
+          Alcotest.test_case "shifts" `Quick test_value_shifts;
+          Alcotest.test_case "float" `Quick test_value_float;
+          Alcotest.test_case "minmax" `Quick test_value_minmax;
+          Alcotest.test_case "compare" `Quick test_value_cmp;
+        ] );
+      ( "geometry",
+        [
+          Alcotest.test_case "1d" `Quick test_geometry_1d;
+          Alcotest.test_case "2d" `Quick test_geometry_2d;
+          Alcotest.test_case "partial warp" `Quick test_geometry_partial_warp;
+          Alcotest.test_case "xdim condition" `Quick test_geometry_xdim_condition;
+          Alcotest.test_case "block_of_index" `Quick test_block_of_index;
+          Alcotest.test_case "kernel validation" `Quick test_kernel_validation;
+          Alcotest.test_case "launch validation" `Quick test_launch_validation;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "sample kernel" `Quick test_parse_sample;
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrip_sample;
+          Alcotest.test_case "immediates" `Quick test_parse_immediates;
+          Alcotest.test_case "guards" `Quick test_parse_guards;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "loop" `Quick test_builder_loop;
+          Alcotest.test_case "forward label" `Quick test_builder_forward_label;
+          Alcotest.test_case "unplaced label" `Quick test_builder_unplaced_label;
+        ] );
+      ( "instr",
+        [ Alcotest.test_case "predicates" `Quick test_instr_predicates ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "roundtrip basics" `Quick test_encode_roundtrip_basics;
+          Alcotest.test_case "wide mov" `Quick test_encode_wide_mov;
+          Alcotest.test_case "errors" `Quick test_encode_errors;
+          Alcotest.test_case "hint bits" `Quick test_encode_hint_bits;
+          Alcotest.test_case "legalize semantics" `Quick
+            test_legalize_preserves_semantics;
+          Alcotest.test_case "legalize branches" `Quick
+            test_legalize_remaps_branches;
+          Alcotest.test_case "workload kernels encode" `Quick
+            test_encode_workload_kernels;
+          QCheck_alcotest.to_alcotest qcheck_encode_roundtrip;
+        ] );
+      ("properties", qsuite);
+    ]

@@ -1,0 +1,295 @@
+(* Tests for the trace library: growable vectors, trace recording, and the
+   redundancy limit studies (Figure 1/2 machinery). *)
+
+open Darsie_isa
+open Darsie_trace
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let parse = Parser.parse_kernel
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vec () =
+  let v = Vec.create () in
+  check_int "empty" 0 (Vec.length v);
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check_int "length" 100 (Vec.length v);
+  check_int "get" 49 (Vec.get v 7);
+  check_int "to_array" 81 (Vec.to_array v).(9);
+  let sum = ref 0 in
+  Vec.iter (fun x -> sum := !sum + x) v;
+  check_int "iter sums" 328350 !sum;
+  Alcotest.check_raises "bounds" (Invalid_argument "Vec.get: out of bounds")
+    (fun () -> ignore (Vec.get v 100))
+
+(* ------------------------------------------------------------------ *)
+(* Pattern tests                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_vector_patterns () =
+  check_bool "uniform" true (Limit_study.vector_uniform [| 5; 5; 5; 5 |]);
+  check_bool "not uniform" false (Limit_study.vector_uniform [| 5; 5; 6; 5 |]);
+  check_bool "affine stride 4" true
+    (Limit_study.vector_affine [| 0; 4; 8; 12 |]);
+  check_bool "uniform is affine" true (Limit_study.vector_affine [| 3; 3; 3; 3 |]);
+  check_bool "periodic affine (2D tid.x layout)" true
+    (Limit_study.vector_affine [| 0; 1; 2; 3; 0; 1; 2; 3 |]);
+  check_bool "periodic affine stride 4" true
+    (Limit_study.vector_affine [| 10; 14; 10; 14 |]);
+  check_bool "unstructured" false
+    (Limit_study.vector_affine [| 7; 3; 0; 90 |]);
+  check_bool "broken period" false
+    (Limit_study.vector_affine [| 0; 1; 2; 3; 0; 1; 2; 5 |]);
+  (* wrap-around strides still count (mod 2^32 arithmetic) *)
+  check_bool "wrapping affine" true
+    (Limit_study.vector_affine
+       [| 0xFFFFFFFE; 0xFFFFFFFF; 0; 1 |])
+
+let affine_gen =
+  QCheck.Gen.(
+    map3
+      (fun base stride n ->
+        (abs base land 0xFFFFFF, abs stride land 0xFFFF, (abs n mod 4) + 1))
+      int int int)
+
+let qcheck_affine =
+  QCheck.Test.make ~name:"generated affine vectors are affine" ~count:300
+    (QCheck.make affine_gen) (fun (base, stride, log_period) ->
+      let period = 1 lsl log_period in
+      let n = 32 in
+      let v =
+        Array.init n (fun i -> Value.add base (Value.mul stride (i mod period)))
+      in
+      Limit_study.vector_affine v)
+
+(* ------------------------------------------------------------------ *)
+(* Record generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let loop_kernel =
+  parse
+    {|
+.kernel t
+.params 1
+  mov.u32 %r0, 0;
+top:
+  add.u32 %r0, %r0, 1;
+  setp.lt.s32 %p0, %r0, 3;
+@%p0 bra top;
+  st.global.u32 [%param0], %r0;
+  exit;
+|}
+
+let test_record_generate () =
+  let mem = Darsie_emu.Memory.create () in
+  let dst = Darsie_emu.Memory.alloc mem 4 in
+  let launch =
+    Kernel.launch loop_kernel ~grid:(Kernel.dim3 2) ~block:(Kernel.dim3 64)
+      ~params:[| dst |]
+  in
+  let t = Record.generate mem launch in
+  check_int "tbs" 2 (Record.num_tbs t);
+  check_int "warps per tb" 2 (Record.warps_per_tb t);
+  (* 1 mov + 3*(add,setp,bra) + st + exit = 12 per warp *)
+  check_int "ops per warp" 12 (Array.length t.Record.tbs.(0).(0));
+  check_int "total" (12 * 4) (Record.total_ops t);
+  (* occurrence numbers count loop iterations *)
+  let w = t.Record.tbs.(1).(1) in
+  let adds = Array.to_list w |> List.filter (fun o -> o.Record.idx = 1) in
+  Alcotest.(check (list int))
+    "occurrences" [ 0; 1; 2 ]
+    (List.map (fun o -> o.Record.occ) adds);
+  (* memory op carries addresses *)
+  let st = Array.to_list w |> List.find (fun o -> o.Record.idx = 4) in
+  check_int "store addresses" 32 (Array.length st.Record.accesses);
+  check_int "full mask recorded" ((1 lsl 32) - 1) st.Record.active
+
+(* ------------------------------------------------------------------ *)
+(* Limit study on crafted kernels                                      *)
+(* ------------------------------------------------------------------ *)
+
+let measure ?(grid = Kernel.dim3 2) ?(block = Kernel.dim3 16 ~y:16) k params =
+  let mem = Darsie_emu.Memory.create () in
+  let params =
+    Array.map
+      (fun need ->
+        if need then begin
+          let base = Darsie_emu.Memory.alloc mem 65536 in
+          (* patterned, non-affine data so loaded values are judged by
+             their real structure *)
+          Darsie_emu.Memory.write_i32s mem base
+            (Array.init 16384 (fun i -> (i * 2654435761) land 0xFFFFF));
+          base
+        end
+        else 0)
+      params
+  in
+  let launch = Kernel.launch k ~grid ~block ~params in
+  (Limit_study.measure mem launch, params)
+
+let test_limit_uniform_kernel () =
+  (* Everything derived from ctaid: fully TB- (but not grid-) redundant. *)
+  let k =
+    parse
+      {|
+.kernel u
+.params 1
+  mov.u32 %r0, %ctaid.x;
+  add.u32 %r1, %r0, 10;
+  mul.lo.u32 %r2, %r1, 3;
+  st.global.u32 [%param0], %r2;
+  exit;
+|}
+  in
+  let r, _ = measure k [| true |] in
+  (* eligible = mov+add+mul+st = 4 of 5 per warp; all TB-redundant
+     uniform *)
+  check_int "tb_red counts eligible instances" r.Limit_study.tb_red
+    r.Limit_study.tb_uniform;
+  check_bool "everything eligible is TB-redundant" true
+    (r.Limit_study.tb_red = r.Limit_study.eligible);
+  (* ctaid differs across blocks: only the exit-independent ops with
+     constant operands are grid-redundant; mov reads ctaid (differs), so
+     grid_red < tb_red *)
+  check_bool "grid strictly less" true
+    (r.Limit_study.grid_red < r.Limit_study.tb_red)
+
+let test_limit_grid_redundant () =
+  let k =
+    parse
+      {|
+.kernel g
+.params 1
+  mov.u32 %r0, 42;
+  add.u32 %r1, %r0, %param0;
+  exit;
+|}
+  in
+  let r, _ = measure k [| false |] in
+  check_bool "constant ops grid-redundant" true
+    (r.Limit_study.grid_red = r.Limit_study.eligible)
+
+let test_limit_2d_vs_1d () =
+  (* The Figure 3 kernel: affine-redundant in 2D, non-redundant in 1D. *)
+  let k =
+    parse
+      {|
+.kernel f3
+.params 1
+  mul.lo.u32 %r1, %tid.x, 4;
+  add.u32 %r2, %r1, %param0;
+  ld.global.u32 %r3, [%r2+0];
+  exit;
+|}
+  in
+  let r2d, _ = measure ~block:(Kernel.dim3 16 ~y:16) k [| true |] in
+  check_bool "2D: all eligible TB-redundant" true
+    (r2d.Limit_study.tb_red = r2d.Limit_study.eligible);
+  check_bool "2D: affine present" true (r2d.Limit_study.tb_affine > 0);
+  check_bool "2D: load is unstructured" true
+    (r2d.Limit_study.tb_unstructured > 0);
+  let r1d, _ = measure ~block:(Kernel.dim3 256) k [| true |] in
+  check_int "1D: nothing TB-redundant" 0 r1d.Limit_study.tb_red
+
+let test_limit_divergence_not_redundant () =
+  (* Same computation under a partial mask: counted non-redundant. *)
+  let k =
+    parse
+      {|
+.kernel d
+  setp.lt.s32 %p0, %tid.y, 8;
+@!%p0 bra skip;
+  mov.u32 %r0, %ctaid.x;
+  add.u32 %r1, %r0, 1;
+skip:
+  exit;
+|}
+  in
+  (* 16x16 block: tid.y < 8 is a *warp-level* split (full masks), so the
+     mov/add remain TB-non-redundant only because not every warp runs
+     them. *)
+  let r, _ = measure k [| |] in
+  check_int "guarded-path ops not TB-redundant" 0 r.Limit_study.tb_red
+
+let test_limit_warp_level () =
+  (* tid.y is warp-uniform in a 16x16 block only when warps span 2 rows -
+     it is NOT: two y values per warp. tid.x patterns are shared. *)
+  let k =
+    parse
+      {|
+.kernel w
+  mov.u32 %r0, %ctaid.y;
+  mov.u32 %r1, %tid.x;
+  exit;
+|}
+  in
+  let r, _ = measure k [||] in
+  (* per warp: mov ctaid.y is scalar; mov tid.x is not *)
+  check_bool "warp_red counts scalar instances" true
+    (r.Limit_study.warp_red * 2 = r.Limit_study.tb_red)
+
+let test_limit_load_value_dependence () =
+  (* Two blocks read the same uniform address but a store in between does
+     not occur; loads are TB-redundant; values differ per-TB only via
+     ctaid — here address is constant so grid-redundant too. *)
+  let k =
+    parse
+      {|
+.kernel lv
+.params 1
+  ld.global.u32 %r0, [%param0+0];
+  add.u32 %r1, %r0, 1;
+  exit;
+|}
+  in
+  let r, _ = measure k [| true |] in
+  check_bool "uniform load redundant at grid level" true
+    (r.Limit_study.grid_red = r.Limit_study.eligible);
+  check_bool "classified uniform" true
+    (r.Limit_study.tb_uniform = r.Limit_study.tb_red)
+
+let test_limit_atomics_excluded () =
+  let k =
+    parse
+      {|
+.kernel a
+.params 1
+  atom.global.add.u32 %r0, [%param0], 1;
+  exit;
+|}
+  in
+  let r, _ = measure k [| true |] in
+  check_int "atomics never redundant" 0 r.Limit_study.tb_red;
+  check_int "atomics not eligible" 0 r.Limit_study.eligible
+
+let () =
+  Alcotest.run "darsie_trace"
+    [
+      ("vec", [ Alcotest.test_case "basics" `Quick test_vec ]);
+      ( "patterns",
+        [
+          Alcotest.test_case "classification" `Quick test_vector_patterns;
+          QCheck_alcotest.to_alcotest qcheck_affine;
+        ] );
+      ( "record",
+        [ Alcotest.test_case "generation" `Quick test_record_generate ] );
+      ( "limit-study",
+        [
+          Alcotest.test_case "uniform kernel" `Quick test_limit_uniform_kernel;
+          Alcotest.test_case "grid redundant" `Quick test_limit_grid_redundant;
+          Alcotest.test_case "2d vs 1d" `Quick test_limit_2d_vs_1d;
+          Alcotest.test_case "divergence" `Quick
+            test_limit_divergence_not_redundant;
+          Alcotest.test_case "warp level" `Quick test_limit_warp_level;
+          Alcotest.test_case "uniform loads" `Quick
+            test_limit_load_value_dependence;
+          Alcotest.test_case "atomics" `Quick test_limit_atomics_excluded;
+        ] );
+    ]

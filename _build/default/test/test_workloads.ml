@@ -1,0 +1,229 @@
+(* Functional validation of all 13 Table-1 workloads against their CPU
+   references, registry integrity, and the per-app properties the paper's
+   narrative relies on (dimensionality, redundancy character, DARSIE
+   benefit on the flagship workloads). *)
+
+module W = Darsie_workloads.Workload
+open Darsie_timing
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let test_registry () =
+  check_int "13 applications" 13 (List.length Darsie_workloads.Registry.all);
+  check_int "5 one-dimensional" 5 (List.length Darsie_workloads.Registry.one_d);
+  check_int "8 two-dimensional" 8 (List.length Darsie_workloads.Registry.two_d);
+  check_bool "find by abbr" true
+    (Darsie_workloads.Registry.find "mm" <> None);
+  check_bool "unknown app" true (Darsie_workloads.Registry.find "nope" = None);
+  let abbrs = Darsie_workloads.Registry.abbrs in
+  check_int "unique abbrs" (List.length abbrs)
+    (List.length (List.sort_uniq compare abbrs))
+
+let test_table1_dims () =
+  (* threadblock dimensions must match the paper's Table 1 *)
+  let expected =
+    [
+      ("BIN", (256, 1)); ("PT", (1024, 1)); ("FW", (256, 1));
+      ("SR1", (512, 1)); ("LIB", (256, 1)); ("IMNLM", (16, 16));
+      ("BP", (16, 16)); ("DCT8x8", (8, 8)); ("FWS", (16, 16));
+      ("HS", (16, 16)); ("CP", (16, 8)); ("CONVTEX", (16, 16));
+      ("MM", (32, 32));
+    ]
+  in
+  List.iter
+    (fun (abbr, dims) ->
+      match Darsie_workloads.Registry.find abbr with
+      | Some w ->
+        Alcotest.(check (pair int int)) abbr dims w.W.block_dim
+      | None -> Alcotest.failf "missing %s" abbr)
+    expected
+
+let verify_one (w : W.t) () =
+  let p = w.W.prepare ~scale:1 in
+  ignore (Darsie_emu.Interp.run p.W.mem p.W.launch);
+  match p.W.verify p.W.mem with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" w.W.abbr e
+
+let test_determinism () =
+  (* two independent prepares produce identical launches and results *)
+  let w = Darsie_workloads.Matmul.workload in
+  let p1 = w.W.prepare ~scale:1 and p2 = w.W.prepare ~scale:1 in
+  let s1 = Darsie_emu.Interp.run p1.W.mem p1.W.launch in
+  let s2 = Darsie_emu.Interp.run p2.W.mem p2.W.launch in
+  check_int "same dynamic size" s1.Darsie_emu.Interp.warp_insts
+    s2.Darsie_emu.Interp.warp_insts;
+  check_bool "both verify" true
+    (p1.W.verify p1.W.mem = Ok () && p2.W.verify p2.W.mem = Ok ())
+
+let test_scaling () =
+  let w = Darsie_workloads.Hotspot.workload in
+  let p1 = w.W.prepare ~scale:1 and p2 = w.W.prepare ~scale:2 in
+  let s1 = Darsie_emu.Interp.run p1.W.mem p1.W.launch in
+  let s2 = Darsie_emu.Interp.run p2.W.mem p2.W.launch in
+  check_bool "scale grows the work" true
+    (s2.Darsie_emu.Interp.warp_insts > s1.Darsie_emu.Interp.warp_insts);
+  check_bool "scaled run verifies" true (p2.W.verify p2.W.mem = Ok ())
+
+let test_checkers () =
+  let f32_ok e a = W.check_f32 ~name:"t" ~expected:e a = Ok () in
+  let i32_ok e a = W.check_i32 ~name:"t" ~expected:e a = Ok () in
+  check_bool "f32 pass" true (f32_ok [| 1.0; 2.0 |] [| 1.0; 2.0000001 |]);
+  check_bool "f32 fail" false (f32_ok [| 1.0 |] [| 1.5 |]);
+  check_bool "f32 nan fails" false (f32_ok [| 1.0 |] [| Float.nan |]);
+  check_bool "i32 pass" true (i32_ok [| 1; 2 |] [| 1; 2 |]);
+  check_bool "i32 fail" false (i32_ok [| 1; 2 |] [| 2; 1 |]);
+  check_bool "length mismatch" false (i32_ok [| 1 |] [| 1; 2 |])
+
+(* paper-narrative properties, one timing run per app is too slow here;
+   cover the two flagships *)
+
+let speedup_of (w : W.t) machine =
+  let app = Darsie_harness.Suite.load_app w in
+  let base = Darsie_harness.Suite.run_app app Darsie_harness.Suite.Base in
+  let r = Darsie_harness.Suite.run_app app machine in
+  float_of_int base.Darsie_harness.Suite.gpu.Gpu.cycles
+  /. float_of_int r.Darsie_harness.Suite.gpu.Gpu.cycles
+
+let test_mm_darsie_wins () =
+  let s = speedup_of Darsie_workloads.Matmul.workload Darsie_harness.Suite.Darsie in
+  check_bool "MM speedup > 1.3 (paper: 2.16)" true (s > 1.3);
+  let d =
+    speedup_of Darsie_workloads.Matmul.workload Darsie_harness.Suite.Dac_ideal
+  in
+  check_bool "DARSIE beats DAC-IDEAL on MM" true (s > d)
+
+let test_lib_uniform_heavy () =
+  (* LIB: mostly uniform redundancy; both DARSIE and DAC benefit a lot,
+     and UV removes many instructions without speedup (fetch-bound). *)
+  let w = Darsie_workloads.Libor.workload in
+  let app = Darsie_harness.Suite.load_app w in
+  let base = Darsie_harness.Suite.run_app app Darsie_harness.Suite.Base in
+  let uv = Darsie_harness.Suite.run_app app Darsie_harness.Suite.Uv in
+  let darsie = Darsie_harness.Suite.run_app app Darsie_harness.Suite.Darsie in
+  check_bool "UV drops a lot" true
+    (uv.Darsie_harness.Suite.gpu.Gpu.stats.Stats.dropped_issue
+    > base.Darsie_harness.Suite.gpu.Gpu.stats.Stats.issued / 5);
+  let uv_speedup =
+    float_of_int base.Darsie_harness.Suite.gpu.Gpu.cycles
+    /. float_of_int uv.Darsie_harness.Suite.gpu.Gpu.cycles
+  in
+  check_bool "but UV barely speeds up" true (uv_speedup < 1.1);
+  let s =
+    float_of_int base.Darsie_harness.Suite.gpu.Gpu.cycles
+    /. float_of_int darsie.Darsie_harness.Suite.gpu.Gpu.cycles
+  in
+  check_bool "DARSIE speeds LIB up a lot" true (s > 1.4)
+
+let test_figure2_shape () =
+  (* Lock the paper's Figure 2 claims as regression bands: 1D apps have
+     no affine/unstructured TB redundancy; every 2D app has some; the
+     flagship compositions hold. *)
+  let study (w : W.t) =
+    let p = w.W.prepare ~scale:1 in
+    Darsie_trace.Limit_study.measure p.W.mem p.W.launch
+  in
+  let open Darsie_trace.Limit_study in
+  List.iter
+    (fun (w : W.t) ->
+      let r = study w in
+      check_bool
+        (w.W.abbr ^ ": 1D has no affine/unstructured redundancy")
+        true
+        (r.tb_affine = 0 && r.tb_unstructured = 0))
+    Darsie_workloads.Registry.one_d;
+  List.iter
+    (fun (w : W.t) ->
+      let r = study w in
+      check_bool
+        (w.W.abbr ^ ": 2D has non-uniform TB redundancy")
+        true
+        (r.tb_affine + r.tb_unstructured > 0))
+    Darsie_workloads.Registry.two_d;
+  (* flagship compositions *)
+  let mm = study Darsie_workloads.Matmul.workload in
+  check_bool "MM: unstructured > 10% of executed" true
+    (fraction mm.tb_unstructured mm > 0.10);
+  let lib = study Darsie_workloads.Libor.workload in
+  check_bool "LIB: uniform > 50% of executed" true
+    (fraction lib.tb_uniform lib > 0.50);
+  let sr1 = study Darsie_workloads.Srad.workload in
+  check_bool "SR1: little redundancy (paper's smallest)" true
+    (fraction sr1.tb_red sr1 < 0.15)
+
+let test_extended_registry () =
+  check_int "six extended workloads" 6
+    (List.length Darsie_workloads.Registry.extended);
+  check_bool "extended apps stay out of the Table-1 lists" true
+    (List.for_all
+       (fun (w : W.t) ->
+         not (List.memq w Darsie_workloads.Registry.all))
+       Darsie_workloads.Registry.extended);
+  check_bool "but find resolves them (CLI access)" true
+    (Darsie_workloads.Registry.find "spmv" <> None)
+
+(* The strongest end-to-end invariant: on every workload (including the
+   divergent SpMV and the atomic histogram) and under every elimination
+   machine, the dynamic instruction stream is conserved:
+   issued + pre-fetch skips + issue drops = baseline issued. *)
+let test_stream_conservation () =
+  let machines =
+    Darsie_harness.Suite.
+      [ Uv; Dac_ideal; Darsie; Darsie_ignore_store; Darsie_no_cf_sync ]
+  in
+  List.iter
+    (fun (w : W.t) ->
+      let app = Darsie_harness.Suite.load_app w in
+      let base = Darsie_harness.Suite.run_app app Darsie_harness.Suite.Base in
+      let base_issued =
+        base.Darsie_harness.Suite.gpu.Gpu.stats.Stats.issued
+      in
+      List.iter
+        (fun m ->
+          let r = Darsie_harness.Suite.run_app app m in
+          let s = r.Darsie_harness.Suite.gpu.Gpu.stats in
+          check_int
+            (Printf.sprintf "%s under %s conserves the stream" w.W.abbr
+               (Darsie_harness.Suite.machine_name m))
+            base_issued
+            (s.Stats.issued + Stats.total_eliminated s))
+        machines)
+    (Darsie_workloads.Registry.extended
+    @ [ Darsie_workloads.Backprop.workload; Darsie_workloads.Libor.workload ])
+
+let () =
+  let per_app =
+    List.map
+      (fun (w : W.t) ->
+        Alcotest.test_case (w.W.abbr ^ " verifies") `Quick (verify_one w))
+      Darsie_workloads.Registry.all
+  in
+  let per_ext =
+    List.map
+      (fun (w : W.t) ->
+        Alcotest.test_case (w.W.abbr ^ " verifies") `Quick (verify_one w))
+      Darsie_workloads.Registry.extended
+  in
+  Alcotest.run "darsie_workloads"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "structure" `Quick test_registry;
+          Alcotest.test_case "table 1 dims" `Quick test_table1_dims;
+        ] );
+      ("functional", per_app);
+      ("extended", per_ext);
+      ( "properties",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "scaling" `Quick test_scaling;
+          Alcotest.test_case "checkers" `Quick test_checkers;
+          Alcotest.test_case "MM: darsie wins" `Quick test_mm_darsie_wins;
+          Alcotest.test_case "LIB: uniform heavy" `Quick test_lib_uniform_heavy;
+          Alcotest.test_case "figure 2 shape bands" `Quick test_figure2_shape;
+          Alcotest.test_case "extended registry" `Quick test_extended_registry;
+          Alcotest.test_case "stream conservation" `Quick test_stream_conservation;
+        ] );
+    ]
