@@ -1,0 +1,36 @@
+# Convenience entry points; everything ultimately goes through dune.
+
+DUNE ?= dune
+SMOKE_DIR ?= /tmp/darsie-smoke
+
+.PHONY: all build test verify bench profile-smoke clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+# The tier-1 gate: a clean build plus the full test suite.
+verify:
+	$(DUNE) build && $(DUNE) runtest
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+# Export metrics + a Chrome trace for MM/DARSIE, then re-validate the
+# JSON file through the schema tests (DARSIE_METRICS_FILE enables the
+# otherwise-skipped "exported file" case).
+profile-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	$(DUNE) exec bin/darsie.exe -- profile MM -m DARSIE \
+	  --json $(SMOKE_DIR)/mm.json \
+	  --chrome-trace $(SMOKE_DIR)/mm.trace.json \
+	  --csv $(SMOKE_DIR)/mm.csv
+	DARSIE_METRICS_FILE=$(SMOKE_DIR)/mm.json \
+	  $(DUNE) exec test/test_obs.exe -- test schema
+
+clean:
+	$(DUNE) clean

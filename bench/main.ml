@@ -5,12 +5,65 @@
    reproduced quantity, recorded against the paper in EXPERIMENTS.md. *)
 
 open Darsie_harness
+module J = Darsie_obs.Json
 
 let section title paper =
   Printf.printf "\n================================================================\n";
   Printf.printf "%s\n" title;
   Printf.printf "  paper reference: %s\n" paper;
   Printf.printf "================================================================\n"
+
+(* Machine-readable summary of the evaluation: the same rows the rendered
+   tables print, under the shared [schema_version] so downstream tooling
+   can diff bench runs. *)
+let json_summary m =
+  let speedup_row (r : Figures.fig8_row) =
+    J.Obj
+      [
+        ("app", J.String r.Figures.abbr);
+        ("uv", J.Float r.Figures.uv);
+        ("dac_ideal", J.Float r.Figures.dac);
+        ("darsie", J.Float r.Figures.darsie);
+      ]
+  in
+  let reduction_row (r : Figures.reduction_row) =
+    J.Obj
+      [
+        ("app", J.String r.Figures.abbr);
+        ("machine", J.String r.Figures.machine);
+        ("uniform_pct", J.Float r.Figures.uniform_pct);
+        ("affine_pct", J.Float r.Figures.affine_pct);
+        ("unstructured_pct", J.Float r.Figures.unstructured_pct);
+        ("total_pct", J.Float r.Figures.total_pct);
+      ]
+  in
+  let energy_row (r : Figures.fig11_row) =
+    J.Obj
+      [
+        ("app", J.String r.Figures.abbr);
+        ("uv_pct", J.Float r.Figures.uv);
+        ("dac_ideal_pct", J.Float r.Figures.dac);
+        ("darsie_pct", J.Float r.Figures.darsie);
+      ]
+  in
+  let rows8, g1, g2, _ = Figures.fig8 m in
+  let rows9, _ = Figures.fig9 m in
+  let rows10, _ = Figures.fig10 m in
+  let rows11, ge1, ge2, _ = Figures.fig11 m in
+  let overhead, _ = Figures.darsie_overhead m in
+  J.Obj
+    [
+      ("schema_version", J.Int Darsie_obs.Export.schema_version);
+      ("speedup", J.List (List.map speedup_row rows8));
+      ("speedup_gmean_1d", speedup_row g1);
+      ("speedup_gmean_2d", speedup_row g2);
+      ("instr_reduction_1d", J.List (List.map reduction_row rows9));
+      ("instr_reduction_2d", J.List (List.map reduction_row rows10));
+      ("energy_reduction", J.List (List.map energy_row rows11));
+      ("energy_gmean_1d", energy_row ge1);
+      ("energy_gmean_2d", energy_row ge2);
+      ("darsie_energy_overhead_pct", J.Float overhead);
+    ]
 
 let run_figures () =
   section "Table 1 - Applications studied" "13 apps, 5x 1D TBs + 8x 2D TBs";
@@ -75,7 +128,8 @@ let run_figures () =
   section "Section 6.3 - Area estimation"
     "82-bit skip entries; 5.31 kB total; 2.1% of the register file";
   let _, text = Figures.area () in
-  print_string text
+  print_string text;
+  m
 
 let run_ablations () =
   section "Ablations - DARSIE design-space sweeps"
@@ -182,10 +236,28 @@ let run_micro () =
       | _ -> Printf.printf "  %-32s (no estimate)\n" name)
     results
 
+let json_path () =
+  let rec scan = function
+    | "--json" :: path :: _ -> Some path
+    | _ :: rest -> scan rest
+    | [] -> None
+  in
+  scan (Array.to_list Sys.argv)
+
 let () =
-  run_figures ();
+  let m = run_figures () in
   run_ablations ();
   (try run_micro ()
    with e ->
      Printf.printf "micro-benchmarks skipped: %s\n" (Printexc.to_string e));
+  (match json_path () with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (J.pretty_to_string (json_summary m));
+        output_char oc '\n');
+    Printf.printf "bench summary: %s\n" path);
   print_endline "\nbench: done."

@@ -5,12 +5,19 @@
      asm APP                   - PTX-lite assembly of a workload kernel
      analyze APP               - compiler markings (Figure 6 style)
      run APP [-m MACHINE]      - functional + timing run of one app
+     profile APP [-m MACHINE]  - instrumented run: stall attribution,
+                                 JSON metrics, Chrome trace, CSV series
      limit APP                 - redundancy limit study of one app
      experiment ID             - regenerate a paper figure/table
-     area                      - Section 6.3 area estimate *)
+     area                      - Section 6.3 area estimate
+
+   Every subcommand exits nonzero when a simulation invariant is
+   violated (functional check fails, or the stall-cycle attribution does
+   not sum to the simulated cycles), so CI catches model drift. *)
 
 open Cmdliner
 module W = Darsie_workloads.Workload
+module Obs = Darsie_obs
 
 let find_app abbr =
   match Darsie_workloads.Registry.find abbr with
@@ -59,6 +66,25 @@ let or_die = function
     prerr_endline msg;
     exit 1
 
+(* Simulation invariant violations accumulate here; [finish ()] is every
+   run-producing subcommand's last statement. *)
+let violations : string list ref = ref []
+
+let violation fmt =
+  Printf.ksprintf (fun msg -> violations := msg :: !violations) fmt
+
+let finish () =
+  match List.rev !violations with
+  | [] -> ()
+  | vs ->
+    List.iter (fun v -> Printf.eprintf "invariant violation: %s\n" v) vs;
+    exit 2
+
+let check_run abbr (r : Darsie_harness.Suite.run) =
+  match Darsie_timing.Gpu.check_attribution r.Darsie_harness.Suite.gpu with
+  | Ok () -> ()
+  | Error msg -> violation "%s: %s" abbr msg
+
 (* ------------------------------------------------------------------ *)
 
 let list_cmd =
@@ -99,8 +125,12 @@ let analyze_cmd =
        ~doc:"Show the compiler's DR/CR/V markings (Figure 6 style)")
     Term.(const run $ app_arg)
 
+let json_arg =
+  let doc = "Write the metrics document (JSON, versioned schema) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
-  let run abbr machine scale =
+  let run abbr machine scale json_file =
     let w = or_die (find_app abbr) in
     Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
     let app = Darsie_harness.Suite.load_app ~scale w in
@@ -111,7 +141,9 @@ let run_cmd =
        fresh.W.verify fresh.W.mem
      with
     | Ok () -> Printf.printf "functional check: OK\n"
-    | Error e -> Printf.printf "functional check: FAILED (%s)\n" e);
+    | Error e ->
+      Printf.printf "functional check: FAILED (%s)\n" e;
+      violation "%s: functional check failed (%s)" abbr e);
     let base = Darsie_harness.Suite.run_app app Darsie_harness.Suite.Base in
     let r = Darsie_harness.Suite.run_app app machine in
     let open Darsie_timing in
@@ -125,11 +157,116 @@ let run_cmd =
       (Format.asprintf "%a" Stats.pp r.Darsie_harness.Suite.gpu.Gpu.stats);
     Printf.printf "energy: %s\n"
       (Format.asprintf "%a" Darsie_energy.Energy_model.pp
-         r.Darsie_harness.Suite.energy)
+         r.Darsie_harness.Suite.energy);
+    check_run abbr base;
+    check_run abbr r;
+    (match json_file with
+    | Some path ->
+      Darsie_harness.Metrics.write_file path
+        (Darsie_harness.Metrics.of_run ~app:abbr ~scale r);
+      Printf.printf "metrics: %s\n" path
+    | None -> ());
+    finish ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one application through the timing model")
-    Term.(const run $ app_arg $ machine_arg $ scale_arg)
+    Term.(const run $ app_arg $ machine_arg $ scale_arg $ json_arg)
+
+let profile_cmd =
+  let run abbr machine scale json_file trace_file csv_file interval =
+    let w = or_die (find_app abbr) in
+    if interval < 1 then or_die (Error "--interval must be >= 1");
+    Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
+    let app = Darsie_harness.Suite.load_app ~scale w in
+    (* Record events only when someone will read them: the Chrome trace
+       is the only consumer, and recording costs memory. *)
+    let recorder =
+      match trace_file with
+      | Some _ -> Some (Obs.Recorder.create ())
+      | None -> None
+    in
+    let sink =
+      match recorder with
+      | Some r -> Obs.Recorder.sink r
+      | None -> Obs.Sink.null
+    in
+    let r =
+      Darsie_harness.Suite.run_app ~sink ~sample_interval:interval app machine
+    in
+    let open Darsie_timing in
+    let gpu = r.Darsie_harness.Suite.gpu in
+    Printf.printf "machine: %s\n" (Darsie_harness.Suite.machine_name machine);
+    Printf.printf "cycles: %d  ipc: %.3f  tbs/SM: %d\n" gpu.Gpu.cycles
+      (Gpu.ipc gpu) gpu.Gpu.tbs_per_sm;
+    Printf.printf "sampling interval: %d cycles (%d points/SM)\n" interval
+      (if Array.length gpu.Gpu.series = 0 then 0
+       else Obs.Series.num_points gpu.Gpu.series.(0));
+    Printf.printf "\nstall-cycle attribution (all SMs, %d cycles each):\n%s\n"
+      gpu.Gpu.cycles
+      (Format.asprintf "%a" Obs.Attrib.pp gpu.Gpu.attribution);
+    check_run abbr r;
+    let doc = Darsie_harness.Metrics.of_run ~app:abbr ~scale r in
+    (match Darsie_harness.Metrics.validate doc with
+    | Ok () -> ()
+    | Error msg -> violation "%s: exported metrics invalid (%s)" abbr msg);
+    (match json_file with
+    | Some path ->
+      Darsie_harness.Metrics.write_file path doc;
+      Printf.printf "metrics: %s\n" path
+    | None -> ());
+    (match trace_file with
+    | Some path ->
+      let trace =
+        Obs.Export.chrome_trace ?recorder ~series:gpu.Gpu.series
+          ~name:
+            (Printf.sprintf "%s/%s" abbr
+               (Darsie_harness.Suite.machine_name machine))
+          ()
+      in
+      let oc = open_out path in
+      output_string oc (Obs.Json.to_string trace);
+      output_char oc '\n';
+      close_out oc;
+      (match recorder with
+      | Some rec_ when Obs.Recorder.dropped rec_ > 0 ->
+        Printf.printf
+          "chrome trace: %s (recorder dropped %d events past its cap)\n" path
+          (Obs.Recorder.dropped rec_)
+      | _ -> Printf.printf "chrome trace: %s\n" path)
+    | None -> ());
+    (match csv_file with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Obs.Export.csv_of_series gpu.Gpu.series);
+      close_out oc;
+      Printf.printf "csv series: %s\n" path
+    | None -> ());
+    finish ()
+  in
+  let trace_arg =
+    let doc =
+      "Write a Chrome trace_event file to $(docv) (open in chrome://tracing \
+       or https://ui.perfetto.dev)."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
+  in
+  let csv_arg =
+    let doc = "Write the per-SM sampled counter time-series as CSV to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let interval_arg =
+    let doc = "Counter sampling interval in cycles." in
+    Arg.(value & opt int 512 & info [ "interval" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Instrumented timing run: stall-cycle attribution, sampled counter \
+          time-series, JSON metrics and Chrome-trace export")
+    Term.(
+      const run $ app_arg $ machine_arg $ scale_arg $ json_arg $ trace_arg
+      $ csv_arg $ interval_arg)
 
 let limit_cmd =
   let run abbr scale =
@@ -158,7 +295,10 @@ let experiment_cmd =
     let matrix =
       lazy
         (Printf.printf "building evaluation matrix (13 apps x 7 machines)...\n%!";
-         Darsie_harness.Suite.build_matrix ())
+         let m = Darsie_harness.Suite.build_matrix () in
+         Hashtbl.iter (fun (abbr, _) r -> check_run abbr r)
+           m.Darsie_harness.Suite.runs;
+         m)
     in
     match String.lowercase_ascii id with
     | "fig1" ->
@@ -210,6 +350,10 @@ let experiment_cmd =
         other;
       exit 1
   in
+  let run id =
+    run id;
+    finish ()
+  in
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
            ~doc:"Experiment id, e.g. fig8 or table1.")
@@ -229,7 +373,7 @@ let area_cmd =
 let main =
   let doc = "DARSIE: dimensionality-aware redundant SIMT instruction elimination" in
   Cmd.group (Cmd.info "darsie" ~version:"1.0.0" ~doc)
-    [ list_cmd; asm_cmd; analyze_cmd; run_cmd; limit_cmd; experiment_cmd;
-      area_cmd ]
+    [ list_cmd; asm_cmd; analyze_cmd; run_cmd; profile_cmd; limit_cmd;
+      experiment_cmd; area_cmd ]
 
 let () = exit (Cmd.eval main)

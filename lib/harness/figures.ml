@@ -206,7 +206,8 @@ let reduction_rows (m : Suite.matrix) apps =
             uniform_pct = p s.Stats.elim_uniform;
             affine_pct = p s.Stats.elim_affine;
             unstructured_pct = p s.Stats.elim_unstructured;
-            total_pct = p (Stats.total_eliminated s);
+            total_pct =
+              Stats_util.elimination_pct s ~baseline_issued:base.Stats.issued;
           })
         [ Suite.Uv; Suite.Dac_ideal; Suite.Darsie ])
     apps

@@ -1,0 +1,167 @@
+open Darsie_timing
+module Obs = Darsie_obs
+module J = Obs.Json
+
+let schema_version = Obs.Export.schema_version
+
+let json_of_attrib a = J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (Obs.Attrib.to_assoc a))
+
+let json_of_series (series : Obs.Series.t array) =
+  if Array.length series = 0 then J.Null
+  else
+    let s0 = series.(0) in
+    J.Obj
+      [
+        ("interval", J.Int (Obs.Series.interval s0));
+        ("names", J.List (List.map (fun n -> J.String n) (Obs.Series.names s0)));
+        ( "per_sm",
+          J.List
+            (Array.to_list
+               (Array.map
+                  (fun s ->
+                    J.List
+                      (List.map
+                         (fun (p : Obs.Series.point) ->
+                           J.Obj
+                             [
+                               ("cycle", J.Int p.Obs.Series.cycle);
+                               ( "values",
+                                 J.List
+                                   (List.map
+                                      (fun v -> J.Int v)
+                                      (Array.to_list p.Obs.Series.values)) );
+                             ])
+                         (Obs.Series.points s)))
+                  series)) );
+      ]
+
+let json_of_energy (e : Darsie_energy.Energy_model.breakdown) =
+  let open Darsie_energy.Energy_model in
+  J.Obj
+    [
+      ("frontend_pj", J.Float e.frontend);
+      ("register_file_pj", J.Float e.register_file);
+      ("execute_pj", J.Float e.execute);
+      ("memory_pj", J.Float e.memory);
+      ("static_pj", J.Float e.static);
+      ("darsie_overhead_pj", J.Float e.darsie_overhead);
+      ("total_pj", J.Float e.total);
+    ]
+
+let of_run ~app ?(scale = 1) (r : Suite.run) =
+  let gpu = r.Suite.gpu in
+  let stats = gpu.Gpu.stats in
+  J.Obj
+    [
+      ("schema_version", J.Int schema_version);
+      ("app", J.String app);
+      ("machine", J.String (Suite.machine_name r.Suite.machine));
+      ("scale", J.Int scale);
+      ("num_sms", J.Int (Array.length gpu.Gpu.per_sm));
+      ("cycles", J.Int gpu.Gpu.cycles);
+      ("tbs_per_sm", J.Int gpu.Gpu.tbs_per_sm);
+      ( "counters",
+        J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (Stats_util.to_assoc stats))
+      );
+      ( "derived",
+        J.Obj (List.map (fun (k, v) -> (k, J.Float v)) (Stats_util.derived stats))
+      );
+      ( "stall_attribution",
+        J.Obj
+          [
+            ("total", json_of_attrib gpu.Gpu.attribution);
+            ( "per_sm",
+              J.List
+                (Array.to_list
+                   (Array.map json_of_attrib gpu.Gpu.per_sm_attribution)) );
+          ] );
+      ("series", json_of_series gpu.Gpu.series);
+      ("energy", json_of_energy r.Suite.energy);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let field name conv doc =
+  match Option.bind (J.member name doc) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let attrib_sum = function
+  | J.Obj fields ->
+    List.fold_left
+      (fun acc (_, v) -> match J.to_int v with Some i -> acc + i | None -> acc)
+      0 fields
+  | _ -> 0
+
+(* Structural check of an exported metrics document: schema version,
+   required blocks, and the stall-attribution invariant re-verified from
+   the serialized numbers (so a file written by an older/broken binary
+   fails loudly). *)
+let validate doc =
+  let* v = field "schema_version" J.to_int doc in
+  let* () =
+    if v = schema_version then Ok ()
+    else Error (Printf.sprintf "schema_version %d, expected %d" v schema_version)
+  in
+  let* cycles = field "cycles" J.to_int doc in
+  let* num_sms = field "num_sms" J.to_int doc in
+  let* () =
+    match J.member "counters" doc with
+    | Some (J.Obj (_ :: _)) -> Ok ()
+    | _ -> Error "missing counters object"
+  in
+  let* () =
+    match J.member "app" doc, J.member "machine" doc with
+    | Some (J.String _), Some (J.String _) -> Ok ()
+    | _ -> Error "missing app/machine strings"
+  in
+  let* attr =
+    match J.member "stall_attribution" doc with
+    | Some a -> Ok a
+    | None -> Error "missing stall_attribution"
+  in
+  let* per_sm =
+    match J.member "per_sm" attr with
+    | Some (J.List l) -> Ok l
+    | _ -> Error "missing stall_attribution.per_sm"
+  in
+  let* () =
+    if List.length per_sm = num_sms then Ok ()
+    else Error "stall_attribution.per_sm length != num_sms"
+  in
+  let* () =
+    let bad =
+      List.filteri (fun _ a -> attrib_sum a <> cycles) per_sm
+    in
+    if bad = [] then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "per-SM stall attribution does not sum to cycles (%d SMs wrong)"
+           (List.length bad))
+  in
+  let* total =
+    match J.member "total" attr with
+    | Some a -> Ok a
+    | None -> Error "missing stall_attribution.total"
+  in
+  if attrib_sum total = num_sms * cycles then Ok ()
+  else Error "total stall attribution != num_sms * cycles"
+
+let validate_string s =
+  let* doc =
+    match J.of_string s with Ok d -> Ok d | Error e -> Error ("bad JSON: " ^ e)
+  in
+  validate doc
+
+let write_file path doc =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.pretty_to_string doc);
+      output_char oc '\n')

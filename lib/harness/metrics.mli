@@ -1,0 +1,21 @@
+(** The machine-readable metrics document.
+
+    One JSON object per (app, machine) run: every raw counter, the
+    derived metrics, the per-SM stall-cycle attribution, the sampled
+    time-series and the energy breakdown, all under a versioned schema
+    (see EXPERIMENTS.md "Profiling and metrics" for the layout).
+    {!validate} re-checks the attribution invariant from the serialized
+    numbers, which is what [make profile-smoke] and CI run against
+    exported files. *)
+
+val schema_version : int
+
+val of_run : app:string -> ?scale:int -> Suite.run -> Darsie_obs.Json.t
+
+val validate : Darsie_obs.Json.t -> (unit, string) result
+
+val validate_string : string -> (unit, string) result
+(** Parse then {!validate}. *)
+
+val write_file : string -> Darsie_obs.Json.t -> unit
+(** Pretty-printed, trailing newline. *)

@@ -1,3 +1,5 @@
+open Darsie_timing
+
 let geomean xs =
   match xs with
   | [] -> 1.0
@@ -11,3 +13,73 @@ let mean = function
 
 let percent part whole =
   if whole = 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+let ratio part whole =
+  if whole = 0 then 0.0 else float_of_int part /. float_of_int whole
+
+(* ------------------------------------------------------------------ *)
+(* Stats projections                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One stable field order shared by the JSON exporter, the CSV writers
+   and anything that wants to diff two runs counter-by-counter. *)
+let to_assoc (s : Stats.t) =
+  [
+    ("cycles", s.Stats.cycles);
+    ("fetched", s.Stats.fetched);
+    ("icache_misses", s.Stats.icache_misses);
+    ("issued", s.Stats.issued);
+    ("executed_threads", s.Stats.executed_threads);
+    ("skipped_prefetch", s.Stats.skipped_prefetch);
+    ("dropped_issue", s.Stats.dropped_issue);
+    ("elim_uniform", s.Stats.elim_uniform);
+    ("elim_affine", s.Stats.elim_affine);
+    ("elim_unstructured", s.Stats.elim_unstructured);
+    ("rf_reads", s.Stats.rf_reads);
+    ("rf_writes", s.Stats.rf_writes);
+    ("alu_ops", s.Stats.alu_ops);
+    ("sfu_ops", s.Stats.sfu_ops);
+    ("mem_ops", s.Stats.mem_ops);
+    ("shared_accesses", s.Stats.shared_accesses);
+    ("shared_bank_conflicts", s.Stats.shared_bank_conflicts);
+    ("l1_accesses", s.Stats.l1_accesses);
+    ("l1_misses", s.Stats.l1_misses);
+    ("dram_transactions", s.Stats.dram_transactions);
+    ("rf_bank_conflicts", s.Stats.rf_bank_conflicts);
+    ("barrier_stall_cycles", s.Stats.barrier_stall_cycles);
+    ("fetch_stall_cycles", s.Stats.fetch_stall_cycles);
+    ("darsie_sync_stalls", s.Stats.darsie_sync_stalls);
+    ("skip_table_probes", s.Stats.skip_table_probes);
+    ("rename_accesses", s.Stats.rename_accesses);
+    ("coalescer_probes", s.Stats.coalescer_probes);
+    ("majority_updates", s.Stats.majority_updates);
+  ]
+
+let sum stats =
+  let acc = Stats.create () in
+  List.iter (fun s -> Stats.add acc s) stats;
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* Derived metrics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let ipc (s : Stats.t) = ratio s.Stats.issued s.Stats.cycles
+
+let l1_miss_rate (s : Stats.t) = ratio s.Stats.l1_misses s.Stats.l1_accesses
+
+let fetch_skip_fraction (s : Stats.t) =
+  ratio s.Stats.skipped_prefetch (s.Stats.fetched + s.Stats.skipped_prefetch)
+
+let elimination_pct (s : Stats.t) ~baseline_issued =
+  percent (Stats.total_eliminated s) baseline_issued
+
+let derived (s : Stats.t) =
+  [
+    ("ipc", ipc s);
+    ("l1_miss_rate", l1_miss_rate s);
+    ("fetch_skip_fraction", fetch_skip_fraction s);
+    ("icache_miss_rate", ratio s.Stats.icache_misses
+       (s.Stats.fetched + s.Stats.icache_misses));
+    ("rf_reads_per_issue", ratio s.Stats.rf_reads s.Stats.issued);
+  ]

@@ -61,13 +61,16 @@ let factory_of = function
       ~options:{ Darsie_core.Darsie_engine.ignore_store = false; no_cf_sync = true }
       ()
 
-let run_app ?(cfg = Config.default) app machine =
+let run_app ?(cfg = Config.default) ?sink ?sample_interval app machine =
   let cfg =
     match machine with
     | Silicon_sync -> { cfg with Config.sync_at_branches = true }
     | _ -> cfg
   in
-  let gpu = Gpu.run ~cfg (factory_of machine) app.kinfo app.trace in
+  let gpu =
+    Gpu.run ~cfg ?sink ?sample_interval (factory_of machine) app.kinfo
+      app.trace
+  in
   let energy = Darsie_energy.Energy_model.account cfg gpu.Gpu.stats in
   { machine; gpu; energy }
 
@@ -100,5 +103,5 @@ let energy_reduction m abbr machine =
 
 let instr_reduction m abbr machine =
   let base = get m abbr Base and r = get m abbr machine in
-  let eliminated = Stats.total_eliminated r.gpu.Gpu.stats in
-  Stats_util.percent eliminated base.gpu.Gpu.stats.Stats.issued
+  Stats_util.elimination_pct r.gpu.Gpu.stats
+    ~baseline_issued:base.gpu.Gpu.stats.Stats.issued

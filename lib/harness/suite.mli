@@ -39,7 +39,14 @@ type matrix = {
 }
 
 val run_app :
-  ?cfg:Darsie_timing.Config.t -> app -> machine -> run
+  ?cfg:Darsie_timing.Config.t ->
+  ?sink:Darsie_obs.Sink.t ->
+  ?sample_interval:int ->
+  app ->
+  machine ->
+  run
+(** [sink] and [sample_interval] are forwarded to
+    {!Darsie_timing.Gpu.run}; both default to off (the null sink). *)
 
 val build_matrix :
   ?cfg:Darsie_timing.Config.t ->

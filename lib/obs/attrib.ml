@@ -1,0 +1,86 @@
+type bucket =
+  | Active
+  | Fetch_starved
+  | Scoreboard
+  | Barrier
+  | Darsie_sync
+  | Mem_pending
+  | Idle
+
+let all_buckets =
+  [ Active; Fetch_starved; Scoreboard; Barrier; Darsie_sync; Mem_pending; Idle ]
+
+let bucket_name = function
+  | Active -> "active"
+  | Fetch_starved -> "fetch_starved"
+  | Scoreboard -> "scoreboard"
+  | Barrier -> "barrier"
+  | Darsie_sync -> "darsie_sync"
+  | Mem_pending -> "mem_pending"
+  | Idle -> "idle"
+
+type t = {
+  mutable active : int;
+  mutable fetch_starved : int;
+  mutable scoreboard : int;
+  mutable barrier : int;
+  mutable darsie_sync : int;
+  mutable mem_pending : int;
+  mutable idle : int;
+}
+
+let create () =
+  {
+    active = 0;
+    fetch_starved = 0;
+    scoreboard = 0;
+    barrier = 0;
+    darsie_sync = 0;
+    mem_pending = 0;
+    idle = 0;
+  }
+
+let bump t = function
+  | Active -> t.active <- t.active + 1
+  | Fetch_starved -> t.fetch_starved <- t.fetch_starved + 1
+  | Scoreboard -> t.scoreboard <- t.scoreboard + 1
+  | Barrier -> t.barrier <- t.barrier + 1
+  | Darsie_sync -> t.darsie_sync <- t.darsie_sync + 1
+  | Mem_pending -> t.mem_pending <- t.mem_pending + 1
+  | Idle -> t.idle <- t.idle + 1
+
+let get t = function
+  | Active -> t.active
+  | Fetch_starved -> t.fetch_starved
+  | Scoreboard -> t.scoreboard
+  | Barrier -> t.barrier
+  | Darsie_sync -> t.darsie_sync
+  | Mem_pending -> t.mem_pending
+  | Idle -> t.idle
+
+let total t =
+  t.active + t.fetch_starved + t.scoreboard + t.barrier + t.darsie_sync
+  + t.mem_pending + t.idle
+
+let add acc x =
+  acc.active <- acc.active + x.active;
+  acc.fetch_starved <- acc.fetch_starved + x.fetch_starved;
+  acc.scoreboard <- acc.scoreboard + x.scoreboard;
+  acc.barrier <- acc.barrier + x.barrier;
+  acc.darsie_sync <- acc.darsie_sync + x.darsie_sync;
+  acc.mem_pending <- acc.mem_pending + x.mem_pending;
+  acc.idle <- acc.idle + x.idle
+
+let to_assoc t = List.map (fun b -> (bucket_name b, get t b)) all_buckets
+
+let pp fmt t =
+  let tot = max 1 (total t) in
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i b ->
+      if i > 0 then Format.fprintf fmt "@,";
+      let n = get t b in
+      Format.fprintf fmt "%-14s %10d  (%5.1f%%)" (bucket_name b) n
+        (100.0 *. float_of_int n /. float_of_int tot))
+    all_buckets;
+  Format.fprintf fmt "@]"

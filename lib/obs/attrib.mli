@@ -1,0 +1,56 @@
+(** Stall-cycle attribution.
+
+    Every SM cycle is classified into exactly one bucket, so for any
+    single SM the bucket counts sum to the cycles it simulated — the
+    invariant the CLI and tests enforce. [Active] covers cycles where at
+    least one issue slot was used (including DARSIE/UV drops); the other
+    buckets split the non-issuing cycles by the dominant blocking
+    reason. *)
+
+type bucket =
+  | Active  (** >= 1 warp instruction issued or dropped this cycle *)
+  | Fetch_starved
+      (** runnable warps exist but their I-buffers hold nothing old
+          enough to issue (fetch width, I-cache miss wait, pipeline
+          fill) *)
+  | Scoreboard
+      (** an aged I-buffer head was blocked by operand dependences on
+          short-latency producers or by issue-stage resources *)
+  | Barrier  (** every runnable warp is waiting at a TB-wide barrier *)
+  | Darsie_sync
+      (** warps are fetch-gated by DARSIE synchronization (branch sync,
+          LeaderWB wait, freelist pressure) *)
+  | Mem_pending
+      (** progress is blocked behind in-flight memory operations *)
+  | Idle  (** no resident work: the SM drained or never got a TB *)
+
+val all_buckets : bucket list
+
+val bucket_name : bucket -> string
+
+type t = {
+  mutable active : int;
+  mutable fetch_starved : int;
+  mutable scoreboard : int;
+  mutable barrier : int;
+  mutable darsie_sync : int;
+  mutable mem_pending : int;
+  mutable idle : int;
+}
+
+val create : unit -> t
+
+val bump : t -> bucket -> unit
+
+val get : t -> bucket -> int
+
+val total : t -> int
+(** Sum over all buckets; equals the cycle count of the SM that owns it. *)
+
+val add : t -> t -> unit
+(** [add acc x] accumulates every bucket of [x] into [acc]. *)
+
+val to_assoc : t -> (string * int) list
+(** Stable bucket order, suitable for export. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+type kind =
+  | Fetch
+  | Icache_miss
+  | Skip_prefetch
+  | Issue
+  | Drop_at_issue
+  | Barrier_arrive
+  | Barrier_release
+  | Darsie_sync_stall
+  | Mem_access
+  | L1_miss
+  | Dram_txn
+  | Tb_launch
+  | Tb_finish
+
+type t = { cycle : int; sm : int; warp : int; kind : kind }
+
+let kind_name = function
+  | Fetch -> "fetch"
+  | Icache_miss -> "icache_miss"
+  | Skip_prefetch -> "skip_prefetch"
+  | Issue -> "issue"
+  | Drop_at_issue -> "drop_at_issue"
+  | Barrier_arrive -> "barrier_arrive"
+  | Barrier_release -> "barrier_release"
+  | Darsie_sync_stall -> "darsie_sync_stall"
+  | Mem_access -> "mem_access"
+  | L1_miss -> "l1_miss"
+  | Dram_txn -> "dram_txn"
+  | Tb_launch -> "tb_launch"
+  | Tb_finish -> "tb_finish"
+
+let all_kinds =
+  [ Fetch; Icache_miss; Skip_prefetch; Issue; Drop_at_issue; Barrier_arrive;
+    Barrier_release; Darsie_sync_stall; Mem_access; L1_miss; Dram_txn;
+    Tb_launch; Tb_finish ]
+
+let pp fmt e =
+  Format.fprintf fmt "[c%d sm%d w%d] %s" e.cycle e.sm e.warp (kind_name e.kind)

@@ -1,0 +1,37 @@
+(** Typed pipeline events emitted by the timing model.
+
+    Events are deliberately flat — three small integers and a variant —
+    so that constructing one costs a single minor allocation and the
+    null-sink path (see {!Sink}) pays only the branch that decides not
+    to construct it. *)
+
+type kind =
+  | Fetch  (** warp instruction fetched into an I-buffer *)
+  | Icache_miss
+  | Skip_prefetch  (** instruction eliminated before fetch (DARSIE / DAC) *)
+  | Issue
+  | Drop_at_issue  (** eliminated at issue (UV reuse hit) *)
+  | Barrier_arrive
+  | Barrier_release  (** TB-wide barrier released (warp = TB slot) *)
+  | Darsie_sync_stall
+      (** warp-cycle lost to DARSIE synchronization (branch sync,
+          LeaderWB wait, freelist pressure) *)
+  | Mem_access  (** global-memory instruction reached the L1 *)
+  | L1_miss
+  | Dram_txn
+  | Tb_launch  (** threadblock installed (warp = TB id) *)
+  | Tb_finish  (** threadblock retired (warp = TB slot) *)
+
+type t = {
+  cycle : int;
+  sm : int;
+  warp : int;  (** SM-local warp id; [-1] when not attributable to a warp *)
+  kind : kind;
+}
+
+val kind_name : kind -> string
+(** Stable lowercase-snake name used by the exporters. *)
+
+val all_kinds : kind list
+
+val pp : Format.formatter -> t -> unit

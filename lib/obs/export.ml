@@ -1,0 +1,121 @@
+let schema_version = 1
+
+(* Chrome trace_event format: ts is in microseconds; we map one simulated
+   cycle to one microsecond so Perfetto's timeline reads in cycles. *)
+
+let meta_event ~pid ~name =
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.String name) ]);
+    ]
+
+let instant_event (e : Event.t) =
+  Json.Obj
+    [
+      ("name", Json.String (Event.kind_name e.Event.kind));
+      ("ph", Json.String "i");
+      ("ts", Json.Int e.Event.cycle);
+      ("pid", Json.Int e.Event.sm);
+      ("tid", Json.Int (max 0 e.Event.warp));
+      ("s", Json.String "t");
+    ]
+
+let counter_events ~sm series =
+  List.map
+    (fun (p : Series.point) ->
+      let args =
+        List.map2
+          (fun name v -> (name, Json.Int v))
+          (Series.names series)
+          (Array.to_list p.Series.values)
+      in
+      Json.Obj
+        [
+          ("name", Json.String "counters");
+          ("ph", Json.String "C");
+          ("ts", Json.Int p.Series.cycle);
+          ("pid", Json.Int sm);
+          ("args", Json.Obj args);
+        ])
+    (Series.points series)
+
+let chrome_trace ?recorder ?(series = [||]) ~name () =
+  let sms = Hashtbl.create 8 in
+  let note_sm id = Hashtbl.replace sms id () in
+  Array.iteri (fun sm _ -> note_sm sm) series;
+  let instants =
+    match recorder with
+    | None -> []
+    | Some r ->
+      let acc = ref [] in
+      Recorder.iter
+        (fun e ->
+          note_sm e.Event.sm;
+          acc := instant_event e :: !acc)
+        r;
+      List.rev !acc
+  in
+  let metas =
+    Hashtbl.fold (fun sm () acc -> (sm, ()) :: acc) sms []
+    |> List.map fst |> List.sort compare
+    |> List.map (fun sm ->
+           meta_event ~pid:sm ~name:(Printf.sprintf "%s / SM %d" name sm))
+  in
+  let counters =
+    Array.to_list (Array.mapi (fun sm s -> counter_events ~sm s) series)
+    |> List.concat
+  in
+  let truncation =
+    match recorder with
+    | Some r when Recorder.dropped r > 0 ->
+      [
+        Json.Obj
+          [
+            ( "name",
+              Json.String
+                (Printf.sprintf "recorder dropped %d events"
+                   (Recorder.dropped r)) );
+            ("ph", Json.String "i");
+            ("ts", Json.Int 0);
+            ("pid", Json.Int 0);
+            ("tid", Json.Int 0);
+            ("s", Json.String "g");
+          ];
+      ]
+    | _ -> []
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metas @ truncation @ instants @ counters));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let csv_of_series series =
+  let buf = Buffer.create 4096 in
+  let names =
+    if Array.length series = 0 then []
+    else Series.names series.(0)
+  in
+  Buffer.add_string buf "sm,cycle";
+  List.iter (fun n -> Buffer.add_char buf ','; Buffer.add_string buf n) names;
+  Buffer.add_char buf '\n';
+  Array.iteri
+    (fun sm s ->
+      List.iter
+        (fun (p : Series.point) ->
+          Buffer.add_string buf (string_of_int sm);
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int p.Series.cycle);
+          Array.iter
+            (fun v ->
+              Buffer.add_char buf ',';
+              Buffer.add_string buf (string_of_int v))
+            p.Series.values;
+          Buffer.add_char buf '\n')
+        (Series.points s))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** Machine-readable exporters.
+
+    - {!chrome_trace} writes Chrome [trace_event] JSON that loads in
+      [chrome://tracing] and Perfetto: one process per SM, instant
+      events per pipeline event, counter tracks from the sampled
+      series.
+    - {!csv_of_series} flattens per-SM interval samples into one CSV.
+
+    The full metrics document (which also needs the timing model's
+    counters) is assembled by [Darsie_harness.Metrics] on top of
+    {!Json}; {!schema_version} is bumped whenever its layout changes
+    incompatibly. *)
+
+val schema_version : int
+
+val chrome_trace :
+  ?recorder:Recorder.t -> ?series:Series.t array -> name:string -> unit -> Json.t
+(** [series] is indexed by SM id. The trace carries a metadata event
+    naming each SM process after [name] and, when the recorder dropped
+    events, an instant event flagging the truncation. *)
+
+val csv_of_series : Series.t array -> string
+(** Header [sm,cycle,<counter...>]; one row per (SM, interval) sample. *)

@@ -1,0 +1,32 @@
+(** A minimal JSON tree, printer, and parser.
+
+    Exists so the metrics exporters need no external dependency. The
+    printer emits canonical compact JSON; the parser accepts standard
+    JSON (numbers without [.], [e] or [E] parse as [Int]), which is
+    enough for schema validation and round-trip tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line form. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val pretty_to_string : t -> string
+(** Two-space-indented form for files meant to be read by humans. *)
+
+val of_string : string -> (t, string) result
+(** Parse error messages carry a character offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on anything else. *)
+
+val to_int : t -> int option
+(** [Int] directly; integral [Float]s also convert. *)

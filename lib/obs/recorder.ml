@@ -1,0 +1,46 @@
+type t = {
+  cap : int;
+  mutable buf : Event.t array;
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let dummy = { Event.cycle = 0; sm = 0; warp = 0; kind = Event.Fetch }
+
+let create ?(cap = 2_000_000) () = { cap; buf = [||]; len = 0; dropped = 0 }
+
+let push t ev =
+  if t.len >= t.cap then t.dropped <- t.dropped + 1
+  else begin
+    if t.len >= Array.length t.buf then begin
+      let ncap = min t.cap (max 1024 (2 * Array.length t.buf)) in
+      let nbuf = Array.make ncap dummy in
+      Array.blit t.buf 0 nbuf 0 t.len;
+      t.buf <- nbuf
+    end;
+    t.buf.(t.len) <- ev;
+    t.len <- t.len + 1
+  end
+
+let sink t = Sink.of_fn (push t)
+
+let length t = t.len
+
+let dropped t = t.dropped
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.buf.(i)
+  done
+
+let events t =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    acc := t.buf.(i) :: !acc
+  done;
+  !acc
+
+let count t kind =
+  let n = ref 0 in
+  iter (fun e -> if e.Event.kind = kind then incr n) t;
+  !n

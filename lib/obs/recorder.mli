@@ -1,0 +1,26 @@
+(** An in-memory event sink with a bounded buffer.
+
+    Events past [cap] are counted but not stored, so a pathological run
+    cannot exhaust memory; exporters report the drop count rather than
+    silently truncating. *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+(** [cap] defaults to 2,000,000 events (~64 MB worst case). *)
+
+val sink : t -> Sink.t
+
+val length : t -> int
+(** Events actually stored. *)
+
+val dropped : t -> int
+(** Events discarded once the buffer filled. *)
+
+val events : t -> Event.t list
+(** In emission order. *)
+
+val iter : (Event.t -> unit) -> t -> unit
+
+val count : t -> Event.kind -> int
+(** Stored events of one kind. *)

@@ -1,0 +1,43 @@
+type point = { cycle : int; values : int array }
+
+type t = {
+  interval : int;
+  names : string list;
+  width : int;
+  mutable rev_points : point list;
+  mutable last : int array;  (* cumulative values at last_cycle *)
+  mutable last_cycle : int;
+}
+
+let create ~interval ~names =
+  if interval < 1 then invalid_arg "Series.create: interval must be >= 1";
+  if names = [] then invalid_arg "Series.create: no counter names";
+  {
+    interval;
+    names;
+    width = List.length names;
+    rev_points = [];
+    last = Array.make (List.length names) 0;
+    last_cycle = 0;
+  }
+
+let interval t = t.interval
+
+let names t = t.names
+
+let boundary t ~cycle = cycle > 0 && cycle mod t.interval = 0
+
+let record t ~cycle values =
+  if Array.length values <> t.width then
+    invalid_arg "Series.record: value width mismatch";
+  if cycle < t.last_cycle then invalid_arg "Series.record: cycle went backwards";
+  if cycle > t.last_cycle then begin
+    let delta = Array.mapi (fun i v -> v - t.last.(i)) values in
+    t.rev_points <- { cycle; values = delta } :: t.rev_points;
+    t.last <- Array.copy values;
+    t.last_cycle <- cycle
+  end
+
+let points t = List.rev t.rev_points
+
+let num_points t = List.length t.rev_points

@@ -1,0 +1,36 @@
+(** Per-interval sampled counter time-series.
+
+    A producer (one per SM) calls {!boundary} each cycle — an integer
+    modulo when sampling is on, nothing at all when it is off — and on a
+    boundary snapshots its cumulative counters into {!record}. The
+    series stores per-interval {e deltas}, so each point is the activity
+    inside [(point.cycle - interval, point.cycle]] (the final point may
+    cover a partial interval). *)
+
+type point = { cycle : int; values : int array }
+
+type t
+
+val create : interval:int -> names:string list -> t
+(** @raise Invalid_argument when [interval < 1] or [names] is empty. *)
+
+val interval : t -> int
+
+val names : t -> string list
+
+val boundary : t -> cycle:int -> bool
+(** True when [cycle] is a sampling boundary (a positive multiple of the
+    interval). *)
+
+val record : t -> cycle:int -> int array -> unit
+(** Snapshot of the cumulative counter values at [cycle]; stores the
+    delta since the previous record. A repeated [cycle] is ignored (so a
+    final flush landing exactly on a boundary is safe).
+
+    @raise Invalid_argument on a non-monotonic cycle or a length
+    mismatch with [names]. *)
+
+val points : t -> point list
+(** In cycle order. *)
+
+val num_points : t -> int

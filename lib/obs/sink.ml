@@ -1,0 +1,9 @@
+type t = Null | Fn of (Event.t -> unit)
+
+let null = Null
+
+let of_fn f = Fn f
+
+let enabled = function Null -> false | Fn _ -> true
+
+let emit t ev = match t with Null -> () | Fn f -> f ev

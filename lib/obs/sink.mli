@@ -1,0 +1,23 @@
+(** Event sinks.
+
+    The timing model's hot loop guards every emission with
+    {!enabled}, so with the {!null} sink tracing costs one predictable
+    branch per site and zero allocations:
+
+    {[
+      if Sink.enabled t.sink then
+        Sink.emit t.sink { Event.cycle; sm; warp; kind = Event.Issue }
+    ]} *)
+
+type t
+
+val null : t
+(** Discards everything; [enabled null = false]. *)
+
+val of_fn : (Event.t -> unit) -> t
+
+val enabled : t -> bool
+
+val emit : t -> Event.t -> unit
+(** No-op on {!null}. Callers on hot paths should still test
+    {!enabled} first to avoid constructing the event. *)

@@ -1,5 +1,6 @@
 open Darsie_isa
 open Darsie_trace
+module Obs = Darsie_obs
 
 type result = {
   cycles : int;
@@ -7,6 +8,9 @@ type result = {
   per_sm : Stats.t array;
   engine : string;
   tbs_per_sm : int;
+  attribution : Obs.Attrib.t;
+  per_sm_attribution : Obs.Attrib.t array;
+  series : Obs.Series.t array;
 }
 
 let occupancy (cfg : Config.t) (kernel : Kernel.t) ~warps_per_tb =
@@ -21,8 +25,8 @@ let occupancy (cfg : Config.t) (kernel : Kernel.t) ~warps_per_tb =
   in
   max 1 (min (min cfg.Config.max_tbs_per_sm by_warps) (min by_shared by_regs))
 
-let run ?(cfg = Config.default) factory (kinfo : Kinfo.t)
-    (trace : Record.t) =
+let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
+    factory (kinfo : Kinfo.t) (trace : Record.t) =
   let kernel = kinfo.Kinfo.kernel in
   let warps_per_tb = Record.warps_per_tb trace in
   let tbs_per_sm = occupancy cfg kernel ~warps_per_tb in
@@ -31,8 +35,15 @@ let run ?(cfg = Config.default) factory (kinfo : Kinfo.t)
       ~latency:cfg.Config.dram_lat
   in
   let sms =
-    Array.init cfg.Config.num_sms (fun _ ->
-        Sm.create cfg kinfo factory dram ~slots:tbs_per_sm ~warps_per_tb)
+    Array.init cfg.Config.num_sms (fun i ->
+        let series =
+          Option.map
+            (fun interval ->
+              Obs.Series.create ~interval ~names:Sm.sample_names)
+            sample_interval
+        in
+        Sm.create ~sm_id:i ~sink ?series cfg kinfo factory dram
+          ~slots:tbs_per_sm ~warps_per_tb)
   in
   let ntbs = Record.num_tbs trace in
   let next_tb = ref 0 in
@@ -55,18 +66,51 @@ let run ?(cfg = Config.default) factory (kinfo : Kinfo.t)
     Array.iter Sm.step sms;
     dispatch ()
   done;
+  Array.iter Sm.finalize sms;
   let per_sm = Array.map Sm.stats sms in
   let agg = Stats.create () in
   Array.iter (fun s -> Stats.add agg s) per_sm;
   agg.Stats.cycles <- !cycles;
+  let per_sm_attribution = Array.map Sm.attribution sms in
+  let attribution = Obs.Attrib.create () in
+  Array.iter (fun a -> Obs.Attrib.add attribution a) per_sm_attribution;
+  let series =
+    if sample_interval = None then [||]
+    else
+      Array.map
+        (fun sm ->
+          match Sm.series sm with Some s -> s | None -> assert false)
+        sms
+  in
   {
     cycles = !cycles;
     stats = agg;
     per_sm;
     engine = Sm.engine_name sms.(0);
     tbs_per_sm;
+    attribution;
+    per_sm_attribution;
+    series;
   }
 
 let ipc r =
   if r.cycles = 0 then 0.0
   else float_of_int r.stats.Stats.issued /. float_of_int r.cycles
+
+(* Each SM steps once per simulated cycle and classifies that cycle into
+   exactly one bucket, so this can only fail if the model drifts. *)
+let check_attribution r =
+  let bad = ref [] in
+  Array.iteri
+    (fun i a ->
+      let tot = Obs.Attrib.total a in
+      if tot <> r.cycles then bad := (i, tot) :: !bad)
+    r.per_sm_attribution;
+  match List.rev !bad with
+  | [] -> Ok ()
+  | (sm, tot) :: _ ->
+    Error
+      (Printf.sprintf
+         "stall attribution does not sum to cycles on SM %d: %d buckets vs %d \
+          cycles (engine %s)"
+         sm tot r.cycles r.engine)

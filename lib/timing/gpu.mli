@@ -7,6 +7,12 @@ type result = {
   per_sm : Stats.t array;
   engine : string;
   tbs_per_sm : int;  (** resident threadblock occupancy used *)
+  attribution : Darsie_obs.Attrib.t;
+      (** stall attribution summed over SMs; totals [num_sms * cycles] *)
+  per_sm_attribution : Darsie_obs.Attrib.t array;
+      (** each sums exactly to [cycles] *)
+  series : Darsie_obs.Series.t array;
+      (** per-SM interval-sampled counters; [[||]] when sampling was off *)
 }
 
 val occupancy : Config.t -> Darsie_isa.Kernel.t -> warps_per_tb:int -> int
@@ -14,13 +20,26 @@ val occupancy : Config.t -> Darsie_isa.Kernel.t -> warps_per_tb:int -> int
     and slot limits. *)
 
 val run :
-  ?cfg:Config.t -> Engine.factory -> Kinfo.t -> Darsie_trace.Record.t -> result
+  ?cfg:Config.t ->
+  ?sink:Darsie_obs.Sink.t ->
+  ?sample_interval:int ->
+  Engine.factory ->
+  Kinfo.t ->
+  Darsie_trace.Record.t ->
+  result
 (** Replay a recorded trace through the timing model with the given
     engine. Threadblocks are dispatched to SMs greedily in index order as
-    slots free up.
+    slots free up. [sink] receives typed pipeline events (default: the
+    null sink — tracing off); [sample_interval] turns on per-SM counter
+    time-series with one point per that many cycles.
 
     @raise Failure if simulation exceeds a safety cycle bound. *)
 
 val ipc : result -> float
 (** Executed warp instructions (including eliminated ones' useful work is
     excluded) per cycle: [issued / cycles]. *)
+
+val check_attribution : result -> (unit, string) Stdlib.result
+(** Verify the per-SM stall-attribution invariant (every simulated cycle
+    classified exactly once). The CLI turns an [Error] into a nonzero
+    exit status so CI catches model drift. *)

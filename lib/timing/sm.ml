@@ -1,4 +1,5 @@
 open Darsie_trace
+module Obs = Darsie_obs
 
 type slot_state = {
   mutable occupied : bool;
@@ -30,9 +31,30 @@ type t = {
   greedy : int array;  (* per scheduler: preferred wid, or -1 *)
   mutable cycle : int;
   bank_use : int array;  (* per-RF-bank reads scheduled this cycle *)
+  sm_id : int;
+  sink : Obs.Sink.t;
+  attr : Obs.Attrib.t;
+  series : Obs.Series.t option;
+  mutable issue_slots_used : int;  (* issues + drops this cycle *)
 }
 
-let create cfg kinfo factory dram ~slots ~warps_per_tb =
+(* Counters snapshotted into the per-interval time-series; the order here
+   is the column order of the CSV/JSON exports. *)
+let sample_names =
+  [ "issued"; "fetched"; "skipped_prefetch"; "dropped_issue"; "icache_misses";
+    "l1_accesses"; "l1_misses"; "dram_transactions"; "barrier_stall_cycles";
+    "darsie_sync_stalls" ]
+
+let sample_snapshot (s : Stats.t) =
+  [|
+    s.Stats.issued; s.Stats.fetched; s.Stats.skipped_prefetch;
+    s.Stats.dropped_issue; s.Stats.icache_misses; s.Stats.l1_accesses;
+    s.Stats.l1_misses; s.Stats.dram_transactions;
+    s.Stats.barrier_stall_cycles; s.Stats.darsie_sync_stalls;
+  |]
+
+let create ?(sm_id = 0) ?(sink = Obs.Sink.null) ?series cfg kinfo factory dram
+    ~slots ~warps_per_tb =
   let stats = Stats.create () in
   {
     cfg;
@@ -62,7 +84,17 @@ let create cfg kinfo factory dram ~slots ~warps_per_tb =
     greedy = Array.make cfg.Config.num_schedulers (-1);
     cycle = 0;
     bank_use = Array.make cfg.Config.rf_banks 0;
+    sm_id;
+    sink;
+    attr = Obs.Attrib.create ();
+    series;
+    issue_slots_used = 0;
   }
+
+let emit t ~warp kind =
+  if Obs.Sink.enabled t.sink then
+    Obs.Sink.emit t.sink
+      { Obs.Event.cycle = t.cycle; sm = t.sm_id; warp; kind }
 
 let can_accept t = Array.exists (fun s -> not s.occupied) t.slots
 
@@ -108,6 +140,7 @@ let launch_tb t ~tb_id ~traces =
   for w = Array.length traces to t.warps_per_tb - 1 do
     t.warps.((slot_idx * t.warps_per_tb) + w) <- None
   done;
+  emit t ~warp:tb_id Obs.Event.Tb_launch;
   t.engine.Engine.on_tb_launch ~tb_slot:slot_idx ~warps
 
 let busy t =
@@ -118,6 +151,17 @@ let stats t = t.stats
 let engine_name t = t.engine.Engine.name
 
 let cycle t = t.cycle
+
+let attribution t = t.attr
+
+let series t = t.series
+
+(* Flush the trailing partial sampling interval (no-op when the run ended
+   exactly on a boundary, or when sampling is off). *)
+let finalize t =
+  match t.series with
+  | Some s -> Obs.Series.record s ~cycle:t.cycle (sample_snapshot t.stats)
+  | None -> ()
 
 (* A warp has issued everything when its trace cursor is exhausted and its
    I-buffer has drained. *)
@@ -194,7 +238,8 @@ let barriers_and_retirement t =
           if slot.barrier_release_at >= 0 && t.cycle >= slot.barrier_release_at
           then begin
             List.iter (fun w -> w.Engine.at_barrier <- false) warps;
-            slot.barrier_release_at <- -1
+            slot.barrier_release_at <- -1;
+            emit t ~warp:slot_idx Obs.Event.Barrier_release
           end
         end;
         (* Retirement: all warps drained, nothing in flight. *)
@@ -208,6 +253,7 @@ let barriers_and_retirement t =
           for w = 0 to t.warps_per_tb - 1 do
             t.warps.(base + w) <- None
           done;
+          emit t ~warp:slot_idx Obs.Event.Tb_finish;
           t.engine.Engine.on_tb_finish ~tb_slot:slot_idx
         end
       end)
@@ -273,12 +319,14 @@ let try_issue_head t budget (w : Engine.wctx) =
         let stats = t.stats in
         let cfg = t.cfg in
         w.Engine.last_issued <- t.cycle;
+        t.issue_slots_used <- t.issue_slots_used + 1;
         (match t.engine.Engine.on_issue ~cycle:t.cycle w op with
         | Engine.Drop ->
           (* Eliminated at issue (UV): consumed fetch/decode and an issue
              slot but no execution resources; the reuse-buffer value is
              available to dependents next cycle. *)
           stats.Stats.dropped_issue <- stats.Stats.dropped_issue + 1;
+          emit t ~warp:w.Engine.wid Obs.Event.Drop_at_issue;
           (match kinfo.Kinfo.shape.(idx) with
           | Darsie_compiler.Marking.Uniform ->
             stats.Stats.elim_uniform <- stats.Stats.elim_uniform + 1
@@ -299,6 +347,7 @@ let try_issue_head t budget (w : Engine.wctx) =
           stats.Stats.issued <- stats.Stats.issued + 1;
           stats.Stats.executed_threads <-
             stats.Stats.executed_threads + popcount op.Record.active;
+          emit t ~warp:w.Engine.wid Obs.Event.Issue;
           (* Register file reads and bank conflicts. *)
           let conflicts = ref 0 in
           List.iter
@@ -322,6 +371,8 @@ let try_issue_head t budget (w : Engine.wctx) =
               if kinfo.Kinfo.is_barrier.(idx) then w.Engine.at_barrier <- true
               else if kinfo.Kinfo.is_branch.(idx) && cfg.Config.sync_at_branches
               then w.Engine.at_barrier <- true;
+              if w.Engine.at_barrier then
+                emit t ~warp:w.Engine.wid Obs.Event.Barrier_arrive;
               t.cycle + cfg.Config.alu_lat
             | Kinfo.Sfu ->
               budget.sfu_left <- budget.sfu_left - 1;
@@ -330,6 +381,7 @@ let try_issue_head t budget (w : Engine.wctx) =
             | Kinfo.Mem_shared ->
               budget.mem_left <- budget.mem_left - 1;
               stats.Stats.mem_ops <- stats.Stats.mem_ops + 1;
+              emit t ~warp:w.Engine.wid Obs.Event.Mem_access;
               let sc =
                 Mem_model.shared_conflicts ~banks:cfg.Config.warp_size
                   op.Record.accesses
@@ -342,6 +394,7 @@ let try_issue_head t budget (w : Engine.wctx) =
             | Kinfo.Mem_global ->
               budget.mem_left <- budget.mem_left - 1;
               stats.Stats.mem_ops <- stats.Stats.mem_ops + 1;
+              emit t ~warp:w.Engine.wid Obs.Event.Mem_access;
               let lines =
                 Mem_model.coalesce ~line_bytes:cfg.Config.l1_line
                   op.Record.accesses
@@ -352,6 +405,7 @@ let try_issue_head t budget (w : Engine.wctx) =
                 t.engine.Engine.on_store w;
                 stats.Stats.dram_transactions <-
                   stats.Stats.dram_transactions + nlines;
+                emit t ~warp:w.Engine.wid Obs.Event.Dram_txn;
                 Mem_model.Dram.request t.dram ~now:(t.cycle + cfg.Config.l1_lat)
                   ~ntxns:nlines
               end
@@ -362,6 +416,7 @@ let try_issue_head t budget (w : Engine.wctx) =
                 stats.Stats.l1_accesses <- stats.Stats.l1_accesses + nlines;
                 stats.Stats.dram_transactions <-
                   stats.Stats.dram_transactions + nlines;
+                emit t ~warp:w.Engine.wid Obs.Event.Dram_txn;
                 ignore
                   (Mem_model.Dram.request t.dram ~now:(t.cycle + cfg.Config.l1_lat)
                      ~ntxns:nlines);
@@ -381,6 +436,8 @@ let try_issue_head t budget (w : Engine.wctx) =
                 else begin
                   stats.Stats.dram_transactions <-
                     stats.Stats.dram_transactions + misses;
+                  emit t ~warp:w.Engine.wid Obs.Event.L1_miss;
+                  emit t ~warp:w.Engine.wid Obs.Event.Dram_txn;
                   Mem_model.Dram.request t.dram ~now:(t.cycle + cfg.Config.l1_lat)
                     ~ntxns:misses
                 end
@@ -494,6 +551,7 @@ let fetch t =
           | Some op when t.engine.Engine.remove_at_fetch w op ->
             w.Engine.fi <- w.Engine.fi + 1;
             t.stats.Stats.skipped_prefetch <- t.stats.Stats.skipped_prefetch + 1;
+            emit t ~warp:w.Engine.wid Obs.Event.Skip_prefetch;
             (match t.kinfo.Kinfo.shape.(op.Record.idx) with
             | Darsie_compiler.Marking.Uniform ->
               t.stats.Stats.elim_uniform <- t.stats.Stats.elim_uniform + 1
@@ -511,12 +569,14 @@ let fetch t =
           let pc = Darsie_isa.Kernel.pc_of_index op.Record.idx in
           if Mem_model.L1.access t.icache pc then begin
             t.stats.Stats.fetched <- t.stats.Stats.fetched + 1;
+            emit t ~warp:w.Engine.wid Obs.Event.Fetch;
             Queue.push (op, t.cycle) w.Engine.ibuf;
             w.Engine.fi <- w.Engine.fi + 1
           end
           else begin
             (* I-cache miss: the line fills and the warp refetches *)
             t.stats.Stats.icache_misses <- t.stats.Stats.icache_misses + 1;
+            emit t ~warp:w.Engine.wid Obs.Event.Icache_miss;
             w.Engine.fetch_ready_at <- t.cycle + cfg.Config.icache_miss_lat
           end;
           t.fetch_ptr <- (!ptr + 1) mod nw
@@ -530,11 +590,99 @@ let fetch t =
       t.stats.Stats.fetch_stall_cycles <- t.stats.Stats.fetch_stall_cycles + 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* Stall-cycle attribution                                             *)
+(* ------------------------------------------------------------------ *)
+
+let warp_has_mem_inflight t (w : Engine.wctx) =
+  List.exists
+    (fun f ->
+      f.fly_warp == w
+      &&
+      match t.kinfo.Kinfo.unit_of.(f.fly_op.Record.idx) with
+      | Kinfo.Mem_global | Kinfo.Mem_shared -> true
+      | Kinfo.Alu | Kinfo.Sfu | Kinfo.Ctrl -> false)
+    t.inflight
+
+(* Classify one cycle into exactly one Attrib bucket. Called at the end
+   of [step], so "aged" I-buffer heads (fetch_cycle < cycle) are exactly
+   the ones the issue stage considered and rejected this cycle. *)
+let classify_cycle t =
+  if t.issue_slots_used > 0 then Obs.Attrib.Active
+  else begin
+    let runnable = ref [] in
+    Array.iter
+      (function
+        | Some w when not (warp_drained w) -> runnable := w :: !runnable
+        | _ -> ())
+      t.warps;
+    match !runnable with
+    | [] -> if t.inflight <> [] then Obs.Attrib.Mem_pending else Obs.Attrib.Idle
+    | ws ->
+      if List.for_all (fun (w : Engine.wctx) -> w.Engine.at_barrier) ws then
+        Obs.Attrib.Barrier
+      else begin
+        let ws =
+          List.filter (fun (w : Engine.wctx) -> not w.Engine.at_barrier) ws
+        in
+        (* Warps whose head instruction was old enough to issue but did
+           not: operand (scoreboard) or issue-resource blocked. *)
+        let aged_blocked =
+          List.filter
+            (fun (w : Engine.wctx) ->
+              match Queue.peek_opt w.Engine.ibuf with
+              | Some (_, fc) -> fc < t.cycle
+              | None -> false)
+            ws
+        in
+        if aged_blocked <> [] then begin
+          let on_memory =
+            List.exists
+              (fun (w : Engine.wctx) ->
+                match Queue.peek_opt w.Engine.ibuf with
+                | Some (op, _) ->
+                  (not (scoreboard_ready w t.kinfo op.Record.idx))
+                  && warp_has_mem_inflight t w
+                | None -> false)
+              aged_blocked
+          in
+          if on_memory then Obs.Attrib.Mem_pending else Obs.Attrib.Scoreboard
+        end
+        else if
+          List.exists
+            (fun (w : Engine.wctx) ->
+              Queue.is_empty w.Engine.ibuf
+              && not (t.engine.Engine.can_fetch w))
+            ws
+        then Obs.Attrib.Darsie_sync
+        else Obs.Attrib.Fetch_starved
+      end
+  end
+
 let step t =
   t.cycle <- t.cycle + 1;
   t.stats.Stats.cycles <- t.cycle;
+  t.issue_slots_used <- 0;
   writeback t;
   barriers_and_retirement t;
   issue t;
-  t.engine.Engine.cycle_skip ~cycle:t.cycle;
-  fetch t
+  if Obs.Sink.enabled t.sink then begin
+    (* The engine's skip phase mutates counters internally; emit the
+       per-cycle deltas as aggregate (warp = -1) events. *)
+    let sp0 = t.stats.Stats.skipped_prefetch in
+    let ds0 = t.stats.Stats.darsie_sync_stalls in
+    t.engine.Engine.cycle_skip ~cycle:t.cycle;
+    for _ = 1 to t.stats.Stats.skipped_prefetch - sp0 do
+      emit t ~warp:(-1) Obs.Event.Skip_prefetch
+    done;
+    for _ = 1 to t.stats.Stats.darsie_sync_stalls - ds0 do
+      emit t ~warp:(-1) Obs.Event.Darsie_sync_stall
+    done
+  end
+  else t.engine.Engine.cycle_skip ~cycle:t.cycle;
+  fetch t;
+  Obs.Attrib.bump t.attr (classify_cycle t);
+  match t.series with
+  | Some s when Obs.Series.boundary s ~cycle:t.cycle ->
+    Obs.Series.record s ~cycle:t.cycle (sample_snapshot t.stats)
+  | _ -> ()

@@ -11,7 +11,13 @@
 
 type t
 
+val sample_names : string list
+(** Counter names (column order) of the per-interval time-series. *)
+
 val create :
+  ?sm_id:int ->
+  ?sink:Darsie_obs.Sink.t ->
+  ?series:Darsie_obs.Series.t ->
   Config.t ->
   Kinfo.t ->
   Engine.factory ->
@@ -19,6 +25,10 @@ val create :
   slots:int ->
   warps_per_tb:int ->
   t
+(** [sm_id] tags emitted events (default 0); [sink] defaults to the null
+    sink (tracing off costs one branch per event site); [series], when
+    given, receives an interval-sampled counter snapshot (see
+    {!sample_names}). *)
 
 val can_accept : t -> bool
 (** Has a free threadblock slot. *)
@@ -39,3 +49,13 @@ val stats : t -> Stats.t
 val engine_name : t -> string
 
 val cycle : t -> int
+
+val attribution : t -> Darsie_obs.Attrib.t
+(** Per-cycle stall attribution; its total equals {!cycle} at any point
+    between two {!step} calls. *)
+
+val series : t -> Darsie_obs.Series.t option
+
+val finalize : t -> unit
+(** Flush the trailing partial sampling interval. Call once after the
+    last {!step}. *)
