@@ -3,7 +3,7 @@
 DUNE ?= dune
 SMOKE_DIR ?= /tmp/darsie-smoke
 
-.PHONY: all build test verify bench profile-smoke clean
+.PHONY: all build test verify bench profile-smoke check-smoke clean
 
 all: build
 
@@ -31,6 +31,17 @@ profile-smoke: build
 	  --csv $(SMOKE_DIR)/mm.csv
 	DARSIE_METRICS_FILE=$(SMOKE_DIR)/mm.json \
 	  $(DUNE) exec test/test_obs.exe -- test schema
+
+# Robustness smoke: differential oracle plus seeded fault injection on
+# two apps (LIB has candidates for all three fault kinds), exported and
+# re-validated as a check report. Exits nonzero — with a per-failure-class
+# code — if anything escapes.
+check-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	$(DUNE) exec bin/darsie.exe -- check MM --inject 3 --seed 7 \
+	  --json $(SMOKE_DIR)/check_mm.json
+	$(DUNE) exec bin/darsie.exe -- check LIB --inject 6 --seed 7 \
+	  --json $(SMOKE_DIR)/check_lib.json
 
 clean:
 	$(DUNE) clean

@@ -203,7 +203,7 @@ let micro_tests () =
     let app = Suite.load_app Darsie_workloads.Dct8x8.workload in
     fun () ->
       ignore
-        (Darsie_timing.Gpu.run
+        (Darsie_timing.Gpu.run_exn
            (Darsie_core.Darsie_engine.factory ())
            app.Suite.kinfo app.Suite.trace)
   in

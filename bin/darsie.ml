@@ -9,6 +9,9 @@
                                  JSON metrics, Chrome trace, CSV series
      limit APP                 - redundancy limit study of one app
      experiment ID             - regenerate a paper figure/table
+     check [APP]               - robustness checks: differential oracle,
+                                 fault injection, budgeted crash-isolated
+                                 suite execution
      area                      - Section 6.3 area estimate
 
    Every subcommand exits nonzero when a simulation invariant is
@@ -362,6 +365,101 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Regenerate a paper figure or table")
     Term.(const run $ id_arg)
 
+let check_cmd =
+  let module Checker = Darsie_harness.Checker in
+  let module Sim_error = Darsie_check.Sim_error in
+  let run app_opt machines scale no_oracle inject seed deadline max_cycles
+      watchdog json_file =
+    let apps =
+      match app_opt with
+      | Some abbr -> [ or_die (find_app abbr) ]
+      | None -> Darsie_workloads.Registry.all
+    in
+    let machines = if machines = [] then Checker.default_machines else machines in
+    let cfg =
+      {
+        Darsie_timing.Config.default with
+        Darsie_timing.Config.max_cycles;
+        watchdog_cycles = watchdog;
+      }
+    in
+    Printf.printf "checking %d app(s) on %s (oracle %s, %d fault(s), seed %d)...\n%!"
+      (List.length apps)
+      (String.concat "+" (List.map Darsie_harness.Suite.machine_name machines))
+      (if no_oracle then "off" else "on")
+      inject seed;
+    let report =
+      Checker.check_suite ~cfg ~scale ~machines ~oracle:(not no_oracle) ~inject
+        ~seed ?deadline ~apps ()
+    in
+    print_string (Checker.render report);
+    (match json_file with
+    | Some path ->
+      let doc = Checker.to_json report in
+      (match Darsie_harness.Metrics.validate_check doc with
+      | Ok () -> ()
+      | Error msg -> violation "exported check report invalid (%s)" msg);
+      Darsie_harness.Metrics.write_file path doc;
+      Printf.printf "report: %s\n" path
+    | None -> ());
+    finish ();
+    (* each failure class gets its own exit code so scripts and CI can
+       tell a deadlock from an oracle mismatch *)
+    match Checker.worst_error report with
+    | None -> ()
+    | Some e ->
+      Printf.eprintf "%s\n" (Sim_error.summary e);
+      exit (Sim_error.exit_code e)
+  in
+  let app_opt_arg =
+    let doc = "Application to check; omit to check the whole suite." in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+  in
+  let machines_arg =
+    let doc = "Machine configuration(s) to run (repeatable; default BASE and \
+               DARSIE)." in
+    Arg.(value & opt_all machine_conv [] & info [ "machine"; "m" ]
+           ~docv:"MACHINE" ~doc)
+  in
+  let no_oracle_arg =
+    let doc = "Skip the differential oracle (functional + timing only)." in
+    Arg.(value & flag & info [ "no-oracle" ] ~doc)
+  in
+  let inject_arg =
+    let doc = "Inject $(docv) seeded faults per app; every one must be \
+               detected by the oracle." in
+    Arg.(value & opt int 0 & info [ "inject" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed for the fault plan (same seed, same faults)." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Processor-seconds budget per timing run (wall timeout)." in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECS" ~doc)
+  in
+  let max_cycles_arg =
+    let doc = "Cycle budget per timing run." in
+    Arg.(value
+         & opt int Darsie_timing.Config.default.Darsie_timing.Config.max_cycles
+         & info [ "max-cycles" ] ~docv:"N" ~doc)
+  in
+  let watchdog_arg =
+    let doc = "Deadlock watchdog window in cycles (0 disables)." in
+    Arg.(value
+         & opt int
+             Darsie_timing.Config.default.Darsie_timing.Config.watchdog_cycles
+         & info [ "watchdog" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Robustness checks: functional verify, budgeted timing runs, \
+          differential oracle and fault injection, crash-isolated per app")
+    Term.(const run $ app_opt_arg $ machines_arg $ scale_arg $ no_oracle_arg
+          $ inject_arg $ seed_arg $ deadline_arg $ max_cycles_arg
+          $ watchdog_arg $ json_arg)
+
 let area_cmd =
   let run () =
     let _, text = Darsie_harness.Figures.area () in
@@ -374,6 +472,21 @@ let main =
   let doc = "DARSIE: dimensionality-aware redundant SIMT instruction elimination" in
   Cmd.group (Cmd.info "darsie" ~version:"1.0.0" ~doc)
     [ list_cmd; asm_cmd; analyze_cmd; run_cmd; profile_cmd; limit_cmd;
-      experiment_cmd; area_cmd ]
+      experiment_cmd; check_cmd; area_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Typed simulation errors escaping any subcommand (e.g. a deadlock during
+   [darsie run]) exit with their distinct code and a one-line summary. *)
+let () =
+  let module Sim_error = Darsie_check.Sim_error in
+  try exit (Cmd.eval main) with
+  | Sim_error.Simulation_error e ->
+    Printf.eprintf "%s\n" (Sim_error.summary e);
+    exit (Sim_error.exit_code e)
+  | Darsie_emu.Interp.Error err ->
+    let e = Sim_error.of_emu err in
+    Printf.eprintf "%s\n" (Sim_error.summary e);
+    exit (Sim_error.exit_code e)
+  | Darsie_emu.Interp.Fault msg ->
+    let e = Sim_error.Memory_fault { message = msg } in
+    Printf.eprintf "%s\n" (Sim_error.summary e);
+    exit (Sim_error.exit_code e)

@@ -87,10 +87,10 @@ let () =
   let trace = Darsie_trace.Record.generate mem launch in
   let run ~tid_y =
     let kinfo = Kinfo.make ~tid_y_redundancy:tid_y ~warp_size:32 launch in
-    Gpu.run (Darsie_core.Darsie_engine.factory ()) kinfo trace
+    Gpu.run_exn (Darsie_core.Darsie_engine.factory ()) kinfo trace
   in
   let kinfo_base = Kinfo.make ~warp_size:32 launch in
-  let base = Gpu.run Engine.base_factory kinfo_base trace in
+  let base = Gpu.run_exn Engine.base_factory kinfo_base trace in
   let off = run ~tid_y:false and on = run ~tid_y:true in
   let sp r = float_of_int base.Gpu.cycles /. float_of_int r.Gpu.cycles in
   Printf.printf "baseline:              %6d cycles\n" base.Gpu.cycles;

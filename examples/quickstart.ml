@@ -74,8 +74,8 @@ let () =
 
   (* 6. Timing: baseline vs DARSIE. *)
   let kinfo = Kinfo.of_promotion promo launch in
-  let base = Gpu.run Engine.base_factory kinfo trace in
-  let darsie = Gpu.run (Darsie_core.Darsie_engine.factory ()) kinfo trace in
+  let base = Gpu.run_exn Engine.base_factory kinfo trace in
+  let darsie = Gpu.run_exn (Darsie_core.Darsie_engine.factory ()) kinfo trace in
   Printf.printf "baseline: %d cycles, %d instructions fetched\n"
     base.Gpu.cycles base.Gpu.stats.Stats.fetched;
   Printf.printf "DARSIE:   %d cycles, %d fetched, %d skipped before fetch\n"

@@ -1,0 +1,69 @@
+type kind = Flip_skip_entry | Poison_hre | Skip_non_redundant
+
+let kind_name = function
+  | Flip_skip_entry -> "flip_skip_entry"
+  | Poison_hre -> "poison_hre"
+  | Skip_non_redundant -> "skip_non_redundant"
+
+let all_kinds = [ Flip_skip_entry; Poison_hre; Skip_non_redundant ]
+
+type site = { s_tb : int; s_warp : int; s_inst : int; s_occ : int }
+
+type fault = { kind : kind; site : site }
+
+let fault_line f =
+  Printf.sprintf "%s at tb %d warp %d inst %d occ %d" (kind_name f.kind)
+    f.site.s_tb f.site.s_warp f.site.s_inst f.site.s_occ
+
+type candidates = {
+  flip_sites : site list;
+  poison_sites : site list;
+  skip_sites : site list;
+}
+
+let total c =
+  List.length c.flip_sites + List.length c.poison_sites
+  + List.length c.skip_sites
+
+let plan ~seed ~count cands =
+  let rng = Random.State.make [| seed |] in
+  let pools =
+    List.filter_map
+      (fun (kind, sites) ->
+        if sites = [] then None else Some (kind, ref (Array.of_list sites)))
+      [
+        (Flip_skip_entry, cands.flip_sites);
+        (Poison_hre, cands.poison_sites);
+        (Skip_non_redundant, cands.skip_sites);
+      ]
+  in
+  (* Sample without replacement: swap the pick to the end, shrink. *)
+  let draw pool =
+    let a = !pool in
+    let n = Array.length a in
+    if n = 0 then None
+    else begin
+      let i = Random.State.int rng n in
+      let picked = a.(i) in
+      a.(i) <- a.(n - 1);
+      pool := Array.sub a 0 (n - 1);
+      Some picked
+    end
+  in
+  let faults = ref [] in
+  let want = ref count in
+  let progressed = ref true in
+  while !want > 0 && !progressed do
+    progressed := false;
+    List.iter
+      (fun (kind, pool) ->
+        if !want > 0 then
+          match draw pool with
+          | Some site ->
+            faults := { kind; site } :: !faults;
+            decr want;
+            progressed := true
+          | None -> ())
+      pools
+  done;
+  List.rev !faults

@@ -1,0 +1,52 @@
+(** Deterministic seeded fault injection into DARSIE's redundancy
+    machinery.
+
+    Faults model the three ways the elimination hardware can corrupt an
+    execution: a flipped skip-table entry makes a follower pick up the
+    value of the {e wrong occurrence} of a PC; a poisoned HRE register
+    forwards a corrupted value vector; and a spurious skip elides an
+    instruction that was {e not} redundant. Each fault targets one dynamic
+    warp instruction — a (threadblock, warp, instruction, occurrence)
+    site — chosen deterministically from a seeded PRNG over the candidate
+    sites a profiling pass collected, so a given [(seed, count)] always
+    injects the same faults.
+
+    Candidate sites are pre-filtered so that every planned fault is
+    {e applicable} (e.g. a poison site really is a follower substitution)
+    and {e safely detectable}: spurious skips never target instructions
+    whose destination register feeds a memory address, so an injected run
+    mis-computes values rather than writing to wild addresses. *)
+
+type kind = Flip_skip_entry | Poison_hre | Skip_non_redundant
+
+val kind_name : kind -> string
+(** ["flip_skip_entry"], ["poison_hre"], ["skip_non_redundant"]. *)
+
+val all_kinds : kind list
+
+(** One dynamic warp instruction. *)
+type site = { s_tb : int; s_warp : int; s_inst : int; s_occ : int }
+
+type fault = { kind : kind; site : site }
+
+val fault_line : fault -> string
+(** One human-readable line: kind plus target site. *)
+
+(** Applicable sites per fault kind, collected by
+    {!Oracle.candidates}' profiling pass. *)
+type candidates = {
+  flip_sites : site list;
+      (** follower sites where another live occurrence of the same PC
+          holds a different value vector *)
+  poison_sites : site list;  (** all follower-substitution sites *)
+  skip_sites : site list;
+      (** non-redundant sites whose elision cannot corrupt an address *)
+}
+
+val total : candidates -> int
+
+val plan : seed:int -> count:int -> candidates -> fault list
+(** Pick [count] faults, cycling over the kinds that have candidates and
+    sampling sites without replacement from a PRNG seeded with [seed].
+    Returns fewer than [count] faults when candidates run out, and [[]]
+    when there are none at all. *)

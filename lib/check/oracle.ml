@@ -1,0 +1,470 @@
+open Darsie_isa
+module W = Darsie_workloads.Workload
+module Interp = Darsie_emu.Interp
+module Memory = Darsie_emu.Memory
+
+type mismatch =
+  | Forward_mismatch of {
+      tb : int;
+      warp : int;
+      inst : int;
+      occ : int;
+      lane : int;
+      recomputed : Value.t;
+      forwarded : Value.t;
+    }
+  | Count_mismatch of { tb : int; warp : int; base : int; darsie : int }
+  | Register_mismatch of {
+      tb : int;
+      warp : int;
+      reg : int;
+      lane : int;
+      base : Value.t;
+      darsie : Value.t;
+    }
+  | Memory_mismatch of { addr : int; base : Value.t; darsie : Value.t }
+  | Reference_mismatch of string
+  | Crash of { machine : string; error : Interp.error }
+
+let mismatch_line = function
+  | Forward_mismatch { tb; warp; inst; occ; lane; recomputed; forwarded } ->
+    Printf.sprintf
+      "forwarded value differs from recomputed at tb %d warp %d inst %d occ \
+       %d lane %d: 0x%x vs 0x%x"
+      tb warp inst occ lane forwarded recomputed
+  | Count_mismatch { tb; warp; base; darsie } ->
+    Printf.sprintf
+      "executed-instruction count differs at tb %d warp %d: BASE %d vs \
+       DARSIE %d"
+      tb warp base darsie
+  | Register_mismatch { tb; warp; reg; lane; base; darsie } ->
+    Printf.sprintf
+      "final register differs at tb %d warp %d r%d lane %d: BASE 0x%x vs \
+       DARSIE 0x%x"
+      tb warp reg lane base darsie
+  | Memory_mismatch { addr; base; darsie } ->
+    Printf.sprintf "final memory differs at 0x%x: BASE 0x%x vs DARSIE 0x%x"
+      addr base darsie
+  | Reference_mismatch m -> Printf.sprintf "CPU reference check failed: %s" m
+  | Crash { machine; error } ->
+    Printf.sprintf "%s run crashed: %s" machine (Interp.error_message error)
+
+type report = {
+  app : string;
+  fault : Injector.fault option;
+  forwards : int;
+  warp_insts : int;
+  mismatches : mismatch list;
+}
+
+let passed r = r.mismatches = []
+
+let to_error r =
+  if passed r then None
+  else
+    Some
+      (Sim_error.Oracle_mismatch
+         {
+           app = r.app;
+           machine = "DARSIE";
+           mismatches = List.length r.mismatches;
+           message =
+             Printf.sprintf "differential oracle failed on %s%s:\n  %s" r.app
+               (match r.fault with
+               | Some f -> " (injected " ^ Injector.fault_line f ^ ")"
+               | None -> "")
+               (String.concat "\n  " (List.map mismatch_line r.mismatches));
+         })
+
+let warp_size = 32
+let full_mask = (1 lsl warp_size) - 1
+let mismatch_cap = 32
+let candidate_cap = 4096
+
+let config = { Interp.warp_size; capture_operands = true }
+
+(* Static facts about the kernel the replay consults per instruction. *)
+type static = {
+  tbr : bool array;  (** TB-redundant after launch-time promotion *)
+  dst : int option array;
+  is_load : bool array;
+  is_flush : bool array;  (** store or atomic: flushes load entries *)
+  is_bar : bool array;
+  skip_safe : bool array;
+      (** safe spurious-skip target: not control flow, writes a register
+          that never feeds a memory address *)
+}
+
+let static_of (launch : Kernel.launch) =
+  let kernel = launch.Kernel.kernel in
+  let insts = kernel.Kernel.insts in
+  let n = Array.length insts in
+  let analysis = Darsie_compiler.Analysis.analyze kernel in
+  let promo = Darsie_compiler.Promotion.resolve analysis launch ~warp_size in
+  let base_regs = Hashtbl.create 16 in
+  let note_base = function
+    | Instr.Reg r -> Hashtbl.replace base_regs r ()
+    | Instr.Imm _ | Instr.Sreg _ | Instr.Param _ -> ()
+  in
+  Array.iter
+    (fun (i : Instr.t) ->
+      match i.Instr.body with
+      | Instr.Ld (_, _, base, _) -> note_base base
+      | Instr.St (_, base, _, _) -> note_base base
+      | Instr.Atom (_, _, addr, _) -> note_base addr
+      | _ -> ())
+    insts;
+  {
+    tbr = promo.Darsie_compiler.Promotion.tb_redundant;
+    dst = Array.init n (fun i -> Instr.dst_reg insts.(i));
+    is_load =
+      Array.init n (fun i ->
+          match insts.(i).Instr.body with Instr.Ld _ -> true | _ -> false);
+    is_flush =
+      Array.init n (fun i ->
+          match insts.(i).Instr.body with
+          | Instr.St _ | Instr.Atom _ -> true
+          | _ -> false);
+    is_bar = Array.init n (fun i -> Instr.is_barrier insts.(i));
+    skip_safe =
+      Array.init n (fun i ->
+          match Instr.dst_reg insts.(i) with
+          | Some d -> not (Hashtbl.mem base_regs d)
+          | None -> false);
+  }
+
+(* What one emulator run leaves behind for comparison. *)
+type observation = {
+  counts : (int * int, int) Hashtbl.t;  (* (tb, warp) -> executed *)
+  last_writes : (int * int * int, Value.t array) Hashtbl.t;
+      (* (tb, warp, reg) -> last written vector *)
+  mem : Memory.t;
+  outcome : (Interp.stats, Interp.error) result;
+}
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let observe_base st (prepared : W.prepared) =
+  let counts = Hashtbl.create 256 in
+  let last_writes = Hashtbl.create 1024 in
+  let on_exec (r : Interp.exec_record) =
+    bump counts (r.Interp.tb, r.Interp.warp);
+    match (st.dst.(r.Interp.inst_index), r.Interp.dst_values) with
+    | Some d, Some v ->
+      Hashtbl.replace last_writes (r.Interp.tb, r.Interp.warp, d) v
+    | _ -> ()
+  in
+  let outcome =
+    Interp.run_result ~config ~on_exec prepared.W.mem prepared.W.launch
+  in
+  { counts; last_writes; mem = prepared.W.mem; outcome }
+
+type entry = { values : Value.t array; from_load : bool }
+
+(* Mutable accumulator for the candidate-profiling pass. *)
+type collector = {
+  mutable flip : Injector.site list;
+  mutable n_flip : int;
+  mutable poison : Injector.site list;
+  mutable n_poison : int;
+  mutable skip : Injector.site list;
+  mutable n_skip : int;
+}
+
+(* The DARSIE-mode functional replay: leader/follower value forwarding
+   with barrier and store invalidation, optionally with one injected
+   fault, optionally collecting injection candidates. *)
+let observe_darsie ?fault ?collect ~max_insts st (prepared : W.prepared) =
+  let launch = prepared.W.launch in
+  let nwarps = Kernel.warps_per_block launch ~warp_size in
+  let counts = Hashtbl.create 256 in
+  let last_writes = Hashtbl.create 1024 in
+  let table : (int * int, entry) Hashtbl.t = Hashtbl.create 256 in
+  let arrivals : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+  let cur_tb = ref (-1) in
+  let forwards = ref 0 in
+  let mismatches = ref [] in
+  let n_mism = ref 0 in
+  let add_mismatch m =
+    incr n_mism;
+    if !n_mism <= mismatch_cap then mismatches := m :: !mismatches
+  in
+  (* One forwarded substitution awaiting its recomputed value. *)
+  let pending : (Interp.site * Value.t array) option ref = ref None in
+  let enter_tb tb =
+    if tb <> !cur_tb then begin
+      Hashtbl.reset table;
+      Hashtbl.reset arrivals;
+      cur_tb := tb
+    end
+  in
+  let site_of (s : Interp.site) =
+    {
+      Injector.s_tb = s.Interp.site_tb;
+      s_warp = s.Interp.site_warp;
+      s_inst = s.Interp.site_inst;
+      s_occ = s.Interp.site_occ;
+    }
+  in
+  let fault_here (s : Interp.site) =
+    match fault with
+    | Some { Injector.site = f; _ } ->
+      f.Injector.s_tb = s.Interp.site_tb
+      && f.Injector.s_warp = s.Interp.site_warp
+      && f.Injector.s_inst = s.Interp.site_inst
+      && f.Injector.s_occ = s.Interp.site_occ
+    | None -> false
+  in
+  (* The wrong-occurrence entry a flipped skip-table field would hit:
+     smallest other occurrence of the same PC holding different values. *)
+  let flip_source pc occ values =
+    Hashtbl.fold
+      (fun (epc, eocc) e best ->
+        if epc = pc && eocc <> occ && e.values <> values then
+          match best with
+          | Some (bocc, _) when bocc <= eocc -> best
+          | _ -> Some (eocc, e.values)
+        else best)
+      table None
+  in
+  let collect_site kind s =
+    match collect with
+    | None -> ()
+    | Some c -> (
+      match (kind : Injector.kind) with
+      | Injector.Flip_skip_entry ->
+        if c.n_flip < candidate_cap then begin
+          c.flip <- site_of s :: c.flip;
+          c.n_flip <- c.n_flip + 1
+        end
+      | Injector.Poison_hre ->
+        if c.n_poison < candidate_cap then begin
+          c.poison <- site_of s :: c.poison;
+          c.n_poison <- c.n_poison + 1
+        end
+      | Injector.Skip_non_redundant ->
+        if c.n_skip < candidate_cap then begin
+          c.skip <- site_of s :: c.skip;
+          c.n_skip <- c.n_skip + 1
+        end)
+  in
+  let intercept (s : Interp.site) =
+    enter_tb s.Interp.site_tb;
+    let pc = s.Interp.site_inst and occ = s.Interp.site_occ in
+    let forward values =
+      incr forwards;
+      pending := Some (s, values);
+      Interp.Force_dst values
+    in
+    if fault_here s then begin
+      match (Option.get fault).Injector.kind with
+      | Injector.Skip_non_redundant -> Interp.Skip_instruction
+      | Injector.Poison_hre -> (
+        match Hashtbl.find_opt table (pc, occ) with
+        | Some e ->
+          let poisoned = Array.copy e.values in
+          poisoned.(0) <- poisoned.(0) lxor 1;
+          forward poisoned
+        | None -> Interp.Execute)
+      | Injector.Flip_skip_entry -> (
+        match Hashtbl.find_opt table (pc, occ) with
+        | Some e -> (
+          match flip_source pc occ e.values with
+          | Some (_, wrong) -> forward (Array.copy wrong)
+          | None -> forward e.values)
+        | None -> Interp.Execute)
+    end
+    else if st.tbr.(pc) && s.Interp.site_active = full_mask then begin
+      match Hashtbl.find_opt table (pc, occ) with
+      | Some e ->
+        collect_site Injector.Poison_hre s;
+        if flip_source pc occ e.values <> None then
+          collect_site Injector.Flip_skip_entry s;
+        forward e.values
+      | None -> Interp.Execute (* leader; records its value at on_exec *)
+    end
+    else begin
+      if (not st.tbr.(pc)) && st.skip_safe.(pc) then
+        collect_site Injector.Skip_non_redundant s;
+      Interp.Execute
+    end
+  in
+  let on_exec (r : Interp.exec_record) =
+    enter_tb r.Interp.tb;
+    let pc = r.Interp.inst_index and occ = r.Interp.occ in
+    bump counts (r.Interp.tb, r.Interp.warp);
+    (match (st.dst.(pc), r.Interp.dst_values) with
+    | Some d, Some v ->
+      Hashtbl.replace last_writes (r.Interp.tb, r.Interp.warp, d) v
+    | _ -> ());
+    (* Follower check: forwarded vs just-recomputed. *)
+    (match !pending with
+    | Some (s, fw)
+      when s.Interp.site_tb = r.Interp.tb
+           && s.Interp.site_warp = r.Interp.warp
+           && s.Interp.site_inst = pc && s.Interp.site_occ = occ -> (
+      pending := None;
+      match r.Interp.dst_values with
+      | Some rv ->
+        for lane = 0 to warp_size - 1 do
+          if rv.(lane) <> fw.(lane) then
+            add_mismatch
+              (Forward_mismatch
+                 {
+                   tb = r.Interp.tb;
+                   warp = r.Interp.warp;
+                   inst = pc;
+                   occ;
+                   lane;
+                   recomputed = rv.(lane);
+                   forwarded = fw.(lane);
+                 })
+        done
+      | None -> ())
+    | _ -> ());
+    (* Leader record. *)
+    if st.tbr.(pc) && r.Interp.active = full_mask then begin
+      match r.Interp.dst_values with
+      | Some v when not (Hashtbl.mem table (pc, occ)) ->
+        Hashtbl.add table (pc, occ)
+          { values = Array.copy v; from_load = st.is_load.(pc) }
+      | _ -> ()
+    end;
+    (* Invalidation: stores and atomics kill load-sourced entries;
+       a barrier every warp reached flushes the whole table. *)
+    if st.is_flush.(pc) then begin
+      let stale =
+        Hashtbl.fold
+          (fun key e acc -> if e.from_load then key :: acc else acc)
+          table []
+      in
+      List.iter (Hashtbl.remove table) stale
+    end;
+    if st.is_bar.(pc) then begin
+      let k = (pc, occ) in
+      let n = 1 + Option.value ~default:0 (Hashtbl.find_opt arrivals k) in
+      if n >= nwarps then begin
+        Hashtbl.reset table;
+        Hashtbl.remove arrivals k
+      end
+      else Hashtbl.replace arrivals k n
+    end
+  in
+  let outcome =
+    Interp.run_result ~config ~on_exec ~max_warp_insts:max_insts ~intercept
+      prepared.W.mem launch
+  in
+  ( { counts; last_writes; mem = prepared.W.mem; outcome },
+    !forwards,
+    List.rev !mismatches )
+
+let compare_runs ~add_mismatch base darsie =
+  let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  let count_keys =
+    List.sort_uniq compare (keys base.counts @ keys darsie.counts)
+  in
+  List.iter
+    (fun (tb, warp) ->
+      let b = Option.value ~default:0 (Hashtbl.find_opt base.counts (tb, warp)) in
+      let d =
+        Option.value ~default:0 (Hashtbl.find_opt darsie.counts (tb, warp))
+      in
+      if b <> d then add_mismatch (Count_mismatch { tb; warp; base = b; darsie = d }))
+    count_keys;
+  let reg_keys =
+    List.sort_uniq compare (keys base.last_writes @ keys darsie.last_writes)
+  in
+  let zeros = Array.make warp_size Value.zero in
+  List.iter
+    (fun (tb, warp, reg) ->
+      let b =
+        Option.value ~default:zeros
+          (Hashtbl.find_opt base.last_writes (tb, warp, reg))
+      in
+      let d =
+        Option.value ~default:zeros
+          (Hashtbl.find_opt darsie.last_writes (tb, warp, reg))
+      in
+      if b <> d then begin
+        let lane = ref 0 in
+        while !lane < warp_size && b.(!lane) = d.(!lane) do
+          incr lane
+        done;
+        if !lane < warp_size then
+          add_mismatch
+            (Register_mismatch
+               {
+                 tb;
+                 warp;
+                 reg;
+                 lane = !lane;
+                 base = b.(!lane);
+                 darsie = d.(!lane);
+               })
+      end)
+    reg_keys;
+  List.iter
+    (fun (addr, b, d) ->
+      add_mismatch (Memory_mismatch { addr; base = b; darsie = d }))
+    (Memory.diff ~limit:mismatch_cap base.mem darsie.mem)
+
+let run_differential ?fault ?collect ~scale (w : W.t) =
+  let base_prep = w.W.prepare ~scale in
+  let darsie_prep = w.W.prepare ~scale in
+  let st = static_of base_prep.W.launch in
+  let base = observe_base st base_prep in
+  let mismatches = ref [] in
+  let n_mism = ref 0 in
+  let add_mismatch m =
+    incr n_mism;
+    if !n_mism <= mismatch_cap then mismatches := m :: !mismatches
+  in
+  match base.outcome with
+  | Error e ->
+    add_mismatch (Crash { machine = "BASE"; error = e });
+    {
+      app = w.W.abbr;
+      fault;
+      forwards = 0;
+      warp_insts = 0;
+      mismatches = List.rev !mismatches;
+    }
+  | Ok base_stats ->
+    (* A spurious skip can turn a loop infinite; bound the faulted run by
+       a small multiple of the clean instruction count so it fails fast
+       (a Runaway crash is a detection, not a hang). *)
+    let max_insts = (base_stats.Interp.warp_insts * 4) + 10_000 in
+    let darsie, forwards, forward_mismatches =
+      observe_darsie ?fault ?collect ~max_insts st darsie_prep
+    in
+    List.iter add_mismatch forward_mismatches;
+    (match darsie.outcome with
+    | Error e -> add_mismatch (Crash { machine = "DARSIE"; error = e })
+    | Ok _ ->
+      compare_runs ~add_mismatch base darsie;
+      (match darsie_prep.W.verify darsie.mem with
+      | Ok () -> ()
+      | Error m -> add_mismatch (Reference_mismatch m)));
+    {
+      app = w.W.abbr;
+      fault;
+      forwards;
+      warp_insts = base_stats.Interp.warp_insts;
+      mismatches = List.rev !mismatches;
+    }
+
+let check ?(scale = 1) w = run_differential ~scale w
+
+let check_fault ?(scale = 1) w fault = run_differential ~fault ~scale w
+
+let candidates ?(scale = 1) w =
+  let c =
+    { flip = []; n_flip = 0; poison = []; n_poison = 0; skip = []; n_skip = 0 }
+  in
+  let (_ : report) = run_differential ~collect:c ~scale w in
+  {
+    Injector.flip_sites = List.rev c.flip;
+    poison_sites = List.rev c.poison;
+    skip_sites = List.rev c.skip;
+  }

@@ -1,0 +1,85 @@
+(** The differential oracle: cross-validation of DARSIE-mode execution
+    against the BASE emulator.
+
+    The oracle runs a workload twice through the functional emulator. The
+    {e base} run executes every instruction normally. The {e DARSIE-mode}
+    run re-enacts the elimination semantics functionally: the first warp
+    to reach a TB-redundant (pc, occurrence) is its leader and records
+    its destination vector in a forwarding table (the functional
+    equivalent of the skip table + HRE registers); every later warp is a
+    follower whose destination is overwritten with the forwarded vector.
+    The table is flushed at threadblock barriers and its load-sourced
+    entries are flushed on stores and atomics, mirroring the timing
+    engine's invalidation rules.
+
+    Divergence is caught on four independent channels, each a
+    {!mismatch}:
+    - every follower substitution compares the forwarded vector against
+      the value the follower just recomputed;
+    - per-(threadblock, warp) executed-instruction counts;
+    - final per-(threadblock, warp, register) last-written values;
+    - final global-memory state ({!Darsie_emu.Memory.diff}), plus the
+      workload's own CPU-reference check.
+
+    On a clean run all channels agree (zero false positives); an injected
+    fault ({!Injector.fault}) must trip at least one of them — a crash of
+    the faulted run also counts as detection. *)
+
+type mismatch =
+  | Forward_mismatch of {
+      tb : int;
+      warp : int;
+      inst : int;
+      occ : int;
+      lane : int;
+      recomputed : Darsie_isa.Value.t;
+      forwarded : Darsie_isa.Value.t;
+    }  (** a follower's forwarded value differed from what it recomputed *)
+  | Count_mismatch of { tb : int; warp : int; base : int; darsie : int }
+      (** executed warp-instruction counts diverged *)
+  | Register_mismatch of {
+      tb : int;
+      warp : int;
+      reg : int;
+      lane : int;
+      base : Darsie_isa.Value.t;
+      darsie : Darsie_isa.Value.t;
+    }  (** final last-written register values diverged *)
+  | Memory_mismatch of {
+      addr : int;
+      base : Darsie_isa.Value.t;
+      darsie : Darsie_isa.Value.t;
+    }  (** final global-memory words diverged *)
+  | Reference_mismatch of string
+      (** the workload's CPU-reference check rejected the DARSIE-mode
+          result *)
+  | Crash of { machine : string; error : Darsie_emu.Interp.error }
+      (** one of the two runs died with a typed emulator error *)
+
+val mismatch_line : mismatch -> string
+
+type report = {
+  app : string;
+  fault : Injector.fault option;  (** the injected fault, if any *)
+  forwards : int;  (** follower substitutions performed and checked *)
+  warp_insts : int;  (** dynamic warp instructions in the base run *)
+  mismatches : mismatch list;  (** capped; empty means the runs agree *)
+}
+
+val passed : report -> bool
+
+val to_error : report -> Sim_error.t option
+(** [None] when the report passed; otherwise the corresponding
+    [Oracle_mismatch]. *)
+
+val check : ?scale:int -> Darsie_workloads.Workload.t -> report
+(** Clean differential run: must pass for every workload. *)
+
+val check_fault :
+  ?scale:int -> Darsie_workloads.Workload.t -> Injector.fault -> report
+(** Differential run with one fault injected into the DARSIE-mode side:
+    must NOT pass. *)
+
+val candidates : ?scale:int -> Darsie_workloads.Workload.t -> Injector.candidates
+(** Profiling pre-pass: a clean DARSIE-mode run that records every
+    applicable injection site per fault kind. *)

@@ -348,6 +348,24 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
     Array.iter (fun (w : Engine.wctx) -> Hashtbl.remove fetch_ok w.Engine.wid) warps
   in
   let on_tb_finish ~tb_slot = Hashtbl.remove slots tb_slot in
+  let debug_state () =
+    Hashtbl.fold
+      (fun _ slot (entries, insts, parked_w, syncs) ->
+        ( entries + Skip_table.live_entries slot.skip,
+          insts + Skip_table.live_instances slot.skip,
+          parked_w,
+          syncs + Hashtbl.length slot.syncs ))
+      slots
+      (0, 0, Hashtbl.length parked, 0)
+    |> fun (entries, insts, parked_w, syncs) ->
+    [
+      ("skip_entries", entries);
+      ("live_instances", insts);
+      ("parked_warps", parked_w);
+      ("open_syncs", syncs);
+      ("resident_tbs", Hashtbl.length slots);
+    ]
+  in
   {
     Engine.name = name_of options;
     cycle_skip;
@@ -358,6 +376,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
     on_store;
     on_tb_launch;
     on_tb_finish;
+    debug_state;
   }
 
 let factory ?options () : Engine.factory =

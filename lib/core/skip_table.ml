@@ -94,3 +94,33 @@ let free_regs t = t.free
 
 let live_instances t =
   Hashtbl.fold (fun _ e acc -> acc + List.length e.instances) t.table 0
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if t.free < 0 || t.free > t.rename_regs then
+    fail "freelist out of range: %d of %d" t.free t.rename_regs
+  else if t.free + live_instances t <> t.rename_regs then
+    fail "register leak: %d free + %d live <> %d total" t.free
+      (live_instances t) (t.rename_regs)
+  else if Hashtbl.length t.table > t.max_entries then
+    fail "entry overflow: %d entries, %d slots" (Hashtbl.length t.table)
+      t.max_entries
+  else
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Error _ -> acc
+        | Ok () ->
+          if key <> e.pc then fail "entry keyed %d holds pc %d" key e.pc
+          else if e.instances = [] then fail "empty entry at pc %d" e.pc
+          else
+            let occs = List.map (fun i -> i.occ) e.instances in
+            if List.length (List.sort_uniq compare occs) <> List.length occs
+            then fail "duplicate occurrence at pc %d" e.pc
+            else if
+              List.exists
+                (fun i -> i.done_mask land (1 lsl i.leader) = 0)
+                e.instances
+            then fail "leader missing from done_mask at pc %d" e.pc
+            else Ok ())
+      t.table (Ok ())

@@ -67,3 +67,9 @@ val live_entries : t -> int
 val free_regs : t -> int
 
 val live_instances : t -> int
+
+val check_invariants : t -> (unit, string) result
+(** Structural soundness: freelist within bounds, free + live instances
+    equals the register budget, entry count within the table bound, one
+    instance per (pc, occurrence), every leader present in its instance's
+    [done_mask]. Used by the robustness layer after fault injection. *)

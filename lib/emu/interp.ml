@@ -17,9 +17,56 @@ type exec_record = {
 
 type stats = { warp_insts : int; thread_insts : int; max_stack_depth : int }
 
+type site = {
+  site_tb : int;
+  site_warp : int;
+  site_inst : int;
+  site_occ : int;
+  site_active : int;
+}
+
+type action = Execute | Skip_instruction | Force_dst of Value.t array
+
+type park_state = Running | At_barrier | Exited
+
+type warp_park = {
+  park_warp : int;
+  park_pc : int;
+  park_state : park_state;
+  park_barrier_pc : int;
+}
+
+type error =
+  | Barrier_deadlock of { tb : int; warps : warp_park list }
+  | No_progress of { tb : int; warps : warp_park list }
+  | Runaway of { executed : int; bound : int }
+  | Exec_fault of string
+
 exception Fault of string
 
+exception Error of error
+
 let fault fmt = Printf.ksprintf (fun m -> raise (Fault m)) fmt
+
+let park_line p =
+  match p.park_state with
+  | Exited -> Printf.sprintf "warp %d: exited" p.park_warp
+  | At_barrier ->
+    Printf.sprintf "warp %d: parked at barrier (inst %d), resume pc %d"
+      p.park_warp p.park_barrier_pc p.park_pc
+  | Running -> Printf.sprintf "warp %d: runnable at pc %d" p.park_warp p.park_pc
+
+let error_message = function
+  | Barrier_deadlock { tb; warps } ->
+    Printf.sprintf "barrier deadlock in threadblock %d:\n  %s" tb
+      (String.concat "\n  " (List.map park_line warps))
+  | No_progress { tb; warps } ->
+    Printf.sprintf "scheduler made no progress in threadblock %d:\n  %s" tb
+      (String.concat "\n  " (List.map park_line warps))
+  | Runaway { executed; bound } ->
+    Printf.sprintf "runaway kernel: executed %d warp instructions (bound %d)"
+      executed bound
+  | Exec_fault m -> m
 
 let popcount m =
   let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
@@ -37,6 +84,7 @@ type warp_state = {
   valid_mask : int;  (* lanes backed by real threads *)
   mutable at_barrier : bool;
   mutable exited : bool;
+  mutable last_barrier_pc : int;  (* last barrier executed; -1 if none *)
 }
 
 type tb_ctx = {
@@ -145,7 +193,8 @@ let eval_atom (op : Instr.atom_op) old v cas_cmp =
   | Instr.Atom_cas -> if old = cas_cmp then v else old
 
 let run ?(config = default_config) ?on_exec ?(max_warp_insts = 50_000_000)
-    (mem : Memory.t) (launch : Kernel.launch) =
+    ?(strict_barriers = false) ?intercept (mem : Memory.t)
+    (launch : Kernel.launch) =
   let kernel = launch.Kernel.kernel in
   let insts = kernel.Kernel.insts in
   let ninsts = Array.length insts in
@@ -190,7 +239,25 @@ let run ?(config = default_config) ?on_exec ?(max_warp_insts = 50_000_000)
       valid_mask = !valid;
       at_barrier = false;
       exited = false;
+      last_barrier_pc = -1;
     }
+  in
+  let parks ctx =
+    Array.to_list
+      (Array.mapi
+         (fun w (ws : warp_state) ->
+           {
+             park_warp = w;
+             park_pc =
+               (if ws.exited || Simt_stack.finished ws.stack then -1
+                else Simt_stack.pc ws.stack);
+             park_state =
+               (if ws.exited then Exited
+                else if ws.at_barrier then At_barrier
+                else Running);
+             park_barrier_pc = ws.last_barrier_pc;
+           })
+         ctx.warps)
   in
   let run_tb tb_index =
     let ctx =
@@ -218,11 +285,36 @@ let run ?(config = default_config) ?on_exec ?(max_warp_insts = 50_000_000)
         let inst = insts.(pc) in
         let mask = Simt_stack.active_mask ws.stack in
         let occ = ws.occs.(pc) in
+        let act =
+          match intercept with
+          | None -> Execute
+          | Some f -> (
+            match inst.Instr.body with
+            | Instr.Bra _ | Instr.Bar | Instr.Exit -> Execute
+            | _ ->
+              f
+                {
+                  site_tb = tb_index;
+                  site_warp = w;
+                  site_inst = pc;
+                  site_occ = occ;
+                  site_active = mask;
+                })
+        in
+        match act with
+        | Skip_instruction ->
+          (* The elided occurrence still consumes its occurrence number
+             and advances the stream, like a (faulty) pre-fetch skip. *)
+          ws.occs.(pc) <- occ + 1;
+          Simt_stack.advance ws.stack (pc + 1);
+          true
+        | Execute | Force_dst _ ->
         ws.occs.(pc) <- occ + 1;
         incr total_warp_insts;
         total_thread_insts := !total_thread_insts + popcount mask;
         if !total_warp_insts > max_warp_insts then
-          fault "exceeded max_warp_insts (%d): runaway kernel?" max_warp_insts;
+          raise
+            (Error (Runaway { executed = !total_warp_insts; bound = max_warp_insts }));
         let d = Simt_stack.depth ws.stack in
         if d > !max_depth then max_depth := d;
         (* Predication: lanes where the guard holds. *)
@@ -318,6 +410,7 @@ let run ?(config = default_config) ?on_exec ?(max_warp_insts = 50_000_000)
             fault "barrier executed under intra-warp divergence (pc %d)" pc;
           Simt_stack.advance ws.stack (pc + 1);
           ws.at_barrier <- true;
+          ws.last_barrier_pc <- pc;
           continue_ := false
         | Instr.Exit ->
           Simt_stack.retire_lanes ws.stack guard_mask;
@@ -355,6 +448,22 @@ let run ?(config = default_config) ?on_exec ?(max_warp_insts = 50_000_000)
               dst_values;
               accesses = !accesses;
             });
+        (* A Force_dst interception overwrites the destination after the
+           observer saw the recomputed values, modelling a (possibly
+           corrupted) HRE forward taking effect. *)
+        (match act with
+        | Force_dst v -> (
+          match Instr.dst_reg inst with
+          | Some d ->
+            if Array.length v < ws_size then
+              fault "Force_dst: %d values for %d lanes" (Array.length v)
+                ws_size;
+            for lane = 0 to ws_size - 1 do
+              if guard_mask land (1 lsl lane) <> 0 then
+                ws.regs.(d).(lane) <- v.(lane)
+            done
+          | None -> ())
+        | Execute | Skip_instruction -> ());
         !continue_
       end
     in
@@ -364,7 +473,8 @@ let run ?(config = default_config) ?on_exec ?(max_warp_insts = 50_000_000)
     let iterations = ref 0 in
     while not (all_done ()) do
       incr iterations;
-      if !iterations > max_warp_insts then fault "threadblock made no progress";
+      if !iterations > max_warp_insts then
+        raise (Error (No_progress { tb = tb_index; warps = parks ctx }));
       let ran = ref false in
       Array.iteri
         (fun w ws ->
@@ -378,11 +488,20 @@ let run ?(config = default_config) ?on_exec ?(max_warp_insts = 50_000_000)
       (* Barrier release: every warp is either exited or waiting. *)
       if Array.for_all (fun w -> w.exited || w.at_barrier) ctx.warps then begin
         let any_waiting = Array.exists (fun w -> w.at_barrier) ctx.warps in
-        if any_waiting then
+        if any_waiting then begin
+          (* Releasing a barrier some warps will never reach is the
+             CUDA-illegal pattern; strict mode reports who is parked
+             where instead of letting the stragglers run past it. *)
+          if strict_barriers && Array.exists (fun w -> w.exited) ctx.warps
+          then
+            raise (Error (Barrier_deadlock { tb = tb_index; warps = parks ctx }));
           Array.iter (fun w -> w.at_barrier <- false) ctx.warps
-        else if not (all_done ()) then fault "barrier deadlock"
+        end
+        else if not (all_done ()) then
+          raise (Error (Barrier_deadlock { tb = tb_index; warps = parks ctx }))
       end
-      else if not !ran then fault "scheduler made no progress"
+      else if not !ran then
+        raise (Error (No_progress { tb = tb_index; warps = parks ctx }))
     done
   in
   for tb = 0 to Kernel.num_blocks launch - 1 do
@@ -393,3 +512,10 @@ let run ?(config = default_config) ?on_exec ?(max_warp_insts = 50_000_000)
     thread_insts = !total_thread_insts;
     max_stack_depth = !max_depth;
   }
+
+let run_result ?config ?on_exec ?max_warp_insts ?strict_barriers ?intercept mem
+    launch =
+  match run ?config ?on_exec ?max_warp_insts ?strict_barriers ?intercept mem launch with
+  | stats -> Ok stats
+  | exception Error e -> Stdlib.Error e
+  | exception Fault m -> Stdlib.Error (Exec_fault m)

@@ -52,3 +52,24 @@ let write_f32s t base xs =
   Array.iteri (fun i x -> store_f32 t (base + (4 * i)) x) xs
 
 let read_f32s t base n = Array.init n (fun i -> load_f32 t (base + (4 * i)))
+
+let extent t = Bytes.length t.data
+
+let diff ?(limit = 32) a b =
+  let words = (max (extent a) (extent b)) / 4 in
+  let read t addr =
+    if addr + 4 > Bytes.length t.data then Value.zero
+    else Value.of_int32 (Bytes.get_int32_le t.data addr)
+  in
+  let out = ref [] and n = ref 0 in
+  let w = ref 0 in
+  while !n < limit && !w < words do
+    let addr = 4 * !w in
+    let va = read a addr and vb = read b addr in
+    if va <> vb then begin
+      out := (addr, va, vb) :: !out;
+      incr n
+    end;
+    incr w
+  done;
+  List.rev !out

@@ -32,3 +32,12 @@ val read_i32s : t -> int -> int -> int array
 val write_f32s : t -> int -> float array -> unit
 
 val read_f32s : t -> int -> int -> float array
+
+val extent : t -> int
+(** Bytes backed so far (capacity of the underlying store). *)
+
+val diff : ?limit:int -> t -> t -> (int * Darsie_isa.Value.t * Darsie_isa.Value.t) list
+(** [diff a b] lists words that differ between the two spaces as
+    [(addr, value_in_a, value_in_b)], reading unbacked words as zero, up
+    to [limit] entries (default 32). The differential oracle uses this to
+    compare final memory states of two runs. *)

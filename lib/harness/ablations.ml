@@ -10,9 +10,9 @@ type point = {
 type sweep = { parameter : string; app : string; points : point list }
 
 let measure (app : Suite.app) cfg =
-  let base = Gpu.run ~cfg Engine.base_factory app.Suite.kinfo app.Suite.trace in
+  let base = Gpu.run_exn ~cfg Engine.base_factory app.Suite.kinfo app.Suite.trace in
   let d =
-    Gpu.run ~cfg
+    Gpu.run_exn ~cfg
       (Darsie_core.Darsie_engine.factory ())
       app.Suite.kinfo app.Suite.trace
   in
@@ -58,7 +58,7 @@ let scheduler_comparison apps =
     (fun (app : Suite.app) ->
       let run sched =
         let cfg = { Config.default with Config.scheduler = sched } in
-        Gpu.ipc (Gpu.run ~cfg Engine.base_factory app.Suite.kinfo app.Suite.trace)
+        Gpu.ipc (Gpu.run_exn ~cfg Engine.base_factory app.Suite.kinfo app.Suite.trace)
       in
       ( app.Suite.workload.Darsie_workloads.Workload.abbr,
         run Config.Gto,
@@ -78,15 +78,15 @@ let mechanism_efficiency apps =
   List.map
     (fun (app : Suite.app) ->
       let base =
-        Gpu.run Engine.base_factory app.Suite.kinfo app.Suite.trace
+        Gpu.run_exn Engine.base_factory app.Suite.kinfo app.Suite.trace
       in
       let darsie =
-        Gpu.run
+        Gpu.run_exn
           (Darsie_core.Darsie_engine.factory ())
           app.Suite.kinfo app.Suite.trace
       in
       let ideal =
-        Gpu.run Darsie_baselines.Tb_ideal.factory app.Suite.kinfo
+        Gpu.run_exn Darsie_baselines.Tb_ideal.factory app.Suite.kinfo
           app.Suite.trace
       in
       let sp r = float_of_int base.Gpu.cycles /. float_of_int r.Gpu.cycles in

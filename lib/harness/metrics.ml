@@ -158,6 +158,87 @@ let validate_string s =
   in
   validate doc
 
+(* ------------------------------------------------------------------ *)
+(* Check-report documents (darsie check --json)                        *)
+(* ------------------------------------------------------------------ *)
+
+let check_schema_version = 1
+
+let to_bool = function J.Bool b -> Some b | _ -> None
+
+(* Structural check of a check report, re-verifying the pass/fail logic
+   from the serialized values: an app passed iff it has no errors, the
+   report passed iff every app did, and every timing entry carries either
+   cycles or a typed error. *)
+let validate_check doc =
+  let* () =
+    match J.member "kind" doc with
+    | Some (J.String "check_report") -> Ok ()
+    | _ -> Error "kind is not \"check_report\""
+  in
+  let* v = field "schema_version" J.to_int doc in
+  let* () =
+    if v = check_schema_version then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema_version %d, expected %d" v check_schema_version)
+  in
+  let* passed = field "passed" to_bool doc in
+  let* apps =
+    match J.member "apps" doc with
+    | Some (J.List l) -> Ok l
+    | _ -> Error "missing apps list"
+  in
+  let check_timing t =
+    let* ok = field "ok" to_bool t in
+    match (ok, J.member "cycles" t, J.member "error" t) with
+    | true, Some (J.Int c), _ when c >= 0 -> Ok ()
+    | false, _, Some (J.Obj _) -> Ok ()
+    | _ -> Error "timing entry lacks cycles (ok) or error object (failed)"
+  in
+  let check_app a =
+    let* _abbr =
+      match J.member "app" a with
+      | Some (J.String s) -> Ok s
+      | _ -> Error "app entry missing abbreviation"
+    in
+    let* app_passed = field "passed" to_bool a in
+    let* errors =
+      match J.member "errors" a with
+      | Some (J.List l) -> Ok l
+      | _ -> Error "app entry missing errors list"
+    in
+    let* () =
+      if app_passed = (errors = []) then Ok ()
+      else Error "app passed flag inconsistent with its errors list"
+    in
+    let* timing =
+      match J.member "timing" a with
+      | Some (J.List l) -> Ok l
+      | _ -> Error "app entry missing timing list"
+    in
+    let* () =
+      List.fold_left (fun acc t -> let* () = acc in check_timing t) (Ok ()) timing
+    in
+    Ok app_passed
+  in
+  let* all_passed =
+    List.fold_left
+      (fun acc a ->
+        let* all = acc in
+        let* p = check_app a in
+        Ok (all && p))
+      (Ok true) apps
+  in
+  if passed = all_passed then Ok ()
+  else Error "report passed flag inconsistent with its apps"
+
+let validate_check_string s =
+  let* doc =
+    match J.of_string s with Ok d -> Ok d | Error e -> Error ("bad JSON: " ^ e)
+  in
+  validate_check doc
+
 let write_file path doc =
   let oc = open_out path in
   Fun.protect

@@ -17,5 +17,17 @@ val validate : Darsie_obs.Json.t -> (unit, string) result
 val validate_string : string -> (unit, string) result
 (** Parse then {!validate}. *)
 
+val check_schema_version : int
+(** Version of the check-report document ({!Checker.to_json}). *)
+
+val validate_check : Darsie_obs.Json.t -> (unit, string) result
+(** Structural check of a check report: kind tag, schema version, and the
+    pass/fail logic re-verified from the serialized values (app passed iff
+    no errors, report passed iff every app passed, timing entries carry
+    cycles or a typed error). *)
+
+val validate_check_string : string -> (unit, string) result
+(** Parse then {!validate_check}. *)
+
 val write_file : string -> Darsie_obs.Json.t -> unit
 (** Pretty-printed, trailing newline. *)

@@ -61,18 +61,26 @@ let factory_of = function
       ~options:{ Darsie_core.Darsie_engine.ignore_store = false; no_cf_sync = true }
       ()
 
-let run_app ?(cfg = Config.default) ?sink ?sample_interval app machine =
+let run_app_checked ?(cfg = Config.default) ?sink ?sample_interval
+    ?event_window ?deadline app machine =
   let cfg =
     match machine with
     | Silicon_sync -> { cfg with Config.sync_at_branches = true }
     | _ -> cfg
   in
-  let gpu =
-    Gpu.run ~cfg ?sink ?sample_interval (factory_of machine) app.kinfo
-      app.trace
-  in
-  let energy = Darsie_energy.Energy_model.account cfg gpu.Gpu.stats in
-  { machine; gpu; energy }
+  match
+    Gpu.run ~cfg ?sink ?sample_interval ?event_window ?deadline
+      (factory_of machine) app.kinfo app.trace
+  with
+  | Ok gpu ->
+    let energy = Darsie_energy.Energy_model.account cfg gpu.Gpu.stats in
+    Ok { machine; gpu; energy }
+  | Error e -> Error e
+
+let run_app ?cfg ?sink ?sample_interval app machine =
+  match run_app_checked ?cfg ?sink ?sample_interval app machine with
+  | Ok r -> r
+  | Error e -> raise (Darsie_check.Sim_error.Simulation_error e)
 
 let build_matrix ?(cfg = Config.default) ?(scale = 1)
     ?(machines = all_machines)

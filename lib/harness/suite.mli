@@ -38,6 +38,18 @@ type matrix = {
   runs : (string * machine, run) Hashtbl.t;  (** keyed by (abbr, machine) *)
 }
 
+val run_app_checked :
+  ?cfg:Darsie_timing.Config.t ->
+  ?sink:Darsie_obs.Sink.t ->
+  ?sample_interval:int ->
+  ?event_window:int ->
+  ?deadline:float ->
+  app ->
+  machine ->
+  (run, Darsie_check.Sim_error.t) result
+(** Like {!run_app} but surfaces simulation failures as typed errors and
+    forwards the diagnostic options of {!Darsie_timing.Gpu.run}. *)
+
 val run_app :
   ?cfg:Darsie_timing.Config.t ->
   ?sink:Darsie_obs.Sink.t ->
@@ -46,7 +58,9 @@ val run_app :
   machine ->
   run
 (** [sink] and [sample_interval] are forwarded to
-    {!Darsie_timing.Gpu.run}; both default to off (the null sink). *)
+    {!Darsie_timing.Gpu.run}; both default to off (the null sink).
+
+    @raise Darsie_check.Sim_error.Simulation_error on failure. *)
 
 val build_matrix :
   ?cfg:Darsie_timing.Config.t ->

@@ -1,0 +1,41 @@
+type t = {
+  buf : Event.t option array;
+  mutable next : int;  (* slot for the next write *)
+  mutable total : int;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Ring.create: cap must be positive";
+  { buf = Array.make cap None; next = 0; total = 0 }
+
+let add t e =
+  t.buf.(t.next) <- Some e;
+  t.next <- (t.next + 1) mod Array.length t.buf;
+  t.total <- t.total + 1
+
+let sink t = Sink.of_fn (add t)
+
+let tee t downstream =
+  if Sink.enabled downstream then
+    Sink.of_fn (fun e ->
+        add t e;
+        Sink.emit downstream e)
+  else sink t
+
+let events t =
+  let cap = Array.length t.buf in
+  let rec collect i acc =
+    if i < 0 then acc
+    else
+      match t.buf.((t.next + i) mod cap) with
+      | Some e -> collect (i - 1) (e :: acc)
+      | None -> collect (i - 1) acc
+  in
+  collect (cap - 1) []
+
+let total t = t.total
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0;
+  t.total <- 0

@@ -1,0 +1,29 @@
+(** A bounded ring of the most recent pipeline events.
+
+    The robustness layer keeps one of these alive during a simulation so
+    that a deadlock or cycle-bound diagnostic can include the last-N
+    events before the failure without paying the memory cost of a full
+    {!Recorder}. Unlike the recorder, old events are overwritten rather
+    than dropped. *)
+
+type t
+
+val create : cap:int -> t
+(** [cap] must be positive. *)
+
+val add : t -> Event.t -> unit
+
+val sink : t -> Sink.t
+(** A sink that feeds the ring. *)
+
+val tee : t -> Sink.t -> Sink.t
+(** [tee ring downstream] feeds every event to the ring and, when
+    [downstream] is enabled, forwards it there too. *)
+
+val events : t -> Event.t list
+(** The retained events, oldest first; at most [cap] of them. *)
+
+val total : t -> int
+(** Events ever added, including overwritten ones. *)
+
+val clear : t -> unit

@@ -34,6 +34,8 @@ type t = {
   rename_regs_per_tb : int;
   coalescer_ports : int;
   max_skips_per_warp_cycle : int;
+  max_cycles : int;
+  watchdog_cycles : int;
 }
 
 let default =
@@ -71,6 +73,8 @@ let default =
     rename_regs_per_tb = 32;
     coalescer_ports = 2;
     max_skips_per_warp_cycle = 8;
+    max_cycles = 500_000_000;
+    watchdog_cycles = 50_000;
   }
 
 let pp fmt c =
@@ -82,7 +86,8 @@ let pp fmt c =
      Shared mem | %d KB/SM, latency %d@\n\
      L1         | %d KB, %d-way, %dB lines, hit latency %d@\n\
      DRAM       | latency %d, %d cycles/transaction@\n\
-     DARSIE     | %d skip entries/TB, %d rename regs/TB, %d coalescer ports"
+     DARSIE     | %d skip entries/TB, %d rename regs/TB, %d coalescer ports@\n\
+     Limits     | %d max cycles, watchdog %s"
     c.num_sms c.max_warps_per_sm c.max_tbs_per_sm c.warp_size c.regfile_vregs
     c.num_schedulers
     (match c.scheduler with Gto -> "GTO" | Lrr -> "LRR")
@@ -91,4 +96,6 @@ let pp fmt c =
     (c.shared_bytes_per_sm / 1024)
     c.shared_lat (c.l1_bytes / 1024) c.l1_assoc c.l1_line c.l1_lat c.dram_lat
     c.dram_txn_cycles c.skip_entries_per_tb c.rename_regs_per_tb
-    c.coalescer_ports
+    c.coalescer_ports c.max_cycles
+    (if c.watchdog_cycles = 0 then "off"
+     else Printf.sprintf "%d idle cycles" c.watchdog_cycles)

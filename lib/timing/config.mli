@@ -49,6 +49,13 @@ type t = {
   rename_regs_per_tb : int;  (** DARSIE renamed physical registers per TB *)
   coalescer_ports : int;  (** PC-coalescer ports: distinct skip PCs per cycle *)
   max_skips_per_warp_cycle : int;
+  max_cycles : int;
+      (** hard simulation cycle bound; exceeding it is a
+          [Sim_error.Cycle_bound] *)
+  watchdog_cycles : int;
+      (** deadlock watchdog: fail when no warp makes progress and no
+          memory request is in flight for this many consecutive cycles;
+          [0] disables the watchdog *)
 }
 
 val default : t

@@ -30,6 +30,7 @@ type t = {
   on_store : wctx -> unit;
   on_tb_launch : tb_slot:int -> warps:wctx array -> unit;
   on_tb_finish : tb_slot:int -> unit;
+  debug_state : unit -> (string * int) list;
 }
 
 let base () =
@@ -43,6 +44,7 @@ let base () =
     on_store = (fun _ -> ());
     on_tb_launch = (fun ~tb_slot:_ ~warps:_ -> ());
     on_tb_finish = (fun ~tb_slot:_ -> ());
+    debug_state = (fun () -> []);
   }
 
 type factory = Kinfo.t -> Config.t -> Stats.t -> t

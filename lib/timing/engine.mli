@@ -53,6 +53,10 @@ type t = {
   on_store : wctx -> unit;  (** a store or atomic issued by this warp's TB *)
   on_tb_launch : tb_slot:int -> warps:wctx array -> unit;
   on_tb_finish : tb_slot:int -> unit;
+  debug_state : unit -> (string * int) list;
+      (** engine-specific counters for failure diagnostics (e.g. DARSIE
+          skip-table occupancy, free rename registers); cheap, called only
+          when assembling an error dump *)
 }
 
 val base : unit -> t

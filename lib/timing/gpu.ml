@@ -25,8 +25,25 @@ let occupancy (cfg : Config.t) (kernel : Kernel.t) ~warps_per_tb =
   in
   max 1 (min (min cfg.Config.max_tbs_per_sm by_warps) (min by_shared by_regs))
 
+module Sim_error = Darsie_check.Sim_error
+
+(* Merge per-SM engine counters by name for the diagnostic dump. *)
+let merge_notes per_sm_notes =
+  let acc = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun (k, v) ->
+         match Hashtbl.find_opt acc k with
+         | Some n -> Hashtbl.replace acc k (n + v)
+         | None ->
+           Hashtbl.add acc k v;
+           order := k :: !order))
+    per_sm_notes;
+  List.rev_map (fun k -> (k, Hashtbl.find acc k)) !order
+
 let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
-    factory (kinfo : Kinfo.t) (trace : Record.t) =
+    ?(event_window = 0) ?deadline factory (kinfo : Kinfo.t)
+    (trace : Record.t) =
   let kernel = kinfo.Kinfo.kernel in
   let warps_per_tb = Record.warps_per_tb trace in
   let tbs_per_sm = occupancy cfg kernel ~warps_per_tb in
@@ -34,6 +51,8 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
     Mem_model.Dram.create ~txn_cycles:cfg.Config.dram_txn_cycles
       ~latency:cfg.Config.dram_lat
   in
+  let ring = if event_window > 0 then Some (Obs.Ring.create ~cap:event_window) else None in
+  let sink = match ring with Some r -> Obs.Ring.tee r sink | None -> sink in
   let sms =
     Array.init cfg.Config.num_sms (fun i ->
         let series =
@@ -56,42 +75,128 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
         done)
       sms
   in
-  let safety = 500_000_000 in
   let cycles = ref 0 in
-  dispatch ();
-  while Array.exists Sm.busy sms || !next_tb < ntbs do
-    incr cycles;
-    if !cycles > safety then
-      failwith "Gpu.run: exceeded simulation cycle bound (deadlock?)";
-    Array.iter Sm.step sms;
-    dispatch ()
-  done;
-  Array.iter Sm.finalize sms;
-  let per_sm = Array.map Sm.stats sms in
-  let agg = Stats.create () in
-  Array.iter (fun s -> Stats.add agg s) per_sm;
-  agg.Stats.cycles <- !cycles;
-  let per_sm_attribution = Array.map Sm.attribution sms in
-  let attribution = Obs.Attrib.create () in
-  Array.iter (fun a -> Obs.Attrib.add attribution a) per_sm_attribution;
-  let series =
-    if sample_interval = None then [||]
-    else
-      Array.map
-        (fun sm ->
-          match Sm.series sm with Some s -> s | None -> assert false)
-        sms
+  let diag () =
+    let attr = Obs.Attrib.create () in
+    Array.iter (fun sm -> Obs.Attrib.add attr (Sm.attribution sm)) sms;
+    {
+      Sim_error.d_cycle = !cycles;
+      d_engine = Sm.engine_name sms.(0);
+      d_warps =
+        List.concat_map Sm.warp_snapshots (Array.to_list sms);
+      d_attribution = Obs.Attrib.to_assoc attr;
+      d_events = (match ring with Some r -> Obs.Ring.events r | None -> []);
+      d_notes = merge_notes (Array.to_list (Array.map Sm.debug_state sms));
+    }
   in
-  {
-    cycles = !cycles;
-    stats = agg;
-    per_sm;
-    engine = Sm.engine_name sms.(0);
-    tbs_per_sm;
-    attribution;
-    per_sm_attribution;
-    series;
-  }
+  let started = Sys.time () in
+  let progress = ref (-1) in
+  let idle = ref 0 in
+  let error = ref None in
+  dispatch ();
+  while !error = None && (Array.exists Sm.busy sms || !next_tb < ntbs) do
+    incr cycles;
+    if !cycles > cfg.Config.max_cycles then
+      error :=
+        Some
+          (Sim_error.Cycle_bound
+             {
+               bound = cfg.Config.max_cycles;
+               message =
+                 Printf.sprintf
+                   "simulation exceeded its cycle bound of %d cycles"
+                   cfg.Config.max_cycles;
+               diag = diag ();
+             })
+    else begin
+      Array.iter Sm.step sms;
+      dispatch ();
+      (* Deadlock watchdog: every SM's progress token frozen with no
+         operation between issue and writeback for watchdog_cycles. *)
+      if cfg.Config.watchdog_cycles > 0 then begin
+        let token =
+          Array.fold_left (fun acc sm -> acc + Sm.progress_token sm) 0 sms
+        in
+        let inflight =
+          Array.fold_left (fun acc sm -> acc + Sm.inflight_count sm) 0 sms
+        in
+        if token = !progress && inflight = 0 then begin
+          incr idle;
+          if !idle >= cfg.Config.watchdog_cycles then
+            error :=
+              Some
+                (Sim_error.Deadlock
+                   {
+                     message =
+                       Printf.sprintf
+                         "no warp fetched, issued or skipped and no \
+                          operation was in flight for %d cycles"
+                         !idle;
+                     diag = diag ();
+                   })
+        end
+        else begin
+          progress := token;
+          idle := 0
+        end
+      end;
+      (* Wall-clock budget, checked at a coarse cadence. *)
+      match deadline with
+      | Some budget_s when !cycles land 0xfff = 0 ->
+        let elapsed = Sys.time () -. started in
+        if elapsed > budget_s then
+          error :=
+            Some
+              (Sim_error.Wall_timeout
+                 {
+                   budget_s;
+                   cycle = !cycles;
+                   message =
+                     Printf.sprintf
+                       "wall-clock budget of %gs exhausted at cycle %d"
+                       budget_s !cycles;
+                 })
+      | _ -> ()
+    end
+  done;
+  match !error with
+  | Some e -> Stdlib.Error e
+  | None ->
+    Array.iter Sm.finalize sms;
+    let per_sm = Array.map Sm.stats sms in
+    let agg = Stats.create () in
+    Array.iter (fun s -> Stats.add agg s) per_sm;
+    agg.Stats.cycles <- !cycles;
+    let per_sm_attribution = Array.map Sm.attribution sms in
+    let attribution = Obs.Attrib.create () in
+    Array.iter (fun a -> Obs.Attrib.add attribution a) per_sm_attribution;
+    let series =
+      if sample_interval = None then [||]
+      else
+        Array.map
+          (fun sm ->
+            match Sm.series sm with Some s -> s | None -> assert false)
+          sms
+    in
+    Ok
+      {
+        cycles = !cycles;
+        stats = agg;
+        per_sm;
+        engine = Sm.engine_name sms.(0);
+        tbs_per_sm;
+        attribution;
+        per_sm_attribution;
+        series;
+      }
+
+let run_exn ?cfg ?sink ?sample_interval ?event_window ?deadline factory kinfo
+    trace =
+  match run ?cfg ?sink ?sample_interval ?event_window ?deadline factory kinfo
+          trace
+  with
+  | Ok r -> r
+  | Stdlib.Error e -> raise (Sim_error.Simulation_error e)
 
 let ipc r =
   if r.cycles = 0 then 0.0

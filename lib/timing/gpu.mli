@@ -23,17 +23,41 @@ val run :
   ?cfg:Config.t ->
   ?sink:Darsie_obs.Sink.t ->
   ?sample_interval:int ->
+  ?event_window:int ->
+  ?deadline:float ->
   Engine.factory ->
   Kinfo.t ->
   Darsie_trace.Record.t ->
-  result
+  (result, Darsie_check.Sim_error.t) Stdlib.result
 (** Replay a recorded trace through the timing model with the given
     engine. Threadblocks are dispatched to SMs greedily in index order as
     slots free up. [sink] receives typed pipeline events (default: the
     null sink — tracing off); [sample_interval] turns on per-SM counter
     time-series with one point per that many cycles.
 
-    @raise Failure if simulation exceeds a safety cycle bound. *)
+    Failures come back as typed {!Darsie_check.Sim_error.t} values
+    carrying a diagnostic dump (per-warp state, stall attribution, engine
+    counters, and — when [event_window] > 0 — the last that many pipeline
+    events):
+    - [Cycle_bound] when the simulation exceeds [cfg.max_cycles];
+    - [Deadlock] when, for [cfg.watchdog_cycles] consecutive cycles, no
+      SM fetched, issued, dropped or skipped anything and nothing was
+      between issue and writeback ([0] disables the watchdog);
+    - [Wall_timeout] when [deadline] (processor seconds for this run) is
+      exhausted. *)
+
+val run_exn :
+  ?cfg:Config.t ->
+  ?sink:Darsie_obs.Sink.t ->
+  ?sample_interval:int ->
+  ?event_window:int ->
+  ?deadline:float ->
+  Engine.factory ->
+  Kinfo.t ->
+  Darsie_trace.Record.t ->
+  result
+(** {!run}, raising {!Darsie_check.Sim_error.Simulation_error} instead of
+    returning [Error]. For call sites that treat failure as fatal. *)
 
 val ipc : result -> float
 (** Executed warp instructions (including eliminated ones' useful work is

@@ -156,6 +156,54 @@ let attribution t = t.attr
 
 let series t = t.series
 
+let inflight_count t = List.length t.inflight
+
+(* Monotone counter that moves iff the pipeline did something this cycle:
+   fetched, issued, dropped at issue or skipped pre-fetch. The watchdog
+   declares deadlock when it freezes with nothing in flight. *)
+let progress_token t =
+  t.stats.Stats.fetched + t.stats.Stats.issued + t.stats.Stats.dropped_issue
+  + t.stats.Stats.skipped_prefetch
+
+let debug_state t = t.engine.Engine.debug_state ()
+
+let warp_snapshots t =
+  let base = ref [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (w : Engine.wctx) ->
+        let len = Array.length w.Engine.trace in
+        let pc =
+          if w.Engine.fi < len then w.Engine.trace.(w.Engine.fi).Record.idx
+          else -1
+        in
+        let drained = Engine.warp_done w && Queue.is_empty w.Engine.ibuf in
+        let state =
+          if drained && w.Engine.pending_count = 0 then "finished"
+          else if w.Engine.at_barrier then "at_barrier"
+          else if Queue.is_empty w.Engine.ibuf && not (t.engine.Engine.can_fetch w)
+          then "fetch_gated"
+          else "runnable"
+        in
+        let snap =
+          {
+            Darsie_check.Sim_error.ws_sm = t.sm_id;
+            ws_warp = w.Engine.wid;
+            ws_tb = w.Engine.tb_id;
+            ws_pc = pc;
+            ws_state = state;
+            ws_detail =
+              Printf.sprintf "trace %d/%d, ibuf %d, pending %d" w.Engine.fi
+                len
+                (Queue.length w.Engine.ibuf)
+                w.Engine.pending_count;
+          }
+        in
+        base := snap :: !base)
+    t.warps;
+  List.rev !base
+
 (* Flush the trailing partial sampling interval (no-op when the run ended
    exactly on a boundary, or when sampling is off). *)
 let finalize t =

@@ -54,6 +54,20 @@ val attribution : t -> Darsie_obs.Attrib.t
 (** Per-cycle stall attribution; its total equals {!cycle} at any point
     between two {!step} calls. *)
 
+val inflight_count : t -> int
+(** Operations currently between issue and writeback. *)
+
+val progress_token : t -> int
+(** Monotone counter that advances exactly when the SM fetched, issued,
+    dropped or skipped something. The GPU-level deadlock watchdog fires
+    when every SM's token freezes with nothing in flight. *)
+
+val warp_snapshots : t -> Darsie_check.Sim_error.warp_snapshot list
+(** Per-resident-warp state for failure diagnostics. *)
+
+val debug_state : t -> (string * int) list
+(** The plugged-in engine's diagnostic counters. *)
+
 val series : t -> Darsie_obs.Series.t option
 
 val finalize : t -> unit

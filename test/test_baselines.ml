@@ -25,8 +25,8 @@ let run_machine factory ?(grid = Kernel.dim3 2) ?(block = Kernel.dim3 16 ~y:16)
   let launch = Kernel.launch k ~grid ~block ~params in
   let kinfo = Kinfo.make ~warp_size:32 launch in
   let trace = Darsie_trace.Record.generate mem launch in
-  let base = Gpu.run Engine.base_factory kinfo trace in
-  let r = Gpu.run factory kinfo trace in
+  let base = Gpu.run_exn Engine.base_factory kinfo trace in
+  let r = Gpu.run_exn factory kinfo trace in
   (base, r)
 
 let uniform_kernel =

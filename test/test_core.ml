@@ -150,8 +150,8 @@ let run_darsie ?(options = Darsie_engine.default_options)
   let launch = Kernel.launch k ~grid ~block ~params in
   let kinfo = Kinfo.make ~warp_size:32 launch in
   let trace = Darsie_trace.Record.generate mem launch in
-  let base = Gpu.run ~cfg Engine.base_factory kinfo trace in
-  let darsie = Gpu.run ~cfg (Darsie_engine.factory ~options ()) kinfo trace in
+  let base = Gpu.run_exn ~cfg Engine.base_factory kinfo trace in
+  let darsie = Gpu.run_exn ~cfg (Darsie_engine.factory ~options ()) kinfo trace in
   (base, darsie)
 
 let redundant_kernel =

@@ -165,7 +165,7 @@ let run_timing ?(cfg = Config.default) ?(engine = Engine.base_factory)
   let launch = Kernel.launch k ~grid ~block ~params in
   let kinfo = Kinfo.make ~warp_size:32 launch in
   let trace = Darsie_trace.Record.generate mem launch in
-  Gpu.run ~cfg engine kinfo trace
+  Gpu.run_exn ~cfg engine kinfo trace
 
 let alu_kernel =
   {|
@@ -362,11 +362,11 @@ let test_determinism () =
   in
   let kinfo = Kinfo.make ~warp_size:32 launch in
   let trace = Darsie_trace.Record.generate mem launch in
-  let r1 = Gpu.run Engine.base_factory kinfo trace in
-  let r2 = Gpu.run Engine.base_factory kinfo trace in
+  let r1 = Gpu.run_exn Engine.base_factory kinfo trace in
+  let r2 = Gpu.run_exn Engine.base_factory kinfo trace in
   check_int "baseline deterministic" r1.Gpu.cycles r2.Gpu.cycles;
-  let d1 = Gpu.run (Darsie_core.Darsie_engine.factory ()) kinfo trace in
-  let d2 = Gpu.run (Darsie_core.Darsie_engine.factory ()) kinfo trace in
+  let d1 = Gpu.run_exn (Darsie_core.Darsie_engine.factory ()) kinfo trace in
+  let d2 = Gpu.run_exn (Darsie_core.Darsie_engine.factory ()) kinfo trace in
   check_int "darsie deterministic" d1.Gpu.cycles d2.Gpu.cycles;
   check_int "skip counts deterministic" d1.Gpu.stats.Stats.skipped_prefetch
     d2.Gpu.stats.Stats.skipped_prefetch
