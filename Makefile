@@ -3,7 +3,8 @@
 DUNE ?= dune
 SMOKE_DIR ?= /tmp/darsie-smoke
 
-.PHONY: all build test verify bench profile-smoke check-smoke clean
+.PHONY: all build test verify bench profile-smoke check-smoke \
+  annotate-smoke bench-compare clean
 
 all: build
 
@@ -42,6 +43,25 @@ check-smoke: build
 	  --json $(SMOKE_DIR)/check_mm.json
 	$(DUNE) exec bin/darsie.exe -- check LIB --inject 6 --seed 7 \
 	  --json $(SMOKE_DIR)/check_lib.json
+
+# Hotspot-annotation smoke: per-instruction listing for MM on two
+# machines (exit 2 if the per-PC charges diverge from the stall
+# attribution), plus a metrics export whose per_pc section is
+# re-validated on write.
+annotate-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	$(DUNE) exec bin/darsie.exe -- annotate MM -m DARSIE -m DAC-IDEAL \
+	  --top 5 --json $(SMOKE_DIR)/mm_annotate.json
+
+# Record a fresh bench trajectory point into bench/history/ and gate it
+# against the committed baseline. Deterministic simulated metrics use a
+# 0.5% threshold; wall-clock metrics 25%. Exits nonzero on regression.
+BENCH_BASELINE ?= bench/BENCH_2026-08-06.json
+bench-compare: build
+	mkdir -p bench/history
+	$(DUNE) exec bench/main.exe -- --trend bench/history/current.json
+	$(DUNE) exec bin/darsie.exe -- bench-compare \
+	  $(BENCH_BASELINE) bench/history/current.json
 
 clean:
 	$(DUNE) clean

@@ -65,7 +65,7 @@ let json_summary m =
       ("darsie_energy_overhead_pct", J.Float overhead);
     ]
 
-let run_figures () =
+let run_figures m =
   section "Table 1 - Applications studied" "13 apps, 5x 1D TBs + 8x 2D TBs";
   print_string (Figures.table1 ());
   section "Table 2 - Baseline GPU"
@@ -85,8 +85,6 @@ let run_figures () =
   section "Figure 6 - Compiler markings for the MM kernel"
     "DR/CR/V markings on register-allocated code";
   print_string (Figures.fig6 ());
-  Printf.printf "\nBuilding the evaluation matrix (13 apps x 7 machines)...\n%!";
-  let m = Suite.build_matrix () in
   section "Figure 8 - Speedup over baseline"
     "GMEAN-2D: DARSIE 1.3, DAC-IDEAL 1.11, UV 1.02; DARSIE ~= DAC on 1D";
   let _, g1, g2, text = Figures.fig8 m in
@@ -128,8 +126,7 @@ let run_figures () =
   section "Section 6.3 - Area estimation"
     "82-bit skip entries; 5.31 kB total; 2.1% of the register file";
   let _, text = Figures.area () in
-  print_string text;
-  m
+  print_string text
 
 let run_ablations () =
   section "Ablations - DARSIE design-space sweeps"
@@ -236,16 +233,40 @@ let run_micro () =
       | _ -> Printf.printf "  %-32s (no estimate)\n" name)
     results
 
-let json_path () =
+let flag_value name =
   let rec scan = function
-    | "--json" :: path :: _ -> Some path
+    | f :: v :: _ when f = name -> Some v
     | _ :: rest -> scan rest
     | [] -> None
   in
   scan (Array.to_list Sys.argv)
 
+let json_path () = flag_value "--json"
+
+(* --trend FILE appends tonight's point to the bench trajectory: the
+   matrix build is re-run --trend-repeats times (min-of-N wall time) and
+   summarized into one Trendline record for bench-compare to gate on. *)
+let trend_path () = flag_value "--trend"
+
+let trend_repeats () =
+  match Option.bind (flag_value "--trend-repeats") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> 1
+
+let iso_date () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
 let () =
-  let m = run_figures () in
+  let repeats = if trend_path () = None then 1 else trend_repeats () in
+  Printf.printf "\nBuilding the evaluation matrix (13 apps x 7 machines%s)...\n%!"
+    (if repeats > 1 then Printf.sprintf ", best of %d builds" repeats else "");
+  let m, wall_s =
+    Trendline.measure ~clock:Unix.gettimeofday ~repeats (fun () ->
+        Suite.build_matrix ())
+  in
+  run_figures m;
   run_ablations ();
   (try run_micro ()
    with e ->
@@ -260,4 +281,18 @@ let () =
         output_string oc (J.pretty_to_string (json_summary m));
         output_char oc '\n');
     Printf.printf "bench summary: %s\n" path);
+  (match trend_path () with
+  | None -> ()
+  | Some path ->
+    let label =
+      match Sys.getenv_opt "DARSIE_BENCH_LABEL" with
+      | Some l -> l
+      | None -> "local"
+    in
+    let record =
+      Trendline.of_matrix ~date:(iso_date ()) ~label ~wall_s ~repeats m
+    in
+    Trendline.write_file path record;
+    Printf.printf "bench trajectory record: %s (%.2fs wall, min of %d)\n" path
+      wall_s repeats);
   print_endline "\nbench: done."

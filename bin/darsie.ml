@@ -7,6 +7,11 @@
      run APP [-m MACHINE]      - functional + timing run of one app
      profile APP [-m MACHINE]  - instrumented run: stall attribution,
                                  JSON metrics, Chrome trace, CSV series
+     annotate APP [-m MACHINE] - per-instruction hotspot profile:
+                                 annotated disassembly with cycle%,
+                                 skip% and stall-bucket columns
+     bench-compare BASE CUR    - diff two bench trajectory records,
+                                 exit nonzero on statistical regression
      limit APP                 - redundancy limit study of one app
      experiment ID             - regenerate a paper figure/table
      check [APP]               - robustness checks: differential oracle,
@@ -460,6 +465,123 @@ let check_cmd =
           $ inject_arg $ seed_arg $ deadline_arg $ max_cycles_arg
           $ watchdog_arg $ json_arg)
 
+let annotate_cmd =
+  let run abbr machines scale top json_file =
+    let w = or_die (find_app abbr) in
+    let machines =
+      if machines = [] then [ Darsie_harness.Suite.Darsie ] else machines
+    in
+    Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
+    let app = Darsie_harness.Suite.load_app ~scale w in
+    let runs =
+      List.map
+        (fun m ->
+          let r = Darsie_harness.Suite.run_app ~pcstat:true app m in
+          (* the pcstat-aware attribution check: per-PC stall charges
+             must reproduce each SM's bucket totals *)
+          check_run abbr r;
+          (Darsie_harness.Suite.machine_name m, r))
+        machines
+    in
+    let results =
+      List.map (fun (n, r) -> (n, r.Darsie_harness.Suite.gpu)) runs
+    in
+    let kernel = app.Darsie_harness.Suite.kinfo.Darsie_timing.Kinfo.kernel in
+    print_string
+      (Darsie_harness.Annotate.render ~top ~kernel ~app_name:abbr
+         ~machines:results ());
+    (match json_file with
+    | Some path ->
+      let _, primary = List.hd runs in
+      let doc = Darsie_harness.Metrics.of_run ~app:abbr ~scale primary in
+      (match Darsie_harness.Metrics.validate doc with
+      | Ok () -> ()
+      | Error msg -> violation "%s: exported metrics invalid (%s)" abbr msg);
+      Darsie_harness.Metrics.write_file path doc;
+      Printf.printf "metrics: %s\n" path
+    | None -> ());
+    finish ()
+  in
+  let machines_arg =
+    let doc =
+      "Machine(s) to profile (repeatable; first is the primary for cycle% \
+       and stall columns, every one adds a skip% column; default DARSIE)."
+    in
+    Arg.(
+      value & opt_all machine_conv [] & info [ "machine"; "m" ]
+        ~docv:"MACHINE" ~doc)
+  in
+  let top_arg =
+    let doc = "Show the $(docv) hottest instructions after the listing \
+               (0 disables)." in
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "annotate"
+       ~doc:
+         "Per-instruction hotspot profile: annotated disassembly with \
+          cycle%, skip% and stall-bucket columns (perf annotate for \
+          PTX-lite)")
+    Term.(const run $ app_arg $ machines_arg $ scale_arg $ top_arg $ json_arg)
+
+let bench_compare_cmd =
+  let module T = Darsie_harness.Trendline in
+  let run baseline current det_tol wall_tol warn_only =
+    let load path =
+      match T.read_file path with
+      | Ok r -> r
+      | Error e -> or_die (Error (Printf.sprintf "%s: %s" path e))
+    in
+    let b = load baseline in
+    let c = load current in
+    Printf.printf "baseline: %s (%s, %s)\ncurrent:  %s (%s, %s)\n\n" baseline
+      b.T.date b.T.label current c.T.date c.T.label;
+    let verdicts =
+      T.compare_records ~det_threshold:det_tol ~wall_threshold:wall_tol
+        ~baseline:b ~current:c ()
+    in
+    print_string (T.render_verdicts verdicts);
+    match T.regressions verdicts with
+    | [] -> print_endline "\nbench-compare: no regressions."
+    | rs ->
+      Printf.printf "\nbench-compare: %d metric(s) regressed.\n"
+        (List.length rs);
+      if not warn_only then exit 1
+  in
+  let baseline_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"BASELINE"
+          ~doc:"Baseline bench record (JSON written by bench --trend).")
+  in
+  let current_arg =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"CURRENT" ~doc:"Bench record to judge.")
+  in
+  let det_arg =
+    let doc = "Relative threshold for deterministic metrics (cycles, IPC, \
+               speedup geomeans)." in
+    Arg.(value & opt float T.det_threshold
+         & info [ "det-threshold" ] ~docv:"FRAC" ~doc)
+  in
+  let wall_arg =
+    let doc = "Relative threshold for wall-clock metrics." in
+    Arg.(value & opt float T.wall_threshold
+         & info [ "wall-threshold" ] ~docv:"FRAC" ~doc)
+  in
+  let warn_arg =
+    let doc = "Report regressions but exit zero (CI smoke mode)." in
+    Arg.(value & flag & info [ "warn-only" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Diff two bench trajectory records with min-of-N + \
+          relative-threshold gating; exits nonzero on regression")
+    Term.(const run $ baseline_arg $ current_arg $ det_arg $ wall_arg
+          $ warn_arg)
+
 let area_cmd =
   let run () =
     let _, text = Darsie_harness.Figures.area () in
@@ -471,8 +593,8 @@ let area_cmd =
 let main =
   let doc = "DARSIE: dimensionality-aware redundant SIMT instruction elimination" in
   Cmd.group (Cmd.info "darsie" ~version:"1.0.0" ~doc)
-    [ list_cmd; asm_cmd; analyze_cmd; run_cmd; profile_cmd; limit_cmd;
-      experiment_cmd; check_cmd; area_cmd ]
+    [ list_cmd; asm_cmd; analyze_cmd; run_cmd; profile_cmd; annotate_cmd;
+      limit_cmd; experiment_cmd; check_cmd; bench_compare_cmd; area_cmd ]
 
 (* Typed simulation errors escaping any subcommand (e.g. a deadlock during
    [darsie run]) exit with their distinct code and a one-line summary. *)

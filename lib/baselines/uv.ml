@@ -45,4 +45,5 @@ let factory : Engine.factory =
     on_tb_launch = (fun ~tb_slot:_ ~warps:_ -> ());
     on_tb_finish;
     debug_state = (fun () -> [ ("reuse_buffer_slots", Hashtbl.length buffer) ]);
+    pc_telemetry = (fun () -> []);
   }

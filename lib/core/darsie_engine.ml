@@ -63,6 +63,9 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
     if options.no_cf_sync then max_int / 2
     else cfg.Config.rename_regs_per_tb
   in
+  (* One telemetry block outlives the per-TB tables, so [pc_telemetry]
+     reports entry statistics over the SM's whole run. *)
+  let telemetry = Skip_table.Telemetry.create () in
   let slots : (int, slot_state) Hashtbl.t = Hashtbl.create 8 in
   let fetch_ok : (int, bool) Hashtbl.t = Hashtbl.create 64 in
   let stall_count : (int, int) Hashtbl.t = Hashtbl.create 64 in
@@ -234,6 +237,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
               (* Follower parks in the warps-waiting bitmask until
                  LeaderWB (§4.3.2, field 5). *)
               Hashtbl.replace parked w.Engine.wid w.Engine.fi;
+              Skip_table.Telemetry.note_park telemetry ~pc:idx;
               stats.Stats.darsie_sync_stalls <-
                 stats.Stats.darsie_sync_stalls + 1;
               set_ok w false
@@ -274,7 +278,8 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
     in
     go 0
   in
-  let cycle_skip ~cycle:_ =
+  let cycle_skip ~cycle =
+    Skip_table.Telemetry.set_now telemetry cycle;
     Hashtbl.reset probed;
     Hashtbl.iter
       (fun _ slot ->
@@ -338,8 +343,12 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
     Hashtbl.replace slots tb_slot
       {
         skip =
-          Skip_table.create ~max_entries:entries_per_tb
-            ~rename_regs:rename_regs_per_tb;
+          (let t =
+             Skip_table.create ~max_entries:entries_per_tb
+               ~rename_regs:rename_regs_per_tb
+           in
+           Skip_table.attach_telemetry t telemetry;
+           t);
         majority = Majority.create ~warps:(Array.length warps);
         syncs = Hashtbl.create 64;
         warps;
@@ -377,6 +386,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
     on_tb_launch;
     on_tb_finish;
     debug_state;
+    pc_telemetry = (fun () -> Skip_table.Telemetry.entries telemetry);
   }
 
 let factory ?options () : Engine.factory =

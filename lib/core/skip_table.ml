@@ -1,9 +1,67 @@
+(* Per-PC entry telemetry, shared by every table the engine creates so
+   the counts survive TB retirement (tables are per resident TB and die
+   with it). The logical clock is set once per cycle by the engine. *)
+module Telemetry = struct
+  type cell = {
+    mutable allocs : int;
+    mutable hits : int;
+    mutable parks : int;
+    mutable load_flushes : int;
+    mutable barrier_flushes : int;
+    mutable lifetime : int;
+  }
+
+  type t = { mutable now : int; cells : (int, cell) Hashtbl.t }
+
+  let create () = { now = 0; cells = Hashtbl.create 16 }
+
+  let set_now t cycle = t.now <- cycle
+
+  let now t = t.now
+
+  let cell t pc =
+    match Hashtbl.find_opt t.cells pc with
+    | Some c -> c
+    | None ->
+      let c =
+        {
+          allocs = 0;
+          hits = 0;
+          parks = 0;
+          load_flushes = 0;
+          barrier_flushes = 0;
+          lifetime = 0;
+        }
+      in
+      Hashtbl.add t.cells pc c;
+      c
+
+  let note_park t ~pc = (cell t pc).parks <- (cell t pc).parks + 1
+
+  let entries t =
+    Hashtbl.fold
+      (fun pc c acc ->
+        ( pc,
+          {
+            Darsie_obs.Pcstat.sk_allocs = c.allocs;
+            sk_hits = c.hits;
+            sk_parks = c.parks;
+            sk_load_flushes = c.load_flushes;
+            sk_barrier_flushes = c.barrier_flushes;
+            sk_lifetime = c.lifetime;
+          } )
+        :: acc)
+      t.cells []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+end
+
 type instance = {
   occ : int;
   leader : int;
   mutable leader_wb : bool;
   mutable done_mask : int;
   is_load : bool;
+  born : int;  (* telemetry clock at allocation; 0 without telemetry *)
 }
 
 type entry = { pc : int; mutable instances : instance list }
@@ -13,10 +71,33 @@ type t = {
   rename_regs : int;
   mutable free : int;
   table : (int, entry) Hashtbl.t;
+  mutable telemetry : Telemetry.t option;
 }
 
 let create ~max_entries ~rename_regs =
-  { max_entries; rename_regs; free = rename_regs; table = Hashtbl.create 16 }
+  {
+    max_entries;
+    rename_regs;
+    free = rename_regs;
+    table = Hashtbl.create 16;
+    telemetry = None;
+  }
+
+let attach_telemetry t tel = t.telemetry <- Some tel
+
+(* Telemetry bumps; all no-ops when no telemetry is attached. *)
+let tel_do t f = match t.telemetry with None -> () | Some tel -> f tel
+
+let tel_free t pc (i : instance) kind =
+  tel_do t (fun tel ->
+      let c = Telemetry.cell tel pc in
+      c.Telemetry.lifetime <-
+        c.Telemetry.lifetime + max 0 (Telemetry.now tel - i.born);
+      match kind with
+      | `Swept -> ()
+      | `Load_flush -> c.Telemetry.load_flushes <- c.Telemetry.load_flushes + 1
+      | `Barrier_flush ->
+        c.Telemetry.barrier_flushes <- c.Telemetry.barrier_flushes + 1)
 
 let find t ~pc ~occ =
   match Hashtbl.find_opt t.table pc with
@@ -35,13 +116,19 @@ let allocate t ~pc ~occ ~leader ~is_load =
     invalid_arg "Skip_table.allocate: table or freelist exhausted";
   if find t ~pc ~occ <> None then
     invalid_arg "Skip_table.allocate: instance already live";
+  let born =
+    match t.telemetry with Some tel -> Telemetry.now tel | None -> 0
+  in
   let inst =
-    { occ; leader; leader_wb = false; done_mask = 1 lsl leader; is_load }
+    { occ; leader; leader_wb = false; done_mask = 1 lsl leader; is_load; born }
   in
   (match Hashtbl.find_opt t.table pc with
   | Some e -> e.instances <- inst :: e.instances
   | None -> Hashtbl.add t.table pc { pc; instances = [ inst ] });
-  t.free <- t.free - 1
+  t.free <- t.free - 1;
+  tel_do t (fun tel ->
+      let c = Telemetry.cell tel pc in
+      c.Telemetry.allocs <- c.Telemetry.allocs + 1)
 
 (* Free instances whose value is no longer needed: the leader has written
    back and every warp currently on the majority path has passed. *)
@@ -50,6 +137,7 @@ let freeable majority i = i.leader_wb && majority land lnot i.done_mask = 0
 let sweep_entry t majority e =
   let live, dead = List.partition (fun i -> not (freeable majority i)) e.instances in
   t.free <- t.free + List.length dead;
+  List.iter (fun i -> tel_free t e.pc i `Swept) dead;
   e.instances <- live;
   if live = [] then Hashtbl.remove t.table e.pc
 
@@ -66,7 +154,11 @@ let mark_writeback t ~pc ~occ ~majority =
 
 let mark_passed t ~pc ~occ ~warp ~majority =
   (match find t ~pc ~occ with
-  | Some i -> i.done_mask <- i.done_mask lor (1 lsl warp)
+  | Some i ->
+    i.done_mask <- i.done_mask lor (1 lsl warp);
+    tel_do t (fun tel ->
+        let c = Telemetry.cell tel pc in
+        c.Telemetry.hits <- c.Telemetry.hits + 1)
   | None -> ());
   sweep t ~pc ~majority
 
@@ -80,11 +172,15 @@ let flush_loads t =
     (fun e ->
       let live, dead = List.partition (fun i -> not i.is_load) e.instances in
       t.free <- t.free + List.length dead;
+      List.iter (fun i -> tel_free t e.pc i `Load_flush) dead;
       e.instances <- live;
       if live = [] then Hashtbl.remove t.table e.pc)
     entries
 
 let flush_all t =
+  Hashtbl.iter
+    (fun pc e -> List.iter (fun i -> tel_free t pc i `Barrier_flush) e.instances)
+    t.table;
   Hashtbl.reset t.table;
   t.free <- t.rename_regs
 

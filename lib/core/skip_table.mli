@@ -15,17 +15,41 @@
     TB). When either is exhausted, arriving warps simply execute the
     instruction themselves. *)
 
+(** Per-PC entry telemetry (allocations, follower hits, park cycles,
+    flush causes, live lifetime). One [Telemetry.t] is shared by every
+    table an engine creates so the counts survive TB retirement; the
+    engine advances the logical clock once per cycle with {!set_now}. *)
+module Telemetry : sig
+  type t
+
+  val create : unit -> t
+
+  val set_now : t -> int -> unit
+  (** Set the logical clock (the SM cycle) used for lifetime accounting. *)
+
+  val note_park : t -> pc:int -> unit
+  (** A follower parked in this PC's warps-waiting bitmask this cycle. *)
+
+  val entries : t -> (int * Darsie_obs.Pcstat.skip_entry) list
+  (** Snapshot, sorted by PC. *)
+end
+
 type instance = {
   occ : int;
   leader : int;  (** warp (within the TB) that executes the instruction *)
   mutable leader_wb : bool;
   mutable done_mask : int;  (** warps that have passed this instance *)
   is_load : bool;
+  born : int;  (** telemetry clock at allocation; 0 without telemetry *)
 }
 
 type t
 
 val create : max_entries:int -> rename_regs:int -> t
+
+val attach_telemetry : t -> Telemetry.t -> unit
+(** Attach a (possibly shared) telemetry block; without one, all
+    telemetry accounting is off. Attach before the first {!allocate}. *)
 
 val find : t -> pc:int -> occ:int -> instance option
 

@@ -1,0 +1,165 @@
+(* The rendering layer of [darsie annotate] — PTX-lite's answer to
+   [perf annotate]. Joins the disassembly from Printer.kernel_lines with
+   the per-PC profile a pcstat-enabled run produced: every line gets its
+   share of simulated cycles, its elimination rate per machine, its
+   dominant stall bucket, and (for memory ops) round-trip latency. *)
+
+open Darsie_timing
+module Obs = Darsie_obs
+
+type row = {
+  idx : int;
+  label : string option;
+  text : string;
+  row_cycles : int;
+  cycle_pct : float;
+  skip_pcts : (string * float) list;  (* machine name -> skip% *)
+  issues : int;
+  drops : int;
+  skips : int;
+  top_bucket : (string * float) option;  (* name, % of this row's cycles *)
+  mem_mean : float option;
+  skip_entry : Obs.Pcstat.skip_entry option;
+}
+
+let pct part whole =
+  if whole <= 0 then 0.0 else 100.0 *. float_of_int part /. float_of_int whole
+
+(* Fraction of this PC's dynamic occurrences that the machine
+   eliminated (pre-fetch skips + issue drops over all occurrences). *)
+let skip_pct p ~pc =
+  let skips = Obs.Pcstat.skips p ~pc and drops = Obs.Pcstat.drops p ~pc in
+  let occs = Obs.Pcstat.issues p ~pc + drops + skips in
+  pct (skips + drops) occs
+
+let pcstat_exn (g : Gpu.result) =
+  match g.Gpu.pcstat with
+  | Some p -> p
+  | None -> invalid_arg "Annotate: run was not profiled (pcstat = false)"
+
+let top_bucket row_attr row_cycles =
+  if row_cycles = 0 then None
+  else
+    let best =
+      List.fold_left
+        (fun acc (name, v) ->
+          match acc with
+          | Some (_, bv) when bv >= v -> acc
+          | _ -> Some (name, v))
+        None
+        (Obs.Attrib.to_assoc row_attr)
+    in
+    Option.map (fun (name, v) -> (name, pct v row_cycles)) best
+
+let rows ~kernel ~machines =
+  match machines with
+  | [] -> invalid_arg "Annotate.rows: no machines"
+  | (_, primary) :: _ ->
+    let p = pcstat_exn primary in
+    let total = Obs.Pcstat.total_cycles p in
+    List.map
+      (fun (idx, label, text) ->
+        let row_cycles = Obs.Pcstat.row_cycles p ~pc:idx in
+        {
+          idx;
+          label;
+          text;
+          row_cycles;
+          cycle_pct = pct row_cycles total;
+          skip_pcts =
+            List.map
+              (fun (name, g) -> (name, skip_pct (pcstat_exn g) ~pc:idx))
+              machines;
+          issues = Obs.Pcstat.issues p ~pc:idx;
+          drops = Obs.Pcstat.drops p ~pc:idx;
+          skips = Obs.Pcstat.skips p ~pc:idx;
+          top_bucket = top_bucket (Obs.Pcstat.stall_row p ~pc:idx) row_cycles;
+          mem_mean =
+            (if Obs.Pcstat.mem_count p ~pc:idx = 0 then None
+             else Some (Obs.Pcstat.mem_lat_mean p ~pc:idx));
+          skip_entry = List.assoc_opt idx primary.Gpu.skip_telemetry;
+        })
+      (Darsie_isa.Printer.kernel_lines kernel)
+
+let render_buckets b =
+  match b with
+  | None -> ""
+  | Some (name, p) -> Printf.sprintf "%s %.1f%%" name p
+
+let render ?(top = 0) ~kernel ~app_name ~machines () =
+  let rs = rows ~kernel ~machines in
+  let primary_name, primary = List.hd machines in
+  let buf = Buffer.create 4096 in
+  let p = pcstat_exn primary in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "darsie annotate: %s on %s — %d cycles, %d SMs, %d static \
+        instructions\n"
+       app_name primary_name primary.Gpu.cycles
+       (Array.length primary.Gpu.per_sm)
+       (Obs.Pcstat.n p));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "profile: %d issued, %d skipped pre-fetch, %d dropped at issue\n\n"
+       (Obs.Pcstat.total_issues p)
+       (Obs.Pcstat.total_skips p)
+       (Obs.Pcstat.total_drops p));
+  let skip_headers =
+    String.concat ""
+      (List.map (fun (name, _) -> Printf.sprintf " %14s" ("skip%" ^ name)) machines)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "%7s%s %8s %8s  %-22s %s\n" "cycle%" skip_headers "issued"
+       "memlat" "top-stall" "instruction");
+  List.iter
+    (fun r ->
+      (match r.label with
+      | Some l -> Buffer.add_string buf (l ^ ":\n")
+      | None -> ());
+      let skip_cols =
+        String.concat ""
+          (List.map (fun (_, s) -> Printf.sprintf " %14.2f" s) r.skip_pcts)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%7.2f%s %8d %8s  %-22s %4d: %s\n" r.cycle_pct
+           skip_cols r.issues
+           (match r.mem_mean with
+           | Some m -> Printf.sprintf "%.1f" m
+           | None -> "-")
+           (render_buckets r.top_bucket)
+           r.idx r.text))
+    rs;
+  let un = Obs.Pcstat.unattributed p in
+  let un_total = Obs.Attrib.total un in
+  Buffer.add_string buf
+    (Printf.sprintf "%7.2f %s\n" (pct un_total (Obs.Pcstat.total_cycles p))
+       "<no instruction> (idle / drained SM cycles)");
+  if top > 0 then begin
+    let hot =
+      List.filter (fun r -> r.row_cycles > 0) rs
+      |> List.sort (fun a b -> compare b.row_cycles a.row_cycles)
+    in
+    let hot = List.filteri (fun i _ -> i < top) hot in
+    Buffer.add_string buf
+      (Printf.sprintf "\nhottest %d instructions on %s:\n" (List.length hot)
+         primary_name);
+    List.iteri
+      (fun rank r ->
+        Buffer.add_string buf
+          (Printf.sprintf "  #%d %6.2f%% cycles  %-22s %4d: %s\n" (rank + 1)
+             r.cycle_pct
+             (render_buckets r.top_bucket)
+             r.idx r.text);
+        match r.skip_entry with
+        | Some e ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "      skip-table: %d allocs, %d hits, %d parks, %d+%d \
+                flushes (load+barrier), %d live cycles\n"
+               e.Obs.Pcstat.sk_allocs e.Obs.Pcstat.sk_hits
+               e.Obs.Pcstat.sk_parks e.Obs.Pcstat.sk_load_flushes
+               e.Obs.Pcstat.sk_barrier_flushes e.Obs.Pcstat.sk_lifetime)
+        | None -> ())
+      hot
+  end;
+  Buffer.contents buf

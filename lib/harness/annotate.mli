@@ -1,0 +1,53 @@
+(** Annotated disassembly — the rendering layer of [darsie annotate],
+    PTX-lite's analogue of [perf annotate].
+
+    Joins {!Darsie_isa.Printer.kernel_lines} with the per-PC profile of a
+    pcstat-enabled run ({!Darsie_timing.Gpu.run} with [~pcstat:true]):
+    each source line gets its share of simulated cycles, its elimination
+    rate on every requested machine, its dominant stall bucket, and (for
+    memory instructions) the mean round-trip latency. *)
+
+type row = {
+  idx : int;  (** static instruction index *)
+  label : string option;  (** ["L<i>"] on branch targets *)
+  text : string;  (** disassembled instruction *)
+  row_cycles : int;  (** cycles charged to this line (all SMs) *)
+  cycle_pct : float;  (** share of all charged cycles, 0–100 *)
+  skip_pcts : (string * float) list;
+      (** per machine: percent of dynamic occurrences eliminated
+          (pre-fetch skips + issue drops) *)
+  issues : int;
+  drops : int;
+  skips : int;
+  top_bucket : (string * float) option;
+      (** dominant stall bucket and its share of this line's cycles *)
+  mem_mean : float option;  (** mean round-trip latency, memory ops only *)
+  skip_entry : Darsie_obs.Pcstat.skip_entry option;
+      (** skip-table telemetry from the primary machine, if any *)
+}
+
+val skip_pct : Darsie_obs.Pcstat.t -> pc:int -> float
+(** Percent of [pc]'s dynamic occurrences the machine eliminated. *)
+
+val rows :
+  kernel:Darsie_isa.Kernel.t ->
+  machines:(string * Darsie_timing.Gpu.result) list ->
+  row list
+(** One row per static instruction. The first machine is the {e primary}:
+    cycle shares, counters, stall buckets and telemetry come from it;
+    every listed machine contributes a [skip_pcts] column.
+
+    @raise Invalid_argument when [machines] is empty or a result was run
+    without [pcstat]. *)
+
+val render :
+  ?top:int ->
+  kernel:Darsie_isa.Kernel.t ->
+  app_name:string ->
+  machines:(string * Darsie_timing.Gpu.result) list ->
+  unit ->
+  string
+(** The full listing: header, one column-aligned line per instruction,
+    the unattributed (idle) remainder, and — when [top > 0] — a hotspot
+    summary of the [top] most cycle-expensive lines with their
+    skip-table telemetry. *)

@@ -76,6 +76,11 @@ let of_run ~app ?(scale = 1) (r : Suite.run) =
                    (Array.map json_of_attrib gpu.Gpu.per_sm_attribution)) );
           ] );
       ("series", json_of_series gpu.Gpu.series);
+      ( "per_pc",
+        match gpu.Gpu.pcstat with
+        | Some p ->
+          Obs.Pcstat.to_json ~skip_telemetry:gpu.Gpu.skip_telemetry p
+        | None -> J.Null );
       ("energy", json_of_energy r.Suite.energy);
     ]
 
@@ -149,8 +154,45 @@ let validate doc =
     | Some a -> Ok a
     | None -> Error "missing stall_attribution.total"
   in
-  if attrib_sum total = num_sms * cycles then Ok ()
-  else Error "total stall attribution != num_sms * cycles"
+  let* () =
+    if attrib_sum total = num_sms * cycles then Ok ()
+    else Error "total stall attribution != num_sms * cycles"
+  in
+  (* per_pc is additive and optional (absent or null when the run was not
+     profiled); when present its per-row stall charges plus the
+     unattributed remainder must reproduce the total attribution — the
+     serialized form of the Gpu.check_attribution invariant. *)
+  match J.member "per_pc" doc with
+  | None | Some J.Null -> Ok ()
+  | Some per_pc ->
+    let* n = field "n" J.to_int per_pc in
+    let* rows =
+      match J.member "rows" per_pc with
+      | Some (J.List l) -> Ok l
+      | _ -> Error "per_pc missing rows list"
+    in
+    let* () =
+      if List.length rows = n then Ok ()
+      else Error "per_pc.rows length != per_pc.n"
+    in
+    let row_sum acc r =
+      match J.member "stall" r with
+      | Some s -> acc + attrib_sum s
+      | None -> acc
+    in
+    let charged = List.fold_left row_sum 0 rows in
+    let un =
+      match J.member "unattributed" per_pc with
+      | Some u -> attrib_sum u
+      | None -> 0
+    in
+    if charged + un = num_sms * cycles then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "per_pc stall charges (%d) + unattributed (%d) != num_sms * \
+            cycles (%d)"
+           charged un (num_sms * cycles))
 
 let validate_string s =
   let* doc =

@@ -62,14 +62,14 @@ let factory_of = function
       ()
 
 let run_app_checked ?(cfg = Config.default) ?sink ?sample_interval
-    ?event_window ?deadline app machine =
+    ?event_window ?deadline ?pcstat app machine =
   let cfg =
     match machine with
     | Silicon_sync -> { cfg with Config.sync_at_branches = true }
     | _ -> cfg
   in
   match
-    Gpu.run ~cfg ?sink ?sample_interval ?event_window ?deadline
+    Gpu.run ~cfg ?sink ?sample_interval ?event_window ?deadline ?pcstat
       (factory_of machine) app.kinfo app.trace
   with
   | Ok gpu ->
@@ -77,8 +77,8 @@ let run_app_checked ?(cfg = Config.default) ?sink ?sample_interval
     Ok { machine; gpu; energy }
   | Error e -> Error e
 
-let run_app ?cfg ?sink ?sample_interval app machine =
-  match run_app_checked ?cfg ?sink ?sample_interval app machine with
+let run_app ?cfg ?sink ?sample_interval ?pcstat app machine =
+  match run_app_checked ?cfg ?sink ?sample_interval ?pcstat app machine with
   | Ok r -> r
   | Error e -> raise (Darsie_check.Sim_error.Simulation_error e)
 

@@ -44,16 +44,19 @@ val run_app_checked :
   ?sample_interval:int ->
   ?event_window:int ->
   ?deadline:float ->
+  ?pcstat:bool ->
   app ->
   machine ->
   (run, Darsie_check.Sim_error.t) result
 (** Like {!run_app} but surfaces simulation failures as typed errors and
-    forwards the diagnostic options of {!Darsie_timing.Gpu.run}. *)
+    forwards the diagnostic options of {!Darsie_timing.Gpu.run}
+    (including [pcstat] per-instruction profiling). *)
 
 val run_app :
   ?cfg:Darsie_timing.Config.t ->
   ?sink:Darsie_obs.Sink.t ->
   ?sample_interval:int ->
+  ?pcstat:bool ->
   app ->
   machine ->
   run

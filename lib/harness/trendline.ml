@@ -1,0 +1,255 @@
+(* The bench trajectory store: one small JSON record per bench run,
+   appended to a history directory, plus the statistical gate
+   [darsie bench-compare] uses to turn "the numbers moved" into a CI
+   verdict. Simulated metrics (cycles, speedup geomeans, IPC) are
+   deterministic, so they get a tight relative threshold; wall-clock
+   throughput is noisy, so runs are summarized min-of-N and compared
+   against a loose one. *)
+
+module J = Darsie_obs.Json
+module W = Darsie_workloads.Workload
+
+let schema_version = 1
+
+type record = {
+  date : string;  (** ISO date of the run (caller-supplied) *)
+  label : string;  (** free-form: git rev, host, "ci" ... *)
+  wall_s : float;  (** min-of-N wall time of the matrix build, seconds *)
+  repeats : int;  (** the N of min-of-N *)
+  cycles_per_sec : float;  (** simulated cycles per wall second *)
+  gmeans : (string * float) list;  (** fig8 speedup geomeans *)
+  per_app_ipc : (string * float) list;  (** DARSIE IPC per app *)
+  per_app_cycles : (string * int) list;  (** DARSIE cycles per app *)
+}
+
+(* Run [f] [repeats] times and keep the fastest wall time — the standard
+   min-of-N noise filter: the minimum is the run least disturbed by the
+   machine. [clock] defaults to processor time so the harness stays free
+   of unix; callers wanting wall time pass [Unix.gettimeofday]. *)
+let measure ?(clock = Sys.time) ~repeats f =
+  if repeats < 1 then invalid_arg "Trendline.measure: repeats < 1";
+  let result = ref None in
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = clock () in
+    let r = f () in
+    let dt = clock () -. t0 in
+    if dt < !best then best := dt;
+    result := Some r
+  done;
+  (Option.get !result, !best)
+
+let of_matrix ~date ~label ~wall_s ~repeats (m : Suite.matrix) =
+  let _, g1, g2, _ = Figures.fig8 m in
+  let total_cycles =
+    Hashtbl.fold
+      (fun _ (r : Suite.run) acc -> acc + r.Suite.gpu.Darsie_timing.Gpu.cycles)
+      m.Suite.runs 0
+  in
+  let darsie_runs =
+    List.map
+      (fun (app : Suite.app) ->
+        (app.Suite.workload.W.abbr, Suite.get m app.Suite.workload.W.abbr Suite.Darsie))
+      m.Suite.apps
+  in
+  {
+    date;
+    label;
+    wall_s;
+    repeats;
+    cycles_per_sec =
+      (if wall_s <= 0.0 then 0.0 else float_of_int total_cycles /. wall_s);
+    gmeans =
+      [
+        ("speedup_1d_darsie", g1.Figures.darsie);
+        ("speedup_1d_dac", g1.Figures.dac);
+        ("speedup_2d_darsie", g2.Figures.darsie);
+        ("speedup_2d_dac", g2.Figures.dac);
+        ("speedup_2d_uv", g2.Figures.uv);
+      ];
+    per_app_ipc =
+      List.map
+        (fun (abbr, (r : Suite.run)) ->
+          (abbr, Darsie_timing.Gpu.ipc r.Suite.gpu))
+        darsie_runs;
+    per_app_cycles =
+      List.map
+        (fun (abbr, (r : Suite.run)) ->
+          (abbr, r.Suite.gpu.Darsie_timing.Gpu.cycles))
+        darsie_runs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON round-trip                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let to_json r =
+  J.Obj
+    [
+      ("schema_version", J.Int schema_version);
+      ("kind", J.String "bench_record");
+      ("date", J.String r.date);
+      ("label", J.String r.label);
+      ("wall_s", J.Float r.wall_s);
+      ("repeats", J.Int r.repeats);
+      ("cycles_per_sec", J.Float r.cycles_per_sec);
+      ("gmeans", J.Obj (List.map (fun (k, v) -> (k, J.Float v)) r.gmeans));
+      ( "per_app_ipc",
+        J.Obj (List.map (fun (k, v) -> (k, J.Float v)) r.per_app_ipc) );
+      ( "per_app_cycles",
+        J.Obj (List.map (fun (k, v) -> (k, J.Int v)) r.per_app_cycles) );
+    ]
+
+let to_float = function
+  | J.Float f -> Some f
+  | J.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e
+
+let field name conv doc =
+  match Option.bind (J.member name doc) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let assoc name conv doc =
+  match J.member name doc with
+  | Some (J.Obj fields) ->
+    List.fold_left
+      (fun acc (k, v) ->
+        let* l = acc in
+        match conv v with
+        | Some x -> Ok ((k, x) :: l)
+        | None -> Error (Printf.sprintf "ill-typed entry %S in %S" k name))
+      (Ok []) fields
+    |> Result.map List.rev
+  | _ -> Error (Printf.sprintf "missing object %S" name)
+
+let of_json doc =
+  let* v = field "schema_version" J.to_int doc in
+  let* () =
+    if v = schema_version then Ok ()
+    else Error (Printf.sprintf "schema_version %d, expected %d" v schema_version)
+  in
+  let str name =
+    match J.member name doc with
+    | Some (J.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "missing string %S" name)
+  in
+  let* date = str "date" in
+  let* label = str "label" in
+  let* wall_s = field "wall_s" to_float doc in
+  let* repeats = field "repeats" J.to_int doc in
+  let* cycles_per_sec = field "cycles_per_sec" to_float doc in
+  let* gmeans = assoc "gmeans" to_float doc in
+  let* per_app_ipc = assoc "per_app_ipc" to_float doc in
+  let* per_app_cycles = assoc "per_app_cycles" J.to_int doc in
+  Ok { date; label; wall_s; repeats; cycles_per_sec; gmeans; per_app_ipc;
+       per_app_cycles }
+
+let write_file path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (J.pretty_to_string (to_json r));
+      output_char oc '\n')
+
+let read_file path =
+  let ic = open_in path in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let* doc =
+    match J.of_string s with Ok d -> Ok d | Error e -> Error ("bad JSON: " ^ e)
+  in
+  of_json doc
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type direction = Higher_is_better | Lower_is_better
+
+type verdict = {
+  metric : string;
+  baseline : float;
+  current : float;
+  rel_change : float;  (** signed; positive = regression direction *)
+  threshold : float;
+  regressed : bool;
+}
+
+(* Default thresholds. Simulated metrics are bit-deterministic, so any
+   drift beyond rounding is a real model change: 0.5%. Wall time on a
+   shared CI runner easily wobbles by double-digit percents even after
+   min-of-N: 25%. *)
+let det_threshold = 0.005
+
+let wall_threshold = 0.25
+
+let judge ~metric ~threshold ~dir ~baseline ~current =
+  let rel =
+    if baseline = 0.0 then if current = 0.0 then 0.0 else infinity
+    else (current -. baseline) /. Float.abs baseline
+  in
+  (* Normalize so positive rel_change always points toward "worse". *)
+  let rel = match dir with Higher_is_better -> -.rel | Lower_is_better -> rel in
+  { metric; baseline; current; rel_change = rel; threshold;
+    regressed = rel > threshold }
+
+let compare_records ?(det_threshold = det_threshold)
+    ?(wall_threshold = wall_threshold) ~baseline ~current () =
+  let paired name l1 l2 =
+    List.filter_map
+      (fun (k, b) ->
+        Option.map (fun c -> (name ^ "." ^ k, b, c)) (List.assoc_opt k l2))
+      l1
+  in
+  let det =
+    paired "gmean" baseline.gmeans current.gmeans
+    @ paired "ipc" baseline.per_app_ipc current.per_app_ipc
+    @ paired "cycles"
+        (List.map (fun (k, v) -> (k, float_of_int v)) baseline.per_app_cycles)
+        (List.map (fun (k, v) -> (k, float_of_int v)) current.per_app_cycles)
+  in
+  let det_verdicts =
+    List.map
+      (fun (metric, b, c) ->
+        let dir =
+          if String.length metric >= 6 && String.sub metric 0 6 = "cycles"
+          then Lower_is_better
+          else Higher_is_better
+        in
+        judge ~metric ~threshold:det_threshold ~dir ~baseline:b ~current:c)
+      det
+  in
+  let wall_verdicts =
+    [
+      judge ~metric:"wall_s" ~threshold:wall_threshold ~dir:Lower_is_better
+        ~baseline:baseline.wall_s ~current:current.wall_s;
+      judge ~metric:"cycles_per_sec" ~threshold:wall_threshold
+        ~dir:Higher_is_better ~baseline:baseline.cycles_per_sec
+        ~current:current.cycles_per_sec;
+    ]
+  in
+  det_verdicts @ wall_verdicts
+
+let regressions verdicts = List.filter (fun v -> v.regressed) verdicts
+
+let render_verdicts verdicts =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-28s %14s %14s %9s %9s  %s\n" "metric" "baseline"
+       "current" "change%" "limit%" "verdict");
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-28s %14.4f %14.4f %+9.2f %9.2f  %s\n" v.metric
+           v.baseline v.current (100.0 *. v.rel_change)
+           (100.0 *. v.threshold)
+           (if v.regressed then "REGRESSED" else "ok")))
+    verdicts;
+  Buffer.contents buf

@@ -1,0 +1,78 @@
+(** Persistent bench trajectory: one JSON record per bench run and the
+    statistical regression gate behind [darsie bench-compare].
+
+    Simulated metrics (per-app cycles and IPC, figure-8 speedup
+    geomeans) are bit-deterministic, so the gate holds them to a tight
+    relative threshold; wall-clock throughput is summarized min-of-N at
+    record time and compared against a loose one. *)
+
+val schema_version : int
+
+type record = {
+  date : string;  (** ISO date of the run (caller-supplied) *)
+  label : string;  (** free-form: git rev, host, "ci" ... *)
+  wall_s : float;  (** min-of-N wall time of the matrix build, seconds *)
+  repeats : int;  (** the N of min-of-N *)
+  cycles_per_sec : float;  (** simulated cycles per wall second *)
+  gmeans : (string * float) list;  (** fig8 speedup geomeans *)
+  per_app_ipc : (string * float) list;  (** DARSIE IPC per app *)
+  per_app_cycles : (string * int) list;  (** DARSIE cycles per app *)
+}
+
+val measure : ?clock:(unit -> float) -> repeats:int -> (unit -> 'a) -> 'a * float
+(** Run the thunk [repeats] times; return the last result and the
+    {e minimum} elapsed time — the min-of-N noise filter. [clock]
+    defaults to [Sys.time] (processor seconds).
+
+    @raise Invalid_argument when [repeats < 1]. *)
+
+val of_matrix :
+  date:string ->
+  label:string ->
+  wall_s:float ->
+  repeats:int ->
+  Suite.matrix ->
+  record
+(** Project a bench record out of an evaluation matrix. *)
+
+val to_json : record -> Darsie_obs.Json.t
+
+val of_json : Darsie_obs.Json.t -> (record, string) result
+
+val write_file : string -> record -> unit
+
+val read_file : string -> (record, string) result
+
+(** {1 Regression gate} *)
+
+type verdict = {
+  metric : string;
+  baseline : float;
+  current : float;
+  rel_change : float;
+      (** signed, normalized so positive always means "worse" *)
+  threshold : float;
+  regressed : bool;
+}
+
+val det_threshold : float
+(** Default relative threshold for deterministic metrics (0.5%). *)
+
+val wall_threshold : float
+(** Default relative threshold for wall-clock metrics (25%). *)
+
+val compare_records :
+  ?det_threshold:float ->
+  ?wall_threshold:float ->
+  baseline:record ->
+  current:record ->
+  unit ->
+  verdict list
+(** One verdict per metric present in both records. Metrics only one
+    record has (an app added or removed) are skipped — the gate compares
+    trajectories, it does not diff schemas. *)
+
+val regressions : verdict list -> verdict list
+
+val render_verdicts : verdict list -> string
+(** Column-aligned human-readable table. *)

@@ -119,10 +119,7 @@ let instr fmt t =
 
 let instr_to_string t = Format.asprintf "%a" instr t
 
-let kernel fmt (k : Kernel.t) =
-  Format.fprintf fmt ".kernel %s@\n" k.Kernel.name;
-  Format.fprintf fmt ".params %d@\n" k.Kernel.nparams;
-  Format.fprintf fmt ".shared %d@\n" k.Kernel.shared_bytes;
+let branch_targets (k : Kernel.t) =
   let targets = Hashtbl.create 16 in
   Array.iter
     (fun i ->
@@ -130,6 +127,24 @@ let kernel fmt (k : Kernel.t) =
       | Some t -> Hashtbl.replace targets t ()
       | None -> ())
     k.Kernel.insts;
+  targets
+
+let kernel_lines (k : Kernel.t) =
+  let targets = branch_targets k in
+  Array.to_list
+    (Array.mapi
+       (fun i inst ->
+         let label =
+           if Hashtbl.mem targets i then Some (label_of_target i) else None
+         in
+         (i, label, instr_to_string inst))
+       k.Kernel.insts)
+
+let kernel fmt (k : Kernel.t) =
+  Format.fprintf fmt ".kernel %s@\n" k.Kernel.name;
+  Format.fprintf fmt ".params %d@\n" k.Kernel.nparams;
+  Format.fprintf fmt ".shared %d@\n" k.Kernel.shared_bytes;
+  let targets = branch_targets k in
   Array.iteri
     (fun i inst ->
       if Hashtbl.mem targets i then

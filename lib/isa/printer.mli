@@ -12,6 +12,11 @@ val instr : Format.formatter -> Instr.t -> unit
 
 val instr_to_string : Instr.t -> string
 
+val kernel_lines : Kernel.t -> (int * string option * string) list
+(** One [(index, label, text)] triple per instruction, in program order;
+    [label] is [Some "L<i>"] on branch targets. The building block of
+    annotated listings ([darsie annotate]). *)
+
 val kernel : Format.formatter -> Kernel.t -> unit
 (** Render a full kernel: directives, labels on branch targets, one
     instruction per line. *)

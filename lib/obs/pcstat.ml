@@ -1,0 +1,253 @@
+(* Per-static-instruction profile: the "perf annotate" table behind
+   [darsie annotate]. One row per kernel instruction plus a synthetic
+   none-row for cycles no PC can be blamed for (a drained SM, for
+   instance). Every simulated cycle is charged to exactly one (row,
+   bucket) pair using the same classification that feeds Attrib, so the
+   per-bucket column sums equal the owning SM's bucket totals — the
+   cross-layer conservation invariant Gpu.check_attribution enforces. *)
+
+(* Round-trip latency histogram bucket upper bounds (cycles, inclusive);
+   the last bucket is open-ended. *)
+let lat_bounds = [| 4; 8; 16; 32; 64; 128; 256; 512; 1024 |]
+
+let lat_buckets = Array.length lat_bounds + 1
+
+let lat_bucket_of lat =
+  let rec go i =
+    if i >= Array.length lat_bounds then Array.length lat_bounds
+    else if lat <= lat_bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
+
+let lat_bucket_name i =
+  if i = 0 then Printf.sprintf "<=%d" lat_bounds.(0)
+  else if i < Array.length lat_bounds then
+    Printf.sprintf "%d-%d" (lat_bounds.(i - 1) + 1) lat_bounds.(i)
+  else Printf.sprintf ">%d" lat_bounds.(Array.length lat_bounds - 1)
+
+type t = {
+  n : int;
+  fetch : int array;
+  issue : int array;
+  drop : int array;
+  skip : int array;
+  stall : Attrib.t array;  (* n + 1 rows; row n is the none-row *)
+  mem_count : int array;
+  mem_lat_total : int array;
+  mem_lat_max : int array;
+  mem_hist : int array array;  (* n x lat_buckets *)
+}
+
+let create ~n =
+  {
+    n;
+    fetch = Array.make n 0;
+    issue = Array.make n 0;
+    drop = Array.make n 0;
+    skip = Array.make n 0;
+    stall = Array.init (n + 1) (fun _ -> Attrib.create ());
+    mem_count = Array.make n 0;
+    mem_lat_total = Array.make n 0;
+    mem_lat_max = Array.make n 0;
+    mem_hist = Array.make_matrix n lat_buckets 0;
+  }
+
+let n t = t.n
+
+(* The none-row index; [charge ~pc:(-1)] lands here. *)
+let row_of t pc = if pc < 0 || pc >= t.n then t.n else pc
+
+let note_fetch t ~pc = t.fetch.(pc) <- t.fetch.(pc) + 1
+
+let note_issue t ~pc = t.issue.(pc) <- t.issue.(pc) + 1
+
+let note_drop t ~pc = t.drop.(pc) <- t.drop.(pc) + 1
+
+let note_skip t ~pc = t.skip.(pc) <- t.skip.(pc) + 1
+
+let note_skips t ~pc n = if pc >= 0 && pc < t.n then t.skip.(pc) <- t.skip.(pc) + n
+
+let note_mem_latency t ~pc ~lat =
+  t.mem_count.(pc) <- t.mem_count.(pc) + 1;
+  t.mem_lat_total.(pc) <- t.mem_lat_total.(pc) + lat;
+  if lat > t.mem_lat_max.(pc) then t.mem_lat_max.(pc) <- lat;
+  let b = lat_bucket_of lat in
+  t.mem_hist.(pc).(b) <- t.mem_hist.(pc).(b) + 1
+
+let charge t ~pc bucket = Attrib.bump t.stall.(row_of t pc) bucket
+
+let fetches t ~pc = t.fetch.(pc)
+
+let issues t ~pc = t.issue.(pc)
+
+let drops t ~pc = t.drop.(pc)
+
+let skips t ~pc = t.skip.(pc)
+
+let stall_row t ~pc = t.stall.(row_of t pc)
+
+let charged t ~pc bucket = Attrib.get (stall_row t ~pc) bucket
+
+let row_cycles t ~pc = Attrib.total (stall_row t ~pc)
+
+let unattributed t = t.stall.(t.n)
+
+let mem_count t ~pc = t.mem_count.(pc)
+
+let mem_lat_total t ~pc = t.mem_lat_total.(pc)
+
+let mem_lat_max t ~pc = t.mem_lat_max.(pc)
+
+let mem_lat_mean t ~pc =
+  if t.mem_count.(pc) = 0 then 0.0
+  else float_of_int t.mem_lat_total.(pc) /. float_of_int t.mem_count.(pc)
+
+let mem_hist t ~pc = Array.copy t.mem_hist.(pc)
+
+let total_fetches t = Array.fold_left ( + ) 0 t.fetch
+
+let total_issues t = Array.fold_left ( + ) 0 t.issue
+
+let total_drops t = Array.fold_left ( + ) 0 t.drop
+
+let total_skips t = Array.fold_left ( + ) 0 t.skip
+
+(* Sum of every row's stall charges, none-row included; equals the
+   owning SM's Attrib when the per-cycle feed is conservative. *)
+let bucket_totals t =
+  let acc = Attrib.create () in
+  Array.iter (fun row -> Attrib.add acc row) t.stall;
+  acc
+
+let total_cycles t = Attrib.total (bucket_totals t)
+
+let add acc x =
+  if acc.n <> x.n then invalid_arg "Pcstat.add: kernel size mismatch";
+  let bump a b = Array.iteri (fun i v -> a.(i) <- a.(i) + v) b in
+  bump acc.fetch x.fetch;
+  bump acc.issue x.issue;
+  bump acc.drop x.drop;
+  bump acc.skip x.skip;
+  Array.iteri (fun i row -> Attrib.add acc.stall.(i) row) x.stall;
+  bump acc.mem_count x.mem_count;
+  bump acc.mem_lat_total x.mem_lat_total;
+  Array.iteri
+    (fun i v -> if v > acc.mem_lat_max.(i) then acc.mem_lat_max.(i) <- v)
+    x.mem_lat_max;
+  Array.iteri (fun i row -> bump acc.mem_hist.(i) row) x.mem_hist
+
+(* ------------------------------------------------------------------ *)
+(* Skip-table entry telemetry (filled by the DARSIE engine)            *)
+(* ------------------------------------------------------------------ *)
+
+type skip_entry = {
+  sk_allocs : int;  (** leader allocations of this PC's entry *)
+  sk_hits : int;  (** follower skips served from the entry *)
+  sk_parks : int;  (** warp-cycles parked in the waiting bitmask *)
+  sk_load_flushes : int;  (** instances invalidated by a store/atomic *)
+  sk_barrier_flushes : int;  (** instances retired by a TB barrier *)
+  sk_lifetime : int;  (** total cycles instances stayed live *)
+}
+
+let empty_skip_entry =
+  {
+    sk_allocs = 0;
+    sk_hits = 0;
+    sk_parks = 0;
+    sk_load_flushes = 0;
+    sk_barrier_flushes = 0;
+    sk_lifetime = 0;
+  }
+
+let merge_skip_entry a b =
+  {
+    sk_allocs = a.sk_allocs + b.sk_allocs;
+    sk_hits = a.sk_hits + b.sk_hits;
+    sk_parks = a.sk_parks + b.sk_parks;
+    sk_load_flushes = a.sk_load_flushes + b.sk_load_flushes;
+    sk_barrier_flushes = a.sk_barrier_flushes + b.sk_barrier_flushes;
+    sk_lifetime = a.sk_lifetime + b.sk_lifetime;
+  }
+
+(* Merge per-SM telemetry lists by PC, ascending. *)
+let merge_skip_telemetry lists =
+  let acc = Hashtbl.create 16 in
+  List.iter
+    (List.iter (fun (pc, e) ->
+         let cur =
+           Option.value ~default:empty_skip_entry (Hashtbl.find_opt acc pc)
+         in
+         Hashtbl.replace acc pc (merge_skip_entry cur e)))
+    lists;
+  Hashtbl.fold (fun pc e l -> (pc, e) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_skip_entry e =
+  Json.Obj
+    [
+      ("allocs", Json.Int e.sk_allocs);
+      ("hits", Json.Int e.sk_hits);
+      ("parks", Json.Int e.sk_parks);
+      ("load_flushes", Json.Int e.sk_load_flushes);
+      ("barrier_flushes", Json.Int e.sk_barrier_flushes);
+      ("lifetime_cycles", Json.Int e.sk_lifetime);
+    ]
+
+let to_json ?(skip_telemetry = []) t =
+  let row pc =
+    let base =
+      [
+        ("idx", Json.Int pc);
+        ("fetch", Json.Int t.fetch.(pc));
+        ("issue", Json.Int t.issue.(pc));
+        ("drop", Json.Int t.drop.(pc));
+        ("skip", Json.Int t.skip.(pc));
+        ( "stall",
+          Json.Obj
+            (List.map
+               (fun (k, v) -> (k, Json.Int v))
+               (Attrib.to_assoc t.stall.(pc))) );
+      ]
+    in
+    let mem =
+      if t.mem_count.(pc) = 0 then []
+      else
+        [
+          ( "mem",
+            Json.Obj
+              [
+                ("count", Json.Int t.mem_count.(pc));
+                ("lat_total", Json.Int t.mem_lat_total.(pc));
+                ("lat_max", Json.Int t.mem_lat_max.(pc));
+                ( "hist",
+                  Json.List
+                    (Array.to_list
+                       (Array.map (fun v -> Json.Int v) t.mem_hist.(pc))) );
+              ] );
+        ]
+    in
+    let skip =
+      match List.assoc_opt pc skip_telemetry with
+      | Some e -> [ ("skip_table", json_of_skip_entry e) ]
+      | None -> []
+    in
+    Json.Obj (base @ mem @ skip)
+  in
+  Json.Obj
+    [
+      ("n", Json.Int t.n);
+      ( "lat_bucket_bounds",
+        Json.List
+          (Array.to_list (Array.map (fun b -> Json.Int b) lat_bounds)) );
+      ("rows", Json.List (List.init t.n row));
+      ( "unattributed",
+        Json.Obj
+          (List.map
+             (fun (k, v) -> (k, Json.Int v))
+             (Attrib.to_assoc t.stall.(t.n))) );
+    ]

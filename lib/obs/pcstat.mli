@@ -1,0 +1,124 @@
+(** Per-static-instruction profile counters — the table behind
+    [darsie annotate], the PTX-lite analogue of [perf annotate].
+
+    One row per kernel instruction index plus a synthetic {e none-row}
+    for cycles no PC can be blamed for (an idle SM with nothing
+    resident). The SM charges every simulated cycle to exactly one
+    (row, bucket) pair using the same classification that feeds
+    {!Attrib}, so for each bucket the column sum over all rows equals
+    the owning SM's bucket total — the cross-layer conservation
+    invariant [Gpu.check_attribution] enforces. *)
+
+type t
+
+val create : n:int -> t
+(** [n] is the kernel's static instruction count. *)
+
+val n : t -> int
+
+(** {1 Occurrence counters} *)
+
+val note_fetch : t -> pc:int -> unit
+
+val note_issue : t -> pc:int -> unit
+
+val note_drop : t -> pc:int -> unit
+(** Issue-stage elimination (UV reuse-buffer drop). *)
+
+val note_skip : t -> pc:int -> unit
+(** Pre-fetch elimination (DARSIE skip or idealized DAC removal). *)
+
+val note_skips : t -> pc:int -> int -> unit
+(** Bulk form of {!note_skip}; out-of-range PCs are ignored (engine
+    telemetry folds use it for skips the SM pipeline never saw). *)
+
+(** {1 Stall charges} *)
+
+val charge : t -> pc:int -> Attrib.bucket -> unit
+(** Charge one cycle of [bucket] to the instruction blocking progress;
+    [pc = -1] (or out of range) charges the none-row. *)
+
+val charged : t -> pc:int -> Attrib.bucket -> int
+
+val stall_row : t -> pc:int -> Attrib.t
+
+val row_cycles : t -> pc:int -> int
+(** Total cycles charged to this row across all buckets. *)
+
+val unattributed : t -> Attrib.t
+(** The none-row. *)
+
+val bucket_totals : t -> Attrib.t
+(** Sum over every row (none-row included); equals the owning SM's
+    {!Attrib} totals when the feed is conservative. *)
+
+val total_cycles : t -> int
+
+(** {1 Memory round-trip latency} *)
+
+val note_mem_latency : t -> pc:int -> lat:int -> unit
+
+val mem_count : t -> pc:int -> int
+
+val mem_lat_total : t -> pc:int -> int
+
+val mem_lat_max : t -> pc:int -> int
+
+val mem_lat_mean : t -> pc:int -> float
+
+val mem_hist : t -> pc:int -> int array
+(** Copy of the per-PC latency histogram; see {!lat_bucket_name}. *)
+
+val lat_buckets : int
+
+val lat_bucket_of : int -> int
+
+val lat_bucket_name : int -> string
+
+(** {1 Accessors and aggregation} *)
+
+val fetches : t -> pc:int -> int
+
+val issues : t -> pc:int -> int
+
+val drops : t -> pc:int -> int
+
+val skips : t -> pc:int -> int
+
+val total_fetches : t -> int
+
+val total_issues : t -> int
+
+val total_drops : t -> int
+
+val total_skips : t -> int
+
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc].
+    @raise Invalid_argument on kernel-size mismatch. *)
+
+(** {1 Skip-table entry telemetry} *)
+
+(** Lifetime statistics of one PC's skip-table entries, filled by the
+    DARSIE engine and aggregated across TB launches. *)
+type skip_entry = {
+  sk_allocs : int;  (** leader allocations of this PC's entry *)
+  sk_hits : int;  (** follower skips served from the entry *)
+  sk_parks : int;  (** warp-cycles parked in the waiting bitmask *)
+  sk_load_flushes : int;  (** instances invalidated by a store/atomic *)
+  sk_barrier_flushes : int;  (** instances retired by a TB barrier *)
+  sk_lifetime : int;  (** total cycles instances stayed live *)
+}
+
+val empty_skip_entry : skip_entry
+
+val merge_skip_entry : skip_entry -> skip_entry -> skip_entry
+
+val merge_skip_telemetry :
+  (int * skip_entry) list list -> (int * skip_entry) list
+(** Merge per-SM telemetry lists by PC, sorted ascending. *)
+
+(** {1 Export} *)
+
+val to_json : ?skip_telemetry:(int * skip_entry) list -> t -> Json.t
+(** The [per_pc] section of the metrics document. *)

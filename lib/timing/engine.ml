@@ -31,6 +31,7 @@ type t = {
   on_tb_launch : tb_slot:int -> warps:wctx array -> unit;
   on_tb_finish : tb_slot:int -> unit;
   debug_state : unit -> (string * int) list;
+  pc_telemetry : unit -> (int * Darsie_obs.Pcstat.skip_entry) list;
 }
 
 let base () =
@@ -45,6 +46,7 @@ let base () =
     on_tb_launch = (fun ~tb_slot:_ ~warps:_ -> ());
     on_tb_finish = (fun ~tb_slot:_ -> ());
     debug_state = (fun () -> []);
+    pc_telemetry = (fun () -> []);
   }
 
 type factory = Kinfo.t -> Config.t -> Stats.t -> t

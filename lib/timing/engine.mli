@@ -57,6 +57,10 @@ type t = {
       (** engine-specific counters for failure diagnostics (e.g. DARSIE
           skip-table occupancy, free rename registers); cheap, called only
           when assembling an error dump *)
+  pc_telemetry : unit -> (int * Darsie_obs.Pcstat.skip_entry) list;
+      (** per-PC skip-table entry telemetry (DARSIE: allocations, follower
+          hits, park cycles, flush causes, lifetimes), aggregated over the
+          engine's whole lifetime; engines without a skip table return [[]] *)
 }
 
 val base : unit -> t

@@ -11,6 +11,9 @@ type result = {
   attribution : Obs.Attrib.t;
   per_sm_attribution : Obs.Attrib.t array;
   series : Obs.Series.t array;
+  pcstat : Obs.Pcstat.t option;
+  per_sm_pcstat : Obs.Pcstat.t array;
+  skip_telemetry : (int * Obs.Pcstat.skip_entry) list;
 }
 
 let occupancy (cfg : Config.t) (kernel : Kernel.t) ~warps_per_tb =
@@ -42,7 +45,7 @@ let merge_notes per_sm_notes =
   List.rev_map (fun k -> (k, Hashtbl.find acc k)) !order
 
 let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
-    ?(event_window = 0) ?deadline factory (kinfo : Kinfo.t)
+    ?(event_window = 0) ?deadline ?(pcstat = false) factory (kinfo : Kinfo.t)
     (trace : Record.t) =
   let kernel = kinfo.Kinfo.kernel in
   let warps_per_tb = Record.warps_per_tb trace in
@@ -53,6 +56,7 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
   in
   let ring = if event_window > 0 then Some (Obs.Ring.create ~cap:event_window) else None in
   let sink = match ring with Some r -> Obs.Ring.tee r sink | None -> sink in
+  let ninsts = Array.length kernel.Kernel.insts in
   let sms =
     Array.init cfg.Config.num_sms (fun i ->
         let series =
@@ -61,7 +65,10 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
               Obs.Series.create ~interval ~names:Sm.sample_names)
             sample_interval
         in
-        Sm.create ~sm_id:i ~sink ?series cfg kinfo factory dram
+        let pcstat =
+          if pcstat then Some (Obs.Pcstat.create ~n:ninsts) else None
+        in
+        Sm.create ~sm_id:i ~sink ?series ?pcstat cfg kinfo factory dram
           ~slots:tbs_per_sm ~warps_per_tb)
   in
   let ntbs = Record.num_tbs trace in
@@ -178,6 +185,26 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
             match Sm.series sm with Some s -> s | None -> assert false)
           sms
     in
+    let per_sm_pcstat =
+      if not pcstat then [||]
+      else
+        Array.map
+          (fun sm ->
+            match Sm.pcstat sm with Some p -> p | None -> assert false)
+          sms
+    in
+    let pcstat_agg =
+      if Array.length per_sm_pcstat = 0 then None
+      else begin
+        let acc = Obs.Pcstat.create ~n:(Array.length kernel.Kernel.insts) in
+        Array.iter (fun p -> Obs.Pcstat.add acc p) per_sm_pcstat;
+        Some acc
+      end
+    in
+    let skip_telemetry =
+      Obs.Pcstat.merge_skip_telemetry
+        (Array.to_list (Array.map Sm.skip_telemetry sms))
+    in
     Ok
       {
         cycles = !cycles;
@@ -188,12 +215,15 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
         attribution;
         per_sm_attribution;
         series;
+        pcstat = pcstat_agg;
+        per_sm_pcstat;
+        skip_telemetry;
       }
 
-let run_exn ?cfg ?sink ?sample_interval ?event_window ?deadline factory kinfo
-    trace =
-  match run ?cfg ?sink ?sample_interval ?event_window ?deadline factory kinfo
-          trace
+let run_exn ?cfg ?sink ?sample_interval ?event_window ?deadline ?pcstat
+    factory kinfo trace =
+  match run ?cfg ?sink ?sample_interval ?event_window ?deadline ?pcstat
+          factory kinfo trace
   with
   | Ok r -> r
   | Stdlib.Error e -> raise (Sim_error.Simulation_error e)
@@ -203,7 +233,11 @@ let ipc r =
   else float_of_int r.stats.Stats.issued /. float_of_int r.cycles
 
 (* Each SM steps once per simulated cycle and classifies that cycle into
-   exactly one bucket, so this can only fail if the model drifts. *)
+   exactly one bucket, so this can only fail if the model drifts. When
+   per-PC profiling was on, the same classification also charged exactly
+   one (PC row, bucket) pair per cycle, so each SM's per-PC column sums
+   must reproduce its bucket totals — the cross-layer conservation
+   invariant behind [darsie annotate]. *)
 let check_attribution r =
   let bad = ref [] in
   Array.iteri
@@ -212,10 +246,31 @@ let check_attribution r =
       if tot <> r.cycles then bad := (i, tot) :: !bad)
     r.per_sm_attribution;
   match List.rev !bad with
-  | [] -> Ok ()
   | (sm, tot) :: _ ->
     Error
       (Printf.sprintf
          "stall attribution does not sum to cycles on SM %d: %d buckets vs %d \
           cycles (engine %s)"
          sm tot r.cycles r.engine)
+  | [] ->
+    let mismatch = ref None in
+    Array.iteri
+      (fun i p ->
+        if !mismatch = None then begin
+          let per_pc = Obs.Attrib.to_assoc (Obs.Pcstat.bucket_totals p) in
+          let per_sm = Obs.Attrib.to_assoc r.per_sm_attribution.(i) in
+          List.iter2
+            (fun (name, pc_tot) (_, sm_tot) ->
+              if !mismatch = None && pc_tot <> sm_tot then
+                mismatch := Some (i, name, pc_tot, sm_tot))
+            per_pc per_sm
+        end)
+      r.per_sm_pcstat;
+    (match !mismatch with
+    | None -> Ok ()
+    | Some (sm, name, pc_tot, sm_tot) ->
+      Error
+        (Printf.sprintf
+           "per-PC stall charges diverge from SM attribution on SM %d, \
+            bucket %s: %d per-PC vs %d per-SM (engine %s)"
+           sm name pc_tot sm_tot r.engine))

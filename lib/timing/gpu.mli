@@ -13,6 +13,15 @@ type result = {
       (** each sums exactly to [cycles] *)
   series : Darsie_obs.Series.t array;
       (** per-SM interval-sampled counters; [[||]] when sampling was off *)
+  pcstat : Darsie_obs.Pcstat.t option;
+      (** per-PC profile aggregated over SMs; [None] when profiling was
+          off *)
+  per_sm_pcstat : Darsie_obs.Pcstat.t array;
+      (** [[||]] when profiling was off; each mirrors its SM's
+          attribution bucket-by-bucket *)
+  skip_telemetry : (int * Darsie_obs.Pcstat.skip_entry) list;
+      (** per-PC skip-table entry telemetry merged over SMs; [[]] for
+          engines without a skip table *)
 }
 
 val occupancy : Config.t -> Darsie_isa.Kernel.t -> warps_per_tb:int -> int
@@ -25,6 +34,7 @@ val run :
   ?sample_interval:int ->
   ?event_window:int ->
   ?deadline:float ->
+  ?pcstat:bool ->
   Engine.factory ->
   Kinfo.t ->
   Darsie_trace.Record.t ->
@@ -33,7 +43,9 @@ val run :
     engine. Threadblocks are dispatched to SMs greedily in index order as
     slots free up. [sink] receives typed pipeline events (default: the
     null sink — tracing off); [sample_interval] turns on per-SM counter
-    time-series with one point per that many cycles.
+    time-series with one point per that many cycles; [pcstat] (default
+    false) turns on per-static-instruction profiling (the table behind
+    [darsie annotate]).
 
     Failures come back as typed {!Darsie_check.Sim_error.t} values
     carrying a diagnostic dump (per-warp state, stall attribution, engine
@@ -52,6 +64,7 @@ val run_exn :
   ?sample_interval:int ->
   ?event_window:int ->
   ?deadline:float ->
+  ?pcstat:bool ->
   Engine.factory ->
   Kinfo.t ->
   Darsie_trace.Record.t ->
@@ -65,5 +78,6 @@ val ipc : result -> float
 
 val check_attribution : result -> (unit, string) Stdlib.result
 (** Verify the per-SM stall-attribution invariant (every simulated cycle
-    classified exactly once). The CLI turns an [Error] into a nonzero
-    exit status so CI catches model drift. *)
+    classified exactly once) and, when per-PC profiling was on, that each
+    SM's per-PC stall charges sum to its bucket totals. The CLI turns an
+    [Error] into a nonzero exit status so CI catches model drift. *)

@@ -34,8 +34,11 @@ type t = {
   sm_id : int;
   sink : Obs.Sink.t;
   attr : Obs.Attrib.t;
+  pcstat : Obs.Pcstat.t option;
   series : Obs.Series.t option;
   mutable issue_slots_used : int;  (* issues + drops this cycle *)
+  mutable active_pc : int;  (* first PC issued/dropped this cycle *)
+  mutable last_barrier_pc : int;  (* most recent barrier-setting PC *)
 }
 
 (* Counters snapshotted into the per-interval time-series; the order here
@@ -53,8 +56,8 @@ let sample_snapshot (s : Stats.t) =
     s.Stats.barrier_stall_cycles; s.Stats.darsie_sync_stalls;
   |]
 
-let create ?(sm_id = 0) ?(sink = Obs.Sink.null) ?series cfg kinfo factory dram
-    ~slots ~warps_per_tb =
+let create ?(sm_id = 0) ?(sink = Obs.Sink.null) ?series ?pcstat cfg kinfo
+    factory dram ~slots ~warps_per_tb =
   let stats = Stats.create () in
   {
     cfg;
@@ -87,9 +90,14 @@ let create ?(sm_id = 0) ?(sink = Obs.Sink.null) ?series cfg kinfo factory dram
     sm_id;
     sink;
     attr = Obs.Attrib.create ();
+    pcstat;
     series;
     issue_slots_used = 0;
+    active_pc = -1;
+    last_barrier_pc = -1;
   }
+
+let pc_note t f = match t.pcstat with None -> () | Some p -> f p
 
 let emit t ~warp kind =
   if Obs.Sink.enabled t.sink then
@@ -154,6 +162,10 @@ let cycle t = t.cycle
 
 let attribution t = t.attr
 
+let pcstat t = t.pcstat
+
+let skip_telemetry t = t.engine.Engine.pc_telemetry ()
+
 let series t = t.series
 
 let inflight_count t = List.length t.inflight
@@ -205,11 +217,19 @@ let warp_snapshots t =
   List.rev !base
 
 (* Flush the trailing partial sampling interval (no-op when the run ended
-   exactly on a boundary, or when sampling is off). *)
+   exactly on a boundary, or when sampling is off), and fold the engine's
+   per-PC skip telemetry into the profile: DARSIE advances trace cursors
+   inside its own skip phase, so those eliminations never pass through
+   the fetch stage the SM instruments. *)
 let finalize t =
-  match t.series with
+  (match t.series with
   | Some s -> Obs.Series.record s ~cycle:t.cycle (sample_snapshot t.stats)
-  | None -> ()
+  | None -> ());
+  pc_note t (fun p ->
+      List.iter
+        (fun (pc, (e : Obs.Pcstat.skip_entry)) ->
+          Obs.Pcstat.note_skips p ~pc e.Obs.Pcstat.sk_hits)
+        (skip_telemetry t))
 
 (* A warp has issued everything when its trace cursor is exhausted and its
    I-buffer has drained. *)
@@ -368,12 +388,14 @@ let try_issue_head t budget (w : Engine.wctx) =
         let cfg = t.cfg in
         w.Engine.last_issued <- t.cycle;
         t.issue_slots_used <- t.issue_slots_used + 1;
+        if t.issue_slots_used = 1 then t.active_pc <- idx;
         (match t.engine.Engine.on_issue ~cycle:t.cycle w op with
         | Engine.Drop ->
           (* Eliminated at issue (UV): consumed fetch/decode and an issue
              slot but no execution resources; the reuse-buffer value is
              available to dependents next cycle. *)
           stats.Stats.dropped_issue <- stats.Stats.dropped_issue + 1;
+          pc_note t (fun p -> Obs.Pcstat.note_drop p ~pc:idx);
           emit t ~warp:w.Engine.wid Obs.Event.Drop_at_issue;
           (match kinfo.Kinfo.shape.(idx) with
           | Darsie_compiler.Marking.Uniform ->
@@ -393,6 +415,7 @@ let try_issue_head t budget (w : Engine.wctx) =
           | None -> ())
         | Engine.Execute ->
           stats.Stats.issued <- stats.Stats.issued + 1;
+          pc_note t (fun p -> Obs.Pcstat.note_issue p ~pc:idx);
           stats.Stats.executed_threads <-
             stats.Stats.executed_threads + popcount op.Record.active;
           emit t ~warp:w.Engine.wid Obs.Event.Issue;
@@ -419,8 +442,10 @@ let try_issue_head t budget (w : Engine.wctx) =
               if kinfo.Kinfo.is_barrier.(idx) then w.Engine.at_barrier <- true
               else if kinfo.Kinfo.is_branch.(idx) && cfg.Config.sync_at_branches
               then w.Engine.at_barrier <- true;
-              if w.Engine.at_barrier then
-                emit t ~warp:w.Engine.wid Obs.Event.Barrier_arrive;
+              if w.Engine.at_barrier then begin
+                t.last_barrier_pc <- idx;
+                emit t ~warp:w.Engine.wid Obs.Event.Barrier_arrive
+              end;
               t.cycle + cfg.Config.alu_lat
             | Kinfo.Sfu ->
               budget.sfu_left <- budget.sfu_left - 1;
@@ -491,6 +516,11 @@ let try_issue_head t budget (w : Engine.wctx) =
                 end
               end
           in
+          (match unit_class with
+          | Kinfo.Mem_global | Kinfo.Mem_shared ->
+            pc_note t (fun p ->
+                Obs.Pcstat.note_mem_latency p ~pc:idx ~lat:(finish - t.cycle))
+          | Kinfo.Alu | Kinfo.Sfu | Kinfo.Ctrl -> ());
           (* Track every executed op for TB retirement; register release
              happens at writeback only for ops that write one. *)
           (match kinfo.Kinfo.dst_reg.(idx) with
@@ -599,6 +629,7 @@ let fetch t =
           | Some op when t.engine.Engine.remove_at_fetch w op ->
             w.Engine.fi <- w.Engine.fi + 1;
             t.stats.Stats.skipped_prefetch <- t.stats.Stats.skipped_prefetch + 1;
+            pc_note t (fun p -> Obs.Pcstat.note_skip p ~pc:op.Record.idx);
             emit t ~warp:w.Engine.wid Obs.Event.Skip_prefetch;
             (match t.kinfo.Kinfo.shape.(op.Record.idx) with
             | Darsie_compiler.Marking.Uniform ->
@@ -617,6 +648,7 @@ let fetch t =
           let pc = Darsie_isa.Kernel.pc_of_index op.Record.idx in
           if Mem_model.L1.access t.icache pc then begin
             t.stats.Stats.fetched <- t.stats.Stats.fetched + 1;
+            pc_note t (fun p -> Obs.Pcstat.note_fetch p ~pc:op.Record.idx);
             emit t ~warp:w.Engine.wid Obs.Event.Fetch;
             Queue.push (op, t.cycle) w.Engine.ibuf;
             w.Engine.fi <- w.Engine.fi + 1
@@ -652,11 +684,42 @@ let warp_has_mem_inflight t (w : Engine.wctx) =
       | Kinfo.Alu | Kinfo.Sfu | Kinfo.Ctrl -> false)
     t.inflight
 
-(* Classify one cycle into exactly one Attrib bucket. Called at the end
+(* PC of the in-flight memory op finishing soonest for warp [w] (or for
+   any warp when [w] is [None]); the instruction a memory-bound cycle is
+   most fairly blamed on. -1 when nothing qualifies. *)
+let nearest_inflight_pc ?w t =
+  let best = ref None in
+  List.iter
+    (fun f ->
+      let mine = match w with None -> true | Some w -> f.fly_warp == w in
+      let is_mem =
+        match t.kinfo.Kinfo.unit_of.(f.fly_op.Record.idx) with
+        | Kinfo.Mem_global | Kinfo.Mem_shared -> true
+        | Kinfo.Alu | Kinfo.Sfu | Kinfo.Ctrl -> false
+      in
+      if mine && (w = None || is_mem) then
+        match !best with
+        | Some (fin, _) when fin <= f.finish -> ()
+        | _ -> best := Some (f.finish, f.fly_op.Record.idx))
+    t.inflight;
+  match !best with Some (_, idx) -> idx | None -> -1
+
+let head_pc (w : Engine.wctx) =
+  match Queue.peek_opt w.Engine.ibuf with
+  | Some (op, _) -> op.Record.idx
+  | None -> -1
+
+let next_pc (w : Engine.wctx) =
+  match Engine.next_op w with Some op -> op.Record.idx | None -> -1
+
+(* Classify one cycle into exactly one Attrib bucket, and name the static
+   instruction blocking progress (-1 = the none-row). Called at the end
    of [step], so "aged" I-buffer heads (fetch_cycle < cycle) are exactly
-   the ones the issue stage considered and rejected this cycle. *)
+   the ones the issue stage considered and rejected this cycle. Pcstat
+   and Attrib are both fed from this single result, which is what makes
+   the per-PC table conservative by construction. *)
 let classify_cycle t =
-  if t.issue_slots_used > 0 then Obs.Attrib.Active
+  if t.issue_slots_used > 0 then (Obs.Attrib.Active, t.active_pc)
   else begin
     let runnable = ref [] in
     Array.iter
@@ -664,11 +727,13 @@ let classify_cycle t =
         | Some w when not (warp_drained w) -> runnable := w :: !runnable
         | _ -> ())
       t.warps;
-    match !runnable with
-    | [] -> if t.inflight <> [] then Obs.Attrib.Mem_pending else Obs.Attrib.Idle
+    match List.rev !runnable with
+    | [] ->
+      if t.inflight <> [] then (Obs.Attrib.Mem_pending, nearest_inflight_pc t)
+      else (Obs.Attrib.Idle, -1)
     | ws ->
       if List.for_all (fun (w : Engine.wctx) -> w.Engine.at_barrier) ws then
-        Obs.Attrib.Barrier
+        (Obs.Attrib.Barrier, t.last_barrier_pc)
       else begin
         let ws =
           List.filter (fun (w : Engine.wctx) -> not w.Engine.at_barrier) ws
@@ -685,7 +750,7 @@ let classify_cycle t =
         in
         if aged_blocked <> [] then begin
           let on_memory =
-            List.exists
+            List.find_opt
               (fun (w : Engine.wctx) ->
                 match Queue.peek_opt w.Engine.ibuf with
                 | Some (op, _) ->
@@ -694,16 +759,28 @@ let classify_cycle t =
                 | None -> false)
               aged_blocked
           in
-          if on_memory then Obs.Attrib.Mem_pending else Obs.Attrib.Scoreboard
+          match on_memory with
+          | Some w -> (Obs.Attrib.Mem_pending, nearest_inflight_pc ~w t)
+          | None -> (Obs.Attrib.Scoreboard, head_pc (List.hd aged_blocked))
         end
-        else if
-          List.exists
-            (fun (w : Engine.wctx) ->
-              Queue.is_empty w.Engine.ibuf
-              && not (t.engine.Engine.can_fetch w))
-            ws
-        then Obs.Attrib.Darsie_sync
-        else Obs.Attrib.Fetch_starved
+        else begin
+          let fetch_gated =
+            List.find_opt
+              (fun (w : Engine.wctx) ->
+                Queue.is_empty w.Engine.ibuf
+                && not (t.engine.Engine.can_fetch w))
+              ws
+          in
+          match fetch_gated with
+          | Some w -> (Obs.Attrib.Darsie_sync, next_pc w)
+          | None ->
+            let pc =
+              match ws with
+              | [] -> -1
+              | w :: _ -> (match head_pc w with -1 -> next_pc w | p -> p)
+            in
+            (Obs.Attrib.Fetch_starved, pc)
+        end
       end
   end
 
@@ -729,7 +806,9 @@ let step t =
   end
   else t.engine.Engine.cycle_skip ~cycle:t.cycle;
   fetch t;
-  Obs.Attrib.bump t.attr (classify_cycle t);
+  let bucket, blocking_pc = classify_cycle t in
+  Obs.Attrib.bump t.attr bucket;
+  pc_note t (fun p -> Obs.Pcstat.charge p ~pc:blocking_pc bucket);
   match t.series with
   | Some s when Obs.Series.boundary s ~cycle:t.cycle ->
     Obs.Series.record s ~cycle:t.cycle (sample_snapshot t.stats)

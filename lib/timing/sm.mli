@@ -18,6 +18,7 @@ val create :
   ?sm_id:int ->
   ?sink:Darsie_obs.Sink.t ->
   ?series:Darsie_obs.Series.t ->
+  ?pcstat:Darsie_obs.Pcstat.t ->
   Config.t ->
   Kinfo.t ->
   Engine.factory ->
@@ -28,7 +29,9 @@ val create :
 (** [sm_id] tags emitted events (default 0); [sink] defaults to the null
     sink (tracing off costs one branch per event site); [series], when
     given, receives an interval-sampled counter snapshot (see
-    {!sample_names}). *)
+    {!sample_names}); [pcstat], when given, receives per-static-PC
+    occurrence counters and a per-cycle stall charge mirroring
+    {!attribution}. *)
 
 val can_accept : t -> bool
 (** Has a free threadblock slot. *)
@@ -54,6 +57,14 @@ val attribution : t -> Darsie_obs.Attrib.t
 (** Per-cycle stall attribution; its total equals {!cycle} at any point
     between two {!step} calls. *)
 
+val pcstat : t -> Darsie_obs.Pcstat.t option
+(** The per-PC profile passed to {!create}, if any. Complete only after
+    {!finalize} (which folds in engine-side skip telemetry). *)
+
+val skip_telemetry : t -> (int * Darsie_obs.Pcstat.skip_entry) list
+(** Per-PC skip-table entry telemetry from the plugged-in engine; empty
+    for engines without a skip table. *)
+
 val inflight_count : t -> int
 (** Operations currently between issue and writeback. *)
 
@@ -71,5 +82,6 @@ val debug_state : t -> (string * int) list
 val series : t -> Darsie_obs.Series.t option
 
 val finalize : t -> unit
-(** Flush the trailing partial sampling interval. Call once after the
-    last {!step}. *)
+(** Flush the trailing partial sampling interval and fold engine-side
+    skip telemetry into the per-PC profile. Call once after the last
+    {!step}. *)
