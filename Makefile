@@ -3,8 +3,8 @@
 DUNE ?= dune
 SMOKE_DIR ?= /tmp/darsie-smoke
 
-.PHONY: all build test verify bench profile-smoke check-smoke \
-  annotate-smoke bench-compare clean
+.PHONY: all build test verify doc cli-docs bench profile-smoke check-smoke \
+  annotate-smoke cache-smoke bench-compare clean
 
 all: build
 
@@ -17,6 +17,14 @@ test:
 # The tier-1 gate: a clean build plus the full test suite.
 verify:
 	$(DUNE) build && $(DUNE) runtest
+
+# API reference for every public .mli (requires odoc).
+doc:
+	$(DUNE) build @doc
+
+# Regenerate docs/cli.md from the binary's --help; CI diffs the result.
+cli-docs: build
+	./tools/update-cli-docs.sh
 
 bench:
 	$(DUNE) exec bench/main.exe
@@ -53,10 +61,27 @@ annotate-smoke: build
 	$(DUNE) exec bin/darsie.exe -- annotate MM -m DARSIE -m DAC-IDEAL \
 	  --top 5 --json $(SMOKE_DIR)/mm_annotate.json
 
+# Trace-cache smoke: the same profiled run twice through a fresh cache
+# directory must miss-then-hit and print byte-identical output.
+cache-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	rm -rf $(SMOKE_DIR)/cache
+	$(DUNE) exec bin/darsie.exe -- run MM -m DARSIE \
+	  --cache $(SMOKE_DIR)/cache | tee $(SMOKE_DIR)/cache_run1.txt \
+	  | grep -q "1 miss"
+	$(DUNE) exec bin/darsie.exe -- run MM -m DARSIE \
+	  --cache $(SMOKE_DIR)/cache | tee $(SMOKE_DIR)/cache_run2.txt \
+	  | grep -q "1 hit"
+	grep -v "trace cache:" $(SMOKE_DIR)/cache_run1.txt > $(SMOKE_DIR)/cache_run1.cmp
+	grep -v "trace cache:" $(SMOKE_DIR)/cache_run2.txt > $(SMOKE_DIR)/cache_run2.cmp
+	diff $(SMOKE_DIR)/cache_run1.cmp $(SMOKE_DIR)/cache_run2.cmp
+
 # Record a fresh bench trajectory point into bench/history/ and gate it
 # against the committed baseline. Deterministic simulated metrics use a
 # 0.5% threshold; wall-clock metrics 25%. Exits nonzero on regression.
-BENCH_BASELINE ?= bench/BENCH_2026-08-06.json
+# The parallel+cache baseline; the serial seed record is kept as
+# bench/BENCH_2026-08-06.json (identical simulated metrics, slower wall).
+BENCH_BASELINE ?= bench/BENCH_2026-08-06_parallel.json
 bench-compare: build
 	mkdir -p bench/history
 	$(DUNE) exec bench/main.exe -- --trend bench/history/current.json

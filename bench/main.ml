@@ -258,14 +258,51 @@ let iso_date () =
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday
 
+let has_flag name = Array.exists (( = ) name) Sys.argv
+
+(* -j/--jobs N fans the (app x machine) matrix out over N domains
+   (default: all available cores; -j 1 reproduces the serial build
+   bit-for-bit). --no-cache disables the persistent functional-trace
+   cache; --cache-dir D relocates it (default _cache/). *)
+let jobs () =
+  let explicit =
+    match Option.bind (flag_value "--jobs") int_of_string_opt with
+    | Some n -> Some n
+    | None -> Option.bind (flag_value "-j") int_of_string_opt
+  in
+  match explicit with
+  | Some n when n >= 1 -> n
+  | Some _ -> 1
+  | None -> Darsie_harness.Parallel.default_jobs ()
+
+let cache () =
+  if has_flag "--no-cache" then None
+  else
+    let dir =
+      Option.value (flag_value "--cache-dir")
+        ~default:Darsie_trace.Cache.default_dir
+    in
+    Some (Darsie_trace.Cache.create ~dir ())
+
 let () =
   let repeats = if trend_path () = None then 1 else trend_repeats () in
-  Printf.printf "\nBuilding the evaluation matrix (13 apps x 7 machines%s)...\n%!"
-    (if repeats > 1 then Printf.sprintf ", best of %d builds" repeats else "");
+  let jobs = jobs () in
+  let cache = cache () in
+  Printf.printf
+    "\nBuilding the evaluation matrix (13 apps x 7 machines%s, %d job(s), \
+     trace cache %s)...\n%!"
+    (if repeats > 1 then Printf.sprintf ", best of %d builds" repeats else "")
+    jobs
+    (match cache with
+    | Some c -> Darsie_trace.Cache.dir c
+    | None -> "off");
   let m, wall_s =
     Trendline.measure ~clock:Unix.gettimeofday ~repeats (fun () ->
-        Suite.build_matrix ())
+        Suite.build_matrix ~jobs ?cache ())
   in
+  (match cache with
+  | Some c -> Printf.printf "%s\n" (Darsie_trace.Cache.summary c)
+  | None -> ());
   run_figures m;
   run_ablations ();
   (try run_micro ()

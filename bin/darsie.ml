@@ -74,6 +74,35 @@ let or_die = function
     prerr_endline msg;
     exit 1
 
+let jobs_arg =
+  let doc =
+    "Fan simulations out over $(docv) parallel domains. 0 (the default) \
+     means all available cores; 1 reproduces the serial execution order \
+     bit-for-bit. Merged outputs are byte-identical for every value."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let effective_jobs n =
+  if n >= 1 then n else Darsie_harness.Parallel.default_jobs ()
+
+let cache_arg =
+  let doc =
+    "Reuse functional traces from the persistent content-addressed cache \
+     rooted at $(docv) (created on demand; safe to delete at any time). \
+     The trace is machine-invariant, so a cached entry serves every \
+     machine configuration and repeat run."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some Darsie_trace.Cache.default_dir) (some string) None
+    & info [ "cache" ] ~docv:"DIR" ~doc)
+
+let cache_of = Option.map (fun dir -> Darsie_trace.Cache.create ~dir ())
+
+let report_cache = function
+  | Some c -> Printf.printf "%s\n" (Darsie_trace.Cache.summary c)
+  | None -> ()
+
 (* Simulation invariant violations accumulate here; [finish ()] is every
    run-producing subcommand's last statement. *)
 let violations : string list ref = ref []
@@ -138,10 +167,11 @@ let json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run abbr machine scale json_file =
+  let run abbr machine scale json_file jobs cache_dir =
     let w = or_die (find_app abbr) in
+    let cache = cache_of cache_dir in
     Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
-    let app = Darsie_harness.Suite.load_app ~scale w in
+    let app = Darsie_harness.Suite.load_app ~scale ?cache w in
     (* functional verification on a fresh copy *)
     let fresh = w.W.prepare ~scale in
     (match
@@ -152,8 +182,15 @@ let run_cmd =
     | Error e ->
       Printf.printf "functional check: FAILED (%s)\n" e;
       violation "%s: functional check failed (%s)" abbr e);
-    let base = Darsie_harness.Suite.run_app app Darsie_harness.Suite.Base in
-    let r = Darsie_harness.Suite.run_app app machine in
+    let base, r =
+      match
+        Darsie_harness.Parallel.map ~jobs:(effective_jobs jobs)
+          (Darsie_harness.Suite.run_app app)
+          [ Darsie_harness.Suite.Base; machine ]
+      with
+      | [ base; r ] -> (base, r)
+      | _ -> assert false
+    in
     let open Darsie_timing in
     Printf.printf "machine: %s\n" (Darsie_harness.Suite.machine_name machine);
     Printf.printf "cycles: %d (baseline %d, speedup %.2f)\n"
@@ -174,18 +211,22 @@ let run_cmd =
         (Darsie_harness.Metrics.of_run ~app:abbr ~scale r);
       Printf.printf "metrics: %s\n" path
     | None -> ());
+    report_cache cache;
     finish ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one application through the timing model")
-    Term.(const run $ app_arg $ machine_arg $ scale_arg $ json_arg)
+    Term.(
+      const run $ app_arg $ machine_arg $ scale_arg $ json_arg $ jobs_arg
+      $ cache_arg)
 
 let profile_cmd =
-  let run abbr machine scale json_file trace_file csv_file interval =
+  let run abbr machine scale json_file trace_file csv_file interval cache_dir =
     let w = or_die (find_app abbr) in
     if interval < 1 then or_die (Error "--interval must be >= 1");
+    let cache = cache_of cache_dir in
     Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
-    let app = Darsie_harness.Suite.load_app ~scale w in
+    let app = Darsie_harness.Suite.load_app ~scale ?cache w in
     (* Record events only when someone will read them: the Chrome trace
        is the only consumer, and recording costs memory. *)
     let recorder =
@@ -249,6 +290,7 @@ let profile_cmd =
       close_out oc;
       Printf.printf "csv series: %s\n" path
     | None -> ());
+    report_cache cache;
     finish ()
   in
   let trace_arg =
@@ -274,7 +316,7 @@ let profile_cmd =
           time-series, JSON metrics and Chrome-trace export")
     Term.(
       const run $ app_arg $ machine_arg $ scale_arg $ json_arg $ trace_arg
-      $ csv_arg $ interval_arg)
+      $ csv_arg $ interval_arg $ cache_arg)
 
 let limit_cmd =
   let run abbr scale =
@@ -297,15 +339,20 @@ let limit_cmd =
     Term.(const run $ app_arg $ scale_arg)
 
 let experiment_cmd =
-  let run id =
+  let run id jobs cache_dir =
     let module F = Darsie_harness.Figures in
     let needs_matrix = [ "fig8"; "fig9"; "fig10"; "fig11"; "fig12" ] in
     let matrix =
       lazy
-        (Printf.printf "building evaluation matrix (13 apps x 7 machines)...\n%!";
-         let m = Darsie_harness.Suite.build_matrix () in
+        (let jobs = effective_jobs jobs in
+         Printf.printf
+           "building evaluation matrix (13 apps x 7 machines, %d job(s))...\n%!"
+           jobs;
+         let cache = cache_of cache_dir in
+         let m = Darsie_harness.Suite.build_matrix ~jobs ?cache () in
          Hashtbl.iter (fun (abbr, _) r -> check_run abbr r)
            m.Darsie_harness.Suite.runs;
+         report_cache cache;
          m)
     in
     match String.lowercase_ascii id with
@@ -358,8 +405,8 @@ let experiment_cmd =
         other;
       exit 1
   in
-  let run id =
-    run id;
+  let run id jobs cache_dir =
+    run id jobs cache_dir;
     finish ()
   in
   let id_arg =
@@ -368,19 +415,21 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper figure or table")
-    Term.(const run $ id_arg)
+    Term.(const run $ id_arg $ jobs_arg $ cache_arg)
 
 let check_cmd =
   let module Checker = Darsie_harness.Checker in
   let module Sim_error = Darsie_check.Sim_error in
   let run app_opt machines scale no_oracle inject seed deadline max_cycles
-      watchdog json_file =
+      watchdog json_file jobs cache_dir =
     let apps =
       match app_opt with
       | Some abbr -> [ or_die (find_app abbr) ]
       | None -> Darsie_workloads.Registry.all
     in
     let machines = if machines = [] then Checker.default_machines else machines in
+    let jobs = effective_jobs jobs in
+    let cache = cache_of cache_dir in
     let cfg =
       {
         Darsie_timing.Config.default with
@@ -388,16 +437,18 @@ let check_cmd =
         watchdog_cycles = watchdog;
       }
     in
-    Printf.printf "checking %d app(s) on %s (oracle %s, %d fault(s), seed %d)...\n%!"
+    Printf.printf
+      "checking %d app(s) on %s (oracle %s, %d fault(s), seed %d, %d job(s))...\n%!"
       (List.length apps)
       (String.concat "+" (List.map Darsie_harness.Suite.machine_name machines))
       (if no_oracle then "off" else "on")
-      inject seed;
+      inject seed jobs;
     let report =
       Checker.check_suite ~cfg ~scale ~machines ~oracle:(not no_oracle) ~inject
-        ~seed ?deadline ~apps ()
+        ~seed ?deadline ?cache ~jobs ~apps ()
     in
     print_string (Checker.render report);
+    report_cache cache;
     (match json_file with
     | Some path ->
       let doc = Checker.to_json report in
@@ -463,26 +514,27 @@ let check_cmd =
           differential oracle and fault injection, crash-isolated per app")
     Term.(const run $ app_opt_arg $ machines_arg $ scale_arg $ no_oracle_arg
           $ inject_arg $ seed_arg $ deadline_arg $ max_cycles_arg
-          $ watchdog_arg $ json_arg)
+          $ watchdog_arg $ json_arg $ jobs_arg $ cache_arg)
 
 let annotate_cmd =
-  let run abbr machines scale top json_file =
+  let run abbr machines scale top json_file jobs cache_dir =
     let w = or_die (find_app abbr) in
     let machines =
       if machines = [] then [ Darsie_harness.Suite.Darsie ] else machines
     in
+    let cache = cache_of cache_dir in
     Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
-    let app = Darsie_harness.Suite.load_app ~scale w in
+    let app = Darsie_harness.Suite.load_app ~scale ?cache w in
     let runs =
-      List.map
+      Darsie_harness.Parallel.map ~jobs:(effective_jobs jobs)
         (fun m ->
           let r = Darsie_harness.Suite.run_app ~pcstat:true app m in
-          (* the pcstat-aware attribution check: per-PC stall charges
-             must reproduce each SM's bucket totals *)
-          check_run abbr r;
           (Darsie_harness.Suite.machine_name m, r))
         machines
     in
+    (* the pcstat-aware attribution check: per-PC stall charges must
+       reproduce each SM's bucket totals *)
+    List.iter (fun (_, r) -> check_run abbr r) runs;
     let results =
       List.map (fun (n, r) -> (n, r.Darsie_harness.Suite.gpu)) runs
     in
@@ -500,6 +552,7 @@ let annotate_cmd =
       Darsie_harness.Metrics.write_file path doc;
       Printf.printf "metrics: %s\n" path
     | None -> ());
+    report_cache cache;
     finish ()
   in
   let machines_arg =
@@ -522,7 +575,9 @@ let annotate_cmd =
          "Per-instruction hotspot profile: annotated disassembly with \
           cycle%, skip% and stall-bucket columns (perf annotate for \
           PTX-lite)")
-    Term.(const run $ app_arg $ machines_arg $ scale_arg $ top_arg $ json_arg)
+    Term.(
+      const run $ app_arg $ machines_arg $ scale_arg $ top_arg $ json_arg
+      $ jobs_arg $ cache_arg)
 
 let bench_compare_cmd =
   let module T = Darsie_harness.Trendline in

@@ -39,7 +39,7 @@ let capture f =
     Error (Sim_error.Invariant_violation { message = Printexc.to_string e })
 
 let check_app ?cfg ?(scale = 1) ?(machines = default_machines) ?(oracle = true)
-    ?(inject = 0) ?(seed = 1) ?deadline (w : W.t) =
+    ?(inject = 0) ?(seed = 1) ?deadline ?cache (w : W.t) =
   let t0 = Sys.time () in
   let errors = ref [] in
   let note e = errors := e :: !errors in
@@ -65,7 +65,7 @@ let check_app ?cfg ?(scale = 1) ?(machines = default_machines) ?(oracle = true)
   | Ok (Error e) | Error e -> note e);
   (* timing runs, each under the cycle/watchdog/wall budgets *)
   let timing =
-    match capture (fun () -> Suite.load_app ~scale w) with
+    match capture (fun () -> Suite.load_app ~scale ?cache w) with
     | Error e ->
       note e;
       []
@@ -148,12 +148,16 @@ let check_app ?cfg ?(scale = 1) ?(machines = default_machines) ?(oracle = true)
     elapsed_s = Sys.time () -. t0;
   }
 
-let check_suite ?cfg ?scale ?machines ?oracle ?inject ?seed ?deadline
-    ?(apps = Darsie_workloads.Registry.all) () =
+let check_suite ?cfg ?scale ?machines ?oracle ?inject ?seed ?deadline ?cache
+    ?(jobs = 1) ?(apps = Darsie_workloads.Registry.all) () =
   let t0 = Sys.time () in
+  (* check_app never raises (capture is its whole point), so Parallel.map
+     cannot re-raise here; it is used purely for the domain fan-out and
+     the input-ordered merge. *)
   let reports =
-    List.map
-      (fun w -> check_app ?cfg ?scale ?machines ?oracle ?inject ?seed ?deadline w)
+    Parallel.map ~jobs
+      (fun w ->
+        check_app ?cfg ?scale ?machines ?oracle ?inject ?seed ?deadline ?cache w)
       apps
   in
   { apps = reports; elapsed_s = Sys.time () -. t0 }

@@ -53,14 +53,17 @@ val check_app :
   ?inject:int ->
   ?seed:int ->
   ?deadline:float ->
+  ?cache:Darsie_trace.Cache.t ->
   Darsie_workloads.Workload.t ->
   app_report
 (** Check one application: functional run + CPU reference, timing runs on
     [machines] (default BASE and DARSIE, each attribution-checked),
     differential oracle when [oracle] (default true), and [inject]
     (default 0) seeded faults that the oracle must detect. [deadline]
-    bounds each timing run in processor seconds. Never raises: all
-    failures land in [errors]. *)
+    bounds each timing run in processor seconds. [cache] lets the timing
+    runs reuse persisted functional traces (the functional verify and
+    the oracle always re-emulate — they check the emulator itself).
+    Never raises: all failures land in [errors]. *)
 
 val check_suite :
   ?cfg:Darsie_timing.Config.t ->
@@ -70,12 +73,18 @@ val check_suite :
   ?inject:int ->
   ?seed:int ->
   ?deadline:float ->
+  ?cache:Darsie_trace.Cache.t ->
+  ?jobs:int ->
   ?apps:Darsie_workloads.Workload.t list ->
   unit ->
   report
 (** {!check_app} over [apps] (default the Table-1 registry), isolating
     each: an app that fails or crashes is reported and the remaining apps
-    still run. *)
+    still run. [jobs] (default 1) checks that many apps concurrently on
+    separate domains via {!Parallel}; the report lists apps in input
+    order either way, and per-app [elapsed_s] stays meaningful because it
+    is processor time charged to the whole process — use it for relative
+    weight, not wall time, when [jobs > 1]. *)
 
 val render : report -> string
 (** Human-readable per-app lines plus a PASS/FAIL summary. *)

@@ -9,10 +9,22 @@
     exported files. *)
 
 val schema_version : int
+(** Version of the metrics document; equals
+    [Darsie_obs.Export.schema_version]. Bumped on any rename, removal or
+    change of meaning (see docs/metrics-schema.md for the policy). *)
 
 val of_run : app:string -> ?scale:int -> Suite.run -> Darsie_obs.Json.t
+(** Export one (app, machine) run as a metrics document: counters,
+    derived metrics, stall attribution, optional series and per-PC
+    profile, and the energy breakdown. [scale] defaults to 1 and is
+    recorded verbatim. *)
 
 val validate : Darsie_obs.Json.t -> (unit, string) result
+(** Structural check of a metrics document: schema version, required
+    fields, and the attribution conservation invariants re-computed from
+    the serialized numbers (per-SM buckets sum to [cycles], totals sum to
+    [num_sms * cycles], per-PC charges plus unattributed cover every
+    cycle). *)
 
 val validate_string : string -> (unit, string) result
 (** Parse then {!validate}. *)
@@ -30,4 +42,5 @@ val validate_check_string : string -> (unit, string) result
 (** Parse then {!validate_check}. *)
 
 val write_file : string -> Darsie_obs.Json.t -> unit
-(** Pretty-printed, trailing newline. *)
+(** Write any JSON document to [path]: pretty-printed, trailing
+    newline. *)

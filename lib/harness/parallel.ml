@@ -1,0 +1,46 @@
+(* A self-scheduling domain pool. Jobs are claimed with one atomic
+   fetch-and-add on a shared cursor; each result slot is written by
+   exactly one worker and read only after the joins, so the join's
+   happens-before edge is the only synchronization the results need. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run_seq f items = List.map (fun x -> try Ok (f x) with e -> Error e) items
+
+let run ?jobs f items =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let jobs = min jobs n in
+  if jobs <= 1 then run_seq f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> assert false (* every index < n was claimed *))
+         results)
+  end
+
+let map ?jobs f items =
+  match jobs with
+  | Some j when j <= 1 -> List.map f items
+  | _ ->
+    List.map
+      (function Ok v -> v | Error e -> raise e)
+      (run ?jobs f items)

@@ -1,0 +1,40 @@
+(** A job pool over OCaml 5 domains for the (app × machine) evaluation
+    matrix.
+
+    The suite's jobs are few (order 100) and coarse (milliseconds to
+    seconds each), so the pool uses dynamic self-scheduling: every
+    worker steals the next unclaimed job from one shared cursor — the
+    degenerate work-stealing deque, which at this granularity has the
+    same load-balancing behaviour as per-worker deques with none of the
+    bookkeeping. Three properties the suite relies on:
+
+    - {b Determinism.} Results come back in input order, whatever order
+      the workers finished in, so any output derived by folding over the
+      result list is byte-identical regardless of schedule.
+    - {b Serial reproduction.} [~jobs:1] does not spawn a domain at all:
+      it runs the jobs sequentially in the calling domain, in input
+      order, with fail-fast exception behaviour — bit-for-bit the
+      pre-parallel harness.
+    - {b Crash isolation.} A raising job poisons only its own slot
+      ({!run} returns it as [Error exn]); every other job still runs.
+      This is the same boundary {!Checker} draws around apps, so typed
+      {!Darsie_check.Sim_error} values pass through unchanged. *)
+
+val default_jobs : unit -> int
+(** Number of workers used when [?jobs] is omitted:
+    [Domain.recommended_domain_count ()], i.e. the cores available to
+    this process. *)
+
+val run : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [run ~jobs f items] applies [f] to every item across [jobs] workers
+    and returns the crash-isolated outcomes in input order. [jobs]
+    defaults to {!default_jobs}; values [<= 1] (and singleton or empty
+    input) run sequentially in the calling domain. Never raises: an
+    exception escaping [f] becomes that item's [Error]. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Like {!run} but re-raises instead of returning [Error]: with
+    [jobs <= 1] the first failing job raises immediately (fail-fast,
+    exactly like [List.map]); with parallel execution every job still
+    runs to completion and the raised exception is the {e first in input
+    order}, so which error surfaces does not depend on the schedule. *)

@@ -7,10 +7,16 @@ type app = {
   kinfo : Kinfo.t;
 }
 
-let load_app ?(scale = 1) (workload : W.t) =
+let load_app ?(scale = 1) ?cache (workload : W.t) =
   let prepared = workload.W.prepare ~scale in
   let kinfo = Kinfo.make ~warp_size:32 prepared.W.launch in
-  let trace = Darsie_trace.Record.generate prepared.W.mem prepared.W.launch in
+  let trace =
+    match cache with
+    | None -> Darsie_trace.Record.generate prepared.W.mem prepared.W.launch
+    | Some c ->
+      Darsie_trace.Cache.generate c ~name:workload.W.abbr ~scale prepared.W.mem
+        prepared.W.launch
+  in
   { workload; trace; kinfo }
 
 type machine =
@@ -82,18 +88,27 @@ let run_app ?cfg ?sink ?sample_interval ?pcstat app machine =
   | Ok r -> r
   | Error e -> raise (Darsie_check.Sim_error.Simulation_error e)
 
+(* The (app x machine) matrix build, fanned out over [jobs] domains.
+   Both stages — trace generation per app, then one timing run per
+   (app, machine) cell — use Parallel.map, whose results come back in
+   input order, so the matrix (and every figure, metrics document and
+   trendline record folded out of it) is identical for any job count;
+   [~jobs:1] does not spawn a domain and reproduces the serial harness
+   exactly. *)
 let build_matrix ?(cfg = Config.default) ?(scale = 1)
     ?(machines = all_machines)
-    ?(apps = Darsie_workloads.Registry.all) () =
-  let apps = List.map (load_app ~scale) apps in
+    ?(apps = Darsie_workloads.Registry.all) ?(jobs = 1) ?cache () =
+  let apps = Parallel.map ~jobs (fun w -> load_app ~scale ?cache w) apps in
+  let cells =
+    List.concat_map (fun app -> List.map (fun m -> (app, m)) machines) apps
+  in
+  let results =
+    Parallel.map ~jobs
+      (fun (app, m) -> ((app.workload.W.abbr, m), run_app ~cfg app m))
+      cells
+  in
   let runs = Hashtbl.create 128 in
-  List.iter
-    (fun app ->
-      List.iter
-        (fun m ->
-          Hashtbl.replace runs (app.workload.W.abbr, m) (run_app ~cfg app m))
-        machines)
-    apps;
+  List.iter (fun (key, r) -> Hashtbl.replace runs key r) results;
   { cfg; apps; runs }
 
 let get m abbr machine = Hashtbl.find m.runs (abbr, machine)

@@ -1,14 +1,28 @@
 (** The evaluation suite: loads every Table-1 application, generates its
     trace once, and replays it through every machine configuration. All
-    figure modules project their rows out of one {!matrix}. *)
+    figure modules project their rows out of one {!matrix}.
 
+    The matrix build fans out over OCaml domains (see {!Parallel}) and
+    can reuse functional traces from a persistent content-addressed
+    cache (see {!Darsie_trace.Cache}); both are off by default so plain
+    library use stays serial and pure. *)
+
+(** One loaded application: the workload, its functional trace, and the
+    static kernel information the timing model needs. *)
 type app = {
   workload : Darsie_workloads.Workload.t;
   trace : Darsie_trace.Record.t;
   kinfo : Darsie_timing.Kinfo.t;
 }
 
-val load_app : ?scale:int -> Darsie_workloads.Workload.t -> app
+val load_app :
+  ?scale:int -> ?cache:Darsie_trace.Cache.t -> Darsie_workloads.Workload.t ->
+  app
+(** Prepare the workload at [scale] (default 1) and functionally emulate
+    it into a replayable trace. With [cache], the emulation is skipped
+    whenever the cache already holds a trace for this exact (kernel,
+    launch, scale) content key — the trace is machine-invariant, so one
+    generation serves every machine configuration and every repeat. *)
 
 (** The machine configurations of the paper's evaluation. *)
 type machine =
@@ -23,9 +37,13 @@ type machine =
           boundary (paper Fig. 12's silicon experiment) *)
 
 val machine_name : machine -> string
+(** The paper's spelling: ["BASE"], ["UV"], ["DAC-IDEAL"], ["DARSIE"],
+    ["DARSIE-IGNORE-STORE"], ["DARSIE-NO-CF-SYNC"], ["SILICON-SYNC"]. *)
 
 val all_machines : machine list
+(** Every configuration, in the order above — the full evaluation. *)
 
+(** One matrix cell: a timing-model run plus its energy accounting. *)
 type run = {
   machine : machine;
   gpu : Darsie_timing.Gpu.result;
@@ -70,8 +88,22 @@ val build_matrix :
   ?scale:int ->
   ?machines:machine list ->
   ?apps:Darsie_workloads.Workload.t list ->
+  ?jobs:int ->
+  ?cache:Darsie_trace.Cache.t ->
   unit ->
   matrix
+(** Run the full (app × machine) evaluation. [jobs] fans the trace
+    generations and the matrix cells out over that many domains
+    (default 1 — serial; pass [Parallel.default_jobs ()] for all
+    cores). The merged matrix is identical for every job count: results
+    are committed in input order, so figures, metrics documents and
+    trendline records derived from it are byte-for-byte independent of
+    the schedule. [cache] makes {!load_app} reuse persisted functional
+    traces.
+
+    @raise Darsie_check.Sim_error.Simulation_error on the first failing
+    cell (in deterministic app-then-machine order; with [jobs > 1] the
+    remaining cells still ran — the error is raised at merge time). *)
 
 val get : matrix -> string -> machine -> run
 (** @raise Not_found if that cell was not run. *)

@@ -7,6 +7,7 @@
     record time and compared against a loose one. *)
 
 val schema_version : int
+(** Version of the bench record; [of_json] rejects any other value. *)
 
 type record = {
   date : string;  (** ISO date of the run (caller-supplied) *)
@@ -36,12 +37,19 @@ val of_matrix :
 (** Project a bench record out of an evaluation matrix. *)
 
 val to_json : record -> Darsie_obs.Json.t
+(** Serialize as a versioned ["bench_record"] object
+    (docs/metrics-schema.md section 3). *)
 
 val of_json : Darsie_obs.Json.t -> (record, string) result
+(** Parse a record back; every field is required and the schema version
+    must match {!schema_version}. *)
 
 val write_file : string -> record -> unit
+(** {!to_json} pretty-printed to [path] with a trailing newline. *)
 
 val read_file : string -> (record, string) result
+(** Read and {!of_json} a record file; [Error] covers both I/O and
+    parse/validation failures. *)
 
 (** {1 Regression gate} *)
 
@@ -73,6 +81,7 @@ val compare_records :
     trajectories, it does not diff schemas. *)
 
 val regressions : verdict list -> verdict list
+(** Just the verdicts with [regressed = true]. *)
 
 val render_verdicts : verdict list -> string
 (** Column-aligned human-readable table. *)

@@ -15,12 +15,15 @@ val create : n:int -> t
 (** [n] is the kernel's static instruction count. *)
 
 val n : t -> int
+(** Static instruction count this profile was created with. *)
 
 (** {1 Occurrence counters} *)
 
 val note_fetch : t -> pc:int -> unit
+(** Count one fetch of the instruction at [pc]. *)
 
 val note_issue : t -> pc:int -> unit
+(** Count one issue of the instruction at [pc]. *)
 
 val note_drop : t -> pc:int -> unit
 (** Issue-stage elimination (UV reuse-buffer drop). *)
@@ -39,8 +42,10 @@ val charge : t -> pc:int -> Attrib.bucket -> unit
     [pc = -1] (or out of range) charges the none-row. *)
 
 val charged : t -> pc:int -> Attrib.bucket -> int
+(** Cycles of [bucket] charged to [pc] so far. *)
 
 val stall_row : t -> pc:int -> Attrib.t
+(** Copy of the full per-bucket charge row for [pc]. *)
 
 val row_cycles : t -> pc:int -> int
 (** Total cycles charged to this row across all buckets. *)
@@ -53,45 +58,64 @@ val bucket_totals : t -> Attrib.t
     {!Attrib} totals when the feed is conservative. *)
 
 val total_cycles : t -> int
+(** Every cycle charged anywhere, none-row included; equals the owning
+    SM's cycle count when the feed is conservative. *)
 
 (** {1 Memory round-trip latency} *)
 
 val note_mem_latency : t -> pc:int -> lat:int -> unit
+(** Record one completed memory round-trip of [lat] cycles issued by
+    the instruction at [pc]. *)
 
 val mem_count : t -> pc:int -> int
+(** Completed round-trips recorded for [pc]. *)
 
 val mem_lat_total : t -> pc:int -> int
+(** Sum of recorded latencies for [pc]. *)
 
 val mem_lat_max : t -> pc:int -> int
+(** Worst recorded latency for [pc]; 0 when none. *)
 
 val mem_lat_mean : t -> pc:int -> float
+(** Mean recorded latency for [pc]; 0. when none. *)
 
 val mem_hist : t -> pc:int -> int array
 (** Copy of the per-PC latency histogram; see {!lat_bucket_name}. *)
 
 val lat_buckets : int
+(** Number of histogram buckets (the last one is open-ended). *)
 
 val lat_bucket_of : int -> int
+(** Bucket index a latency falls into. *)
 
 val lat_bucket_name : int -> string
+(** Human-readable bound label for a bucket index (["<=8"], ..., [">256"]). *)
 
 (** {1 Accessors and aggregation} *)
 
 val fetches : t -> pc:int -> int
+(** Fetches counted for [pc]. *)
 
 val issues : t -> pc:int -> int
+(** Issues counted for [pc]. *)
 
 val drops : t -> pc:int -> int
+(** Issue-stage drops counted for [pc]. *)
 
 val skips : t -> pc:int -> int
+(** Pre-fetch skips counted for [pc]. *)
 
 val total_fetches : t -> int
+(** {!fetches} summed over every instruction. *)
 
 val total_issues : t -> int
+(** {!issues} summed over every instruction. *)
 
 val total_drops : t -> int
+(** {!drops} summed over every instruction. *)
 
 val total_skips : t -> int
+(** {!skips} summed over every instruction. *)
 
 val add : t -> t -> unit
 (** [add acc x] accumulates [x] into [acc].
@@ -111,8 +135,10 @@ type skip_entry = {
 }
 
 val empty_skip_entry : skip_entry
+(** All-zero entry, the merge identity. *)
 
 val merge_skip_entry : skip_entry -> skip_entry -> skip_entry
+(** Field-wise sum of two entries. *)
 
 val merge_skip_telemetry :
   (int * skip_entry) list list -> (int * skip_entry) list
