@@ -4,7 +4,7 @@ DUNE ?= dune
 SMOKE_DIR ?= /tmp/darsie-smoke
 
 .PHONY: all build test verify doc cli-docs bench profile-smoke check-smoke \
-  annotate-smoke cache-smoke bench-compare clean
+  annotate-smoke cache-smoke fastforward-smoke bench-compare clean
 
 all: build
 
@@ -76,12 +76,26 @@ cache-smoke: build
 	grep -v "trace cache:" $(SMOKE_DIR)/cache_run2.txt > $(SMOKE_DIR)/cache_run2.cmp
 	diff $(SMOKE_DIR)/cache_run1.cmp $(SMOKE_DIR)/cache_run2.cmp
 
+# Fast-forward smoke: the event-driven cycle loop must leave every
+# simulated metric bit-identical to stepping each cycle. One
+# memory-bound app (the subset where the jumps are biggest), serial,
+# full metrics document on vs off, byte-diffed.
+fastforward-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	$(DUNE) exec bin/darsie.exe -- run BIN -m DARSIE -j 1 \
+	  --json $(SMOKE_DIR)/ff_on.json > /dev/null
+	$(DUNE) exec bin/darsie.exe -- run BIN -m DARSIE -j 1 \
+	  --no-fast-forward --json $(SMOKE_DIR)/ff_off.json > /dev/null
+	diff $(SMOKE_DIR)/ff_on.json $(SMOKE_DIR)/ff_off.json
+
 # Record a fresh bench trajectory point into bench/history/ and gate it
 # against the committed baseline. Deterministic simulated metrics use a
 # 0.5% threshold; wall-clock metrics 25%. Exits nonzero on regression.
-# The parallel+cache baseline; the serial seed record is kept as
-# bench/BENCH_2026-08-06.json (identical simulated metrics, slower wall).
-BENCH_BASELINE ?= bench/BENCH_2026-08-06_parallel.json
+# The fast-forward baseline; earlier records are kept with identical
+# simulated metrics and slower wall: bench/BENCH_2026-08-06.json
+# (serial seed) and bench/BENCH_2026-08-06_parallel.json
+# (parallel+cache, pre-fast-forward).
+BENCH_BASELINE ?= bench/BENCH_2026-08-06_fastforward.json
 bench-compare: build
 	mkdir -p bench/history
 	$(DUNE) exec bench/main.exe -- --trend bench/history/current.json

@@ -288,17 +288,30 @@ let () =
   let repeats = if trend_path () = None then 1 else trend_repeats () in
   let jobs = jobs () in
   let cache = cache () in
+  (* --no-fast-forward steps every cycle instead of jumping over idle
+     spans; deterministic metrics are bit-identical either way, only the
+     wall clock moves. *)
+  let cfg =
+    if has_flag "--no-fast-forward" then
+      {
+        Darsie_timing.Config.default with
+        Darsie_timing.Config.fast_forward = false;
+      }
+    else Darsie_timing.Config.default
+  in
   Printf.printf
     "\nBuilding the evaluation matrix (13 apps x 7 machines%s, %d job(s), \
-     trace cache %s)...\n%!"
+     trace cache %s%s)...\n%!"
     (if repeats > 1 then Printf.sprintf ", best of %d builds" repeats else "")
     jobs
     (match cache with
     | Some c -> Darsie_trace.Cache.dir c
-    | None -> "off");
+    | None -> "off")
+    (if cfg.Darsie_timing.Config.fast_forward then ""
+     else ", fast-forward off");
   let m, wall_s =
     Trendline.measure ~clock:Unix.gettimeofday ~repeats (fun () ->
-        Suite.build_matrix ~jobs ?cache ())
+        Suite.build_matrix ~cfg ~jobs ?cache ())
   in
   (match cache with
   | Some c -> Printf.printf "%s\n" (Darsie_trace.Cache.summary c)

@@ -1,0 +1,22 @@
+module W = Darsie_workloads.Workload
+module Suite = Darsie_harness.Suite
+module Config = Darsie_timing.Config
+let () =
+  let cache = Darsie_trace.Cache.create () in
+  let apps =
+    List.filter (fun w -> List.mem w.W.abbr ["BIN";"PT";"LIB"]) Darsie_workloads.Registry.all
+    |> List.map (Suite.load_app ~cache) in
+  let off = { Config.default with Config.fast_forward = false } in
+  List.iter (fun app ->
+    List.iter (fun m ->
+      let time cfg =
+        let best = ref infinity in
+        for _ = 1 to 3 do
+          let t0 = Unix.gettimeofday () in
+          ignore (Suite.run_app ~cfg app m);
+          best := min !best (Unix.gettimeofday () -. t0)
+        done; !best in
+      let a = time Config.default and b = time off in
+      Printf.printf "%-6s %-20s on=%.4f off=%.4f ratio=%.2f\n%!"
+        app.Suite.workload.W.abbr (Suite.machine_name m) a b (b /. a))
+      Suite.all_machines) apps

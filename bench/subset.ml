@@ -1,0 +1,48 @@
+(* Wall-time comparison of the timing model with fast-forward on vs off
+   over the memory-bound application subset (BIN, PT, LIB — the apps
+   whose runs are dominated by DRAM-latency idle spans). Traces come
+   from the persistent cache and every run is serial, so the two
+   configurations differ only in the cycle loop. This is the
+   measurement behind the fast-forward gating baseline; see
+   docs/ARCHITECTURE.md ("Event-driven fast-forwarding"). *)
+
+module W = Darsie_workloads.Workload
+module Suite = Darsie_harness.Suite
+module Config = Darsie_timing.Config
+
+let subset = [ "BIN"; "PT"; "LIB" ]
+
+let repeats = 3
+
+let time_matrix ~cfg apps =
+  let best = ref infinity in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun app ->
+        List.iter
+          (fun m -> ignore (Suite.run_app ~cfg app m))
+          Suite.all_machines)
+      apps;
+    best := min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let () =
+  let cache = Darsie_trace.Cache.create () in
+  let apps =
+    List.filter
+      (fun w -> List.mem w.W.abbr subset)
+      Darsie_workloads.Registry.all
+    |> List.map (Suite.load_app ~cache)
+  in
+  let off = { Config.default with Config.fast_forward = false } in
+  Printf.printf
+    "memory-bound subset (%s), 7 machines each, serial, cache-warm, best \
+     of %d:\n"
+    (String.concat " " subset) repeats;
+  let on_s = time_matrix ~cfg:Config.default apps in
+  let off_s = time_matrix ~cfg:off apps in
+  Printf.printf "  fast-forward on : %.3f s\n" on_s;
+  Printf.printf "  fast-forward off: %.3f s\n" off_s;
+  Printf.printf "  speedup         : %.2fx\n" (off_s /. on_s)

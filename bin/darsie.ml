@@ -99,6 +99,22 @@ let cache_arg =
 
 let cache_of = Option.map (fun dir -> Darsie_trace.Cache.create ~dir ())
 
+let no_ff_arg =
+  let doc =
+    "Disable event-driven idle-cycle fast-forwarding and step every cycle. \
+     Results are bit-identical either way; this is the escape hatch for \
+     timing-model debugging."
+  in
+  Arg.(value & flag & info [ "no-fast-forward" ] ~doc)
+
+let cfg_of_ff no_ff =
+  if no_ff then
+    {
+      Darsie_timing.Config.default with
+      Darsie_timing.Config.fast_forward = false;
+    }
+  else Darsie_timing.Config.default
+
 let report_cache = function
   | Some c -> Printf.printf "%s\n" (Darsie_trace.Cache.summary c)
   | None -> ()
@@ -167,8 +183,9 @@ let json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run abbr machine scale json_file jobs cache_dir =
+  let run abbr machine scale json_file jobs cache_dir no_ff =
     let w = or_die (find_app abbr) in
+    let cfg = cfg_of_ff no_ff in
     let cache = cache_of cache_dir in
     Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
     let app = Darsie_harness.Suite.load_app ~scale ?cache w in
@@ -185,7 +202,7 @@ let run_cmd =
     let base, r =
       match
         Darsie_harness.Parallel.map ~jobs:(effective_jobs jobs)
-          (Darsie_harness.Suite.run_app app)
+          (Darsie_harness.Suite.run_app ~cfg app)
           [ Darsie_harness.Suite.Base; machine ]
       with
       | [ base; r ] -> (base, r)
@@ -218,12 +235,14 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one application through the timing model")
     Term.(
       const run $ app_arg $ machine_arg $ scale_arg $ json_arg $ jobs_arg
-      $ cache_arg)
+      $ cache_arg $ no_ff_arg)
 
 let profile_cmd =
-  let run abbr machine scale json_file trace_file csv_file interval cache_dir =
+  let run abbr machine scale json_file trace_file csv_file interval cache_dir
+      no_ff =
     let w = or_die (find_app abbr) in
     if interval < 1 then or_die (Error "--interval must be >= 1");
+    let cfg = cfg_of_ff no_ff in
     let cache = cache_of cache_dir in
     Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
     let app = Darsie_harness.Suite.load_app ~scale ?cache w in
@@ -240,7 +259,8 @@ let profile_cmd =
       | None -> Obs.Sink.null
     in
     let r =
-      Darsie_harness.Suite.run_app ~sink ~sample_interval:interval app machine
+      Darsie_harness.Suite.run_app ~cfg ~sink ~sample_interval:interval app
+        machine
     in
     let open Darsie_timing in
     let gpu = r.Darsie_harness.Suite.gpu in
@@ -316,7 +336,7 @@ let profile_cmd =
           time-series, JSON metrics and Chrome-trace export")
     Term.(
       const run $ app_arg $ machine_arg $ scale_arg $ json_arg $ trace_arg
-      $ csv_arg $ interval_arg $ cache_arg)
+      $ csv_arg $ interval_arg $ cache_arg $ no_ff_arg)
 
 let limit_cmd =
   let run abbr scale =
@@ -339,7 +359,7 @@ let limit_cmd =
     Term.(const run $ app_arg $ scale_arg)
 
 let experiment_cmd =
-  let run id jobs cache_dir =
+  let run id jobs cache_dir no_ff =
     let module F = Darsie_harness.Figures in
     let needs_matrix = [ "fig8"; "fig9"; "fig10"; "fig11"; "fig12" ] in
     let matrix =
@@ -349,7 +369,10 @@ let experiment_cmd =
            "building evaluation matrix (13 apps x 7 machines, %d job(s))...\n%!"
            jobs;
          let cache = cache_of cache_dir in
-         let m = Darsie_harness.Suite.build_matrix ~jobs ?cache () in
+         let m =
+           Darsie_harness.Suite.build_matrix ~cfg:(cfg_of_ff no_ff) ~jobs
+             ?cache ()
+         in
          Hashtbl.iter (fun (abbr, _) r -> check_run abbr r)
            m.Darsie_harness.Suite.runs;
          report_cache cache;
@@ -405,8 +428,8 @@ let experiment_cmd =
         other;
       exit 1
   in
-  let run id jobs cache_dir =
-    run id jobs cache_dir;
+  let run id jobs cache_dir no_ff =
+    run id jobs cache_dir no_ff;
     finish ()
   in
   let id_arg =
@@ -415,13 +438,13 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper figure or table")
-    Term.(const run $ id_arg $ jobs_arg $ cache_arg)
+    Term.(const run $ id_arg $ jobs_arg $ cache_arg $ no_ff_arg)
 
 let check_cmd =
   let module Checker = Darsie_harness.Checker in
   let module Sim_error = Darsie_check.Sim_error in
   let run app_opt machines scale no_oracle inject seed deadline max_cycles
-      watchdog json_file jobs cache_dir =
+      watchdog json_file jobs cache_dir no_ff =
     let apps =
       match app_opt with
       | Some abbr -> [ or_die (find_app abbr) ]
@@ -435,6 +458,7 @@ let check_cmd =
         Darsie_timing.Config.default with
         Darsie_timing.Config.max_cycles;
         watchdog_cycles = watchdog;
+        fast_forward = not no_ff;
       }
     in
     Printf.printf
@@ -514,11 +538,12 @@ let check_cmd =
           differential oracle and fault injection, crash-isolated per app")
     Term.(const run $ app_opt_arg $ machines_arg $ scale_arg $ no_oracle_arg
           $ inject_arg $ seed_arg $ deadline_arg $ max_cycles_arg
-          $ watchdog_arg $ json_arg $ jobs_arg $ cache_arg)
+          $ watchdog_arg $ json_arg $ jobs_arg $ cache_arg $ no_ff_arg)
 
 let annotate_cmd =
-  let run abbr machines scale top json_file jobs cache_dir =
+  let run abbr machines scale top json_file jobs cache_dir no_ff =
     let w = or_die (find_app abbr) in
+    let cfg = cfg_of_ff no_ff in
     let machines =
       if machines = [] then [ Darsie_harness.Suite.Darsie ] else machines
     in
@@ -528,7 +553,7 @@ let annotate_cmd =
     let runs =
       Darsie_harness.Parallel.map ~jobs:(effective_jobs jobs)
         (fun m ->
-          let r = Darsie_harness.Suite.run_app ~pcstat:true app m in
+          let r = Darsie_harness.Suite.run_app ~cfg ~pcstat:true app m in
           (Darsie_harness.Suite.machine_name m, r))
         machines
     in
@@ -577,7 +602,7 @@ let annotate_cmd =
           PTX-lite)")
     Term.(
       const run $ app_arg $ machines_arg $ scale_arg $ top_arg $ json_arg
-      $ jobs_arg $ cache_arg)
+      $ jobs_arg $ cache_arg $ no_ff_arg)
 
 let bench_compare_cmd =
   let module T = Darsie_harness.Trendline in

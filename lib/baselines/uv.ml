@@ -37,6 +37,11 @@ let factory : Engine.factory =
   {
     Engine.name = "UV";
     cycle_skip = (fun ~cycle:_ -> ());
+    quiescent = (fun () -> true);
+    skip_reads_warp_state = false;
+    skip_steady = (fun () -> true);
+    bulk_skip = (fun ~cycle:_ ~n:_ -> ());
+    on_fast_forward = (fun ~cycle:_ -> ());
     can_fetch = (fun _ -> true);
     remove_at_fetch = (fun _ _ -> false);
     on_issue;

@@ -67,25 +67,52 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
      reports entry statistics over the SM's whole run. *)
   let telemetry = Skip_table.Telemetry.create () in
   let slots : (int, slot_state) Hashtbl.t = Hashtbl.create 8 in
-  let fetch_ok : (int, bool) Hashtbl.t = Hashtbl.create 64 in
-  let stall_count : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let full_mask = (1 lsl cfg.Config.warp_size) - 1 in
+  (* Steadiness tracking for the fast-forward path: [state_mutated] is
+     cleared at the top of every [cycle_skip] and set by any change to
+     engine or warp state (parks, releases, cursor moves, table traffic,
+     fetch gating). A skip phase that only accumulated statistics leaves
+     it false — it will repeat identically while the SM is frozen, so
+     a jumped span can charge it in bulk (see [bulk_skip]). *)
+  let state_mutated = ref true in
+  let mutated () = state_mutated := true in
+  (* The fetch gate, park site and freelist-stall counter are per-warp
+     fields inlined in the SM's warp context ([Engine.wctx]) — the skip
+     phase touches them for every warp every cycle, so they must not go
+     through a hash table. *)
+  let set_ok (w : Engine.wctx) v =
+    if w.Engine.fetch_ok <> v then begin
+      mutated ();
+      w.Engine.fetch_ok <- v
+    end
+  in
   (* A warp stalled at a skip-table instruction registers in the entry's
      warps-waiting bitmask (§4.3.2 field 2) and is woken by the leader's
-     writeback — re-checking costs no PC-coalescer port. [parked] maps a
-     warp to the trace index it is parked at. *)
-  let parked : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let full_mask = (1 lsl cfg.Config.warp_size) - 1 in
-  let set_ok (w : Engine.wctx) v = Hashtbl.replace fetch_ok w.Engine.wid v in
-  let bump_stall (w : Engine.wctx) =
-    let c =
-      match Hashtbl.find_opt stall_count w.Engine.wid with
-      | Some c -> c + 1
-      | None -> 1
-    in
-    Hashtbl.replace stall_count w.Engine.wid c;
-    c
+     writeback — re-checking costs no PC-coalescer port. [parked_at] is
+     the trace index the warp is parked at, [-1] when not parked. *)
+  let park (w : Engine.wctx) =
+    if w.Engine.parked_at <> w.Engine.fi then begin
+      mutated ();
+      w.Engine.parked_at <- w.Engine.fi
+    end
   in
-  let clear_stall (w : Engine.wctx) = Hashtbl.remove stall_count w.Engine.wid in
+  let unpark (w : Engine.wctx) =
+    if w.Engine.parked_at >= 0 then begin
+      mutated ();
+      w.Engine.parked_at <- -1
+    end
+  in
+  let bump_stall (w : Engine.wctx) =
+    mutated ();
+    w.Engine.skip_stall <- w.Engine.skip_stall + 1;
+    w.Engine.skip_stall
+  in
+  let clear_stall (w : Engine.wctx) =
+    if w.Engine.skip_stall <> 0 then begin
+      mutated ();
+      w.Engine.skip_stall <- 0
+    end
+  in
   let elim_shape idx =
     match kinfo.Kinfo.shape.(idx) with
     | Darsie_compiler.Marking.Uniform ->
@@ -105,6 +132,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
   in
   let drop_from_majority slot (w : Engine.wctx) =
     if Majority.on_path slot.majority w.Engine.warp_in_tb then begin
+      mutated ();
       Majority.drop slot.majority w.Engine.warp_in_tb;
       stats.Stats.majority_updates <- stats.Stats.majority_updates + 1;
       Skip_table.recheck slot.skip ~majority:(effective_majority slot)
@@ -113,6 +141,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
   (* Branch-synchronization release: the majority of arrived warps picks
      the continuation path; warps headed elsewhere leave the majority. *)
   let release_sync slot entry =
+    mutated ();
     let votes = Hashtbl.create 4 in
     Array.iter
       (fun (w : Engine.wctx) ->
@@ -145,6 +174,16 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
   in
   (* Process one warp's pre-fetch window; returns nothing, sets fetch_ok. *)
   let probed = Hashtbl.create 8 in
+  (* Park telemetry funnels through here so [bulk_skip]'s representative
+     run can log which PCs park and replay them over the scaled span. *)
+  let record_parks = ref false in
+  let park_log : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let note_park idx =
+    Skip_table.Telemetry.note_park telemetry ~pc:idx;
+    if !record_parks then
+      Hashtbl.replace park_log idx
+        (1 + Option.value ~default:0 (Hashtbl.find_opt park_log idx))
+  in
   let process_warp slot (w : Engine.wctx) =
     let rec go chain =
       if Engine.warp_done w then set_ok w true
@@ -169,6 +208,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
             match Hashtbl.find_opt slot.syncs key with
             | Some e -> e
             | None ->
+              mutated ();
               let e =
                 { arrived = 0; released = false; first_succ = successor_of w }
               in
@@ -183,7 +223,11 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
           end
           else if entry.released then set_ok w true
           else begin
-            entry.arrived <- entry.arrived lor (1 lsl win);
+            let arrived' = entry.arrived lor (1 lsl win) in
+            if arrived' <> entry.arrived then begin
+              mutated ();
+              entry.arrived <- arrived'
+            end;
             if entry.arrived land effective_majority slot
                = effective_majority slot
             then begin
@@ -202,7 +246,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
              serviced per cycle; chained skips ride the +8 adders, and
              warps already parked in an entry's waiting bitmask are woken
              for free. *)
-          let is_parked = Hashtbl.find_opt parked w.Engine.wid = Some w.Engine.fi in
+          let is_parked = w.Engine.parked_at = w.Engine.fi in
           let port_ok =
             chain > 0 || is_parked || Hashtbl.mem probed idx
             || Hashtbl.length probed < cfg.Config.coalescer_ports
@@ -218,11 +262,12 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
             match Skip_table.find slot.skip ~pc:idx ~occ:op.Record.occ with
             | Some inst when inst.Skip_table.leader = win ->
               (* The leader executes its own instruction. *)
-              Hashtbl.remove parked w.Engine.wid;
+              unpark w;
               set_ok w true
             | Some inst when inst.Skip_table.leader_wb || options.no_cf_sync ->
               (* Follower skip: PC += 8, remap the register version. *)
-              Hashtbl.remove parked w.Engine.wid;
+              mutated ();
+              unpark w;
               w.Engine.fi <- w.Engine.fi + 1;
               stats.Stats.skipped_prefetch <- stats.Stats.skipped_prefetch + 1;
               stats.Stats.rename_accesses <- stats.Stats.rename_accesses + 1;
@@ -236,15 +281,15 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
             | Some _ ->
               (* Follower parks in the warps-waiting bitmask until
                  LeaderWB (§4.3.2, field 5). *)
-              Hashtbl.replace parked w.Engine.wid w.Engine.fi;
-              Skip_table.Telemetry.note_park telemetry ~pc:idx;
+              park w;
+              note_park idx;
               stats.Stats.darsie_sync_stalls <-
                 stats.Stats.darsie_sync_stalls + 1;
               set_ok w false
             | None ->
               if not (Skip_table.has_entry_slot slot.skip ~pc:idx) then begin
                 (* Table full: execute normally, no skipping. *)
-                Hashtbl.remove parked w.Engine.wid;
+                unpark w;
                 set_ok w true
               end
               else if not (Skip_table.has_free_reg slot.skip) then begin
@@ -253,22 +298,23 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
                 if options.no_cf_sync then set_ok w true
                 else if bump_stall w > 64 then begin
                   clear_stall w;
-                  Hashtbl.remove parked w.Engine.wid;
+                  unpark w;
                   set_ok w true
                 end
                 else begin
-                  Hashtbl.replace parked w.Engine.wid w.Engine.fi;
+                  park w;
                   stats.Stats.darsie_sync_stalls <-
                     stats.Stats.darsie_sync_stalls + 1;
                   set_ok w false
                 end
               end
               else begin
+                mutated ();
                 Skip_table.allocate slot.skip ~pc:idx ~occ:op.Record.occ
                   ~leader:win ~is_load:kinfo.Kinfo.is_load.(idx);
                 stats.Stats.rename_accesses <- stats.Stats.rename_accesses + 1;
                 clear_stall w;
-                Hashtbl.remove parked w.Engine.wid;
+                unpark w;
                 set_ok w true
               end
           end
@@ -278,8 +324,23 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
     in
     go 0
   in
+  (* The stat counters the skip phase can move. They are all monotone,
+     so a frozen sum ([last_skip_quiet]) means every one was frozen.
+     [bulk_skip] snapshots and scales each component individually when a
+     steady span is jumped. *)
+  let stat_mark () =
+    stats.Stats.darsie_sync_stalls + stats.Stats.skipped_prefetch
+    + stats.Stats.rename_accesses + stats.Stats.coalescer_probes
+    + stats.Stats.skip_table_probes + stats.Stats.majority_updates
+    + stats.Stats.elim_uniform + stats.Stats.elim_affine
+    + stats.Stats.elim_unstructured
+  in
+  let last_skip_quiet = ref false in
+  let last_skip_steady = ref false in
   let cycle_skip ~cycle =
     Skip_table.Telemetry.set_now telemetry cycle;
+    let mark0 = stat_mark () in
+    state_mutated := false;
     Hashtbl.reset probed;
     Hashtbl.iter
       (fun _ slot ->
@@ -294,13 +355,69 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
             then release_sync slot e)
           slot.syncs;
         Array.iter (process_warp slot) slot.warps)
-      slots
+      slots;
+    last_skip_quiet := stat_mark () = mark0;
+    last_skip_steady := not !state_mutated
   in
-  let can_fetch (w : Engine.wctx) =
-    match Hashtbl.find_opt fetch_ok w.Engine.wid with
-    | Some ok -> ok
-    | None -> true
+  (* Charge [n] skipped skip-phase executions in one call. Sound only
+     after a steady phase: [cycle_skip] is a deterministic function of
+     engine and warp state plus the telemetry clock (which only matters
+     on flush paths, and flushes are mutations), so with everything
+     frozen all [n] executions are identical — run one for real and
+     scale its accumulations (the stat counters below and the per-PC
+     park telemetry) over the remaining [n - 1]. *)
+  let bulk_skip ~cycle ~n =
+    if n > 0 then begin
+      let sync0 = stats.Stats.darsie_sync_stalls
+      and pre0 = stats.Stats.skipped_prefetch
+      and ren0 = stats.Stats.rename_accesses
+      and coa0 = stats.Stats.coalescer_probes
+      and pro0 = stats.Stats.skip_table_probes
+      and maj0 = stats.Stats.majority_updates
+      and eu0 = stats.Stats.elim_uniform
+      and ea0 = stats.Stats.elim_affine
+      and eun0 = stats.Stats.elim_unstructured in
+      Hashtbl.reset park_log;
+      record_parks := true;
+      cycle_skip ~cycle;
+      record_parks := false;
+      if !state_mutated then
+        invalid_arg "Darsie_engine.bulk_skip: skip phase was not steady";
+      let k = n - 1 in
+      if k > 0 then begin
+        stats.Stats.darsie_sync_stalls <-
+          stats.Stats.darsie_sync_stalls
+          + ((stats.Stats.darsie_sync_stalls - sync0) * k);
+        stats.Stats.skipped_prefetch <-
+          stats.Stats.skipped_prefetch
+          + ((stats.Stats.skipped_prefetch - pre0) * k);
+        stats.Stats.rename_accesses <-
+          stats.Stats.rename_accesses
+          + ((stats.Stats.rename_accesses - ren0) * k);
+        stats.Stats.coalescer_probes <-
+          stats.Stats.coalescer_probes
+          + ((stats.Stats.coalescer_probes - coa0) * k);
+        stats.Stats.skip_table_probes <-
+          stats.Stats.skip_table_probes
+          + ((stats.Stats.skip_table_probes - pro0) * k);
+        stats.Stats.majority_updates <-
+          stats.Stats.majority_updates
+          + ((stats.Stats.majority_updates - maj0) * k);
+        stats.Stats.elim_uniform <-
+          stats.Stats.elim_uniform + ((stats.Stats.elim_uniform - eu0) * k);
+        stats.Stats.elim_affine <-
+          stats.Stats.elim_affine + ((stats.Stats.elim_affine - ea0) * k);
+        stats.Stats.elim_unstructured <-
+          stats.Stats.elim_unstructured
+          + ((stats.Stats.elim_unstructured - eun0) * k);
+        Hashtbl.iter
+          (fun pc c ->
+            Skip_table.Telemetry.note_parks telemetry ~pc ~n:(c * k))
+          park_log
+      end
+    end
   in
+  let can_fetch (w : Engine.wctx) = w.Engine.fetch_ok in
   let on_issue ~cycle:_ (w : Engine.wctx) (op : Record.op) =
     (match Hashtbl.find_opt slots w.Engine.tb_slot with
     | None -> ()
@@ -353,8 +470,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
         syncs = Hashtbl.create 64;
         warps;
         bar_arrived = 0;
-      };
-    Array.iter (fun (w : Engine.wctx) -> Hashtbl.remove fetch_ok w.Engine.wid) warps
+      }
   in
   let on_tb_finish ~tb_slot = Hashtbl.remove slots tb_slot in
   let debug_state () =
@@ -362,10 +478,14 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
       (fun _ slot (entries, insts, parked_w, syncs) ->
         ( entries + Skip_table.live_entries slot.skip,
           insts + Skip_table.live_instances slot.skip,
-          parked_w,
+          parked_w
+          + Array.fold_left
+              (fun a (w : Engine.wctx) ->
+                if w.Engine.parked_at >= 0 then a + 1 else a)
+              0 slot.warps,
           syncs + Hashtbl.length slot.syncs ))
       slots
-      (0, 0, Hashtbl.length parked, 0)
+      (0, 0, 0, 0)
     |> fun (entries, insts, parked_w, syncs) ->
     [
       ("skip_entries", entries);
@@ -378,6 +498,14 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
   {
     Engine.name = name_of options;
     cycle_skip;
+    quiescent = (fun () -> !last_skip_quiet);
+    skip_reads_warp_state = true;
+    skip_steady = (fun () -> !last_skip_steady);
+    bulk_skip;
+    on_fast_forward =
+      (* Keep the telemetry clock where stepping would have left it, so
+         instance lifetimes flushed on the landing cycle are identical. *)
+      (fun ~cycle -> Skip_table.Telemetry.set_now telemetry cycle);
     can_fetch;
     remove_at_fetch = (fun _ _ -> false);
     on_issue;

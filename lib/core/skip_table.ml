@@ -38,6 +38,8 @@ module Telemetry = struct
 
   let note_park t ~pc = (cell t pc).parks <- (cell t pc).parks + 1
 
+  let note_parks t ~pc ~n = (cell t pc).parks <- (cell t pc).parks + n
+
   let entries t =
     Hashtbl.fold
       (fun pc c acc ->

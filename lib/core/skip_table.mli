@@ -30,6 +30,10 @@ module Telemetry : sig
   val note_park : t -> pc:int -> unit
   (** A follower parked in this PC's warps-waiting bitmask this cycle. *)
 
+  val note_parks : t -> pc:int -> n:int -> unit
+  (** [n] park cycles at once — the bulk form used when a fast-forwarded
+      span replays a steady skip phase (see {!Darsie_engine}). *)
+
   val entries : t -> (int * Darsie_obs.Pcstat.skip_entry) list
   (** Snapshot, sorted by PC. *)
 end

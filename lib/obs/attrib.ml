@@ -49,6 +49,16 @@ let bump t = function
   | Mem_pending -> t.mem_pending <- t.mem_pending + 1
   | Idle -> t.idle <- t.idle + 1
 
+let bump_n t b n =
+  match b with
+  | Active -> t.active <- t.active + n
+  | Fetch_starved -> t.fetch_starved <- t.fetch_starved + n
+  | Scoreboard -> t.scoreboard <- t.scoreboard + n
+  | Barrier -> t.barrier <- t.barrier + n
+  | Darsie_sync -> t.darsie_sync <- t.darsie_sync + n
+  | Mem_pending -> t.mem_pending <- t.mem_pending + n
+  | Idle -> t.idle <- t.idle + n
+
 let get t = function
   | Active -> t.active
   | Fetch_starved -> t.fetch_starved

@@ -42,6 +42,10 @@ val create : unit -> t
 
 val bump : t -> bucket -> unit
 
+val bump_n : t -> bucket -> int -> unit
+(** [bump_n t b n] charges [n] cycles to bucket [b] at once — the bulk
+    form the fast-forward path uses to account for a jumped-over span. *)
+
 val get : t -> bucket -> int
 
 val total : t -> int

@@ -77,6 +77,8 @@ let note_mem_latency t ~pc ~lat =
 
 let charge t ~pc bucket = Attrib.bump t.stall.(row_of t pc) bucket
 
+let charge_n t ~pc bucket ~n = Attrib.bump_n t.stall.(row_of t pc) bucket n
+
 let fetches t ~pc = t.fetch.(pc)
 
 let issues t ~pc = t.issue.(pc)

@@ -41,6 +41,11 @@ val charge : t -> pc:int -> Attrib.bucket -> unit
 (** Charge one cycle of [bucket] to the instruction blocking progress;
     [pc = -1] (or out of range) charges the none-row. *)
 
+val charge_n : t -> pc:int -> Attrib.bucket -> n:int -> unit
+(** Bulk form of {!charge}: [n] cycles of [bucket] against one blocking
+    PC, used by the timing model's fast-forward path so the conservation
+    invariant survives clock jumps. *)
+
 val charged : t -> pc:int -> Attrib.bucket -> int
 (** Cycles of [bucket] charged to [pc] so far. *)
 

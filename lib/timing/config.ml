@@ -36,6 +36,7 @@ type t = {
   max_skips_per_warp_cycle : int;
   max_cycles : int;
   watchdog_cycles : int;
+  fast_forward : bool;
 }
 
 let default =
@@ -75,6 +76,7 @@ let default =
     max_skips_per_warp_cycle = 8;
     max_cycles = 500_000_000;
     watchdog_cycles = 50_000;
+    fast_forward = true;
   }
 
 let pp fmt c =

@@ -56,6 +56,12 @@ type t = {
       (** deadlock watchdog: fail when no warp makes progress and no
           memory request is in flight for this many consecutive cycles;
           [0] disables the watchdog *)
+  fast_forward : bool;
+      (** event-driven idle-cycle fast-forwarding: when every SM is
+          stalled on known-latency events, jump the clock to the earliest
+          wake-up and bulk-charge the skipped span. Bit-identical to
+          stepping every cycle; [false] forces the cycle-by-cycle path
+          (the [--no-fast-forward] escape hatch) *)
 }
 
 val default : t

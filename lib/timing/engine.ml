@@ -12,6 +12,13 @@ type wctx = {
   mutable finished : bool;
   mutable last_issued : int;
   mutable fetch_ready_at : int;
+  mutable mem_inflight : int;
+  (* Engine-owned per-warp scratch, inlined here so the skip phase's
+     hottest per-warp-per-cycle accesses are field reads instead of
+     Hashtbl traffic. Only the engine writes these. *)
+  mutable fetch_ok : bool;
+  mutable parked_at : int;
+  mutable skip_stall : int;
 }
 
 let warp_done w = w.fi >= Array.length w.trace
@@ -23,6 +30,23 @@ type issue_decision = Execute | Drop
 type t = {
   name : string;
   cycle_skip : cycle:int -> unit;
+  quiescent : unit -> bool;
+  (* True when [cycle_skip] inspects warp state (trace cursors, parked
+     sets). The SM's fetch phase runs after [cycle_skip], so for such
+     engines a fetch invalidates the [quiescent] snapshot and the SM
+     must step one more cycle before fast-forwarding. *)
+  skip_reads_warp_state : bool;
+  (* True when the most recent [cycle_skip] mutated no engine or warp
+     state — it only accumulated per-cycle statistics. Such a skip phase
+     repeats identically while the SM is frozen, which licenses
+     fast-forwarding even when it is not quiescent: [bulk_skip] charges
+     the skipped span. *)
+  skip_steady : unit -> bool;
+  (* Charge [n] skipped skip-phase executions at [cycle] in one call;
+     only invoked when [skip_steady ()] held. Engines with per-cycle
+     accumulation run the phase once and scale the deltas. *)
+  bulk_skip : cycle:int -> n:int -> unit;
+  on_fast_forward : cycle:int -> unit;
   can_fetch : wctx -> bool;
   remove_at_fetch : wctx -> Darsie_trace.Record.op -> bool;
   on_issue : cycle:int -> wctx -> Darsie_trace.Record.op -> issue_decision;
@@ -38,6 +62,11 @@ let base () =
   {
     name = "BASE";
     cycle_skip = (fun ~cycle:_ -> ());
+    quiescent = (fun () -> true);
+    skip_reads_warp_state = false;
+    skip_steady = (fun () -> true);
+    bulk_skip = (fun ~cycle:_ ~n:_ -> ());
+    on_fast_forward = (fun ~cycle:_ -> ());
     can_fetch = (fun _ -> true);
     remove_at_fetch = (fun _ _ -> false);
     on_issue = (fun ~cycle:_ _ _ -> Execute);

@@ -33,6 +33,21 @@ type wctx = {
   mutable last_issued : int;  (** cycle of last issue, for GTO *)
   mutable fetch_ready_at : int;  (** earliest cycle the next fetch may
                                      complete (I-cache miss fill) *)
+  mutable mem_inflight : int;
+      (** in-flight memory operations issued by this warp and not yet
+          written back; maintained by the SM so stall classification
+          needs no scan over the in-flight list *)
+  mutable fetch_ok : bool;
+      (** engine fetch gate ([can_fetch] for the gating engines); owned
+          by the engine, inlined here so the per-warp-per-cycle skip
+          phase pays a field access instead of a hash lookup. Starts
+          [true] *)
+  mutable parked_at : int;
+      (** trace index this warp is parked at in a skip-table entry's
+          warps-waiting bitmask, or [-1] when not parked; engine-owned *)
+  mutable skip_stall : int;
+      (** consecutive cycles stalled on an empty rename freelist
+          (DARSIE's bounded synchronization fallback); engine-owned *)
 }
 
 val warp_done : wctx -> bool
@@ -46,6 +61,40 @@ type t = {
   name : string;
   cycle_skip : cycle:int -> unit;
       (** called once per SM cycle, before fetch *)
+  quiescent : unit -> bool;
+      (** true when the most recent [cycle_skip] was a no-op (no stat
+          deltas, no warp state changes) {e and} would stay one while the
+          rest of the SM is frozen — the license the fast-forward path
+          needs to skip calling [cycle_skip] for a jumped-over span.
+          Engines whose skip phase does per-cycle work while warps are
+          stalled (DARSIE probe/park accounting) must return [false] on
+          such cycles; stateless engines always return [true] *)
+  skip_reads_warp_state : bool;
+      (** true when [cycle_skip] inspects warp state (trace cursors,
+          parked sets). The fetch phase runs after [cycle_skip], so for
+          such engines a fetch this cycle invalidates the [quiescent]
+          and [skip_steady] snapshots: the SM steps one more cycle
+          before fast-forwarding. Stateless skip phases leave this
+          [false] *)
+  skip_steady : unit -> bool;
+      (** true when the most recent [cycle_skip] mutated no engine or
+          warp state — at most it accumulated per-cycle statistics
+          (DARSIE's probe, park and sync-stall counters). A steady skip
+          phase is a deterministic function of frozen state, so it
+          repeats identically across a jumped span; this — not
+          [quiescent] — is the license the fast-forward path gates on.
+          Stateless engines return [true] *)
+  bulk_skip : cycle:int -> n:int -> unit;
+      (** charge [n] skipped executions of the skip phase ending at
+          [cycle] in one call; invoked by {!Sm.fast_forward} only when
+          [skip_steady ()] held. Accumulating engines run the phase
+          once and scale the stat deltas by [n]; stateless engines
+          no-op *)
+  on_fast_forward : cycle:int -> unit;
+      (** the SM clock jumped: the span up to and including [cycle]
+          was skipped without calling [cycle_skip]. Engines tracking the
+          current cycle (DARSIE's skip-table telemetry clock) resync
+          here; called only when [quiescent ()] held *)
   can_fetch : wctx -> bool;
   remove_at_fetch : wctx -> Darsie_trace.Record.op -> bool;
   on_issue : cycle:int -> wctx -> Darsie_trace.Record.op -> issue_decision;

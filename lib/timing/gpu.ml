@@ -32,7 +32,7 @@ module Sim_error = Darsie_check.Sim_error
 
 (* Merge per-SM engine counters by name for the diagnostic dump. *)
 let merge_notes per_sm_notes =
-  let acc = Hashtbl.create 8 in
+  let acc = Hashtbl.create 32 in
   let order = ref [] in
   List.iter
     (List.iter (fun (k, v) ->
@@ -73,17 +73,32 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
   in
   let ntbs = Record.num_tbs trace in
   let next_tb = ref 0 in
-  let dispatch () =
+  let cycles = ref 0 in
+  (* Per-SM wake-up calendar (fast-forward mode): [wakes.(i)] is the next
+     cycle SM [i] must be stepped at; until then its clock is left behind
+     and lazily caught up with a bulk charge. 0 = step immediately. *)
+  let wakes = Array.make (Array.length sms) 0 in
+  let catch_up target =
     Array.iter
       (fun sm ->
+        if Sm.cycle sm < target then Sm.fast_forward sm ~to_:target)
+      sms
+  in
+  let dispatch () =
+    Array.iteri
+      (fun i sm ->
         while !next_tb < ntbs && Sm.can_accept sm do
+          (* A lagging SM must be on the global clock before warps are
+             installed, and has fetchable work from the next cycle on. *)
+          if Sm.cycle sm < !cycles then Sm.fast_forward sm ~to_:!cycles;
+          wakes.(i) <- !cycles + 1;
           Sm.launch_tb sm ~tb_id:!next_tb ~traces:trace.Record.tbs.(!next_tb);
           incr next_tb
         done)
       sms
   in
-  let cycles = ref 0 in
-  let diag () =
+  let diag ~at () =
+    catch_up at;
     let attr = Obs.Attrib.create () in
     Array.iter (fun sm -> Obs.Attrib.add attr (Sm.attribution sm)) sms;
     {
@@ -100,72 +115,161 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
   let progress = ref (-1) in
   let idle = ref 0 in
   let error = ref None in
-  dispatch ();
-  while !error = None && (Array.exists Sm.busy sms || !next_tb < ntbs) do
-    incr cycles;
-    if !cycles > cfg.Config.max_cycles then
-      error :=
-        Some
-          (Sim_error.Cycle_bound
-             {
-               bound = cfg.Config.max_cycles;
-               message =
-                 Printf.sprintf
-                   "simulation exceeded its cycle bound of %d cycles"
-                   cfg.Config.max_cycles;
-               diag = diag ();
-             })
-    else begin
-      Array.iter Sm.step sms;
-      dispatch ();
-      (* Deadlock watchdog: every SM's progress token frozen with no
-         operation between issue and writeback for watchdog_cycles. *)
-      if cfg.Config.watchdog_cycles > 0 then begin
-        let token =
-          Array.fold_left (fun acc sm -> acc + Sm.progress_token sm) 0 sms
-        in
-        let inflight =
-          Array.fold_left (fun acc sm -> acc + Sm.inflight_count sm) 0 sms
-        in
-        if token = !progress && inflight = 0 then begin
-          incr idle;
-          if !idle >= cfg.Config.watchdog_cycles then
-            error :=
-              Some
-                (Sim_error.Deadlock
-                   {
-                     message =
-                       Printf.sprintf
-                         "no warp fetched, issued or skipped and no \
-                          operation was in flight for %d cycles"
-                         !idle;
-                     diag = diag ();
-                   })
-        end
-        else begin
-          progress := token;
-          idle := 0
-        end
-      end;
-      (* Wall-clock budget, checked at a coarse cadence. *)
-      match deadline with
-      | Some budget_s when !cycles land 0xfff = 0 ->
-        let elapsed = Sys.time () -. started in
-        if elapsed > budget_s then
+  (* Deadlock watchdog: every SM's progress token frozen with no operation
+     between issue and writeback for watchdog_cycles. [span] is how many
+     simulated cycles elapsed since the previous check (1 when stepping,
+     the jump width when fast-forwarding — skipped cycles are idle by
+     construction, so a frozen token accumulates the whole span). *)
+  let check_watchdog span =
+    if cfg.Config.watchdog_cycles > 0 then begin
+      let token =
+        Array.fold_left (fun acc sm -> acc + Sm.progress_token sm) 0 sms
+      in
+      let inflight =
+        Array.fold_left (fun acc sm -> acc + Sm.inflight_count sm) 0 sms
+      in
+      if token = !progress && inflight = 0 then begin
+        idle := !idle + span;
+        if !idle >= cfg.Config.watchdog_cycles then
           error :=
             Some
-              (Sim_error.Wall_timeout
+              (Sim_error.Deadlock
                  {
-                   budget_s;
-                   cycle = !cycles;
                    message =
                      Printf.sprintf
-                       "wall-clock budget of %gs exhausted at cycle %d"
-                       budget_s !cycles;
+                       "no warp fetched, issued or skipped and no \
+                        operation was in flight for %d cycles"
+                       !idle;
+                   diag = diag ~at:!cycles ();
                  })
-      | _ -> ()
+      end
+      else begin
+        progress := token;
+        idle := 0
+      end
+    end
+  in
+  (* Wall-clock budget, checked at a coarse cadence: whenever the clock
+     crosses a 4096-cycle boundary — same cadence as stepping cycle by
+     cycle, and a jump cannot out-run it because the check also fires at
+     jump boundaries. *)
+  let wall_mark = ref 0 in
+  let check_wall () =
+    match deadline with
+    | Some budget_s when !cycles lsr 12 <> !wall_mark ->
+      wall_mark := !cycles lsr 12;
+      let elapsed = Sys.time () -. started in
+      if elapsed > budget_s then
+        error :=
+          Some
+            (Sim_error.Wall_timeout
+               {
+                 budget_s;
+                 cycle = !cycles;
+                 message =
+                   Printf.sprintf
+                     "wall-clock budget of %gs exhausted at cycle %d"
+                     budget_s !cycles;
+               })
+    | _ -> ()
+  in
+  let ff_steps = ref 0 and ff_skipped = ref 0 in
+  let ff_debug = Sys.getenv_opt "DARSIE_FF_DEBUG" <> None in
+  dispatch ();
+  while !error = None && (Array.exists Sm.busy sms || !next_tb < ntbs) do
+    (* Event-driven fast-forward: each SM is stepped only at cycles on
+       its wake-up calendar; in between, its clock lags and is caught up
+       with one bulk charge ({!Sm.fast_forward}) right before its next
+       real step. When even the earliest wake-up is more than one cycle
+       out, the global clock additionally advances in one jump.
+       Bit-identical to stepping: skipped cycles land in the same
+       attribution buckets and stall counters, and jump targets are
+       capped so the cycle bound and the watchdog fire at exactly the
+       cycle they would have when stepping. [wake = max_int] everywhere
+       (deadlock) keeps stepping so the watchdog sees it. *)
+    if cfg.Config.fast_forward then begin
+      let wake = Array.fold_left min max_int wakes in
+      let wake =
+        match Mem_model.Dram.next_event dram ~now:!cycles with
+        | Some c -> min wake c
+        | None -> wake
+      in
+      if wake < max_int && wake > !cycles + 1 then begin
+        let target = min (wake - 1) cfg.Config.max_cycles in
+        let target =
+          (* Never jump past the cycle where the watchdog would fire.
+             Skipped cycles never advance a progress token, so when
+             nothing is in flight the idle counter grows with the span. *)
+          if
+            cfg.Config.watchdog_cycles > 0
+            && Array.fold_left
+                 (fun acc sm -> acc + Sm.inflight_count sm)
+                 0 sms
+               = 0
+          then min target (!cycles + cfg.Config.watchdog_cycles - !idle)
+          else target
+        in
+        let span = target - !cycles in
+        if span > 0 then begin
+          cycles := target;
+          check_watchdog span;
+          check_wall ()
+        end
+      end
+    end;
+    if !error = None then begin
+      incr cycles;
+      if !cycles > cfg.Config.max_cycles then
+        error :=
+          Some
+            (Sim_error.Cycle_bound
+               {
+                 bound = cfg.Config.max_cycles;
+                 message =
+                   Printf.sprintf
+                     "simulation exceeded its cycle bound of %d cycles"
+                     cfg.Config.max_cycles;
+                 diag = diag ~at:(!cycles - 1) ();
+               })
+      else begin
+        if cfg.Config.fast_forward then
+          Array.iteri
+            (fun i sm ->
+              if wakes.(i) <= !cycles then begin
+                if Sm.cycle sm < !cycles - 1 then begin
+                  if ff_debug then
+                    ff_skipped := !ff_skipped + (!cycles - 1 - Sm.cycle sm);
+                  Sm.fast_forward sm ~to_:(!cycles - 1)
+                end;
+                if ff_debug then incr ff_steps;
+                Sm.step sm;
+                wakes.(i) <- Sm.next_event_cycle sm
+              end)
+            sms
+        else Array.iter Sm.step sms;
+        dispatch ();
+        check_watchdog 1;
+        check_wall ()
+      end
     end
   done;
+  (* Lagging SMs charge their tail idle span up to the final cycle so the
+     attribution invariant (bucket total = cycles on every SM) holds. *)
+  if cfg.Config.fast_forward then begin
+    if ff_debug then
+      Array.iter
+        (fun sm ->
+          if Sm.cycle sm < !cycles then
+            ff_skipped := !ff_skipped + (!cycles - Sm.cycle sm))
+        sms;
+    catch_up !cycles
+  end;
+  if ff_debug then
+    Printf.eprintf "[ff] cycles=%d sm_steps=%d skipped_sm_cycles=%d (%.1f%%)\n%!"
+      !cycles !ff_steps !ff_skipped
+      (let total = !cycles * Array.length sms in
+       if total = 0 then 0.0
+       else 100.0 *. float_of_int !ff_skipped /. float_of_int total);
   match !error with
   | Some e -> Stdlib.Error e
   | None ->

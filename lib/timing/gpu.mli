@@ -47,6 +47,15 @@ val run :
     false) turns on per-static-instruction profiling (the table behind
     [darsie annotate]).
 
+    When [cfg.fast_forward] is on (the default), idle spans where no SM
+    can make observable progress — every warp waiting on a memory return,
+    a barrier release or an I-cache fill — are skipped in one clock jump
+    to the earliest wake-up event ({!Sm.next_event_cycle}), bulk-charging
+    the skipped cycles into the same stall-attribution buckets stepping
+    would have filled. Results are bit-identical either way; [false]
+    forces the cycle-by-cycle path (the [--no-fast-forward] escape
+    hatch).
+
     Failures come back as typed {!Darsie_check.Sim_error.t} values
     carrying a diagnostic dump (per-warp state, stall attribution, engine
     counters, and — when [event_window] > 0 — the last that many pipeline

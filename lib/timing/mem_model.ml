@@ -1,11 +1,26 @@
+(* Int-keyed hash tables for the per-access hot paths; same hash as the
+   polymorphic default (so bucket layouts — and thus any iteration
+   order — are unchanged), but with monomorphic key equality. *)
+module Int_tbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal (a : int) (b : int) = a = b
+
+  let hash = Hashtbl.hash
+end)
+
+let rec mem_int (x : int) = function
+  | [] -> false
+  | y :: ys -> y = x || mem_int x ys
+
 let coalesce ~line_bytes accesses =
-  let seen = Hashtbl.create 8 in
+  let seen = Int_tbl.create 32 in
   let lines = ref [] in
   Array.iter
     (fun addr ->
       let line = addr - (addr mod line_bytes) in
-      if not (Hashtbl.mem seen line) then begin
-        Hashtbl.add seen line ();
+      if not (Int_tbl.mem seen line) then begin
+        Int_tbl.add seen line ();
         lines := line :: !lines
       end)
     accesses;
@@ -16,20 +31,22 @@ let shared_conflicts ~banks accesses =
   else begin
     (* bank = word address mod banks; distinct words on the same bank
        serialize, identical words broadcast *)
-    let per_bank = Hashtbl.create 16 in
+    let per_bank = Int_tbl.create 64 in
     Array.iter
       (fun addr ->
         let word = addr / 4 in
         let bank = word mod banks in
         let words =
-          match Hashtbl.find_opt per_bank bank with
+          match Int_tbl.find_opt per_bank bank with
           | None -> []
           | Some ws -> ws
         in
-        if not (List.mem word words) then
-          Hashtbl.replace per_bank bank (word :: words))
+        if not (mem_int word words) then
+          Int_tbl.replace per_bank bank (word :: words))
       accesses;
-    let worst = Hashtbl.fold (fun _ ws acc -> max acc (List.length ws)) per_bank 1 in
+    let worst =
+      Int_tbl.fold (fun _ ws acc -> max acc (List.length ws)) per_bank 1
+    in
     worst - 1
   end
 
@@ -107,4 +124,10 @@ module Dram = struct
     t.next_free + t.latency
 
   let busy_until t = t.next_free
+
+  (* Earliest future event on the channel: the queue draining. Individual
+     burst completions are tracked by the issuing SM's in-flight list;
+     this only bounds how far the fast-forward path may jump while the
+     channel is still serving transactions. *)
+  let next_event t ~now = if t.next_free > now then Some t.next_free else None
 end

@@ -6,6 +6,7 @@ type slot_state = {
   mutable tb_id : int;
   mutable inflight_ops : int;
   mutable barrier_release_at : int;  (* -1 when no release pending *)
+  mutable n_at_barrier : int;  (* resident warps with at_barrier set *)
 }
 
 type in_flight = {
@@ -27,7 +28,13 @@ type t = {
   warps : Engine.wctx option array;  (* wid = slot * warps_per_tb + lane *)
   warps_per_tb : int;
   mutable inflight : in_flight list;
+  mutable n_inflight : int;
+  mutable next_wb : int;  (* earliest finish in [inflight]; max_int if none *)
   mutable fetch_ptr : int;
+  (* True when this cycle's fetch phase advanced any warp (fi, ibuf or
+     fetch_ready_at changed). Fetch runs after the engine's cycle_skip,
+     so its quiescence snapshot is stale whenever this is set. *)
+  mutable fetch_mutated : bool;
   greedy : int array;  (* per scheduler: preferred wid, or -1 *)
   mutable cycle : int;
   bank_use : int array;  (* per-RF-bank reads scheduled this cycle *)
@@ -79,11 +86,15 @@ let create ?(sm_id = 0) ?(sink = Obs.Sink.null) ?series ?pcstat cfg kinfo
             tb_id = -1;
             inflight_ops = 0;
             barrier_release_at = -1;
+            n_at_barrier = 0;
           });
     warps = Array.make (slots * warps_per_tb) None;
     warps_per_tb;
     inflight = [];
+    n_inflight = 0;
+    next_wb = max_int;
     fetch_ptr = 0;
+    fetch_mutated = false;
     greedy = Array.make cfg.Config.num_schedulers (-1);
     cycle = 0;
     bank_use = Array.make cfg.Config.rf_banks 0;
@@ -121,6 +132,7 @@ let launch_tb t ~tb_id ~traces =
   slot.tb_id <- tb_id;
   slot.inflight_ops <- 0;
   slot.barrier_release_at <- -1;
+  slot.n_at_barrier <- 0;
   if Array.length traces > t.warps_per_tb then
     invalid_arg "Sm.launch_tb: threadblock has too many warps for this SM";
   let nregs = max t.kinfo.Kinfo.kernel.Darsie_isa.Kernel.nregs 1 in
@@ -140,6 +152,10 @@ let launch_tb t ~tb_id ~traces =
           finished = false;
           last_issued = 0;
           fetch_ready_at = 0;
+          mem_inflight = 0;
+          fetch_ok = true;
+          parked_at = -1;
+          skip_stall = 0;
         })
   in
   Array.iteri
@@ -168,7 +184,7 @@ let skip_telemetry t = t.engine.Engine.pc_telemetry ()
 
 let series t = t.series
 
-let inflight_count t = List.length t.inflight
+let inflight_count t = t.n_inflight
 
 (* Monotone counter that moves iff the pipeline did something this cycle:
    fetched, issued, dropped at issue or skipped pre-fetch. The watchdog
@@ -244,88 +260,125 @@ let popcount m =
 (* Writeback                                                           *)
 (* ------------------------------------------------------------------ *)
 
+let is_mem_class t idx =
+  match t.kinfo.Kinfo.unit_of.(idx) with
+  | Kinfo.Mem_global | Kinfo.Mem_shared -> true
+  | Kinfo.Alu | Kinfo.Sfu | Kinfo.Ctrl -> false
+
+(* Record one operation entering the pipeline between issue and
+   writeback; every insertion site must go through here so the
+   maintained counters ([n_inflight], [next_wb], per-warp
+   [mem_inflight]) stay consistent with the list. *)
+let add_inflight t (w : Engine.wctx) op ~finish =
+  t.inflight <- { fly_warp = w; fly_op = op; finish } :: t.inflight;
+  t.n_inflight <- t.n_inflight + 1;
+  if finish < t.next_wb then t.next_wb <- finish;
+  if is_mem_class t op.Record.idx then
+    w.Engine.mem_inflight <- w.Engine.mem_inflight + 1
+
 let writeback t =
-  let stats = t.stats in
-  let still = ref [] in
-  List.iter
-    (fun f ->
-      if f.finish <= t.cycle then begin
-        let w = f.fly_warp in
-        (match t.kinfo.Kinfo.dst_reg.(f.fly_op.Record.idx) with
-        | Some d ->
-          w.Engine.pending.(d) <- w.Engine.pending.(d) - 1;
-          w.Engine.pending_count <- w.Engine.pending_count - 1;
-          stats.Stats.rf_writes <- stats.Stats.rf_writes + 1
-        | None -> ());
-        t.slots.(w.Engine.tb_slot).inflight_ops <-
-          t.slots.(w.Engine.tb_slot).inflight_ops - 1;
-        t.engine.Engine.on_writeback ~cycle:t.cycle w f.fly_op
-      end
-      else still := f :: !still)
-    t.inflight;
-  t.inflight <- !still
+  if t.next_wb <= t.cycle then begin
+    let stats = t.stats in
+    let still = ref [] in
+    let nwb = ref max_int in
+    List.iter
+      (fun f ->
+        if f.finish <= t.cycle then begin
+          let w = f.fly_warp in
+          (match t.kinfo.Kinfo.dst_reg.(f.fly_op.Record.idx) with
+          | Some d ->
+            w.Engine.pending.(d) <- w.Engine.pending.(d) - 1;
+            w.Engine.pending_count <- w.Engine.pending_count - 1;
+            stats.Stats.rf_writes <- stats.Stats.rf_writes + 1
+          | None -> ());
+          t.slots.(w.Engine.tb_slot).inflight_ops <-
+            t.slots.(w.Engine.tb_slot).inflight_ops - 1;
+          t.n_inflight <- t.n_inflight - 1;
+          if is_mem_class t f.fly_op.Record.idx then
+            w.Engine.mem_inflight <- w.Engine.mem_inflight - 1;
+          t.engine.Engine.on_writeback ~cycle:t.cycle w f.fly_op
+        end
+        else begin
+          if f.finish < !nwb then nwb := f.finish;
+          still := f :: !still
+        end)
+      t.inflight;
+    t.inflight <- !still;
+    t.next_wb <- !nwb
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Barrier release and TB retirement                                   *)
 (* ------------------------------------------------------------------ *)
 
-let slot_warps t slot_idx =
+(* Barrier presence is tracked incrementally: [slot.n_at_barrier] is
+   bumped when a Ctrl issue parks a warp at a barrier and zeroed on
+   release and TB launch, so the per-cycle scans the old code did are a
+   single integer test. Debug builds cross-check the counter against a
+   recount. *)
+let count_at_barrier t slot_idx =
   let base = slot_idx * t.warps_per_tb in
-  let rec collect w acc =
-    if w < 0 then acc
-    else
-      collect (w - 1)
-        (match t.warps.(base + w) with Some c -> c :: acc | None -> acc)
-  in
-  collect (t.warps_per_tb - 1) []
+  let n = ref 0 in
+  for k = 0 to t.warps_per_tb - 1 do
+    match t.warps.(base + k) with
+    | Some w when w.Engine.at_barrier -> incr n
+    | _ -> ()
+  done;
+  !n
 
 let barriers_and_retirement t =
-  Array.iteri
-    (fun slot_idx slot ->
-      if slot.occupied then begin
-        let warps = slot_warps t slot_idx in
-        let any_waiting =
-          List.exists (fun w -> w.Engine.at_barrier) warps
-        in
-        if any_waiting then begin
-          let all_arrived =
-            List.for_all
-              (fun w -> w.Engine.at_barrier || warp_drained w)
-              warps
-          in
-          List.iter
-            (fun w ->
-              if w.Engine.at_barrier then
-                t.stats.Stats.barrier_stall_cycles <-
-                  t.stats.Stats.barrier_stall_cycles + 1)
-            warps;
-          (* The barrier network takes barrier_lat cycles from last-warp
-             arrival to release. *)
-          if all_arrived && slot.barrier_release_at < 0 then
-            slot.barrier_release_at <- t.cycle + t.cfg.Config.barrier_lat;
-          if slot.barrier_release_at >= 0 && t.cycle >= slot.barrier_release_at
-          then begin
-            List.iter (fun w -> w.Engine.at_barrier <- false) warps;
-            slot.barrier_release_at <- -1;
-            emit t ~warp:slot_idx Obs.Event.Barrier_release
-          end
-        end;
-        (* Retirement: all warps drained, nothing in flight. *)
-        if
-          slot.inflight_ops = 0
-          && List.for_all warp_drained warps
-          && not (List.exists (fun w -> w.Engine.at_barrier) warps)
+  let wpt = t.warps_per_tb in
+  for slot_idx = 0 to Array.length t.slots - 1 do
+    let slot = t.slots.(slot_idx) in
+    if slot.occupied then begin
+      let base = slot_idx * wpt in
+      assert (slot.n_at_barrier = count_at_barrier t slot_idx);
+      if slot.n_at_barrier > 0 then begin
+        t.stats.Stats.barrier_stall_cycles <-
+          t.stats.Stats.barrier_stall_cycles + slot.n_at_barrier;
+        let all_arrived = ref true in
+        for k = 0 to wpt - 1 do
+          match t.warps.(base + k) with
+          | Some w when (not w.Engine.at_barrier) && not (warp_drained w) ->
+            all_arrived := false
+          | _ -> ()
+        done;
+        (* The barrier network takes barrier_lat cycles from last-warp
+           arrival to release. *)
+        if !all_arrived && slot.barrier_release_at < 0 then
+          slot.barrier_release_at <- t.cycle + t.cfg.Config.barrier_lat;
+        if slot.barrier_release_at >= 0 && t.cycle >= slot.barrier_release_at
         then begin
+          for k = 0 to wpt - 1 do
+            match t.warps.(base + k) with
+            | Some w -> w.Engine.at_barrier <- false
+            | None -> ()
+          done;
+          slot.n_at_barrier <- 0;
+          slot.barrier_release_at <- -1;
+          emit t ~warp:slot_idx Obs.Event.Barrier_release
+        end
+      end;
+      (* Retirement: all warps drained, nothing in flight, none parked
+         at a barrier. *)
+      if slot.inflight_ops = 0 && slot.n_at_barrier = 0 then begin
+        let all_drained = ref true in
+        for k = 0 to wpt - 1 do
+          match t.warps.(base + k) with
+          | Some w when not (warp_drained w) -> all_drained := false
+          | _ -> ()
+        done;
+        if !all_drained then begin
           slot.occupied <- false;
-          let base = slot_idx * t.warps_per_tb in
-          for w = 0 to t.warps_per_tb - 1 do
-            t.warps.(base + w) <- None
+          for k = 0 to wpt - 1 do
+            t.warps.(base + k) <- None
           done;
           emit t ~warp:slot_idx Obs.Event.Tb_finish;
           t.engine.Engine.on_tb_finish ~tb_slot:slot_idx
         end
-      end)
-    t.slots
+      end
+    end
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Issue                                                               *)
@@ -410,8 +463,7 @@ let try_issue_head t budget (w : Engine.wctx) =
             w.Engine.pending_count <- w.Engine.pending_count + 1;
             t.slots.(w.Engine.tb_slot).inflight_ops <-
               t.slots.(w.Engine.tb_slot).inflight_ops + 1;
-            t.inflight <-
-              { fly_warp = w; fly_op = op; finish = t.cycle + 1 } :: t.inflight
+            add_inflight t w op ~finish:(t.cycle + 1)
           | None -> ())
         | Engine.Execute ->
           stats.Stats.issued <- stats.Stats.issued + 1;
@@ -443,6 +495,10 @@ let try_issue_head t budget (w : Engine.wctx) =
               else if kinfo.Kinfo.is_branch.(idx) && cfg.Config.sync_at_branches
               then w.Engine.at_barrier <- true;
               if w.Engine.at_barrier then begin
+                (* the issue guard rejects warps already at a barrier, so
+                   this transition is always false -> true *)
+                t.slots.(w.Engine.tb_slot).n_at_barrier <-
+                  t.slots.(w.Engine.tb_slot).n_at_barrier + 1;
                 t.last_barrier_pc <- idx;
                 emit t ~warp:w.Engine.wid Obs.Event.Barrier_arrive
               end;
@@ -530,66 +586,69 @@ let try_issue_head t budget (w : Engine.wctx) =
           | None -> ());
           t.slots.(w.Engine.tb_slot).inflight_ops <-
             t.slots.(w.Engine.tb_slot).inflight_ops + 1;
-          t.inflight <- { fly_warp = w; fly_op = op; finish } :: t.inflight);
+          add_inflight t w op ~finish);
         true
       end
+
+(* Candidates: warps with an issueable head. Top-level (not a per-cycle
+   closure) so the issue stage allocates nothing on the steady path. *)
+let issueable t wid =
+  match t.warps.(wid) with
+  | Some w when not w.Engine.at_barrier -> (
+    match Queue.peek_opt w.Engine.ibuf with
+    | Some (op, fc) -> fc < t.cycle && scoreboard_ready w t.kinfo op.Record.idx
+    | None -> false)
+  | _ -> false
+
+let pick_warp t sched =
+  let cfg = t.cfg in
+  let nw = Array.length t.warps in
+  match cfg.Config.scheduler with
+  | Config.Gto ->
+    (* Greedy-then-oldest: stick with the last warp this scheduler
+       issued from; otherwise take the lowest warp slot (oldest TB). *)
+    let g = t.greedy.(sched) in
+    if g >= 0 && g mod cfg.Config.num_schedulers = sched && issueable t g
+    then g
+    else begin
+      let found = ref (-1) in
+      let wid = ref sched in
+      while !found < 0 && !wid < nw do
+        if issueable t !wid then found := !wid;
+        wid := !wid + cfg.Config.num_schedulers
+      done;
+      !found
+    end
+  | Config.Lrr ->
+    (* Loose round robin: resume scanning after the last pick. *)
+    let per_sched =
+      (nw + cfg.Config.num_schedulers - 1) / cfg.Config.num_schedulers
+    in
+    let last = t.greedy.(sched) in
+    let start =
+      if last >= 0 then ((last - sched) / cfg.Config.num_schedulers) + 1
+      else 0
+    in
+    let found = ref (-1) in
+    let k = ref 0 in
+    while !found < 0 && !k < per_sched do
+      let slot = (start + !k) mod per_sched in
+      let wid = sched + (slot * cfg.Config.num_schedulers) in
+      if wid < nw && issueable t wid then found := wid;
+      incr k
+    done;
+    !found
 
 let issue t =
   Array.fill t.bank_use 0 (Array.length t.bank_use) 0;
   let cfg = t.cfg in
-  let nw = Array.length t.warps in
   let budget =
     { mem_left = cfg.Config.mem_per_cycle; sfu_left = cfg.Config.sfu_per_cycle }
   in
   for sched = 0 to cfg.Config.num_schedulers - 1 do
-    (* Candidates: this scheduler's warps with an issueable head. *)
-    let issueable wid =
-      match t.warps.(wid) with
-      | Some w when not w.Engine.at_barrier -> (
-        match Queue.peek_opt w.Engine.ibuf with
-        | Some (op, fc) ->
-          fc < t.cycle && scoreboard_ready w t.kinfo op.Record.idx
-        | None -> false)
-      | _ -> false
-    in
-    let pick () =
-      match cfg.Config.scheduler with
-      | Config.Gto ->
-        (* Greedy-then-oldest: stick with the last warp this scheduler
-           issued from; otherwise take the lowest warp slot (oldest TB). *)
-        let g = t.greedy.(sched) in
-        if g >= 0 && g mod cfg.Config.num_schedulers = sched && issueable g
-        then Some g
-        else begin
-          let found = ref None in
-          let wid = ref sched in
-          while !found = None && !wid < nw do
-            if issueable !wid then found := Some !wid;
-            wid := !wid + cfg.Config.num_schedulers
-          done;
-          !found
-        end
-      | Config.Lrr ->
-        (* Loose round robin: resume scanning after the last pick. *)
-        let per_sched = (nw + cfg.Config.num_schedulers - 1) / cfg.Config.num_schedulers in
-        let last = t.greedy.(sched) in
-        let start =
-          if last >= 0 then ((last - sched) / cfg.Config.num_schedulers) + 1
-          else 0
-        in
-        let found = ref None in
-        let k = ref 0 in
-        while !found = None && !k < per_sched do
-          let slot = (start + !k) mod per_sched in
-          let wid = sched + (slot * cfg.Config.num_schedulers) in
-          if wid < nw && issueable wid then found := Some wid;
-          incr k
-        done;
-        !found
-    in
-    match pick () with
-    | None -> t.greedy.(sched) <- -1
-    | Some wid ->
+    match pick_warp t sched with
+    | -1 -> t.greedy.(sched) <- -1
+    | wid ->
       t.greedy.(sched) <- wid;
       (match t.warps.(wid) with
       | None -> ()
@@ -608,6 +667,7 @@ let issue t =
 
 let fetch t =
   let cfg = t.cfg in
+  t.fetch_mutated <- false;
   let nw = Array.length t.warps in
   if nw = 0 then ()
   else begin
@@ -627,6 +687,7 @@ let fetch t =
         while !continue_removing do
           match Engine.next_op w with
           | Some op when t.engine.Engine.remove_at_fetch w op ->
+            t.fetch_mutated <- true;
             w.Engine.fi <- w.Engine.fi + 1;
             t.stats.Stats.skipped_prefetch <- t.stats.Stats.skipped_prefetch + 1;
             pc_note t (fun p -> Obs.Pcstat.note_skip p ~pc:op.Record.idx);
@@ -645,6 +706,7 @@ let fetch t =
         match Engine.next_op w with
         | Some op ->
           incr fetched;
+          t.fetch_mutated <- true;
           let pc = Darsie_isa.Kernel.pc_of_index op.Record.idx in
           if Mem_model.L1.access t.icache pc then begin
             t.stats.Stats.fetched <- t.stats.Stats.fetched + 1;
@@ -674,35 +736,31 @@ let fetch t =
 (* Stall-cycle attribution                                             *)
 (* ------------------------------------------------------------------ *)
 
-let warp_has_mem_inflight t (w : Engine.wctx) =
-  List.exists
-    (fun f ->
-      f.fly_warp == w
-      &&
-      match t.kinfo.Kinfo.unit_of.(f.fly_op.Record.idx) with
-      | Kinfo.Mem_global | Kinfo.Mem_shared -> true
-      | Kinfo.Alu | Kinfo.Sfu | Kinfo.Ctrl -> false)
-    t.inflight
-
 (* PC of the in-flight memory op finishing soonest for warp [w] (or for
    any warp when [w] is [None]); the instruction a memory-bound cycle is
-   most fairly blamed on. -1 when nothing qualifies. *)
+   most fairly blamed on. -1 when nothing qualifies. Ties on the finish
+   cycle break toward the lower PC so the blame is independent of the
+   in-flight list's order — a requirement for fast-forward bit-identity,
+   since the stepped path rebuilds (and reorders) the list per cycle. *)
 let nearest_inflight_pc ?w t =
-  let best = ref None in
+  let best_fin = ref max_int in
+  let best_pc = ref (-1) in
   List.iter
     (fun f ->
       let mine = match w with None -> true | Some w -> f.fly_warp == w in
-      let is_mem =
-        match t.kinfo.Kinfo.unit_of.(f.fly_op.Record.idx) with
-        | Kinfo.Mem_global | Kinfo.Mem_shared -> true
-        | Kinfo.Alu | Kinfo.Sfu | Kinfo.Ctrl -> false
-      in
-      if mine && (w = None || is_mem) then
-        match !best with
-        | Some (fin, _) when fin <= f.finish -> ()
-        | _ -> best := Some (f.finish, f.fly_op.Record.idx))
+      let is_mem = is_mem_class t f.fly_op.Record.idx in
+      if mine && (w = None || is_mem) then begin
+        let pc = f.fly_op.Record.idx in
+        if
+          f.finish < !best_fin
+          || (f.finish = !best_fin && (pc < !best_pc || !best_pc < 0))
+        then begin
+          best_fin := f.finish;
+          best_pc := pc
+        end
+      end)
     t.inflight;
-  match !best with Some (_, idx) -> idx | None -> -1
+  !best_pc
 
 let head_pc (w : Engine.wctx) =
   match Queue.peek_opt w.Engine.ibuf with
@@ -718,71 +776,99 @@ let next_pc (w : Engine.wctx) =
    the ones the issue stage considered and rejected this cycle. Pcstat
    and Attrib are both fed from this single result, which is what makes
    the per-PC table conservative by construction. *)
+(* The non-issuing-cycle half of the classification, shared by [step]
+   and the fast-forward bulk charge. Allocation-free: the old list
+   builds ([runnable], [aged_blocked]) are replaced by direct scans over
+   the warp array in the same order, so the chosen bucket and blocking
+   PC are identical. *)
+let classify_stall t =
+  let nw = Array.length t.warps in
+  let any_runnable = ref false in
+  let all_barrier = ref true in
+  let first_nonbarrier = ref (-1) in
+  for i = 0 to nw - 1 do
+    match t.warps.(i) with
+    | Some w when not (warp_drained w) ->
+      any_runnable := true;
+      if not w.Engine.at_barrier then begin
+        all_barrier := false;
+        if !first_nonbarrier < 0 then first_nonbarrier := i
+      end
+    | _ -> ()
+  done;
+  if not !any_runnable then
+    if t.inflight <> [] then (Obs.Attrib.Mem_pending, nearest_inflight_pc t)
+    else (Obs.Attrib.Idle, -1)
+  else if !all_barrier then (Obs.Attrib.Barrier, t.last_barrier_pc)
+  else begin
+    (* Warps whose head instruction was old enough to issue but did not:
+       operand (scoreboard) or issue-resource blocked. *)
+    let first_aged = ref (-1) in
+    let i = ref 0 in
+    while !first_aged < 0 && !i < nw do
+      (match t.warps.(!i) with
+      | Some w when (not (warp_drained w)) && not w.Engine.at_barrier -> (
+        match Queue.peek_opt w.Engine.ibuf with
+        | Some (_, fc) when fc < t.cycle -> first_aged := !i
+        | _ -> ())
+      | _ -> ());
+      incr i
+    done;
+    if !first_aged >= 0 then begin
+      let mem_w = ref None in
+      let i = ref !first_aged in
+      while !mem_w = None && !i < nw do
+        (match t.warps.(!i) with
+        | Some w when (not (warp_drained w)) && not w.Engine.at_barrier -> (
+          match Queue.peek_opt w.Engine.ibuf with
+          | Some (op, fc)
+            when fc < t.cycle
+                 && (not (scoreboard_ready w t.kinfo op.Record.idx))
+                 && w.Engine.mem_inflight > 0 ->
+            mem_w := Some w
+          | _ -> ())
+        | _ -> ());
+        incr i
+      done;
+      match !mem_w with
+      | Some w -> (Obs.Attrib.Mem_pending, nearest_inflight_pc ~w t)
+      | None ->
+        let pc =
+          match t.warps.(!first_aged) with
+          | Some w -> head_pc w
+          | None -> -1
+        in
+        (Obs.Attrib.Scoreboard, pc)
+    end
+    else begin
+      let gated = ref None in
+      let i = ref 0 in
+      while !gated = None && !i < nw do
+        (match t.warps.(!i) with
+        | Some w
+          when (not (warp_drained w))
+               && (not w.Engine.at_barrier)
+               && Queue.is_empty w.Engine.ibuf
+               && not (t.engine.Engine.can_fetch w) ->
+          gated := Some w
+        | _ -> ());
+        incr i
+      done;
+      match !gated with
+      | Some w -> (Obs.Attrib.Darsie_sync, next_pc w)
+      | None ->
+        let pc =
+          match t.warps.(!first_nonbarrier) with
+          | Some w -> (match head_pc w with -1 -> next_pc w | p -> p)
+          | None -> -1
+        in
+        (Obs.Attrib.Fetch_starved, pc)
+    end
+  end
+
 let classify_cycle t =
   if t.issue_slots_used > 0 then (Obs.Attrib.Active, t.active_pc)
-  else begin
-    let runnable = ref [] in
-    Array.iter
-      (function
-        | Some w when not (warp_drained w) -> runnable := w :: !runnable
-        | _ -> ())
-      t.warps;
-    match List.rev !runnable with
-    | [] ->
-      if t.inflight <> [] then (Obs.Attrib.Mem_pending, nearest_inflight_pc t)
-      else (Obs.Attrib.Idle, -1)
-    | ws ->
-      if List.for_all (fun (w : Engine.wctx) -> w.Engine.at_barrier) ws then
-        (Obs.Attrib.Barrier, t.last_barrier_pc)
-      else begin
-        let ws =
-          List.filter (fun (w : Engine.wctx) -> not w.Engine.at_barrier) ws
-        in
-        (* Warps whose head instruction was old enough to issue but did
-           not: operand (scoreboard) or issue-resource blocked. *)
-        let aged_blocked =
-          List.filter
-            (fun (w : Engine.wctx) ->
-              match Queue.peek_opt w.Engine.ibuf with
-              | Some (_, fc) -> fc < t.cycle
-              | None -> false)
-            ws
-        in
-        if aged_blocked <> [] then begin
-          let on_memory =
-            List.find_opt
-              (fun (w : Engine.wctx) ->
-                match Queue.peek_opt w.Engine.ibuf with
-                | Some (op, _) ->
-                  (not (scoreboard_ready w t.kinfo op.Record.idx))
-                  && warp_has_mem_inflight t w
-                | None -> false)
-              aged_blocked
-          in
-          match on_memory with
-          | Some w -> (Obs.Attrib.Mem_pending, nearest_inflight_pc ~w t)
-          | None -> (Obs.Attrib.Scoreboard, head_pc (List.hd aged_blocked))
-        end
-        else begin
-          let fetch_gated =
-            List.find_opt
-              (fun (w : Engine.wctx) ->
-                Queue.is_empty w.Engine.ibuf
-                && not (t.engine.Engine.can_fetch w))
-              ws
-          in
-          match fetch_gated with
-          | Some w -> (Obs.Attrib.Darsie_sync, next_pc w)
-          | None ->
-            let pc =
-              match ws with
-              | [] -> -1
-              | w :: _ -> (match head_pc w with -1 -> next_pc w | p -> p)
-            in
-            (Obs.Attrib.Fetch_starved, pc)
-        end
-      end
-  end
+  else classify_stall t
 
 let step t =
   t.cycle <- t.cycle + 1;
@@ -813,3 +899,136 @@ let step t =
   | Some s when Obs.Series.boundary s ~cycle:t.cycle ->
     Obs.Series.record s ~cycle:t.cycle (sample_snapshot t.stats)
   | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Event-driven fast-forwarding                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Earliest future cycle at which stepping this SM could do anything
+   observable, evaluated between two [step] calls. [max_int] means "no
+   event will ever fire here" (an idle or deadlocked SM — deadlocks must
+   keep stepping so the watchdog sees them). The computation is
+   deliberately conservative: any doubt returns [cycle + 1], which just
+   disables jumping for a cycle. Sources:
+
+   - the engine's skip phase was not a no-op last cycle (it must keep
+     running every cycle), or this cycle's fetch advanced a warp after
+     the skip phase ran and made its quiescence snapshot stale;
+   - the earliest pending writeback ([next_wb]);
+   - barrier machinery: a pending release fires at [barrier_release_at];
+     a fully-arrived barrier whose timer is not armed yet arms it next
+     step; TB retirement (and thus a possible TB launch) happens next
+     step once everything drained;
+   - a warp whose I-buffer head clears the scoreboard can issue next
+     cycle (structural/collector limits are ignored — conservative);
+   - a fetch-capable warp wakes at [fetch_ready_at] (I-cache miss fill);
+   - the next time-series sampling boundary, so interval records always
+     come from a normally-stepped cycle. *)
+let next_event_cycle t =
+  (* Jumping needs the engine's last skip phase to have been steady —
+     a pure per-cycle accumulation over frozen state, which repeats
+     identically across the span and is charged by [Engine.bulk_skip].
+     (Quiescence is not enough: a skip phase can mutate state, e.g.
+     release a branch sync, without moving any stat counter.) The flag
+     reflects a phase that ran before this cycle's fetch; when the skip
+     phase inspects warp state, a fetch mutates state it has not seen,
+     so a fetch forces one more normal step. *)
+  if
+    (not (t.engine.Engine.skip_steady ()))
+    || (t.fetch_mutated && t.engine.Engine.skip_reads_warp_state)
+  then
+    if busy t then t.cycle + 1 else max_int
+  else begin
+    let now1 = t.cycle + 1 in
+    let wake = ref max_int in
+    let note c = if c < !wake then wake := c in
+    if t.inflight <> [] then note (max now1 t.next_wb);
+    let wpt = t.warps_per_tb in
+    Array.iteri
+      (fun slot_idx slot ->
+        if slot.occupied && !wake > now1 then begin
+          let base = slot_idx * wpt in
+          let all_drained = ref true in
+          let all_arrived = ref true in
+          (* Once the wake is [now1] no later source can improve it; the
+             remaining per-warp checks (and, harmlessly, the barrier and
+             retirement notes below, which can only yield >= now1) are
+             skipped. *)
+          let k = ref 0 in
+          while !k < wpt && !wake > now1 do
+            (match t.warps.(base + !k) with
+            | None -> ()
+            | Some w ->
+              let drained = warp_drained w in
+              if not drained then begin
+                all_drained := false;
+                if not w.Engine.at_barrier then begin
+                  all_arrived := false;
+                  (* issue side: every buffered head is aged by the next
+                     cycle, so a scoreboard-ready head can issue then *)
+                  (match Queue.peek_opt w.Engine.ibuf with
+                  | Some (op, _) ->
+                    if scoreboard_ready w t.kinfo op.Record.idx then
+                      note now1
+                  | None -> ());
+                  (* fetch side *)
+                  if
+                    !wake > now1
+                    && Queue.length w.Engine.ibuf < t.cfg.Config.ibuf_depth
+                    && (not (Engine.warp_done w))
+                    && t.engine.Engine.can_fetch w
+                  then note (max now1 w.Engine.fetch_ready_at)
+                end
+              end);
+            incr k
+          done;
+          if slot.n_at_barrier > 0 then begin
+            if slot.barrier_release_at >= 0 then
+              note (max now1 slot.barrier_release_at)
+            else if !all_arrived then note now1
+          end
+          else if slot.inflight_ops = 0 && !all_drained then
+            (* retirement pending: the next step frees the slot and may
+               trigger a TB launch *)
+            note now1
+        end)
+      t.slots;
+    (match t.series with
+    | Some s ->
+      let interval = Obs.Series.interval s in
+      note (((t.cycle / interval) + 1) * interval)
+    | None -> ());
+    !wake
+  end
+
+(* Jump the clock to [to_], bulk-charging the skipped span exactly as
+   stepping it would have: the stall classification is evaluated once at
+   the first skipped cycle (with no events due before [to_ + 1], the SM
+   state — and therefore the classification — is frozen across the
+   span), then multiplied into the Attrib bucket, the per-PC charge and
+   the per-cycle stall counters. Keeps [Gpu.check_attribution] true by
+   construction: span cycles, span bucket charges, span per-PC charges. *)
+let fast_forward t ~to_ =
+  let span = to_ - t.cycle in
+  if span > 0 then begin
+    let landing = t.cycle in
+    t.cycle <- landing + 1;
+    let bucket, blocking_pc = classify_stall t in
+    t.cycle <- to_;
+    t.stats.Stats.cycles <- to_;
+    Obs.Attrib.bump_n t.attr bucket span;
+    pc_note t (fun p -> Obs.Pcstat.charge_n p ~pc:blocking_pc bucket ~n:span);
+    (* the stepped path bumps these once per no-progress cycle *)
+    if Array.length t.warps > 0 then
+      t.stats.Stats.fetch_stall_cycles <-
+        t.stats.Stats.fetch_stall_cycles + span;
+    Array.iter
+      (fun slot ->
+        if slot.occupied && slot.n_at_barrier > 0 then
+          t.stats.Stats.barrier_stall_cycles <-
+            t.stats.Stats.barrier_stall_cycles + (span * slot.n_at_barrier))
+      t.slots;
+    (* the engine's skip phase would have run once per skipped cycle *)
+    t.engine.Engine.bulk_skip ~cycle:to_ ~n:span;
+    t.engine.Engine.on_fast_forward ~cycle:to_
+  end

@@ -44,6 +44,24 @@ val launch_tb : t -> tb_id:int -> traces:Darsie_trace.Record.op array array -> u
 val step : t -> unit
 (** Advance one cycle. *)
 
+val next_event_cycle : t -> int
+(** Earliest future cycle at which stepping this SM could do anything
+    observable: the soonest of a pending writeback completion, a barrier
+    release (or a barrier/retirement state transition due next step), a
+    scoreboard-ready instruction-buffer head, a fetch-latency expiry, the
+    next time-series sampling boundary, or "runnable now" whenever the
+    plugged-in engine's skip phase was not a no-op last cycle. [max_int]
+    means no event will ever fire (idle, or deadlocked — deadlocks must
+    keep stepping so the watchdog sees them). Valid between two {!step}
+    calls; conservative by construction. *)
+
+val fast_forward : t -> to_:int -> unit
+(** Jump the clock to [to_] without stepping, bulk-charging the skipped
+    span into the same {!attribution} bucket, per-PC charge and stall
+    counters that stepping each cycle would have produced. Only sound
+    when [to_ < next_event_cycle t]; bit-identical to stepping by
+    construction. *)
+
 val busy : t -> bool
 (** True while any threadblock is resident or operations are in flight. *)
 
