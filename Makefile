@@ -4,7 +4,8 @@ DUNE ?= dune
 SMOKE_DIR ?= /tmp/darsie-smoke
 
 .PHONY: all build test verify doc cli-docs bench profile-smoke check-smoke \
-  annotate-smoke cache-smoke fastforward-smoke bench-compare clean
+  annotate-smoke explain-smoke cache-smoke fastforward-smoke bench-compare \
+  clean
 
 all: build
 
@@ -60,6 +61,23 @@ annotate-smoke: build
 	mkdir -p $(SMOKE_DIR)
 	$(DUNE) exec bin/darsie.exe -- annotate MM -m DARSIE -m DAC-IDEAL \
 	  --top 5 --json $(SMOKE_DIR)/mm_annotate.json
+
+# Skip-ledger smoke: dynamic-fate accounting for a 1D and a multi-dim
+# app (exit 2 on a conservation violation), with the exported ledger's
+# invariants — fate totals sum to the eligible count, captured is
+# skipped + parked, per-row fates sum to the row's eligible count —
+# re-proved from the JSON by jq.
+explain-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	$(DUNE) exec bin/darsie.exe -- explain LIB --top 3 \
+	  --json $(SMOKE_DIR)/lib_explain.json
+	$(DUNE) exec bin/darsie.exe -- explain MM --top 3 \
+	  --json $(SMOKE_DIR)/mm_explain.json
+	for f in $(SMOKE_DIR)/lib_explain.json $(SMOKE_DIR)/mm_explain.json; do \
+	  jq -e '.skip_ledger | (.expected_total == ([.totals[]] | add)) and (.captured == .totals.skipped + .totals.parked_waiting_leaderwb) and (.expected_total == ([.rows[].expected] | add)) and ([.rows[] | .expected == ([del(.pc, .expected)[]] | add)] | all)' \
+	    $$f > /dev/null \
+	    || { echo "skip-ledger invariants violated in $$f"; exit 1; }; \
+	done
 
 # Trace-cache smoke: the same profiled run twice through a fresh cache
 # directory must miss-then-hit and print byte-identical output.

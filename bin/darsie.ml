@@ -10,6 +10,10 @@
      annotate APP [-m MACHINE] - per-instruction hotspot profile:
                                  annotated disassembly with cycle%,
                                  skip% and stall-bucket columns
+     explain APP [-m MACHINE]  - why each DR/CR instruction was (or was
+                                 not) eliminated: the skip ledger's
+                                 dynamic fates joined with the
+                                 compiler's static story
      bench-compare BASE CUR    - diff two bench trajectory records,
                                  exit nonzero on statistical regression
      limit APP                 - redundancy limit study of one app
@@ -20,8 +24,9 @@
      area                      - Section 6.3 area estimate
 
    Every subcommand exits nonzero when a simulation invariant is
-   violated (functional check fails, or the stall-cycle attribution does
-   not sum to the simulated cycles), so CI catches model drift. *)
+   violated (functional check fails, the stall-cycle attribution does
+   not sum to the simulated cycles, or the skip ledger does not conserve
+   eligible occurrences), so CI catches model drift. *)
 
 open Cmdliner
 module W = Darsie_workloads.Workload
@@ -134,7 +139,10 @@ let finish () =
     exit 2
 
 let check_run abbr (r : Darsie_harness.Suite.run) =
-  match Darsie_timing.Gpu.check_attribution r.Darsie_harness.Suite.gpu with
+  (match Darsie_timing.Gpu.check_attribution r.Darsie_harness.Suite.gpu with
+  | Ok () -> ()
+  | Error msg -> violation "%s: %s" abbr msg);
+  match Darsie_timing.Gpu.check_ledger r.Darsie_harness.Suite.gpu with
   | Ok () -> ()
   | Error msg -> violation "%s: %s" abbr msg
 
@@ -361,7 +369,9 @@ let limit_cmd =
 let experiment_cmd =
   let run id jobs cache_dir no_ff =
     let module F = Darsie_harness.Figures in
-    let needs_matrix = [ "fig8"; "fig9"; "fig10"; "fig11"; "fig12" ] in
+    let needs_matrix =
+      [ "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "coverage" ]
+    in
     let matrix =
       lazy
         (let jobs = effective_jobs jobs in
@@ -401,6 +411,9 @@ let experiment_cmd =
     | "fig12" ->
       let _, _, text = F.fig12 (Lazy.force matrix) in
       print_string text
+    | "coverage" ->
+      let _, _, text = F.coverage (Lazy.force matrix) in
+      print_string text
     | "table1" -> print_string (F.table1 ())
     | "table2" -> print_string (F.table2 ())
     | "table3" -> print_string (F.table3 ())
@@ -424,7 +437,7 @@ let experiment_cmd =
       ignore needs_matrix;
       Printf.eprintf
         "unknown experiment %S (fig1 fig2 fig6 fig8 fig9 fig10 fig11 fig12 \
-         table1 table2 table3 area ablations)\n"
+         coverage table1 table2 table3 area ablations)\n"
         other;
       exit 1
   in
@@ -604,6 +617,55 @@ let annotate_cmd =
       const run $ app_arg $ machines_arg $ scale_arg $ top_arg $ json_arg
       $ jobs_arg $ cache_arg $ no_ff_arg)
 
+let explain_cmd =
+  let run abbr machine scale top json_file cache_dir no_ff =
+    let w = or_die (find_app abbr) in
+    let cfg = cfg_of_ff no_ff in
+    let cache = cache_of cache_dir in
+    Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
+    let app = Darsie_harness.Suite.load_app ~scale ?cache w in
+    let r = Darsie_harness.Suite.run_app ~cfg app machine in
+    (* the ledger conservation check: eligible occurrences = Σ fates per
+       PC, per SM and in the aggregate — exit 2 if the accounting leaks *)
+    check_run abbr r;
+    let gpu = r.Darsie_harness.Suite.gpu in
+    print_string
+      (Darsie_harness.Explain.render ~top ~app_name:abbr
+         ~machine_name:(Darsie_harness.Suite.machine_name machine)
+         ~kinfo:app.Darsie_harness.Suite.kinfo
+         gpu.Darsie_timing.Gpu.ledger ());
+    (match json_file with
+    | Some path ->
+      let doc = Darsie_harness.Metrics.of_run ~app:abbr ~scale r in
+      (match Darsie_harness.Metrics.validate doc with
+      | Ok () -> ()
+      | Error msg -> violation "%s: exported metrics invalid (%s)" abbr msg);
+      Darsie_harness.Metrics.write_file path doc;
+      Printf.printf "metrics: %s\n" path
+    | None -> ());
+    report_cache cache;
+    finish ()
+  in
+  let top_arg =
+    let doc =
+      "Show the $(docv) instructions with the most eligible occurrences \
+       after the listing, each with its full fate breakdown, launch-time \
+       promotion verdict and operand provenance story (0 disables)."
+    in
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain the fate of every statically redundant instruction: the \
+          runtime skip ledger (skipped, parked, blocked, evicted, flushed, \
+          demoted ... per dynamic occurrence) joined with the compiler's \
+          static story on an annotated listing; exits nonzero if the \
+          ledger's conservation invariant is violated")
+    Term.(
+      const run $ app_arg $ machine_arg $ scale_arg $ top_arg $ json_arg
+      $ cache_arg $ no_ff_arg)
+
 let bench_compare_cmd =
   let module T = Darsie_harness.Trendline in
   let run baseline current det_tol wall_tol warn_only =
@@ -674,7 +736,8 @@ let main =
   let doc = "DARSIE: dimensionality-aware redundant SIMT instruction elimination" in
   Cmd.group (Cmd.info "darsie" ~version:"1.0.0" ~doc)
     [ list_cmd; asm_cmd; analyze_cmd; run_cmd; profile_cmd; annotate_cmd;
-      limit_cmd; experiment_cmd; check_cmd; bench_compare_cmd; area_cmd ]
+      explain_cmd; limit_cmd; experiment_cmd; check_cmd; bench_compare_cmd;
+      area_cmd ]
 
 (* Typed simulation errors escaping any subcommand (e.g. a deadlock during
    [darsie run]) exit with their distinct code and a one-line summary. *)

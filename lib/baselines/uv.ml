@@ -46,7 +46,9 @@ let factory : Engine.factory =
     remove_at_fetch = (fun _ _ -> false);
     on_issue;
     on_writeback;
-    on_store = (fun _ -> ());
+    on_store = (fun ~atomic:_ _ -> ());
+    exec_fate = (fun _ _ -> Darsie_obs.Ledger.Skip_disabled);
+    set_ledger = (fun _ -> ());
     on_tb_launch = (fun ~tb_slot:_ ~warps:_ -> ());
     on_tb_finish;
     debug_state = (fun () -> [ ("reuse_buffer_slots", Hashtbl.length buffer) ]);

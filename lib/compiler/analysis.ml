@@ -10,6 +10,7 @@ type t = {
   info : inst_info array;
   ins : (Marking.cls array * Marking.cls array) array;
       (** per-block (vreg, preg) classes at block entry *)
+  tid_y : bool;  (** was the 3D tid.y seeding on? *)
 }
 
 let uniform_dr = { red = Def_redundant; shape = Uniform }
@@ -215,7 +216,7 @@ let analyze ?(tid_y_redundancy = false) (kernel : Kernel.t) =
       transfer ~tid_y v p inst
     done
   done;
-  { kernel; cfg; postdom; info; ins }
+  { kernel; cfg; postdom; info; ins; tid_y }
 
 let marking t i = t.info.(i).cls.red
 
@@ -236,6 +237,90 @@ let hints t =
       | Def_redundant -> 2
       | Cond_redundant_xy -> 3)
     t.info
+
+(* ------------------------------------------------------------------ *)
+(* Per-instruction provenance (darsie explain)                         *)
+(* ------------------------------------------------------------------ *)
+
+let axis_name = function Instr.X -> "x" | Instr.Y -> "y" | Instr.Z -> "z"
+
+let operand_name = function
+  | Instr.Reg r -> Printf.sprintf "%%r%d" r
+  | Instr.Imm v -> Printf.sprintf "imm %d" v
+  | Instr.Param i -> Printf.sprintf "%%param%d" i
+  | Instr.Sreg (Instr.Tid a) -> "%tid." ^ axis_name a
+  | Instr.Sreg (Instr.Ntid a) -> "%ntid." ^ axis_name a
+  | Instr.Sreg (Instr.Ctaid a) -> "%ctaid." ^ axis_name a
+  | Instr.Sreg (Instr.Nctaid a) -> "%nctaid." ^ axis_name a
+
+(* Where an operand's class comes from: intrinsic seeds get named, vector
+   registers got theirs from the dataflow fixpoint. *)
+let operand_provenance ~tid_y = function
+  | Instr.Reg _ -> "dataflow"
+  | Instr.Imm _ -> "immediate seed"
+  | Instr.Param _ -> "kernel-parameter seed"
+  | Instr.Sreg (Instr.Tid Instr.X) ->
+    "tid.x seed: promotable when the x dimension is a power of two no \
+     larger than the warp size"
+  | Instr.Sreg (Instr.Tid Instr.Y) ->
+    if tid_y then "tid.y seed: xy-plane condition (3D extension)"
+    else "tid.y seed: vector (3D tid.y analysis off)"
+  | Instr.Sreg (Instr.Tid Instr.Z) -> "tid.z seed: always vector"
+  | Instr.Sreg (Instr.Ntid _ | Instr.Ctaid _ | Instr.Nctaid _) ->
+    "grid-geometry seed"
+
+let explain t i =
+  if i < 0 || i >= Array.length t.kernel.Kernel.insts then
+    invalid_arg "Analysis.explain: instruction index out of range";
+  let inst = t.kernel.Kernel.insts.(i) in
+  let b = t.cfg.Cfg.block_of_inst.(i) in
+  let block = t.cfg.Cfg.blocks.(b) in
+  (* Replay the containing block from its (stable) entry state up to, but
+     not including, instruction i — the same pass the annotation loop
+     runs, so the operand classes shown here are the ones the fixpoint
+     actually fed the marking. *)
+  let v, p = copy_state t.ins.(b) in
+  for j = block.Cfg.first to i - 1 do
+    transfer ~tid_y:t.tid_y v p t.kernel.Kernel.insts.(j)
+  done;
+  let buf = Buffer.create 256 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "0x%03x  %s" (Kernel.pc_of_index i) (Printer.instr_to_string inst);
+  let ops = Instr.operands inst in
+  List.iter
+    (fun op ->
+      let c = operand_cls_with ~tid_y:t.tid_y v p op in
+      line "  %-10s = %-18s (%s)" (operand_name op)
+        (Format.asprintf "%a" Marking.pp c)
+        (operand_provenance ~tid_y:t.tid_y op))
+    ops;
+  (match inst.Instr.guard with
+  | Some (sense, pr) ->
+    line "  guard @%s%%p%d = %s (guarded writes meet with the guard and \
+          the old register contents)"
+      (if sense then "" else "!")
+      pr
+      (Format.asprintf "%a" Marking.pp p.(pr))
+  | None -> ());
+  let cls = t.info.(i).cls in
+  (if ops = [] && inst.Instr.guard = None then
+     line "  no source operands: %s" (Format.asprintf "%a" Marking.pp cls)
+   else
+     line "  meet over sources -> %s" (Format.asprintf "%a" Marking.pp cls));
+  (if t.info.(i).skippable then
+     line "  structurally skippable: unguarded vector-register write, \
+           not atomic"
+   else
+     let why =
+       if Instr.dst_reg inst = None then
+         "writes no vector register (control flow, store, barrier or \
+          predicate-only)"
+       else if inst.Instr.guard <> None then "guarded write"
+       else if Instr.is_atomic inst then "atomic"
+       else "not eligible"
+     in
+     line "  not skippable: %s" why);
+  Buffer.contents buf
 
 let pp_markings fmt t =
   Array.iteri

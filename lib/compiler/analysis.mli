@@ -28,6 +28,7 @@ type t = {
   info : inst_info array;
   ins : (Marking.cls array * Marking.cls array) array;
       (** per-block (vector, predicate) register classes at block entry *)
+  tid_y : bool;  (** whether the analysis seeded [tid.y] (3D extension) *)
 }
 
 val analyze : ?tid_y_redundancy:bool -> Darsie_isa.Kernel.t -> t
@@ -62,6 +63,18 @@ val hints : t -> int array
     [Darsie_isa.Encode.encode ~hint]): 0 = vector, 1 = conditionally
     redundant, 2 = definitely redundant, 3 = conditionally redundant on
     the 3D xy condition. *)
+
+val explain : t -> int -> string
+(** Multi-line provenance story for instruction [i]: each source
+    operand's class with where it came from (a named intrinsic seed —
+    tid.x, grid geometry, immediate, kernel parameter — or the dataflow
+    fixpoint), the guard's class when guarded, the resulting meet, and
+    why the instruction is or is not structurally skippable. The operand
+    classes are recomputed by replaying the containing basic block from
+    its converged entry state, so the story shown is exactly the one the
+    marking pass saw. The static half of [darsie explain].
+
+    @raise Invalid_argument when [i] is out of range. *)
 
 val pp_markings : Format.formatter -> t -> unit
 (** Figure-6 style dump: one line per instruction with its byte PC, its

@@ -3,6 +3,9 @@ open Darsie_isa
 type t = {
   analysis : Analysis.t;
   promoted : bool;
+  promoted_xy : bool;
+  block_dim : Kernel.dim3;
+  warp_size : int;
   tb_redundant : bool array;
   dac_removable : bool array;
   uv_eligible : bool array;
@@ -44,7 +47,35 @@ let resolve (analysis : Analysis.t) (launch : Kernel.launch) ~warp_size =
         && Analysis.shape analysis i = Marking.Uniform
         && resolved_red i)
   in
-  { analysis; promoted; tb_redundant; dac_removable; uv_eligible }
+  { analysis; promoted; promoted_xy;
+    block_dim = launch.Kernel.block_dim; warp_size;
+    tb_redundant; dac_removable; uv_eligible }
 
 let skip_count_upper_bound t =
   Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.tb_redundant
+
+let verdict t i =
+  let a = t.analysis in
+  let dims =
+    Printf.sprintf "block (%d,%d,%d), warp %d" t.block_dim.Kernel.x
+      t.block_dim.Kernel.y t.block_dim.Kernel.z t.warp_size
+  in
+  if not (Analysis.skippable a i) then
+    "V: not structurally skippable (never enters the skip table)"
+  else
+    match Analysis.marking a i with
+    | Marking.Def_redundant -> "DR: TB-redundant at every launch"
+    | Marking.Cond_redundant ->
+      if t.promoted then
+        Printf.sprintf "CR promoted to DR: x-dim condition holds (%s)" dims
+      else
+        Printf.sprintf
+          "CR demoted to vector: x-dim condition fails (%s)" dims
+    | Marking.Cond_redundant_xy ->
+      if t.promoted_xy then
+        Printf.sprintf "CRY promoted to DR: xy-plane condition holds (%s)"
+          dims
+      else
+        Printf.sprintf
+          "CRY demoted to vector: xy-plane condition fails (%s)" dims
+    | Marking.Vector -> "V: vector (operands not TB-redundant)"

@@ -11,6 +11,10 @@
 type t = {
   analysis : Analysis.t;
   promoted : bool;  (** did the launch satisfy the x-dimension condition? *)
+  promoted_xy : bool;
+      (** did the launch satisfy the 3D xy-plane condition? *)
+  block_dim : Darsie_isa.Kernel.dim3;  (** the launch's threadblock shape *)
+  warp_size : int;
   tb_redundant : bool array;
       (** per instruction: resolved to definitely redundant and
           structurally skippable by DARSIE *)
@@ -28,3 +32,10 @@ val resolve :
 
 val skip_count_upper_bound : t -> int
 (** Number of static instructions resolved TB-redundant (for reporting). *)
+
+val verdict : t -> int -> string
+(** One-line launch-time verdict for instruction [i]: its static marking
+    and how this launch resolved it — e.g. ["CR promoted to DR: x-dim
+    condition holds (block (32,8,1), warp 32)"] or ["CR demoted to
+    vector: ..."]. The launch-time half of [darsie explain]'s static
+    story. *)

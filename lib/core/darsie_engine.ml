@@ -130,9 +130,22 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
     if options.no_cf_sync then Majority.mask slot.majority
     else Majority.mask slot.majority land alive_mask slot
   in
-  let drop_from_majority slot (w : Engine.wctx) =
+  (* The per-SM skip ledger, handed over by the SM at construction.
+     Fates decided inside the skip phase (follower skips) are recorded
+     here; executed occurrences are classified by [exec_fate] below. *)
+  let ledger = ref None in
+  let note_fate pc fate =
+    match !ledger with
+    | None -> ()
+    | Some l -> Darsie_obs.Ledger.note l ~pc fate
+  in
+  (* [reason] is the ledger's drop provenance: 1 = SIMD-mask divergence,
+     2 = branch synchronization; recorded only on a real on-path ->
+     off-path transition so the first cause wins. *)
+  let drop_from_majority ~reason slot (w : Engine.wctx) =
     if Majority.on_path slot.majority w.Engine.warp_in_tb then begin
       mutated ();
+      w.Engine.drop_reason <- reason;
       Majority.drop slot.majority w.Engine.warp_in_tb;
       stats.Stats.majority_updates <- stats.Stats.majority_updates + 1;
       Skip_table.recheck slot.skip ~majority:(effective_majority slot)
@@ -167,7 +180,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
         (fun (w : Engine.wctx) ->
           let b = 1 lsl w.Engine.warp_in_tb in
           if entry.arrived land b <> 0 && successor_of w <> succ then
-            drop_from_majority slot w)
+            drop_from_majority ~reason:2 slot w)
         slot.warps
     | None -> ());
     entry.released <- true
@@ -198,7 +211,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
           && not (Engine.warp_done w)
         then begin
           (* Intra-warp SIMD divergence: leave the majority path (§4.5). *)
-          drop_from_majority slot w;
+          drop_from_majority ~reason:1 slot w;
           set_ok w true
         end
         else if not (Majority.on_path slot.majority win) then set_ok w true
@@ -218,7 +231,8 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
           if options.no_cf_sync then begin
             (* Idealized: no stall; deviation from the first arrival's
                path drops the warp from the majority. *)
-            if successor_of w <> entry.first_succ then drop_from_majority slot w;
+            if successor_of w <> entry.first_succ then
+              drop_from_majority ~reason:2 slot w;
             set_ok w true
           end
           else if entry.released then set_ok w true
@@ -265,9 +279,17 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
               unpark w;
               set_ok w true
             | Some inst when inst.Skip_table.leader_wb || options.no_cf_sync ->
-              (* Follower skip: PC += 8, remap the register version. *)
+              (* Follower skip: PC += 8, remap the register version. The
+                 occurrence's ledger fate is decided here: a warp that had
+                 parked for LeaderWB resolves as parked-then-skipped, an
+                 immediate hit as a plain skip. Skips always mutate state,
+                 so this site is never replayed by a fast-forwarded span. *)
               mutated ();
+              note_fate idx
+                (if is_parked then Darsie_obs.Ledger.Parked_waiting_leaderwb
+                 else Darsie_obs.Ledger.Skipped);
               unpark w;
+              w.Engine.gave_up_at <- -1;
               w.Engine.fi <- w.Engine.fi + 1;
               stats.Stats.skipped_prefetch <- stats.Stats.skipped_prefetch + 1;
               stats.Stats.rename_accesses <- stats.Stats.rename_accesses + 1;
@@ -299,6 +321,9 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
                 else if bump_stall w > 64 then begin
                   clear_stall w;
                   unpark w;
+                  (* Bounded wait exhausted: the warp executes this
+                     occurrence itself; remember why for the ledger. *)
+                  w.Engine.gave_up_at <- w.Engine.fi;
                   set_ok w true
                 end
                 else begin
@@ -315,6 +340,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
                 stats.Stats.rename_accesses <- stats.Stats.rename_accesses + 1;
                 clear_stall w;
                 unpark w;
+                w.Engine.gave_up_at <- -1;
                 set_ok w true
               end
           end
@@ -433,8 +459,12 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
         in
         if slot.bar_arrived land expected = expected then begin
           (* All warps synchronized: majority bits set back to one and the
-             pre-barrier skip state retired (§4.3.3). *)
+             pre-barrier skip state retired (§4.3.3). Every warp is back
+             on the path, so the ledger's drop provenance resets too. *)
           Majority.reset slot.majority;
+          Array.iter
+            (fun (x : Engine.wctx) -> x.Engine.drop_reason <- 0)
+            slot.warps;
           Skip_table.flush_all slot.skip;
           Hashtbl.reset slot.syncs;
           slot.bar_arrived <- 0
@@ -450,11 +480,48 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
         Skip_table.mark_writeback slot.skip ~pc:op.Record.idx
           ~occ:op.Record.occ ~majority:(effective_majority slot)
   in
-  let on_store (w : Engine.wctx) =
+  let on_store ~atomic (w : Engine.wctx) =
     if not options.ignore_store then
       match Hashtbl.find_opt slots w.Engine.tb_slot with
       | None -> ()
-      | Some slot -> Skip_table.flush_loads slot.skip
+      | Some slot ->
+        Skip_table.flush_loads slot.skip
+          ~kind:(if atomic then `Atomic else `Store)
+  in
+  (* Classify one really-fetched occurrence of a TB-redundant PC. The
+     precedence mirrors the skip phase's decision order: off-path warps
+     first (they never consult the table), then flush provenance (which
+     also covers the original leader refetching post-flush), then the
+     bounded freelist wait, then a live instance led by this warp; what
+     remains executed because the 8-entry table was exhausted. *)
+  let exec_fate (w : Engine.wctx) (op : Record.op) =
+    let idx = op.Record.idx in
+    match Hashtbl.find_opt slots w.Engine.tb_slot with
+    | None -> Darsie_obs.Ledger.Skip_disabled
+    | Some slot -> (
+      let win = w.Engine.warp_in_tb in
+      if w.Engine.drop_reason = 1 then Darsie_obs.Ledger.Blocked_divergence
+      else if w.Engine.drop_reason = 2 then Darsie_obs.Ledger.Blocked_branch_sync
+      else
+        match
+          Skip_table.consume_flush slot.skip ~pc:idx ~occ:op.Record.occ
+        with
+        | Some (_, leader) when leader = win ->
+          (* The leader's own execution: the flush happened between its
+             allocation and its fetch. *)
+          Darsie_obs.Ledger.Leader_executed
+        | Some (`Store, _) -> Darsie_obs.Ledger.Flushed_store
+        | Some (`Atomic, _) -> Darsie_obs.Ledger.Flushed_atomic
+        | None -> (
+          if w.Engine.gave_up_at = w.Engine.fi then begin
+            w.Engine.gave_up_at <- -1;
+            Darsie_obs.Ledger.Freelist_stall
+          end
+          else
+            match Skip_table.find slot.skip ~pc:idx ~occ:op.Record.occ with
+            | Some inst when inst.Skip_table.leader = win ->
+              Darsie_obs.Ledger.Leader_executed
+            | Some _ | None -> Darsie_obs.Ledger.Evicted_capacity))
   in
   let on_tb_launch ~tb_slot ~warps =
     Hashtbl.replace slots tb_slot
@@ -511,6 +578,8 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
     on_issue;
     on_writeback;
     on_store;
+    exec_fate;
+    set_ledger = (fun l -> ledger := Some l);
     on_tb_launch;
     on_tb_finish;
     debug_state;

@@ -74,6 +74,11 @@ type t = {
   mutable free : int;
   table : (int, entry) Hashtbl.t;
   mutable telemetry : Telemetry.t option;
+  (* Store/atomic-flushed load instances, keyed (pc, occ), remembering
+     what flushed them and who led; the skip ledger consumes one record
+     per flushed instance to name the executing warp's fate. Cleared on
+     [flush_all] — a barrier retires every pre-barrier occurrence. *)
+  flushed : (int * int, [ `Store | `Atomic ] * int) Hashtbl.t;
 }
 
 let create ~max_entries ~rename_regs =
@@ -83,6 +88,7 @@ let create ~max_entries ~rename_regs =
     free = rename_regs;
     table = Hashtbl.create 16;
     telemetry = None;
+    flushed = Hashtbl.create 16;
   }
 
 let attach_telemetry t tel = t.telemetry <- Some tel
@@ -168,22 +174,34 @@ let recheck t ~majority =
   let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.table [] in
   List.iter (sweep_entry t majority) entries
 
-let flush_loads t =
+let flush_loads t ~kind =
   let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.table [] in
   List.iter
     (fun e ->
       let live, dead = List.partition (fun i -> not i.is_load) e.instances in
       t.free <- t.free + List.length dead;
-      List.iter (fun i -> tel_free t e.pc i `Load_flush) dead;
+      List.iter
+        (fun i ->
+          tel_free t e.pc i `Load_flush;
+          Hashtbl.replace t.flushed (e.pc, i.occ) (kind, i.leader))
+        dead;
       e.instances <- live;
       if live = [] then Hashtbl.remove t.table e.pc)
     entries
+
+let consume_flush t ~pc ~occ =
+  match Hashtbl.find_opt t.flushed (pc, occ) with
+  | None -> None
+  | Some record ->
+    Hashtbl.remove t.flushed (pc, occ);
+    Some record
 
 let flush_all t =
   Hashtbl.iter
     (fun pc e -> List.iter (fun i -> tel_free t pc i `Barrier_flush) e.instances)
     t.table;
   Hashtbl.reset t.table;
+  Hashtbl.reset t.flushed;
   t.free <- t.rename_regs
 
 let live_entries t = Hashtbl.length t.table

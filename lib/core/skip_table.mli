@@ -84,11 +84,20 @@ val recheck : t -> majority:int -> unit
 (** Re-evaluate every instance's free condition after the majority mask
     shrank. *)
 
-val flush_loads : t -> unit
-(** Remove every load entry (a store was executed — §4.4). *)
+val flush_loads : t -> kind:[ `Store | `Atomic ] -> unit
+(** Remove every load entry (a store or atomic was executed — §4.4).
+    Each flushed instance is remembered, keyed by (pc, occurrence) with
+    [kind] and its leader, until {!consume_flush} or {!flush_all} — the
+    skip ledger's provenance for [Flushed_store] / [Flushed_atomic]. *)
+
+val consume_flush : t -> pc:int -> occ:int -> ([ `Store | `Atomic ] * int) option
+(** Take (and forget) the flush record for (pc, occurrence): what flushed
+    the instance and which warp led it. [None] when it was never
+    flushed, or the record was already consumed. *)
 
 val flush_all : t -> unit
-(** Barrier / TB retirement: drop all state, return all registers. *)
+(** Barrier / TB retirement: drop all state (including pending flush
+    records), return all registers. *)
 
 val live_entries : t -> int
 

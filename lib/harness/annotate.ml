@@ -58,12 +58,13 @@ let rows ~kernel ~machines =
     let p = pcstat_exn primary in
     let total = Obs.Pcstat.total_cycles p in
     List.map
-      (fun (idx, label, text) ->
+      (fun (l : Listing.line) ->
+        let idx = l.Listing.idx in
         let row_cycles = Obs.Pcstat.row_cycles p ~pc:idx in
         {
           idx;
-          label;
-          text;
+          label = l.Listing.label;
+          text = l.Listing.text;
           row_cycles;
           cycle_pct = pct row_cycles total;
           skip_pcts =
@@ -79,7 +80,7 @@ let rows ~kernel ~machines =
              else Some (Obs.Pcstat.mem_lat_mean p ~pc:idx));
           skip_entry = List.assoc_opt idx primary.Gpu.skip_telemetry;
         })
-      (Darsie_isa.Printer.kernel_lines kernel)
+      (Listing.lines kernel)
 
 let render_buckets b =
   match b with
@@ -113,21 +114,19 @@ let render ?(top = 0) ~kernel ~app_name ~machines () =
        "memlat" "top-stall" "instruction");
   List.iter
     (fun r ->
-      (match r.label with
-      | Some l -> Buffer.add_string buf (l ^ ":\n")
-      | None -> ());
       let skip_cols =
         String.concat ""
           (List.map (fun (_, s) -> Printf.sprintf " %14.2f" s) r.skip_pcts)
       in
-      Buffer.add_string buf
-        (Printf.sprintf "%7.2f%s %8d %8s  %-22s %4d: %s\n" r.cycle_pct
-           skip_cols r.issues
-           (match r.mem_mean with
-           | Some m -> Printf.sprintf "%.1f" m
-           | None -> "-")
-           (render_buckets r.top_bucket)
-           r.idx r.text))
+      let columns =
+        Printf.sprintf "%7.2f%s %8d %8s  %-22s" r.cycle_pct skip_cols r.issues
+          (match r.mem_mean with
+          | Some m -> Printf.sprintf "%.1f" m
+          | None -> "-")
+          (render_buckets r.top_bucket)
+      in
+      Listing.emit buf ~columns
+        { Listing.idx = r.idx; label = r.label; text = r.text })
     rs;
   let un = Obs.Pcstat.unattributed p in
   let un_total = Obs.Attrib.total un in

@@ -1,0 +1,141 @@
+(* The rendering layer of [darsie explain]: joins the runtime skip
+   ledger (where every eligible dynamic occurrence of a DR/CR-marked
+   instruction ended up) with the compiler's static story (which seeds
+   and meets produced the marking, and how the launch resolved it), onto
+   the same annotated kernel listing [darsie annotate] uses. *)
+
+open Darsie_timing
+module Obs = Darsie_obs
+module C = Darsie_compiler
+
+type row = {
+  line : Listing.line;
+  marking : string;  (** static marking: DR, CR, CRY or V *)
+  shape : string;
+  eligible : int;  (** dynamic fetch-slot occurrences the ledger expected *)
+  fates : (string * int) list;  (** nonzero fates, taxonomy order *)
+  captured_pct : float;  (** skipped + parked, as % of eligible *)
+  verdict : string;  (** launch-time promotion verdict *)
+  story : string;  (** Analysis.explain provenance *)
+}
+
+let marking_str analysis i =
+  if not (C.Analysis.skippable analysis i) then "V"
+  else C.Marking.red_to_string (C.Analysis.marking analysis i)
+
+let rows ~(kinfo : Kinfo.t) (ledger : Obs.Ledger.t) =
+  let analysis = kinfo.Kinfo.analysis in
+  let promo = kinfo.Kinfo.promotion in
+  List.map
+    (fun (l : Listing.line) ->
+      let i = l.Listing.idx in
+      let eligible = Obs.Ledger.expected ledger ~pc:i in
+      let fates =
+        List.filter_map
+          (fun f ->
+            let c = Obs.Ledger.get ledger ~pc:i f in
+            if c > 0 then Some (Obs.Ledger.fate_name f, c) else None)
+          Obs.Ledger.all_fates
+      in
+      let captured =
+        Obs.Ledger.get ledger ~pc:i Obs.Ledger.Skipped
+        + Obs.Ledger.get ledger ~pc:i Obs.Ledger.Parked_waiting_leaderwb
+      in
+      {
+        line = l;
+        marking = marking_str analysis i;
+        shape = C.Marking.shape_to_string (C.Analysis.shape analysis i);
+        eligible;
+        fates;
+        captured_pct =
+          (if eligible = 0 then 0.0
+           else 100.0 *. float_of_int captured /. float_of_int eligible);
+        verdict = C.Promotion.verdict promo i;
+        story = C.Analysis.explain analysis i;
+      })
+    (Listing.lines kinfo.Kinfo.kernel)
+
+let top_fate r =
+  match
+    List.fold_left
+      (fun acc (name, c) ->
+        match acc with
+        | Some (_, bc) when bc >= c -> acc
+        | _ -> Some (name, c))
+      None r.fates
+  with
+  | Some (name, c) when r.eligible > 0 ->
+    Printf.sprintf "%s %.1f%%" name
+      (100.0 *. float_of_int c /. float_of_int r.eligible)
+  | _ -> ""
+
+let indent prefix s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> l <> "")
+  |> List.map (fun l -> prefix ^ l)
+  |> String.concat "\n"
+
+let render ?(top = 0) ~app_name ~machine_name ~(kinfo : Kinfo.t) ledger () =
+  let rs = rows ~kinfo ledger in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "darsie explain: %s on %s — %d static instructions, %d marked \
+        DR/CR\n"
+       app_name machine_name
+       (Array.length kinfo.Kinfo.unit_of)
+       (Array.fold_left
+          (fun acc b -> if b then acc + 1 else acc)
+          0 kinfo.Kinfo.marked_eligible));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "ledger: %d eligible dynamic occurrences, %d captured (skipped + \
+        parked), coverage %.2f%%\n\n"
+       (Obs.Ledger.expected_total ledger)
+       (Obs.Ledger.captured ledger)
+       (100.0 *. Obs.Ledger.coverage ledger));
+  Buffer.add_string buf
+    (Printf.sprintf "%-4s %10s %7s  %-28s %s\n" "mark" "eligible" "capt%"
+       "top-fate" "instruction");
+  List.iter
+    (fun r ->
+      let columns =
+        if r.eligible = 0 then
+          Printf.sprintf "%-4s %10s %7s  %-28s" r.marking "-" "-" ""
+        else
+          Printf.sprintf "%-4s %10d %7.2f  %-28s" r.marking r.eligible
+            r.captured_pct (top_fate r)
+      in
+      Listing.emit buf ~columns r.line)
+    rs;
+  if top > 0 then begin
+    let hot =
+      List.filter (fun r -> r.eligible > 0) rs
+      |> List.sort (fun a b -> compare b.eligible a.eligible)
+    in
+    let hot = List.filteri (fun i _ -> i < top) hot in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\n%d most eligible instructions — full fate breakdown and static \
+          story:\n"
+         (List.length hot));
+    List.iteri
+      (fun rank r ->
+        Buffer.add_string buf
+          (Printf.sprintf "\n#%d  %4d: %s\n" (rank + 1) r.line.Listing.idx
+             r.line.Listing.text);
+        Buffer.add_string buf
+          (Printf.sprintf "    launch: %s\n" r.verdict);
+        Buffer.add_string buf (indent "    | " r.story);
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf
+          (Printf.sprintf "    fates (%d eligible):\n" r.eligible);
+        List.iter
+          (fun (name, c) ->
+            Buffer.add_string buf
+              (Printf.sprintf "      %-24s %10d  (%.2f%%)\n" name c
+                 (100.0 *. float_of_int c /. float_of_int r.eligible)))
+          r.fates)
+      hot
+  end;
+  Buffer.contents buf

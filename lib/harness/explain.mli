@@ -1,0 +1,40 @@
+(** The rendering layer of [darsie explain]: the runtime skip ledger
+    joined with the compiler's static story on an annotated kernel
+    listing (shared with [darsie annotate] via {!Listing}).
+
+    For every static instruction the row carries the static marking
+    (DR/CR/CRY/V with shape), the launch-time promotion verdict, the
+    dataflow provenance story ({!Darsie_compiler.Analysis.explain}), and
+    the dynamic fate distribution of its eligible fetch-slot occurrences
+    from the run's {!Darsie_obs.Ledger}. *)
+
+type row = {
+  line : Listing.line;
+  marking : string;  (** static marking: ["DR"], ["CR"], ["CRY"] or ["V"] *)
+  shape : string;
+  eligible : int;
+      (** dynamic occurrences the ledger counted as statically eligible *)
+  fates : (string * int) list;
+      (** nonzero fate counts, in taxonomy order; sums to [eligible] by
+          the conservation invariant *)
+  captured_pct : float;
+      (** skipped + parked occurrences as a percentage of [eligible] *)
+  verdict : string;  (** {!Darsie_compiler.Promotion.verdict} *)
+  story : string;  (** {!Darsie_compiler.Analysis.explain} *)
+}
+
+val rows : kinfo:Darsie_timing.Kinfo.t -> Darsie_obs.Ledger.t -> row list
+(** One row per static instruction, in program order. *)
+
+val render :
+  ?top:int ->
+  app_name:string ->
+  machine_name:string ->
+  kinfo:Darsie_timing.Kinfo.t ->
+  Darsie_obs.Ledger.t ->
+  unit ->
+  string
+(** The full report: a coverage header, the annotated listing (marking,
+    eligible count, captured %, dominant fate per line), and — when
+    [top > 0] — the [top] most-eligible instructions with their complete
+    fate breakdown, promotion verdict and operand provenance story. *)

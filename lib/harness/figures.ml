@@ -334,6 +334,46 @@ let fig12 (m : Suite.matrix) =
   (rows, gmean, text)
 
 (* ------------------------------------------------------------------ *)
+(* Redundancy coverage (skip ledger)                                   *)
+(* ------------------------------------------------------------------ *)
+
+type coverage_row = {
+  abbr : string;
+  eligible : int;
+  captured : int;
+  coverage : float;
+}
+
+let coverage (m : Suite.matrix) =
+  let row (a : Suite.app) =
+    let abbr = a.Suite.workload.W.abbr in
+    let l = (Suite.get m abbr Suite.Darsie).Suite.gpu.Gpu.ledger in
+    {
+      abbr;
+      eligible = Darsie_obs.Ledger.expected_total l;
+      captured = Darsie_obs.Ledger.captured l;
+      coverage = Darsie_obs.Ledger.coverage l;
+    }
+  in
+  let rows = List.map row m.Suite.apps in
+  let gmean = Stats_util.geomean (List.map (fun r -> r.coverage) rows) in
+  let text =
+    Render.table
+      ~header:[ "App"; "Eligible"; "Captured"; "Coverage" ]
+      (List.map
+         (fun r ->
+           [
+             r.abbr;
+             string_of_int r.eligible;
+             string_of_int r.captured;
+             Render.pct (100.0 *. r.coverage);
+           ])
+         rows
+      @ [ [ "GMEAN"; ""; ""; Render.pct (100.0 *. gmean) ] ])
+  in
+  (rows, gmean, text)
+
+(* ------------------------------------------------------------------ *)
 (* Tables                                                              *)
 (* ------------------------------------------------------------------ *)
 

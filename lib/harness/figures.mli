@@ -81,6 +81,21 @@ type fig12_row = {
 
 val fig12 : Suite.matrix -> fig12_row list * fig12_row * string
 
+(** {1 Redundancy coverage} *)
+
+type coverage_row = {
+  abbr : string;
+  eligible : int;
+      (** dynamic occurrences of statically DR/CR instructions *)
+  captured : int;  (** of those, skipped or parked by DARSIE *)
+  coverage : float;  (** captured / eligible; 1.0 when nothing eligible *)
+}
+
+val coverage : Suite.matrix -> coverage_row list * float * string
+(** Per-app skip-ledger redundancy coverage on the DARSIE machine plus
+    the geometric mean — how much of the statically eliminable work the
+    runtime actually eliminated ([darsie experiment coverage]). *)
+
 (** {1 Tables} *)
 
 val table1 : unit -> string

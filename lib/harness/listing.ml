@@ -1,0 +1,19 @@
+(* The shared kernel-listing renderer behind [darsie annotate] and
+   [darsie explain]: both join per-instruction data onto the disassembly
+   from Printer.kernel_lines and print one fixed-width column block in
+   front of each "<idx>: <text>" line, with branch-target labels on their
+   own lines. Keeping the line format here keeps the two listings
+   byte-compatible column-for-column. *)
+
+type line = { idx : int; label : string option; text : string }
+
+let lines kernel =
+  List.map
+    (fun (idx, label, text) -> { idx; label; text })
+    (Darsie_isa.Printer.kernel_lines kernel)
+
+let emit buf ~columns l =
+  (match l.label with
+  | Some lab -> Buffer.add_string buf (lab ^ ":\n")
+  | None -> ());
+  Buffer.add_string buf (Printf.sprintf "%s %4d: %s\n" columns l.idx l.text)

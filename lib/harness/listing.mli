@@ -1,0 +1,19 @@
+(** The kernel-listing renderer shared by [darsie annotate] and
+    [darsie explain]: per-instruction disassembly lines plus the one
+    place that knows how an annotated listing line is laid out. *)
+
+type line = {
+  idx : int;  (** static instruction index (byte PC = [8 * idx]) *)
+  label : string option;  (** [Some "L<i>"] on branch targets *)
+  text : string;  (** assembly text *)
+}
+
+val lines : Darsie_isa.Kernel.t -> line list
+(** One {!line} per instruction in program order (wraps
+    {!Darsie_isa.Printer.kernel_lines}). *)
+
+val emit : Buffer.t -> columns:string -> line -> unit
+(** Append one listing line: the branch-target label (when present) on
+    its own line, then [columns], a space, the right-aligned instruction
+    index, a colon and the assembly text. Every annotated-listing row in
+    the toolchain goes through here. *)

@@ -81,6 +81,7 @@ let of_run ~app ?(scale = 1) (r : Suite.run) =
         | Some p ->
           Obs.Pcstat.to_json ~skip_telemetry:gpu.Gpu.skip_telemetry p
         | None -> J.Null );
+      ("skip_ledger", Obs.Ledger.to_json gpu.Gpu.ledger);
       ("energy", json_of_energy r.Suite.energy);
     ]
 
@@ -158,41 +159,115 @@ let validate doc =
     if attrib_sum total = num_sms * cycles then Ok ()
     else Error "total stall attribution != num_sms * cycles"
   in
-  (* per_pc is additive and optional (absent or null when the run was not
-     profiled); when present its per-row stall charges plus the
-     unattributed remainder must reproduce the total attribution — the
-     serialized form of the Gpu.check_attribution invariant. *)
-  match J.member "per_pc" doc with
-  | None | Some J.Null -> Ok ()
-  | Some per_pc ->
-    let* n = field "n" J.to_int per_pc in
-    let* rows =
-      match J.member "rows" per_pc with
-      | Some (J.List l) -> Ok l
-      | _ -> Error "per_pc missing rows list"
+  (* per_pc is additive but its key must be present at schema_version 2
+     (null when the run was not profiled — a version that claims a
+     section may not silently omit it); when non-null its per-row stall
+     charges plus the unattributed remainder must reproduce the total
+     attribution — the serialized form of the Gpu.check_attribution
+     invariant. *)
+  let* () =
+    match J.member "per_pc" doc with
+    | None ->
+      Error "missing per_pc key (schema_version 2 requires it; null when \
+             the run was not profiled)"
+    | Some J.Null -> Ok ()
+    | Some per_pc ->
+      let* n = field "n" J.to_int per_pc in
+      let* rows =
+        match J.member "rows" per_pc with
+        | Some (J.List l) -> Ok l
+        | _ -> Error "per_pc missing rows list"
+      in
+      let* () =
+        if List.length rows = n then Ok ()
+        else Error "per_pc.rows length != per_pc.n"
+      in
+      let row_sum acc r =
+        match J.member "stall" r with
+        | Some s -> acc + attrib_sum s
+        | None -> acc
+      in
+      let charged = List.fold_left row_sum 0 rows in
+      let un =
+        match J.member "unattributed" per_pc with
+        | Some u -> attrib_sum u
+        | None -> 0
+      in
+      if charged + un = num_sms * cycles then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "per_pc stall charges (%d) + unattributed (%d) != num_sms * \
+              cycles (%d)"
+             charged un (num_sms * cycles))
+  in
+  (* The skip ledger is always on, so schema_version 2 requires the
+     section outright, and the validator re-proves the conservation
+     invariant from the serialized numbers — the Gpu.check_ledger
+     argument, replayed over the file. *)
+  match J.member "skip_ledger" doc with
+  | None -> Error "missing skip_ledger section (schema_version 2 requires it)"
+  | Some sl ->
+    let* expected_total = field "expected_total" J.to_int sl in
+    let* captured = field "captured" J.to_int sl in
+    let* totals =
+      match J.member "totals" sl with
+      | Some (J.Obj l) -> Ok l
+      | _ -> Error "skip_ledger missing totals object"
+    in
+    let int_of v = Option.value ~default:0 (J.to_int v) in
+    let totals_sum = List.fold_left (fun acc (_, v) -> acc + int_of v) 0 totals in
+    let* () =
+      if totals_sum = expected_total then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "skip_ledger fate totals sum to %d, expected_total is %d"
+             totals_sum expected_total)
+    in
+    let tot name =
+      match List.assoc_opt name totals with Some v -> int_of v | None -> 0
     in
     let* () =
-      if List.length rows = n then Ok ()
-      else Error "per_pc.rows length != per_pc.n"
+      if captured = tot "skipped" + tot "parked_waiting_leaderwb" then Ok ()
+      else Error "skip_ledger captured != skipped + parked_waiting_leaderwb"
     in
-    let row_sum acc r =
-      match J.member "stall" r with
-      | Some s -> acc + attrib_sum s
-      | None -> acc
+    let* rows =
+      match J.member "rows" sl with
+      | Some (J.List l) -> Ok l
+      | _ -> Error "skip_ledger missing rows list"
     in
-    let charged = List.fold_left row_sum 0 rows in
-    let un =
-      match J.member "unattributed" per_pc with
-      | Some u -> attrib_sum u
-      | None -> 0
+    let* rows_expected =
+      List.fold_left
+        (fun acc r ->
+          let* sum = acc in
+          let* pc = field "pc" J.to_int r in
+          let* expected = field "expected" J.to_int r in
+          let fates =
+            match r with
+            | J.Obj fields ->
+              List.fold_left
+                (fun s (k, v) ->
+                  if k = "pc" || k = "expected" then s else s + int_of v)
+                0 fields
+            | _ -> 0
+          in
+          if fates = expected then Ok (sum + expected)
+          else
+            Error
+              (Printf.sprintf
+                 "skip_ledger row pc %d: %d fates recorded for %d eligible \
+                  occurrences"
+                 pc fates expected))
+        (Ok 0) rows
     in
-    if charged + un = num_sms * cycles then Ok ()
+    if rows_expected = expected_total then Ok ()
     else
       Error
         (Printf.sprintf
-           "per_pc stall charges (%d) + unattributed (%d) != num_sms * \
-            cycles (%d)"
-           charged un (num_sms * cycles))
+           "skip_ledger rows' eligible occurrences sum to %d, \
+            expected_total is %d"
+           rows_expected expected_total)
 
 let validate_string s =
   let* doc =

@@ -20,6 +20,10 @@ type record = {
   gmeans : (string * float) list;  (** fig8 speedup geomeans *)
   per_app_ipc : (string * float) list;  (** DARSIE IPC per app *)
   per_app_cycles : (string * int) list;  (** DARSIE cycles per app *)
+  per_app_coverage : (string * float) list;
+      (** DARSIE skip-ledger redundancy coverage per app; [[]] in records
+          written before the ledger existed — compared only when both
+          sides carry an app *)
 }
 
 (* Run [f] [repeats] times and keep the fastest wall time — the standard
@@ -52,6 +56,9 @@ let of_matrix ~date ~label ~wall_s ~repeats (m : Suite.matrix) =
         (app.Suite.workload.W.abbr, Suite.get m app.Suite.workload.W.abbr Suite.Darsie))
       m.Suite.apps
   in
+  let coverage_of (r : Suite.run) =
+    Darsie_obs.Ledger.coverage r.Suite.gpu.Darsie_timing.Gpu.ledger
+  in
   {
     date;
     label;
@@ -66,6 +73,9 @@ let of_matrix ~date ~label ~wall_s ~repeats (m : Suite.matrix) =
         ("speedup_2d_darsie", g2.Figures.darsie);
         ("speedup_2d_dac", g2.Figures.dac);
         ("speedup_2d_uv", g2.Figures.uv);
+        ( "redundancy_coverage",
+          Stats_util.geomean
+            (List.map (fun (_, r) -> coverage_of r) darsie_runs) );
       ];
     per_app_ipc =
       List.map
@@ -77,6 +87,8 @@ let of_matrix ~date ~label ~wall_s ~repeats (m : Suite.matrix) =
         (fun (abbr, (r : Suite.run)) ->
           (abbr, r.Suite.gpu.Darsie_timing.Gpu.cycles))
         darsie_runs;
+    per_app_coverage =
+      List.map (fun (abbr, r) -> (abbr, coverage_of r)) darsie_runs;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -98,6 +110,8 @@ let to_json r =
         J.Obj (List.map (fun (k, v) -> (k, J.Float v)) r.per_app_ipc) );
       ( "per_app_cycles",
         J.Obj (List.map (fun (k, v) -> (k, J.Int v)) r.per_app_cycles) );
+      ( "per_app_coverage",
+        J.Obj (List.map (fun (k, v) -> (k, J.Float v)) r.per_app_coverage) );
     ]
 
 let to_float = function
@@ -144,8 +158,16 @@ let of_json doc =
   let* gmeans = assoc "gmeans" to_float doc in
   let* per_app_ipc = assoc "per_app_ipc" to_float doc in
   let* per_app_cycles = assoc "per_app_cycles" J.to_int doc in
+  (* Coverage postdates many stored baselines: a missing key reads as the
+     empty list, and the gate then simply has nothing to pair — "not
+     compared", never a crash. *)
+  let* per_app_coverage =
+    match J.member "per_app_coverage" doc with
+    | None -> Ok []
+    | Some _ -> assoc "per_app_coverage" to_float doc
+  in
   Ok { date; label; wall_s; repeats; cycles_per_sec; gmeans; per_app_ipc;
-       per_app_cycles }
+       per_app_cycles; per_app_coverage }
 
 let write_file path r =
   let oc = open_out path in
@@ -211,6 +233,7 @@ let compare_records ?(det_threshold = det_threshold)
   let det =
     paired "gmean" baseline.gmeans current.gmeans
     @ paired "ipc" baseline.per_app_ipc current.per_app_ipc
+    @ paired "coverage" baseline.per_app_coverage current.per_app_coverage
     @ paired "cycles"
         (List.map (fun (k, v) -> (k, float_of_int v)) baseline.per_app_cycles)
         (List.map (fun (k, v) -> (k, float_of_int v)) current.per_app_cycles)

@@ -18,6 +18,9 @@ type record = {
   gmeans : (string * float) list;  (** fig8 speedup geomeans *)
   per_app_ipc : (string * float) list;  (** DARSIE IPC per app *)
   per_app_cycles : (string * int) list;  (** DARSIE cycles per app *)
+  per_app_coverage : (string * float) list;
+      (** DARSIE skip-ledger redundancy coverage (captured ÷ statically
+          eliminable) per app; [[]] when the record predates the ledger *)
 }
 
 val measure : ?clock:(unit -> float) -> repeats:int -> (unit -> 'a) -> 'a * float
@@ -41,8 +44,10 @@ val to_json : record -> Darsie_obs.Json.t
     (docs/metrics-schema.md section 3). *)
 
 val of_json : Darsie_obs.Json.t -> (record, string) result
-(** Parse a record back; every field is required and the schema version
-    must match {!schema_version}. *)
+(** Parse a record back; every field is required — except
+    [per_app_coverage], which reads as [[]] when absent so baselines
+    written before the skip ledger existed keep loading — and the schema
+    version must match {!schema_version}. *)
 
 val write_file : string -> record -> unit
 (** {!to_json} pretty-printed to [path] with a trailing newline. *)

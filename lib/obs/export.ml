@@ -1,4 +1,4 @@
-let schema_version = 1
+let schema_version = 2
 
 (* Chrome trace_event format: ts is in microseconds; we map one simulated
    cycle to one microsecond so Perfetto's timeline reads in cycles. *)
@@ -43,7 +43,26 @@ let counter_events ~sm series =
         ])
     (Series.points series)
 
-let chrome_trace ?recorder ?(series = [||]) ~name () =
+(* The skip ledger has no time axis; it surfaces as one final counter
+   sample per fate so the totals sit next to the sampled series tracks. *)
+let ledger_events ~ts ledger =
+  [
+    Json.Obj
+      [
+        ("name", Json.String "skip_ledger");
+        ("ph", Json.String "C");
+        ("ts", Json.Int ts);
+        ("pid", Json.Int 0);
+        ( "args",
+          Json.Obj
+            (("eligible", Json.Int (Ledger.expected_total ledger))
+            :: List.map
+                 (fun (k, v) -> (k, Json.Int v))
+                 (Ledger.totals_assoc ledger)) );
+      ];
+  ]
+
+let chrome_trace ?recorder ?(series = [||]) ?ledger ~name () =
   let sms = Hashtbl.create 8 in
   let note_sm id = Hashtbl.replace sms id () in
   Array.iteri (fun sm _ -> note_sm sm) series;
@@ -69,6 +88,20 @@ let chrome_trace ?recorder ?(series = [||]) ~name () =
     Array.to_list (Array.mapi (fun sm s -> counter_events ~sm s) series)
     |> List.concat
   in
+  let ledger_track =
+    match ledger with
+    | None -> []
+    | Some l ->
+      let ts =
+        List.fold_left
+          (fun acc (e : Json.t) ->
+            match Json.member "ts" e with
+            | Some (Json.Int t) -> max acc t
+            | _ -> acc)
+          0 (instants @ counters)
+      in
+      ledger_events ~ts l
+  in
   let truncation =
     match recorder with
     | Some r when Recorder.dropped r > 0 ->
@@ -90,7 +123,8 @@ let chrome_trace ?recorder ?(series = [||]) ~name () =
   in
   Json.Obj
     [
-      ("traceEvents", Json.List (metas @ truncation @ instants @ counters));
+      ( "traceEvents",
+        Json.List (metas @ truncation @ instants @ counters @ ledger_track) );
       ("displayTimeUnit", Json.String "ms");
     ]
 
@@ -118,4 +152,28 @@ let csv_of_series series =
           Buffer.add_char buf '\n')
         (Series.points s))
     series;
+  Buffer.contents buf
+
+let csv_of_ledger ledger =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "pc,expected";
+  List.iter
+    (fun f ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (Ledger.fate_name f))
+    Ledger.all_fates;
+  Buffer.add_char buf '\n';
+  for pc = 0 to Ledger.size ledger - 1 do
+    if Ledger.expected ledger ~pc > 0 || Ledger.outcome_sum ledger ~pc > 0 then begin
+      Buffer.add_string buf (string_of_int pc);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int (Ledger.expected ledger ~pc));
+      List.iter
+        (fun f ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int (Ledger.get ledger ~pc f)))
+        Ledger.all_fates;
+      Buffer.add_char buf '\n'
+    end
+  done;
   Buffer.contents buf

@@ -14,10 +14,21 @@
 val schema_version : int
 
 val chrome_trace :
-  ?recorder:Recorder.t -> ?series:Series.t array -> name:string -> unit -> Json.t
+  ?recorder:Recorder.t ->
+  ?series:Series.t array ->
+  ?ledger:Ledger.t ->
+  name:string ->
+  unit ->
+  Json.t
 (** [series] is indexed by SM id. The trace carries a metadata event
     naming each SM process after [name] and, when the recorder dropped
-    events, an instant event flagging the truncation. *)
+    events, an instant event flagging the truncation. [ledger], when
+    given, adds one [skip_ledger] counter sample (per-fate totals) at the
+    trace's last timestamp. *)
 
 val csv_of_series : Series.t array -> string
 (** Header [sm,cycle,<counter...>]; one row per (SM, interval) sample. *)
+
+val csv_of_ledger : Ledger.t -> string
+(** Header [pc,expected,<fate...>]; one row per static PC with any
+    eligible occurrence or recorded fate. *)

@@ -1,0 +1,155 @@
+(* Skip ledger: exhaustive dynamic-fate accounting for statically
+   redundant instructions. One dynamic occurrence = one (warp, trace
+   position) passage of a PC the compiler marked DR or CR; each passage is
+   classified into exactly one fate, so per PC the fates sum to the
+   independently counted eligible occurrences — the conservation invariant
+   Gpu.check_ledger enforces, in the same style as stall attribution. *)
+
+type fate =
+  | Skipped
+  | Leader_executed
+  | Parked_waiting_leaderwb
+  | Blocked_divergence
+  | Blocked_branch_sync
+  | Evicted_capacity
+  | Freelist_stall
+  | Flushed_store
+  | Flushed_atomic
+  | Demoted_at_launch
+  | Skip_disabled
+
+let all_fates =
+  [
+    Skipped;
+    Leader_executed;
+    Parked_waiting_leaderwb;
+    Blocked_divergence;
+    Blocked_branch_sync;
+    Evicted_capacity;
+    Freelist_stall;
+    Flushed_store;
+    Flushed_atomic;
+    Demoted_at_launch;
+    Skip_disabled;
+  ]
+
+let nfates = List.length all_fates
+
+let fate_index = function
+  | Skipped -> 0
+  | Leader_executed -> 1
+  | Parked_waiting_leaderwb -> 2
+  | Blocked_divergence -> 3
+  | Blocked_branch_sync -> 4
+  | Evicted_capacity -> 5
+  | Freelist_stall -> 6
+  | Flushed_store -> 7
+  | Flushed_atomic -> 8
+  | Demoted_at_launch -> 9
+  | Skip_disabled -> 10
+
+let fate_name = function
+  | Skipped -> "skipped"
+  | Leader_executed -> "leader_executed"
+  | Parked_waiting_leaderwb -> "parked_waiting_leaderwb"
+  | Blocked_divergence -> "blocked_divergence"
+  | Blocked_branch_sync -> "blocked_branch_sync"
+  | Evicted_capacity -> "evicted_capacity"
+  | Freelist_stall -> "freelist_stall"
+  | Flushed_store -> "flushed_store"
+  | Flushed_atomic -> "flushed_atomic"
+  | Demoted_at_launch -> "demoted_at_launch"
+  | Skip_disabled -> "skip_disabled"
+
+type t = {
+  n : int;
+  expected : int array;
+  counts : int array;  (* n * nfates, row-major by PC *)
+}
+
+let create ~n = { n; expected = Array.make n 0; counts = Array.make (n * nfates) 0 }
+
+let size t = t.n
+
+let note_expected t ~pc = t.expected.(pc) <- t.expected.(pc) + 1
+
+let note t ~pc fate =
+  let i = (pc * nfates) + fate_index fate in
+  t.counts.(i) <- t.counts.(i) + 1
+
+let get t ~pc fate = t.counts.((pc * nfates) + fate_index fate)
+
+let expected t ~pc = t.expected.(pc)
+
+let outcome_sum t ~pc =
+  let s = ref 0 in
+  for f = 0 to nfates - 1 do
+    s := !s + t.counts.((pc * nfates) + f)
+  done;
+  !s
+
+let add acc x =
+  if acc.n <> x.n then invalid_arg "Ledger.add: size mismatch";
+  for pc = 0 to acc.n - 1 do
+    acc.expected.(pc) <- acc.expected.(pc) + x.expected.(pc)
+  done;
+  for i = 0 to Array.length acc.counts - 1 do
+    acc.counts.(i) <- acc.counts.(i) + x.counts.(i)
+  done
+
+let expected_total t = Array.fold_left ( + ) 0 t.expected
+
+let fate_total t fate =
+  let f = fate_index fate in
+  let s = ref 0 in
+  for pc = 0 to t.n - 1 do
+    s := !s + t.counts.((pc * nfates) + f)
+  done;
+  !s
+
+let captured t = fate_total t Skipped + fate_total t Parked_waiting_leaderwb
+
+let coverage t =
+  let e = expected_total t in
+  if e = 0 then 1.0 else float_of_int (captured t) /. float_of_int e
+
+let check t =
+  let bad = ref None in
+  for pc = 0 to t.n - 1 do
+    if !bad = None then begin
+      let e = expected t ~pc and s = outcome_sum t ~pc in
+      if e <> s then bad := Some (pc, e, s)
+    end
+  done;
+  match !bad with
+  | None -> Ok ()
+  | Some (pc, e, s) ->
+    Error
+      (Printf.sprintf
+         "skip-ledger conservation violated at pc %d: %d eligible occurrences, \
+          %d fates recorded"
+         pc e s)
+
+let totals_assoc t = List.map (fun f -> (fate_name f, fate_total t f)) all_fates
+
+let to_json t =
+  let module J = Json in
+  let row pc =
+    J.Obj
+      (("pc", J.Int pc)
+      :: ("expected", J.Int (expected t ~pc))
+      :: List.map (fun f -> (fate_name f, J.Int (get t ~pc f))) all_fates)
+  in
+  let rows =
+    List.init t.n (fun pc -> pc)
+    |> List.filter (fun pc -> expected t ~pc > 0 || outcome_sum t ~pc > 0)
+    |> List.map row
+  in
+  J.Obj
+    [
+      ("expected_total", J.Int (expected_total t));
+      ("captured", J.Int (captured t));
+      ("coverage", J.Float (coverage t));
+      ("totals", J.Obj (List.map (fun (k, v) -> (k, J.Int v)) (totals_assoc t)));
+      ("rows", J.List rows);
+    ]

@@ -19,6 +19,12 @@ type wctx = {
   mutable fetch_ok : bool;
   mutable parked_at : int;
   mutable skip_stall : int;
+  (* Skip-ledger provenance, engine-owned like the fields above: why this
+     warp is off the majority path (0 = on path, 1 = divergence drop,
+     2 = branch-sync drop) and the trace index at which it gave up on an
+     empty rename freelist (-1 = it did not). *)
+  mutable drop_reason : int;
+  mutable gave_up_at : int;
 }
 
 let warp_done w = w.fi >= Array.length w.trace
@@ -51,7 +57,14 @@ type t = {
   remove_at_fetch : wctx -> Darsie_trace.Record.op -> bool;
   on_issue : cycle:int -> wctx -> Darsie_trace.Record.op -> issue_decision;
   on_writeback : cycle:int -> wctx -> Darsie_trace.Record.op -> unit;
-  on_store : wctx -> unit;
+  on_store : atomic:bool -> wctx -> unit;
+  (* Classify one executed (fetched, not skipped) occurrence of a
+     statically eligible instruction for the skip ledger; the SM calls it
+     at fetch time, once per occurrence. *)
+  exec_fate : wctx -> Darsie_trace.Record.op -> Darsie_obs.Ledger.fate;
+  (* The SM hands the engine its per-SM skip ledger at construction so
+     engine-internal skips (DARSIE's pre-fetch path) can record fates. *)
+  set_ledger : Darsie_obs.Ledger.t -> unit;
   on_tb_launch : tb_slot:int -> warps:wctx array -> unit;
   on_tb_finish : tb_slot:int -> unit;
   debug_state : unit -> (string * int) list;
@@ -71,7 +84,9 @@ let base () =
     remove_at_fetch = (fun _ _ -> false);
     on_issue = (fun ~cycle:_ _ _ -> Execute);
     on_writeback = (fun ~cycle:_ _ _ -> ());
-    on_store = (fun _ -> ());
+    on_store = (fun ~atomic:_ _ -> ());
+    exec_fate = (fun _ _ -> Darsie_obs.Ledger.Skip_disabled);
+    set_ledger = (fun _ -> ());
     on_tb_launch = (fun ~tb_slot:_ ~warps:_ -> ());
     on_tb_finish = (fun ~tb_slot:_ -> ());
     debug_state = (fun () -> []);

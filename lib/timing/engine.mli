@@ -48,6 +48,15 @@ type wctx = {
   mutable skip_stall : int;
       (** consecutive cycles stalled on an empty rename freelist
           (DARSIE's bounded synchronization fallback); engine-owned *)
+  mutable drop_reason : int;
+      (** why this warp is off the majority path: [0] on path, [1]
+          dropped by SIMD-mask divergence, [2] dropped at a branch
+          synchronization; engine-owned skip-ledger provenance, reset
+          when the majority mask resets at a barrier *)
+  mutable gave_up_at : int;
+      (** trace index at which this warp gave up waiting on an empty
+          rename freelist and fell through to a real fetch, or [-1];
+          engine-owned skip-ledger provenance *)
 }
 
 val warp_done : wctx -> bool
@@ -99,7 +108,20 @@ type t = {
   remove_at_fetch : wctx -> Darsie_trace.Record.op -> bool;
   on_issue : cycle:int -> wctx -> Darsie_trace.Record.op -> issue_decision;
   on_writeback : cycle:int -> wctx -> Darsie_trace.Record.op -> unit;
-  on_store : wctx -> unit;  (** a store or atomic issued by this warp's TB *)
+  on_store : atomic:bool -> wctx -> unit;
+      (** a store ([atomic = false]) or atomic ([atomic = true]) issued
+          by this warp's TB — the load-entry flush trigger (§4.4) *)
+  exec_fate : wctx -> Darsie_trace.Record.op -> Darsie_obs.Ledger.fate;
+      (** classify one {e executed} (really fetched) occurrence of a
+          statically eligible instruction for the skip ledger; called by
+          the SM's fetch phase exactly once per such occurrence. Engines
+          without a skip path return
+          {!Darsie_obs.Ledger.Skip_disabled} *)
+  set_ledger : Darsie_obs.Ledger.t -> unit;
+      (** receive the per-SM skip ledger at SM construction, so
+          engine-internal pre-fetch skips can record their fates
+          ([Skipped], [Parked_waiting_leaderwb]); engines without a skip
+          path ignore it *)
   on_tb_launch : tb_slot:int -> warps:wctx array -> unit;
   on_tb_finish : tb_slot:int -> unit;
   debug_state : unit -> (string * int) list;

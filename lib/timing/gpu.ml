@@ -14,6 +14,9 @@ type result = {
   pcstat : Obs.Pcstat.t option;
   per_sm_pcstat : Obs.Pcstat.t array;
   skip_telemetry : (int * Obs.Pcstat.skip_entry) list;
+  ledger : Obs.Ledger.t;  (** skip ledger summed over SMs; always on *)
+  per_sm_ledger : Obs.Ledger.t array;
+      (** each conserves eligible = Σ fates per PC on its own SM *)
 }
 
 let occupancy (cfg : Config.t) (kernel : Kernel.t) ~warps_per_tb =
@@ -309,6 +312,9 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
       Obs.Pcstat.merge_skip_telemetry
         (Array.to_list (Array.map Sm.skip_telemetry sms))
     in
+    let per_sm_ledger = Array.map Sm.ledger sms in
+    let ledger = Obs.Ledger.create ~n:(Array.length kernel.Kernel.insts) in
+    Array.iter (fun l -> Obs.Ledger.add ledger l) per_sm_ledger;
     Ok
       {
         cycles = !cycles;
@@ -322,6 +328,8 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
         pcstat = pcstat_agg;
         per_sm_pcstat;
         skip_telemetry;
+        ledger;
+        per_sm_ledger;
       }
 
 let run_exn ?cfg ?sink ?sample_interval ?event_window ?deadline ?pcstat
@@ -378,3 +386,36 @@ let check_attribution r =
            "per-PC stall charges diverge from SM attribution on SM %d, \
             bucket %s: %d per-PC vs %d per-SM (engine %s)"
            sm name pc_tot sm_tot r.engine))
+
+(* The skip-ledger conservation invariant, enforced like the attribution
+   one: per SM and per PC the eligible dynamic occurrences must equal the
+   recorded fates, and the run-wide ledger must reproduce the per-SM sum
+   exactly. *)
+let check_ledger r =
+  let bad = ref None in
+  Array.iteri
+    (fun i l ->
+      if !bad = None then
+        match Obs.Ledger.check l with
+        | Ok () -> ()
+        | Error msg -> bad := Some (Printf.sprintf "SM %d: %s" i msg))
+    r.per_sm_ledger;
+  match !bad with
+  | Some msg -> Error (Printf.sprintf "%s (engine %s)" msg r.engine)
+  | None -> (
+    match Obs.Ledger.check r.ledger with
+    | Error msg -> Error (Printf.sprintf "aggregate: %s (engine %s)" msg r.engine)
+    | Ok () ->
+      let sum_expected =
+        Array.fold_left
+          (fun acc l -> acc + Obs.Ledger.expected_total l)
+          0 r.per_sm_ledger
+      in
+      if sum_expected <> Obs.Ledger.expected_total r.ledger then
+        Error
+          (Printf.sprintf
+             "aggregate ledger diverges from per-SM sum: %d vs %d eligible \
+              occurrences (engine %s)"
+             (Obs.Ledger.expected_total r.ledger)
+             sum_expected r.engine)
+      else Ok ())

@@ -22,6 +22,11 @@ type result = {
   skip_telemetry : (int * Darsie_obs.Pcstat.skip_entry) list;
       (** per-PC skip-table entry telemetry merged over SMs; [[]] for
           engines without a skip table *)
+  ledger : Darsie_obs.Ledger.t;
+      (** skip ledger (dynamic fates of statically DR/CR instructions)
+          summed over SMs; always on *)
+  per_sm_ledger : Darsie_obs.Ledger.t array;
+      (** each conserves eligible = Σ fates per PC on its own SM *)
 }
 
 val occupancy : Config.t -> Darsie_isa.Kernel.t -> warps_per_tb:int -> int
@@ -90,3 +95,11 @@ val check_attribution : result -> (unit, string) Stdlib.result
     classified exactly once) and, when per-PC profiling was on, that each
     SM's per-PC stall charges sum to its bucket totals. The CLI turns an
     [Error] into a nonzero exit status so CI catches model drift. *)
+
+val check_ledger : result -> (unit, string) Stdlib.result
+(** Verify the skip-ledger conservation invariant: on every SM and for
+    every statically eligible PC, the independently counted eligible
+    dynamic occurrences equal the sum of recorded fates, and the
+    aggregate ledger reproduces the per-SM sum. Holds bit-identically
+    with fast-forwarding on or off; enforced by the CLI next to
+    {!check_attribution}. *)

@@ -20,6 +20,7 @@ type t = {
   tb_redundant : bool array;
   dac_removable : bool array;
   uv_eligible : bool array;
+  marked_eligible : bool array;
   shape : Marking.shape array;
 }
 
@@ -57,6 +58,10 @@ let of_promotion (promotion : Promotion.t) (launch : Kernel.launch) =
     tb_redundant = promotion.Promotion.tb_redundant;
     dac_removable = promotion.Promotion.dac_removable;
     uv_eligible = promotion.Promotion.uv_eligible;
+    marked_eligible =
+      Array.init n (fun i ->
+          Analysis.skippable analysis i
+          && Analysis.marking analysis i <> Marking.Vector);
     shape = Array.init n (fun i -> Analysis.shape analysis i);
   }
 

@@ -22,6 +22,9 @@ type t = {
   tb_redundant : bool array;  (** DARSIE-skippable after promotion *)
   dac_removable : bool array;
   uv_eligible : bool array;
+  marked_eligible : bool array;
+      (** statically DR or CR and structurally skippable {e before}
+          launch-time promotion — the skip ledger's eligibility set *)
   shape : Darsie_compiler.Marking.shape array;
 }
 

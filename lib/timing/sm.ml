@@ -41,6 +41,7 @@ type t = {
   sm_id : int;
   sink : Obs.Sink.t;
   attr : Obs.Attrib.t;
+  ledger : Obs.Ledger.t;
   pcstat : Obs.Pcstat.t option;
   series : Obs.Series.t option;
   mutable issue_slots_used : int;  (* issues + drops this cycle *)
@@ -66,11 +67,16 @@ let sample_snapshot (s : Stats.t) =
 let create ?(sm_id = 0) ?(sink = Obs.Sink.null) ?series ?pcstat cfg kinfo
     factory dram ~slots ~warps_per_tb =
   let stats = Stats.create () in
+  let engine = factory kinfo cfg stats in
+  (* The skip ledger is always on (a handful of int arrays); the engine
+     gets a handle so its internal pre-fetch skips can record fates. *)
+  let ledger = Obs.Ledger.create ~n:(Array.length kinfo.Kinfo.unit_of) in
+  engine.Engine.set_ledger ledger;
   {
     cfg;
     kinfo;
     stats;
-    engine = factory kinfo cfg stats;
+    engine;
     dram;
     l1 =
       Mem_model.L1.create ~bytes:cfg.Config.l1_bytes ~assoc:cfg.Config.l1_assoc
@@ -101,6 +107,7 @@ let create ?(sm_id = 0) ?(sink = Obs.Sink.null) ?series ?pcstat cfg kinfo
     sm_id;
     sink;
     attr = Obs.Attrib.create ();
+    ledger;
     pcstat;
     series;
     issue_slots_used = 0;
@@ -156,8 +163,21 @@ let launch_tb t ~tb_id ~traces =
           fetch_ok = true;
           parked_at = -1;
           skip_stall = 0;
+          drop_reason = 0;
+          gave_up_at = -1;
         })
   in
+  (* Independent eligible-occurrence count for the skip ledger: scan the
+     installed traces once so the conservation check does not depend on
+     the fetch-path bookkeeping it verifies. *)
+  Array.iter
+    (fun trace ->
+      Array.iter
+        (fun (op : Record.op) ->
+          if t.kinfo.Kinfo.marked_eligible.(op.Record.idx) then
+            Obs.Ledger.note_expected t.ledger ~pc:op.Record.idx)
+        trace)
+    traces;
   Array.iteri
     (fun w ctx -> t.warps.((slot_idx * t.warps_per_tb) + w) <- Some ctx)
     warps;
@@ -177,6 +197,8 @@ let engine_name t = t.engine.Engine.name
 let cycle t = t.cycle
 
 let attribution t = t.attr
+
+let ledger t = t.ledger
 
 let pcstat t = t.pcstat
 
@@ -531,7 +553,7 @@ let try_issue_head t budget (w : Engine.wctx) =
               let nlines = List.length lines in
               if kinfo.Kinfo.is_atomic.(idx) then begin
                 (* Atomics bypass the L1 and serialize at DRAM. *)
-                t.engine.Engine.on_store w;
+                t.engine.Engine.on_store ~atomic:true w;
                 stats.Stats.dram_transactions <-
                   stats.Stats.dram_transactions + nlines;
                 emit t ~warp:w.Engine.wid Obs.Event.Dram_txn;
@@ -541,7 +563,7 @@ let try_issue_head t budget (w : Engine.wctx) =
               else if kinfo.Kinfo.is_store.(idx) then begin
                 (* Write-through, no-allocate: stores drain to DRAM and do
                    not stall the pipeline. *)
-                t.engine.Engine.on_store w;
+                t.engine.Engine.on_store ~atomic:false w;
                 stats.Stats.l1_accesses <- stats.Stats.l1_accesses + nlines;
                 stats.Stats.dram_transactions <-
                   stats.Stats.dram_transactions + nlines;
@@ -665,6 +687,20 @@ let issue t =
 (* Fetch                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Skip-ledger fate of one eligible occurrence passing the fetch slot.
+   Launch-time demotion (CR whose xdim condition failed) is decided here
+   from static information; everything else is the engine's story. An
+   occurrence the engine removed or skipped pre-fetch never reaches this
+   point — those fates are recorded at the elimination site. *)
+let note_exec_fate t (w : Engine.wctx) (op : Record.op) =
+  let idx = op.Record.idx in
+  if t.kinfo.Kinfo.marked_eligible.(idx) then
+    let fate =
+      if not t.kinfo.Kinfo.tb_redundant.(idx) then Obs.Ledger.Demoted_at_launch
+      else t.engine.Engine.exec_fate w op
+    in
+    Obs.Ledger.note t.ledger ~pc:idx fate
+
 let fetch t =
   let cfg = t.cfg in
   t.fetch_mutated <- false;
@@ -688,6 +724,8 @@ let fetch t =
           match Engine.next_op w with
           | Some op when t.engine.Engine.remove_at_fetch w op ->
             t.fetch_mutated <- true;
+            if t.kinfo.Kinfo.marked_eligible.(op.Record.idx) then
+              Obs.Ledger.note t.ledger ~pc:op.Record.idx Obs.Ledger.Skipped;
             w.Engine.fi <- w.Engine.fi + 1;
             t.stats.Stats.skipped_prefetch <- t.stats.Stats.skipped_prefetch + 1;
             pc_note t (fun p -> Obs.Pcstat.note_skip p ~pc:op.Record.idx);
@@ -712,6 +750,7 @@ let fetch t =
             t.stats.Stats.fetched <- t.stats.Stats.fetched + 1;
             pc_note t (fun p -> Obs.Pcstat.note_fetch p ~pc:op.Record.idx);
             emit t ~warp:w.Engine.wid Obs.Event.Fetch;
+            note_exec_fate t w op;
             Queue.push (op, t.cycle) w.Engine.ibuf;
             w.Engine.fi <- w.Engine.fi + 1
           end

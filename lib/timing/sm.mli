@@ -75,6 +75,12 @@ val attribution : t -> Darsie_obs.Attrib.t
 (** Per-cycle stall attribution; its total equals {!cycle} at any point
     between two {!step} calls. *)
 
+val ledger : t -> Darsie_obs.Ledger.t
+(** The always-on skip ledger: per statically eligible PC, the fates of
+    every dynamic occurrence this SM has fully fetched or skipped. Its
+    conservation invariant (eligible = Σ fates) holds once the SM has
+    drained; see {!Gpu.check_ledger}. *)
+
 val pcstat : t -> Darsie_obs.Pcstat.t option
 (** The per-PC profile passed to {!create}, if any. Complete only after
     {!finalize} (which folds in engine-side skip telemetry). *)

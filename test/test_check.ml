@@ -214,7 +214,7 @@ let test_skip_table_invariants () =
   St.mark_writeback t ~pc:3 ~occ:0 ~majority:0b1111;
   St.mark_passed t ~pc:3 ~occ:0 ~warp:1 ~majority:0b1111;
   ok "after partial passes" (St.check_invariants t);
-  St.flush_loads t;
+  St.flush_loads t ~kind:`Store;
   ok "after load flush" (St.check_invariants t)
 
 (* ------------------------------------------------------------------ *)

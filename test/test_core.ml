@@ -81,7 +81,7 @@ let test_skip_table_flush_loads () =
   let t = Skip_table.create ~max_entries:8 ~rename_regs:8 in
   Skip_table.allocate t ~pc:0 ~occ:0 ~leader:0 ~is_load:true;
   Skip_table.allocate t ~pc:1 ~occ:0 ~leader:0 ~is_load:false;
-  Skip_table.flush_loads t;
+  Skip_table.flush_loads t ~kind:`Store;
   check_bool "load entry gone" true (Skip_table.find t ~pc:0 ~occ:0 = None);
   check_bool "alu entry kept" true (Skip_table.find t ~pc:1 ~occ:0 <> None);
   check_int "load's register returned" 7 (Skip_table.free_regs t);
@@ -120,7 +120,7 @@ let qcheck_skip_table =
             then Skip_table.allocate t ~pc ~occ ~leader:0 ~is_load:(pc = 0)
           | 1 -> Skip_table.mark_writeback t ~pc ~occ ~majority:0b11
           | 2 -> Skip_table.mark_passed t ~pc ~occ ~warp:1 ~majority:0b11
-          | 3 -> Skip_table.flush_loads t
+          | 3 -> Skip_table.flush_loads t ~kind:`Store
           | 4 -> Skip_table.recheck t ~majority:0b01
           | _ -> Skip_table.flush_all t)
         ops;

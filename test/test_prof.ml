@@ -244,6 +244,7 @@ let sample_record () =
     gmeans = [ ("speedup_2d_darsie", 1.30); ("speedup_2d_dac", 1.11) ];
     per_app_ipc = [ ("MM", 3.1); ("LIB", 1.7) ];
     per_app_cycles = [ ("MM", 7000); ("LIB", 8600) ];
+    per_app_coverage = [ ("MM", 0.92); ("LIB", 0.88) ];
   }
 
 let test_trendline_roundtrip () =
