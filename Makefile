@@ -4,8 +4,8 @@ DUNE ?= dune
 SMOKE_DIR ?= /tmp/darsie-smoke
 
 .PHONY: all build test verify doc cli-docs bench profile-smoke check-smoke \
-  annotate-smoke explain-smoke cache-smoke fastforward-smoke bench-compare \
-  clean
+  fuzz-smoke annotate-smoke explain-smoke cache-smoke fastforward-smoke \
+  bench-compare clean
 
 all: build
 
@@ -52,6 +52,18 @@ check-smoke: build
 	  --json $(SMOKE_DIR)/check_mm.json
 	$(DUNE) exec bin/darsie.exe -- check LIB --inject 6 --seed 7 \
 	  --json $(SMOKE_DIR)/check_lib.json
+
+# Fuzzer smoke: a fixed-seed 100-kernel campaign through the stacked
+# differential (every generated kernel must pass the oracle, the
+# fast-forward bit-identity check and the accounting invariants; exits
+# 7 on an oracle mismatch, 2 on anything else), the same campaign's
+# report re-validated as JSON, then a replay of every committed
+# counterexample witness in test/corpus/.
+fuzz-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	$(DUNE) exec bin/darsie.exe -- fuzz --seed 0 --count 100 \
+	  --json $(SMOKE_DIR)/fuzz.json
+	$(DUNE) exec bin/darsie.exe -- fuzz --replay-corpus test/corpus
 
 # Hotspot-annotation smoke: per-instruction listing for MM on two
 # machines (exit 2 if the per-PC charges diverge from the stall

@@ -189,7 +189,7 @@ let micro_tests () =
   let skip_table () =
     let t = Darsie_core.Skip_table.create ~max_entries:8 ~rename_regs:32 in
     for pc = 0 to 7 do
-      Darsie_core.Skip_table.allocate t ~pc ~occ:0 ~leader:0 ~is_load:false;
+      Darsie_core.Skip_table.allocate t ~pc ~occ:0 ~leader:0 ~mem_dep:false;
       Darsie_core.Skip_table.mark_writeback t ~pc ~occ:0 ~majority:0xFF;
       for w = 1 to 7 do
         Darsie_core.Skip_table.mark_passed t ~pc ~occ:0 ~warp:w ~majority:0xFF

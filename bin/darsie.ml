@@ -732,12 +732,114 @@ let area_cmd =
   Cmd.v (Cmd.info "area" ~doc:"DARSIE area estimate (Section 6.3)")
     Term.(const run $ const ())
 
+let fuzz_cmd =
+  let module Campaign = Darsie_fuzz.Campaign in
+  let run seed count jobs max_shrink corpus inject json_file replay
+      replay_corpus =
+    match (replay, replay_corpus) with
+    | Some spec, _ ->
+      (* --replay SEED:INDEX re-runs exactly one generated kernel *)
+      let rseed, rindex =
+        match String.split_on_char ':' spec with
+        | [ s; i ] -> (
+          match (int_of_string_opt s, int_of_string_opt i) with
+          | Some s, Some i -> (s, i)
+          | _ -> or_die (Error (Printf.sprintf "bad --replay spec %S" spec)))
+        | _ ->
+          or_die
+            (Error
+               (Printf.sprintf "bad --replay spec %S (expected SEED:INDEX)"
+                  spec))
+      in
+      let text, code = Campaign.replay ~seed:rseed ~index:rindex in
+      print_string text;
+      if code <> 0 then exit code
+    | None, Some dir ->
+      let text, code = Campaign.replay_corpus ~dir in
+      print_string text;
+      if code <> 0 then exit code
+    | None, None ->
+      let cfg =
+        {
+          Campaign.seed;
+          count;
+          jobs = (if jobs >= 1 then Some jobs else None);
+          max_shrink;
+          corpus_dir = corpus;
+          inject;
+        }
+      in
+      let report = Campaign.run cfg in
+      print_string (Campaign.render report);
+      (match json_file with
+      | Some path ->
+        let doc = Campaign.to_json report in
+        (match Darsie_harness.Metrics.validate_fuzz doc with
+        | Ok () -> ()
+        | Error msg -> violation "exported fuzz report invalid (%s)" msg);
+        Darsie_harness.Metrics.write_file path doc;
+        Printf.printf "report: %s\n" path
+      | None -> ());
+      finish ();
+      let code = Campaign.exit_code report in
+      if code <> 0 then exit code
+  in
+  let seed_arg =
+    let doc = "Campaign seed: kernel $(i,i) is generated from the splittable \
+               stream for (seed, i), so any kernel replays in isolation." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let count_arg =
+    let doc = "Number of kernels to generate and differentially check." in
+    Arg.(value & opt int 100 & info [ "count"; "n" ] ~docv:"N" ~doc)
+  in
+  let max_shrink_arg =
+    let doc = "Shrinker budget: predicate evaluations per counterexample." in
+    Arg.(value & opt int 400 & info [ "max-shrink" ] ~docv:"K" ~doc)
+  in
+  let corpus_arg =
+    let doc = "Write shrunk counterexamples to $(docv) (created on demand)." in
+    Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR" ~doc)
+  in
+  let inject_arg =
+    let doc = "Fault-injection mode: for each fault kind, find a generated \
+               kernel with an applicable site, require the stacked oracle to \
+               detect the injected fault, and shrink that kernel to a \
+               minimal witness."
+    in
+    Arg.(value & flag & info [ "inject" ] ~doc)
+  in
+  let replay_arg =
+    let doc = "Replay one kernel as $(docv) (SEED:INDEX) through the full \
+               stack and print its geometry, assembly and verdict."
+    in
+    Arg.(value & opt (some string) None & info [ "replay" ] ~docv:"SEED:INDEX" ~doc)
+  in
+  let replay_corpus_arg =
+    let doc = "Re-run every checked-in counterexample under $(docv) through \
+               the full differential stack (clean entries must pass; \
+               injected entries must be detected)."
+    in
+    Arg.(value & opt (some string) None & info [ "replay-corpus" ] ~docv:"DIR" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based kernel fuzzing: generate seeded PTX-lite kernels \
+          biased onto the promotion boundary and the skip-invalidation \
+          paths, run each through the stacked differential (oracle, \
+          fast-forward bit-identity, attribution/ledger invariants), and \
+          shrink any failure to a minimal replayable counterexample")
+    Term.(const run $ seed_arg $ count_arg $ jobs_arg $ max_shrink_arg
+          $ corpus_arg $ inject_arg $ json_arg $ replay_arg
+          $ replay_corpus_arg)
+
 let main =
   let doc = "DARSIE: dimensionality-aware redundant SIMT instruction elimination" in
   Cmd.group (Cmd.info "darsie" ~version:"1.0.0" ~doc)
     [ list_cmd; asm_cmd; analyze_cmd; run_cmd; profile_cmd; annotate_cmd;
-      explain_cmd; limit_cmd; experiment_cmd; check_cmd; bench_compare_cmd;
-      area_cmd ]
+      explain_cmd; limit_cmd; experiment_cmd; check_cmd; fuzz_cmd;
+      bench_compare_cmd; area_cmd ]
 
 (* Typed simulation errors escaping any subcommand (e.g. a deadlock during
    [darsie run]) exit with their distinct code and a one-line summary. *)

@@ -87,8 +87,9 @@ let config = { Interp.warp_size; capture_operands = true }
 type static = {
   tbr : bool array;  (** TB-redundant after launch-time promotion *)
   dst : int option array;
-  is_load : bool array;
-  is_flush : bool array;  (** store or atomic: flushes load entries *)
+  mem_dep : bool array;
+      (** load or transitively load-derived: flushed on store/atomic *)
+  is_flush : bool array;  (** store or atomic: flushes mem-dep entries *)
   is_bar : bool array;
   skip_safe : bool array;
       (** safe spurious-skip target: not control flow, writes a register
@@ -117,9 +118,7 @@ let static_of (launch : Kernel.launch) =
   {
     tbr = promo.Darsie_compiler.Promotion.tb_redundant;
     dst = Array.init n (fun i -> Instr.dst_reg insts.(i));
-    is_load =
-      Array.init n (fun i ->
-          match insts.(i).Instr.body with Instr.Ld _ -> true | _ -> false);
+    mem_dep = Array.init n (Darsie_compiler.Analysis.mem_dep analysis);
     is_flush =
       Array.init n (fun i ->
           match insts.(i).Instr.body with
@@ -160,7 +159,7 @@ let observe_base st (prepared : W.prepared) =
   in
   { counts; last_writes; mem = prepared.W.mem; outcome }
 
-type entry = { values : Value.t array; from_load : bool }
+type entry = { values : Value.t array; mem_dep : bool }
 
 (* Mutable accumulator for the candidate-profiling pass. *)
 type collector = {
@@ -328,15 +327,17 @@ let observe_darsie ?fault ?collect ~max_insts st (prepared : W.prepared) =
       match r.Interp.dst_values with
       | Some v when not (Hashtbl.mem table (pc, occ)) ->
         Hashtbl.add table (pc, occ)
-          { values = Array.copy v; from_load = st.is_load.(pc) }
+          { values = Array.copy v; mem_dep = st.mem_dep.(pc) }
       | _ -> ()
     end;
-    (* Invalidation: stores and atomics kill load-sourced entries;
-       a barrier every warp reached flushes the whole table. *)
+    (* Invalidation: stores and atomics kill every memory-dependent
+       entry — loads and anything transitively computed from a loaded
+       value, or followers would forward pre-store data; a barrier every
+       warp reached flushes the whole table. *)
     if st.is_flush.(pc) then begin
       let stale =
         Hashtbl.fold
-          (fun key e acc -> if e.from_load then key :: acc else acc)
+          (fun key e acc -> if e.mem_dep then key :: acc else acc)
           table []
       in
       List.iter (Hashtbl.remove table) stale
@@ -409,9 +410,14 @@ let compare_runs ~add_mismatch base darsie =
       add_mismatch (Memory_mismatch { addr; base = b; darsie = d }))
     (Memory.diff ~limit:mismatch_cap base.mem darsie.mem)
 
-let run_differential ?fault ?collect ~scale (w : W.t) =
-  let base_prep = w.W.prepare ~scale in
-  let darsie_prep = w.W.prepare ~scale in
+type subject = { name : string; fresh : unit -> W.prepared }
+
+let subject_of_workload ?(scale = 1) (w : W.t) =
+  { name = w.W.abbr; fresh = (fun () -> w.W.prepare ~scale) }
+
+let run_differential_subject ?fault ?collect (s : subject) =
+  let base_prep = s.fresh () in
+  let darsie_prep = s.fresh () in
   let st = static_of base_prep.W.launch in
   let base = observe_base st base_prep in
   let mismatches = ref [] in
@@ -424,7 +430,7 @@ let run_differential ?fault ?collect ~scale (w : W.t) =
   | Error e ->
     add_mismatch (Crash { machine = "BASE"; error = e });
     {
-      app = w.W.abbr;
+      app = s.name;
       fault;
       forwards = 0;
       warp_insts = 0;
@@ -447,24 +453,31 @@ let run_differential ?fault ?collect ~scale (w : W.t) =
       | Ok () -> ()
       | Error m -> add_mismatch (Reference_mismatch m)));
     {
-      app = w.W.abbr;
+      app = s.name;
       fault;
       forwards;
       warp_insts = base_stats.Interp.warp_insts;
       mismatches = List.rev !mismatches;
     }
 
-let check ?(scale = 1) w = run_differential ~scale w
+let check_subject s = run_differential_subject s
 
-let check_fault ?(scale = 1) w fault = run_differential ~fault ~scale w
+let check_fault_subject s fault = run_differential_subject ~fault s
 
-let candidates ?(scale = 1) w =
+let candidates_subject s =
   let c =
     { flip = []; n_flip = 0; poison = []; n_poison = 0; skip = []; n_skip = 0 }
   in
-  let (_ : report) = run_differential ~collect:c ~scale w in
+  let (_ : report) = run_differential_subject ~collect:c s in
   {
     Injector.flip_sites = List.rev c.flip;
     poison_sites = List.rev c.poison;
     skip_sites = List.rev c.skip;
   }
+
+let check ?scale w = check_subject (subject_of_workload ?scale w)
+
+let check_fault ?scale w fault =
+  check_fault_subject (subject_of_workload ?scale w) fault
+
+let candidates ?scale w = candidates_subject (subject_of_workload ?scale w)

@@ -72,6 +72,29 @@ val to_error : report -> Sim_error.t option
 (** [None] when the report passed; otherwise the corresponding
     [Oracle_mismatch]. *)
 
+(** {1 Library-level verdicts}
+
+    The oracle as a reusable component: anything that can produce fresh
+    prepared state (memory + launch + optional reference check) can be
+    cross-validated, not just the Table-1 registry. The kernel fuzzer
+    drives thousands of generated kernels through this interface. *)
+
+type subject = {
+  name : string;  (** label used in reports and error messages *)
+  fresh : unit -> Darsie_workloads.Workload.prepared;
+      (** produce a {e fresh} prepared state on every call — the base and
+          DARSIE-mode runs each consume one *)
+}
+
+val subject_of_workload :
+  ?scale:int -> Darsie_workloads.Workload.t -> subject
+
+val check_subject : subject -> report
+
+val check_fault_subject : subject -> Injector.fault -> report
+
+val candidates_subject : subject -> Injector.candidates
+
 val check : ?scale:int -> Darsie_workloads.Workload.t -> report
 (** Clean differential run: must pass for every workload. *)
 

@@ -10,6 +10,11 @@ type t = {
   info : inst_info array;
   ins : (Marking.cls array * Marking.cls array) array;
       (** per-block (vreg, preg) classes at block entry *)
+  ctrl : Marking.cls array;
+      (** per-instruction control-dependence class: meet of the predicate
+          classes of the divergent branches whose region contains it *)
+  mem_dep : bool array;
+      (** transitively sourced from a load; see {!mem_dep} *)
   tid_y : bool;  (** was the 3D tid.y seeding on? *)
 }
 
@@ -130,19 +135,65 @@ let computed_cls ~tid_y vregs pregs (inst : Instr.t) =
   | Some (_, p) -> meet base (pc p)
   | None -> base
 
-(* Transfer one instruction over mutable copies of the register states. *)
-let transfer ~tid_y vregs pregs (inst : Instr.t) =
-  let produced = computed_cls ~tid_y vregs pregs inst in
+(* Transfer one instruction over mutable copies of the register states.
+   [ctrl] is the control-dependence class of the instruction's position:
+   the meet of the predicate classes of every divergent branch whose
+   region contains it (top when straight-line). A write under divergent
+   control is partial — inactive lanes keep their old values — so it
+   merges with the previous contents exactly like a guarded write, and
+   the produced value itself can be no more redundant than the branch
+   condition that decided whether it executed (§4.2). *)
+let transfer ~tid_y ?(ctrl = top) vregs pregs (inst : Instr.t) =
+  let produced = meet ctrl (computed_cls ~tid_y vregs pregs inst) in
+  let partial = inst.Instr.guard <> None || not (Marking.equal ctrl top) in
   let update arr idx =
-    match inst.Instr.guard with
-    | Some _ ->
-      (* A guarded write merges with the previous contents: inactive lanes
-         keep their old values, so the register's class is the meet. *)
-      arr.(idx) <- meet arr.(idx) produced
-    | None -> arr.(idx) <- produced
+    if partial then arr.(idx) <- meet arr.(idx) produced
+    else arr.(idx) <- produced
   in
   Option.iter (update vregs) (Instr.dst_reg inst);
   Option.iter (update pregs) (Instr.dst_pred inst)
+
+(* Transitive memory dependence: an instruction is [mem_dep] when it is a
+   load or when any source register/predicate it reads may hold a value
+   that (transitively) came from a load. Flow-insensitive — a register is
+   tainted if ANY definition of it is tainted — which over-approximates
+   but stays sound; the consumers (store invalidation of skip-table
+   entries) only need "definitely not load-derived" to keep an entry. *)
+let compute_mem_dep (kernel : Kernel.t) =
+  let insts = kernel.Kernel.insts in
+  let n = Array.length insts in
+  let dep = Array.make n false in
+  let reg_dep = Array.make (max kernel.Kernel.nregs 1) false in
+  let pred_dep = Array.make (max kernel.Kernel.npregs 1) false in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun i inst ->
+        let tainted =
+          Instr.is_load inst
+          || List.exists (fun r -> reg_dep.(r)) (Instr.src_regs inst)
+          || List.exists (fun p -> pred_dep.(p)) (Instr.src_preds inst)
+        in
+        if tainted && not dep.(i) then begin
+          dep.(i) <- true;
+          changed := true
+        end;
+        if dep.(i) then begin
+          (match Instr.dst_reg inst with
+          | Some r when not reg_dep.(r) ->
+            reg_dep.(r) <- true;
+            changed := true
+          | _ -> ());
+          match Instr.dst_pred inst with
+          | Some p when not pred_dep.(p) ->
+            pred_dep.(p) <- true;
+            changed := true
+          | _ -> ()
+        end)
+      insts
+  done;
+  dep
 
 let copy_state (v, p) = (Array.copy v, Array.copy p)
 
@@ -167,62 +218,115 @@ let analyze ?(tid_y_redundancy = false) (kernel : Kernel.t) =
   let cfg = Cfg.build kernel in
   let postdom = Postdom.compute cfg in
   let nb = Cfg.num_blocks cfg in
+  let insts = kernel.Kernel.insts in
+  let n = Array.length insts in
   let fresh () =
     (Array.make (max kernel.Kernel.nregs 1) top,
      Array.make (max kernel.Kernel.npregs 1) top)
   in
   let ins = Array.init nb (fun _ -> fresh ()) in
-  let transfer_block b (v, p) =
-    let block = cfg.Cfg.blocks.(b) in
-    for i = block.Cfg.first to block.Cfg.last do
-      transfer ~tid_y v p kernel.Kernel.insts.(i)
+  let info = Array.make n { cls = Marking.bottom; skippable = false } in
+  let ctrl = Array.make n top in
+  (* One dataflow solve under the current control-dependence classes:
+     worklist fixpoint over block in-states, then an annotation replay of
+     each block from its converged entry state. *)
+  let solve () =
+    let transfer_block b (v, p) =
+      let block = cfg.Cfg.blocks.(b) in
+      for i = block.Cfg.first to block.Cfg.last do
+        transfer ~tid_y ~ctrl:ctrl.(i) v p insts.(i)
+      done
+    in
+    (* Every block is seeded, not just the entry: a block whose transfer
+       leaves its successor's in-state untouched (all writes already at
+       top) must still have that successor processed, or propagation
+       halts with every downstream in-state stuck at top. *)
+    let work = Queue.create () in
+    for b = 0 to nb - 1 do
+      Queue.add b work
+    done;
+    let queued = Array.make nb true in
+    while not (Queue.is_empty work) do
+      let b = Queue.pop work in
+      queued.(b) <- false;
+      let out = copy_state ins.(b) in
+      transfer_block b out;
+      List.iter
+        (fun s ->
+          if meet_state ins.(s) out && not queued.(s) then begin
+            queued.(s) <- true;
+            Queue.add s work
+          end)
+        cfg.Cfg.blocks.(b).Cfg.succs
+    done;
+    for b = 0 to nb - 1 do
+      let v, p = copy_state ins.(b) in
+      let block = cfg.Cfg.blocks.(b) in
+      for i = block.Cfg.first to block.Cfg.last do
+        let inst = insts.(i) in
+        let cls = meet ctrl.(i) (computed_cls ~tid_y v p inst) in
+        let skippable =
+          Instr.dst_reg inst <> None
+          && inst.Instr.guard = None
+          && not (Instr.is_atomic inst)
+        in
+        info.(i) <- { cls; skippable };
+        transfer ~tid_y ~ctrl:ctrl.(i) v p inst
+      done
     done
   in
-  (* Worklist fixpoint. *)
-  let work = Queue.create () in
-  Queue.add 0 work;
-  let queued = Array.make nb false in
-  queued.(0) <- true;
-  while not (Queue.is_empty work) do
-    let b = Queue.pop work in
-    queued.(b) <- false;
-    let out = copy_state ins.(b) in
-    transfer_block b out;
-    List.iter
-      (fun s ->
-        if meet_state ins.(s) out && not queued.(s) then begin
-          queued.(s) <- true;
-          Queue.add s work
-        end)
-      cfg.Cfg.blocks.(b).Cfg.succs
-  done;
-  (* Annotation pass: replay each block from its (stable) in-state. *)
-  let info =
-    Array.make (Array.length kernel.Kernel.insts)
-      { cls = Marking.bottom; skippable = false }
+  (* Control-dependence refinement: an instruction can be no more
+     redundant than the branches that decide whether (or how often) it
+     executes — a value defined on one side of a vector-divergent branch
+     is lane-dependent after reconvergence even if its own operands are
+     uniform (§4.2). A conditional branch's class is its predicate's
+     class; its region runs to the reconvergence point for a forward
+     branch and covers the loop body for a backward one. Predicate
+     classes themselves come out of the dataflow, so solve and refine
+     alternate until the (monotonically descending) control classes
+     stabilise. *)
+  let refine_ctrl () =
+    let nc = Array.make n top in
+    Array.iteri
+      (fun i (inst : Instr.t) ->
+        match (inst.Instr.body, inst.Instr.guard) with
+        | Instr.Bra target, Some _ ->
+          let lo, hi =
+            if target > i then
+              ( i + 1,
+                match Postdom.reconvergence_inst postdom i with
+                | Some r -> r - 1
+                | None -> n - 1 )
+            else (target, i)
+          in
+          for j = max lo 0 to min hi (n - 1) do
+            nc.(j) <- meet nc.(j) info.(i).cls
+          done
+        | _ -> ())
+      insts;
+    let changed = ref false in
+    for j = 0 to n - 1 do
+      if not (Marking.equal nc.(j) ctrl.(j)) then begin
+        ctrl.(j) <- nc.(j);
+        changed := true
+      end
+    done;
+    !changed
   in
-  for b = 0 to nb - 1 do
-    let v, p = copy_state ins.(b) in
-    let block = cfg.Cfg.blocks.(b) in
-    for i = block.Cfg.first to block.Cfg.last do
-      let inst = kernel.Kernel.insts.(i) in
-      let cls = computed_cls ~tid_y v p inst in
-      let skippable =
-        Instr.dst_reg inst <> None
-        && inst.Instr.guard = None
-        && not (Instr.is_atomic inst)
-      in
-      info.(i) <- { cls; skippable };
-      transfer ~tid_y v p inst
-    done
+  solve ();
+  while refine_ctrl () do
+    solve ()
   done;
-  { kernel; cfg; postdom; info; ins; tid_y }
+  { kernel; cfg; postdom; info; ins; ctrl;
+    mem_dep = compute_mem_dep kernel; tid_y }
 
 let marking t i = t.info.(i).cls.red
 
 let shape t i = t.info.(i).cls.shape
 
 let skippable t i = t.info.(i).skippable
+
+let mem_dep t i = t.mem_dep.(i)
 
 let block_in t b = Array.copy (fst t.ins.(b))
 
@@ -281,7 +385,7 @@ let explain t i =
      actually fed the marking. *)
   let v, p = copy_state t.ins.(b) in
   for j = block.Cfg.first to i - 1 do
-    transfer ~tid_y:t.tid_y v p t.kernel.Kernel.insts.(j)
+    transfer ~tid_y:t.tid_y ~ctrl:t.ctrl.(j) v p t.kernel.Kernel.insts.(j)
   done;
   let buf = Buffer.create 256 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
@@ -302,6 +406,9 @@ let explain t i =
       pr
       (Format.asprintf "%a" Marking.pp p.(pr))
   | None -> ());
+  (if not (Marking.equal t.ctrl.(i) top) then
+     line "  control-dependent on a divergent branch: meets with %s"
+       (Format.asprintf "%a" Marking.pp t.ctrl.(i)));
   let cls = t.info.(i).cls in
   (if ops = [] && inst.Instr.guard = None then
      line "  no source operands: %s" (Format.asprintf "%a" Marking.pp cls)

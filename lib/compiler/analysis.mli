@@ -28,6 +28,15 @@ type t = {
   info : inst_info array;
   ins : (Marking.cls array * Marking.cls array) array;
       (** per-block (vector, predicate) register classes at block entry *)
+  ctrl : Marking.cls array;
+      (** per-instruction control-dependence class: the meet of the
+          predicate classes of every conditional branch whose divergent
+          region (branch to reconvergence point, or the body of a
+          backward branch) contains the instruction; an instruction's
+          class meets with it, since a value defined under a
+          vector-divergent branch is lane-dependent after reconvergence
+          even when its own operands are uniform *)
+  mem_dep : bool array;  (** see {!mem_dep} *)
   tid_y : bool;  (** whether the analysis seeded [tid.y] (3D extension) *)
 }
 
@@ -42,6 +51,16 @@ val marking : t -> int -> Marking.redundancy
 val shape : t -> int -> Marking.shape
 
 val skippable : t -> int -> bool
+
+val mem_dep : t -> int -> bool
+(** Whether instruction [i] is {e memory-dependent}: a load, or an
+    instruction any of whose source registers/predicates may
+    (transitively) hold a load-derived value. A store or atomic must
+    invalidate the skip-table entries of every memory-dependent
+    instruction, not just of loads — a surviving entry for an ALU
+    instruction computed {e from} a stale loaded value would forward
+    pre-store data to follower warps. Flow-insensitive (any definition
+    taints the register), so conservative. *)
 
 val block_in : t -> int -> Marking.cls array
 (** Per-vector-register classes at entry of block [b] (for tests and

@@ -51,6 +51,20 @@ let resolve (analysis : Analysis.t) (launch : Kernel.launch) ~warp_size =
     block_dim = launch.Kernel.block_dim; warp_size;
     tb_redundant; dac_removable; uv_eligible }
 
+let resolves_redundant red ~(block : Kernel.dim3) ~warp_size =
+  let pow2 n = n > 0 && n land (n - 1) = 0 in
+  match (red : Marking.redundancy) with
+  | Marking.Def_redundant -> true
+  | Marking.Cond_redundant ->
+    (block.Kernel.y > 1 || block.Kernel.z > 1)
+    && block.Kernel.x <= warp_size
+    && pow2 block.Kernel.x
+  | Marking.Cond_redundant_xy ->
+    block.Kernel.z > 1
+    && block.Kernel.x * block.Kernel.y <= warp_size
+    && pow2 (block.Kernel.x * block.Kernel.y)
+  | Marking.Vector -> false
+
 let skip_count_upper_bound t =
   Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.tb_redundant
 

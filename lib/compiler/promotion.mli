@@ -30,6 +30,17 @@ type t = {
 val resolve :
   Analysis.t -> Darsie_isa.Kernel.launch -> warp_size:int -> t
 
+val resolves_redundant :
+  Marking.redundancy -> block:Darsie_isa.Kernel.dim3 -> warp_size:int -> bool
+(** Pure launch-time-promotion query: would an instruction with this
+    static marking resolve to definitely redundant under a hypothetical
+    threadblock geometry? [Def_redundant] always does; [Cond_redundant]
+    iff the block is multi-dimensional with a power-of-two x dimension no
+    larger than the warp size (§4.2); [Cond_redundant_xy] iff the 3D
+    xy-plane condition holds; [Vector] never. The kernel fuzzer uses this
+    to steer generated geometries onto (and just off) the promotion
+    boundary without building a launch first. *)
+
 val skip_count_upper_bound : t -> int
 (** Number of static instructions resolved TB-redundant (for reporting). *)
 

@@ -336,7 +336,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
               else begin
                 mutated ();
                 Skip_table.allocate slot.skip ~pc:idx ~occ:op.Record.occ
-                  ~leader:win ~is_load:kinfo.Kinfo.is_load.(idx);
+                  ~leader:win ~mem_dep:kinfo.Kinfo.mem_dep.(idx);
                 stats.Stats.rename_accesses <- stats.Stats.rename_accesses + 1;
                 clear_stall w;
                 unpark w;

@@ -62,7 +62,7 @@ type instance = {
   leader : int;
   mutable leader_wb : bool;
   mutable done_mask : int;
-  is_load : bool;
+  mem_dep : bool;
   born : int;  (* telemetry clock at allocation; 0 without telemetry *)
 }
 
@@ -119,7 +119,7 @@ let has_entry_slot t ~pc =
 
 let can_allocate t ~pc = has_entry_slot t ~pc && has_free_reg t
 
-let allocate t ~pc ~occ ~leader ~is_load =
+let allocate t ~pc ~occ ~leader ~mem_dep =
   if not (can_allocate t ~pc) then
     invalid_arg "Skip_table.allocate: table or freelist exhausted";
   if find t ~pc ~occ <> None then
@@ -128,7 +128,7 @@ let allocate t ~pc ~occ ~leader ~is_load =
     match t.telemetry with Some tel -> Telemetry.now tel | None -> 0
   in
   let inst =
-    { occ; leader; leader_wb = false; done_mask = 1 lsl leader; is_load; born }
+    { occ; leader; leader_wb = false; done_mask = 1 lsl leader; mem_dep; born }
   in
   (match Hashtbl.find_opt t.table pc with
   | Some e -> e.instances <- inst :: e.instances
@@ -178,7 +178,7 @@ let flush_loads t ~kind =
   let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.table [] in
   List.iter
     (fun e ->
-      let live, dead = List.partition (fun i -> not i.is_load) e.instances in
+      let live, dead = List.partition (fun i -> not i.mem_dep) e.instances in
       t.free <- t.free + List.length dead;
       List.iter
         (fun i ->

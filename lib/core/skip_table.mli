@@ -43,7 +43,7 @@ type instance = {
   leader : int;  (** warp (within the TB) that executes the instruction *)
   mutable leader_wb : bool;
   mutable done_mask : int;  (** warps that have passed this instance *)
-  is_load : bool;
+  mem_dep : bool;
   born : int;  (** telemetry clock at allocation; 0 without telemetry *)
 }
 
@@ -65,7 +65,7 @@ val has_free_reg : t -> bool
 
 val has_entry_slot : t -> pc:int -> bool
 
-val allocate : t -> pc:int -> occ:int -> leader:int -> is_load:bool -> unit
+val allocate : t -> pc:int -> occ:int -> leader:int -> mem_dep:bool -> unit
 (** Create an instance with the leader already marked in [done_mask].
 
     @raise Invalid_argument when [can_allocate] is false or the instance
@@ -85,7 +85,10 @@ val recheck : t -> majority:int -> unit
     shrank. *)
 
 val flush_loads : t -> kind:[ `Store | `Atomic ] -> unit
-(** Remove every load entry (a store or atomic was executed — §4.4).
+(** Remove every memory-dependent entry — loads and instructions whose
+    inputs transitively came from a load (a store or atomic was
+    executed — §4.4; keeping a derived-value entry would hand follower
+    warps pre-store data).
     Each flushed instance is remembered, keyed by (pc, occurrence) with
     [kind] and its leader, until {!consume_flush} or {!flush_all} — the
     skip ledger's provenance for [Flushed_store] / [Flushed_atomic]. *)

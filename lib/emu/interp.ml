@@ -519,3 +519,8 @@ let run_result ?config ?on_exec ?max_warp_insts ?strict_barriers ?intercept mem
   | stats -> Ok stats
   | exception Error e -> Stdlib.Error e
   | exception Fault m -> Stdlib.Error (Exec_fault m)
+  | exception Invalid_argument m ->
+    (* Illegal guest memory access (misaligned or out-of-range address,
+       e.g. from an injected fault corrupting an address register) — an
+       execution fault of the simulated program, not a harness error. *)
+    Stdlib.Error (Exec_fault m)

@@ -138,4 +138,5 @@ val run_result :
   Darsie_isa.Kernel.launch ->
   (stats, error) result
 (** Like {!run} but returns every execution error as a typed [Error]
-    value ({!Fault} messages arrive as [Exec_fault]). *)
+    value ({!Fault} messages arrive as [Exec_fault], as do illegal guest
+    memory accesses that {!Memory} rejects with [Invalid_argument]). *)

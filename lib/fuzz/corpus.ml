@@ -1,0 +1,153 @@
+open Darsie_isa
+module Injector = Darsie_check.Injector
+
+type entry = {
+  e_case : Plan.case;
+  e_kind : Injector.kind option;
+  e_site : Injector.site option;
+  e_failure : string;
+  e_replay : string;
+}
+
+let to_string e =
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  let c = e.e_case in
+  line "# darsie-fuzz corpus v1";
+  line "# kind: %s"
+    (match e.e_kind with None -> "clean" | Some k -> Injector.kind_name k);
+  if e.e_failure <> "" then line "# failure: %s" e.e_failure;
+  if e.e_replay <> "" then line "# replay: %s" e.e_replay;
+  let gx, gy = c.Plan.c_grid in
+  line "# grid: %d %d" gx gy;
+  let bx, by, bz = c.Plan.c_block in
+  line "# block: %d %d %d" bx by bz;
+  List.iter (fun (l, f) -> line "# buffer: %d %d" l f) c.Plan.c_buffers;
+  List.iter (fun s -> line "# scalar: %d" (Value.truncate s)) c.Plan.c_scalars;
+  (match e.e_site with
+  | Some s ->
+      line "# site: %d %d %d %d" s.Injector.s_tb s.Injector.s_warp
+        s.Injector.s_inst s.Injector.s_occ
+  | None -> ());
+  Buffer.add_string b (Printer.kernel_to_string c.Plan.kernel);
+  Buffer.contents b
+
+let of_string text =
+  let headers =
+    String.split_on_char '\n' text
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if String.length l > 2 && String.sub l 0 2 = "# " then
+             let l = String.sub l 2 (String.length l - 2) in
+             match String.index_opt l ':' with
+             | Some i ->
+                 Some
+                   ( String.sub l 0 i,
+                     String.trim (String.sub l (i + 1) (String.length l - i - 1))
+                   )
+             | None -> None
+           else None)
+  in
+  let all key = List.filter_map (fun (k, v) -> if k = key then Some v else None) headers in
+  let one key = match all key with v :: _ -> Some v | [] -> None in
+  let ints s = String.split_on_char ' ' s |> List.filter (( <> ) "") in
+  try
+    let kernel = Parser.parse_kernel text in
+    let kind =
+      match one "kind" with
+      | None | Some "clean" -> None
+      | Some name -> (
+          match
+            List.find_opt (fun k -> Injector.kind_name k = name) Injector.all_kinds
+          with
+          | Some k -> Some k
+          | None -> failwith (Printf.sprintf "unknown fault kind %S" name))
+    in
+    let grid =
+      match one "grid" with
+      | Some s -> (
+          match ints s with
+          | [ x; y ] -> (int_of_string x, int_of_string y)
+          | _ -> failwith "malformed grid header")
+      | None -> failwith "missing grid header"
+    in
+    let block =
+      match one "block" with
+      | Some s -> (
+          match ints s with
+          | [ x; y; z ] -> (int_of_string x, int_of_string y, int_of_string z)
+          | _ -> failwith "malformed block header")
+      | None -> failwith "missing block header"
+    in
+    let buffers =
+      List.map
+        (fun s ->
+          match ints s with
+          | [ l; f ] -> (int_of_string l, int_of_string f)
+          | _ -> failwith "malformed buffer header")
+        (all "buffer")
+    in
+    let scalars = List.map int_of_string (all "scalar") in
+    let site =
+      match one "site" with
+      | None -> None
+      | Some s -> (
+          match ints s with
+          | [ tb; w; i; o ] ->
+              Some
+                {
+                  Injector.s_tb = int_of_string tb;
+                  s_warp = int_of_string w;
+                  s_inst = int_of_string i;
+                  s_occ = int_of_string o;
+                }
+          | _ -> failwith "malformed site header")
+    in
+    if kernel.Kernel.nparams <> List.length buffers + List.length scalars then
+      failwith
+        (Printf.sprintf
+           ".params %d does not match %d buffers + %d scalars"
+           kernel.Kernel.nparams (List.length buffers) (List.length scalars));
+    Ok
+      {
+        e_case =
+          {
+            Plan.cname = kernel.Kernel.name;
+            kernel;
+            c_grid = grid;
+            c_block = block;
+            c_buffers = buffers;
+            c_scalars = scalars;
+          };
+        e_kind = kind;
+        e_site = site;
+        e_failure = Option.value ~default:"" (one "failure");
+        e_replay = Option.value ~default:"" (one "replay");
+      }
+  with
+  | Failure msg -> Error msg
+  | Parser.Parse_error (ln, msg) -> Error (Printf.sprintf "line %d: %s" ln msg)
+  | Invalid_argument msg -> Error msg
+
+let write ~dir ~filename entry =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir filename in
+  let oc = open_out path in
+  output_string oc (to_string entry);
+  close_out oc;
+  path
+
+let load_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".fuzz")
+    |> List.sort compare
+    |> List.map (fun f -> (f, load_file (Filename.concat dir f)))

@@ -1,0 +1,34 @@
+(** On-disk counterexample corpus.
+
+    Each [.fuzz] file is one minimized counterexample: a [#]-comment
+    header carrying everything the asm cannot (launch geometry, buffer
+    sizes and fill seeds, scalar parameters, the fault kind and site for
+    injected cases, and the exact replay command line) followed by the
+    kernel in the canonical {!Darsie_isa.Printer} syntax. The whole file
+    parses with {!Darsie_isa.Parser.parse_kernel} — the header lines are
+    ordinary comments to the assembler — so corpus files double as
+    human-readable repro recipes. [dune runtest] and [make fuzz-smoke]
+    replay every checked-in file through the full differential stack. *)
+
+type entry = {
+  e_case : Plan.case;
+  e_kind : Darsie_check.Injector.kind option;
+      (** [Some k]: an injected-fault counterexample (the kernel is clean;
+          injecting [k] at [e_site] must be detected). [None]: a clean
+          kernel the stack must accept. *)
+  e_site : Darsie_check.Injector.site option;
+  e_failure : string;  (** failure tag for historical context; may be [""] *)
+  e_replay : string;  (** exact command line that regenerates this case *)
+}
+
+val to_string : entry -> string
+
+val of_string : string -> (entry, string) result
+
+val write : dir:string -> filename:string -> entry -> string
+(** Create [dir] if needed, write the entry, return the path. *)
+
+val load_file : string -> (entry, string) result
+
+val load_dir : string -> (string * (entry, string) result) list
+(** Every [*.fuzz] file in the directory, sorted by filename. *)

@@ -1,0 +1,406 @@
+open Darsie_isa
+module M = Darsie_compiler.Marking
+module P = Plan
+
+type style =
+  | Promotion_boundary
+  | Store_racer
+  | Divergent
+  | Barrier_heavy
+  | Mixed
+
+let style_name = function
+  | Promotion_boundary -> "promotion_boundary"
+  | Store_racer -> "store_racer"
+  | Divergent -> "divergent"
+  | Barrier_heavy -> "barrier_heavy"
+  | Mixed -> "mixed"
+
+let all_styles =
+  [ Promotion_boundary; Store_racer; Divergent; Barrier_heavy; Mixed ]
+
+let styles = List.map style_name all_styles
+
+type ctx = {
+  rng : Sprng.t;
+  style : style;
+  nbufs : int;
+  nscalars : int;
+  has_shared : bool;
+  mutable next_id : int;
+  mutable left : int;  (* item budget, nested items included *)
+  mutable classes : (int * M.cls) list;  (* item id -> approximate class *)
+}
+
+let fresh_id ctx =
+  let id = ctx.next_id in
+  ctx.next_id <- id + 1;
+  id
+
+let dr_uniform = { M.red = M.Def_redundant; shape = M.Uniform }
+
+let cls_of_sreg = function
+  | Instr.Tid Instr.X -> { M.red = M.Cond_redundant; shape = M.Affine }
+  | Instr.Tid _ -> M.bottom
+  | Instr.Ntid _ | Instr.Ctaid _ | Instr.Nctaid _ -> dr_uniform
+
+let cls_of_src ctx = function
+  | P.SItem id ->
+      Option.value ~default:M.bottom (List.assoc_opt id ctx.classes)
+  | P.SImm _ | P.SParam _ -> dr_uniform
+  | P.SSreg s -> cls_of_sreg s
+
+let is_redundant (c : M.cls) =
+  match c.M.red with
+  | M.Def_redundant | M.Cond_redundant -> true
+  | M.Cond_redundant_xy | M.Vector -> false
+
+(* Leaf sources: values with known lattice seeds. *)
+let leaf_red ctx =
+  let rng = ctx.rng in
+  match
+    Sprng.weighted rng
+      [
+        (3, `Small);
+        (2, `Wide);
+        ((if ctx.nscalars > 0 then 3 else 0), `Param);
+        (3, `Sreg);
+      ]
+  with
+  | `Small -> P.SImm (Sprng.int rng 64)
+  | `Wide -> P.SImm (Sprng.bits32 rng)
+  | `Param -> P.SParam (Sprng.int rng ctx.nscalars)
+  | `Sreg ->
+      P.SSreg
+        (Sprng.choose rng
+           [
+             Instr.Ntid Instr.X;
+             Instr.Ntid Instr.Y;
+             Instr.Ctaid Instr.X;
+             Instr.Ctaid Instr.Y;
+             Instr.Nctaid Instr.X;
+             Instr.Nctaid Instr.Y;
+           ])
+
+let leaf_vec ctx =
+  P.SSreg
+    (Sprng.weighted ctx.rng
+       [
+         (6, Instr.Tid Instr.X);
+         (2, Instr.Tid Instr.Y);
+         (1, Instr.Tid Instr.Z);
+       ])
+
+let items_where ctx p =
+  List.filter_map
+    (fun (id, c) -> if p c then Some (P.SItem id) else None)
+    ctx.classes
+
+(* Operand choice, biased by the wanted lattice class so redundant chains
+   grow long instead of collapsing to vector noise at the first operand. *)
+let pick_src ctx want =
+  let rng = ctx.rng in
+  match want with
+  | `Red ->
+      let pool = items_where ctx is_redundant in
+      if pool <> [] && Sprng.chance rng 65 then Sprng.choose rng pool
+      else leaf_red ctx
+  | `Vec ->
+      let pool = items_where ctx (fun c -> c.M.red = M.Vector) in
+      if pool <> [] && Sprng.chance rng 55 then Sprng.choose rng pool
+      else leaf_vec ctx
+  | `Any ->
+      if ctx.classes <> [] && Sprng.chance rng 55 then
+        Sprng.choose rng (List.map (fun (id, _) -> P.SItem id) ctx.classes)
+      else if Sprng.bool rng then leaf_red ctx
+      else leaf_vec ctx
+
+let gen_binop rng =
+  Sprng.weighted rng
+    [
+      (8, Instr.Add); (6, Instr.Sub); (5, Instr.Mul); (5, Instr.And);
+      (5, Instr.Or); (5, Instr.Xor); (4, Instr.Shl); (4, Instr.Shr_u);
+      (2, Instr.Shr_s); (2, Instr.Min_s); (2, Instr.Max_u); (2, Instr.Mulhi);
+      (1, Instr.Div_u); (1, Instr.Rem_u); (2, Instr.Fadd); (2, Instr.Fmul);
+      (1, Instr.Fsub); (1, Instr.Fmin);
+    ]
+
+let gen_unop rng =
+  Sprng.weighted rng
+    [
+      (6, Instr.Mov); (3, Instr.Not); (3, Instr.Neg); (2, Instr.Abs_s);
+      (2, Instr.Cvt_i2f); (2, Instr.Cvt_u2f); (1, Instr.Cvt_f2i);
+      (1, Instr.Fneg); (1, Instr.Fabs); (1, Instr.Fsqrt); (1, Instr.Frcp);
+    ]
+
+let gen_cond ctx ~divergent =
+  let rng = ctx.rng in
+  let ckind =
+    if Sprng.chance rng 10 then Instr.Fcmp
+    else if Sprng.bool rng then Instr.Scmp
+    else Instr.Ucmp
+  in
+  let ccmp =
+    Sprng.choose rng
+      [ Instr.Lt; Instr.Le; Instr.Gt; Instr.Ge; Instr.Eq; Instr.Ne ]
+  in
+  let ca = if divergent then pick_src ctx `Vec else pick_src ctx `Red in
+  let cb =
+    if Sprng.chance rng 70 then P.SImm (Sprng.int ctx.rng 48)
+    else pick_src ctx `Red
+  in
+  { P.ckind; ccmp; ca; cb }
+
+let cond_cls ctx c = M.meet (cls_of_src ctx c.P.ca) (cls_of_src ctx c.P.cb)
+
+let gen_target ctx =
+  if ctx.has_shared && Sprng.chance ctx.rng 30 then P.Shm
+  else P.Gbuf (Sprng.int ctx.rng ctx.nbufs)
+
+let gen_idx ctx =
+  pick_src ctx (Sprng.weighted ctx.rng [ (5, `Vec); (3, `Red); (2, `Any) ])
+
+let item_weights ctx depth =
+  let base =
+    [
+      (30, `Arith); (6, `Select); (14, `Load); (7, `Store); (3, `Atomic);
+      ((if depth = 0 then 5 else 0), `Bar);
+      ((if depth < 2 then 7 else 0), `If);
+      ((if depth < 2 then 6 else 0), `Loop);
+    ]
+  in
+  let boost k extra =
+    List.map (fun (w, k') -> if k = k' then (w + extra, k') else (w, k')) base
+  in
+  match ctx.style with
+  | Promotion_boundary -> boost `Arith 14
+  | Store_racer ->
+      List.fold_left
+        (fun acc (k, e) ->
+          List.map (fun (w, k') -> if k = k' then (w + e, k') else (w, k')) acc)
+        base
+        [ (`Store, 11); (`Atomic, 6); (`Load, 8) ]
+  | Divergent -> boost `If 9 |> List.map (fun (w, k) -> if k = `Select then (w + 5, k) else (w, k))
+  | Barrier_heavy -> if depth = 0 then boost `Bar 11 else base
+  | Mixed -> base
+
+let rec gen_item ctx depth : P.item option =
+  if ctx.left <= 0 then None
+  else begin
+    ctx.left <- ctx.left - 1;
+    let rng = ctx.rng in
+    match Sprng.weighted rng (item_weights ctx depth) with
+    | `Arith ->
+        let redundant_chain =
+          Sprng.chance rng
+            (match ctx.style with Promotion_boundary -> 70 | _ -> 50)
+        in
+        let want = if redundant_chain then `Red else `Any in
+        let id = fresh_id ctx in
+        let op, srcs =
+          match Sprng.weighted rng [ (6, `B); (3, `U); (1, `T) ] with
+          | `B ->
+              let a = pick_src ctx want and b = pick_src ctx want in
+              (P.Bop (gen_binop rng), [ a; b; P.SImm 0 ])
+          | `U ->
+              let a = pick_src ctx want in
+              (P.Uop (gen_unop rng), [ a; P.SImm 0; P.SImm 0 ])
+          | `T ->
+              let a = pick_src ctx want
+              and b = pick_src ctx want
+              and c = pick_src ctx want in
+              ( P.Top (Sprng.choose rng [ Instr.Mad; Instr.Fma ]),
+                [ a; b; c ] )
+        in
+        let used =
+          match (op, srcs) with
+          | P.Uop _, a :: _ -> [ a ]
+          | P.Bop _, a :: b :: _ -> [ a; b ]
+          | _, l -> l
+        in
+        let cls =
+          List.fold_left
+            (fun acc s -> M.meet acc (cls_of_src ctx s))
+            M.top used
+        in
+        ctx.classes <- (id, cls) :: ctx.classes;
+        let a, b, c =
+          match srcs with [ a; b; c ] -> (a, b, c) | _ -> assert false
+        in
+        Some (P.Arith { id; op; a; b; c })
+    | `Select ->
+        let cond = gen_cond ctx ~divergent:(Sprng.chance rng 60) in
+        let a = pick_src ctx `Any and b = pick_src ctx `Any in
+        let id = fresh_id ctx in
+        let cls =
+          M.meet (cond_cls ctx cond)
+            (M.meet (cls_of_src ctx a) (cls_of_src ctx b))
+        in
+        ctx.classes <- (id, cls) :: ctx.classes;
+        Some (P.Select { id; cond; a; b })
+    | `Load ->
+        let tgt = gen_target ctx in
+        let idx = gen_idx ctx in
+        let id = fresh_id ctx in
+        let cls =
+          {
+            M.red = (cls_of_src ctx idx).M.red;
+            shape = M.meet_shape M.Unstructured (cls_of_src ctx idx).M.shape;
+          }
+        in
+        ctx.classes <- (id, cls) :: ctx.classes;
+        Some (P.Load { id; tgt; idx })
+    | `Store ->
+        Some (P.Store { tgt = gen_target ctx; idx = gen_idx ctx;
+                        v = pick_src ctx `Any })
+    | `Atomic ->
+        let id = fresh_id ctx in
+        ctx.classes <- (id, M.bottom) :: ctx.classes;
+        Some
+          (P.Atomic
+             {
+               id;
+               aop =
+                 Sprng.weighted rng
+                   [
+                     (4, Instr.Atom_add); (2, Instr.Atom_max);
+                     (2, Instr.Atom_min); (1, Instr.Atom_exch);
+                     (1, Instr.Atom_cas);
+                   ];
+               buf = Sprng.int rng ctx.nbufs;
+               idx = gen_idx ctx;
+               v = pick_src ctx `Any;
+             })
+    | `Bar -> Some P.Barrier
+    | `If ->
+        let cond = gen_cond ctx ~divergent:(Sprng.chance rng 70) in
+        let before = ctx.next_id in
+        let body = gen_items ctx (depth + 1) (Sprng.in_range rng 1 4) in
+        (* values defined under the branch are control-dependent on it *)
+        let ccls = cond_cls ctx cond in
+        ctx.classes <-
+          List.map
+            (fun (id, c) -> if id >= before then (id, M.meet c ccls) else (id, c))
+            ctx.classes;
+        Some (P.If { cond; body })
+    | `Loop ->
+        let id = fresh_id ctx in
+        ctx.classes <- (id, dr_uniform) :: ctx.classes;
+        let trip = Sprng.in_range rng 2 5 in
+        let body = gen_items ctx depth (Sprng.in_range rng 1 4) in
+        Some (P.Loop { id; trip; body })
+  end
+
+and gen_items ctx depth n =
+  let rec go acc k =
+    if k = 0 then List.rev acc
+    else
+      match gen_item ctx depth with
+      | None -> List.rev acc
+      | Some it -> go (it :: acc) (k - 1)
+  in
+  go [] n
+
+(* Block geometries on both sides of the §4.2 x-dimension promotion
+   test; every entry is sanity-checked against the lattice query at
+   module load. *)
+let promoted_blocks =
+  [ (32, 2, 1); (16, 4, 1); (8, 8, 1); (4, 2, 2); (32, 4, 1); (2, 16, 1);
+    (16, 2, 2); (1, 32, 1) ]
+
+let demoted_blocks =
+  [ (33, 2, 1); (31, 2, 1); (48, 2, 1); (3, 5, 1); (64, 2, 1); (33, 1, 1);
+    (40, 2, 1) ]
+
+let flat_blocks = [ (32, 1, 1); (64, 1, 1); (128, 1, 1); (37, 1, 1); (256, 1, 1) ]
+
+let () =
+  let check expect (x, y, z) =
+    let block = Kernel.dim3 x ~y ~z in
+    assert (
+      Darsie_compiler.Promotion.resolves_redundant M.Cond_redundant ~block
+        ~warp_size:32
+      = expect)
+  in
+  List.iter (check true) promoted_blocks;
+  List.iter (check false) demoted_blocks;
+  List.iter (check false) flat_blocks
+
+let gen_geometry rng style =
+  let block =
+    match style with
+    | Promotion_boundary ->
+        if Sprng.bool rng then Sprng.choose rng promoted_blocks
+        else Sprng.choose rng demoted_blocks
+    | _ ->
+        Sprng.weighted rng
+          [
+            (5, `P); (3, `D); (2, `F);
+          ]
+        |> (function
+             | `P -> Sprng.choose rng promoted_blocks
+             | `D -> Sprng.choose rng demoted_blocks
+             | `F -> Sprng.choose rng flat_blocks)
+  in
+  let grid =
+    Sprng.weighted rng
+      [ (5, (1, 1)); (3, (2, 1)); (2, (2, 2)); (1, (3, 1)); (1, (4, 1)) ]
+  in
+  (grid, block)
+
+let generate ~seed ~index =
+  let rng = Sprng.for_index ~seed ~index in
+  let style = List.nth all_styles (abs index mod List.length all_styles) in
+  let nbufs = Sprng.in_range rng 1 3 in
+  let buffers =
+    List.init nbufs (fun _ ->
+        (Sprng.in_range rng 3 7, Sprng.int rng 1_000_000))
+  in
+  let nscalars = Sprng.in_range rng 0 3 in
+  let scalars = List.init nscalars (fun _ -> Sprng.bits32 rng) in
+  let has_shared = Sprng.chance rng 40 in
+  let shared_log2 = if has_shared then Some (Sprng.in_range rng 4 6) else None in
+  let grid, block = gen_geometry rng style in
+  let budget =
+    match style with
+    | Promotion_boundary -> Sprng.in_range rng 8 22
+    | _ -> Sprng.in_range rng 6 24
+  in
+  let ctx =
+    {
+      rng;
+      style;
+      nbufs;
+      nscalars;
+      has_shared;
+      next_id = 0;
+      left = budget;
+      classes = [];
+    }
+  in
+  let body = gen_items ctx 0 budget in
+  let body =
+    if body = [] then
+      [
+        P.Arith
+          {
+            id = fresh_id ctx;
+            op = P.Bop Instr.Add;
+            a = P.SSreg (Instr.Tid Instr.X);
+            b = P.SImm 1;
+            c = P.SImm 0;
+          };
+      ]
+    else body
+  in
+  let name = Printf.sprintf "fuzz_s%d_i%d" (abs seed) (abs index) in
+  ( style_name style,
+    {
+      P.name;
+      grid;
+      block;
+      buffers;
+      scalars;
+      shared_log2;
+      body;
+    } )

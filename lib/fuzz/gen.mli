@@ -1,0 +1,31 @@
+(** Lattice-guided kernel generation.
+
+    Each kernel is drawn from one of five {e styles} that overweight the
+    corners where DARSIE's machinery earns its keep:
+
+    - [promotion_boundary] — block geometries on and just off the §4.2
+      launch-time promotion test (x a power of two at/above/below the
+      warp size, multi-dimensional vs flat), chosen with
+      {!Darsie_compiler.Promotion.resolves_redundant} so roughly half the
+      kernels promote their conditionally redundant instructions and
+      half demote them;
+    - [store_racer] — store/atomic-dense bodies whose writes invalidate
+      load-sourced skip-table entries between leader and followers;
+    - [divergent] — [tid]-conditioned [If] bodies wrapping marked
+      instructions, so skips meet partial SIMD masks;
+    - [barrier_heavy] — barriers between redundant chains, flushing the
+      table mid-threadblock;
+    - [mixed] — everything at once.
+
+    The generator tracks an approximate {!Darsie_compiler.Marking.cls}
+    for every produced value (the same meet rules the compiler pass
+    uses) and biases operand choice toward long definitely/conditionally
+    redundant chains — the instructions DARSIE will actually mark and
+    skip — instead of drowning them in vector noise. *)
+
+val generate : seed:int -> index:int -> string * Plan.t
+(** [(style_name, plan)] for kernel [index] of campaign [seed] —
+    deterministic in [(seed, index)] alone. *)
+
+val styles : string list
+(** All style names, for reporting. *)

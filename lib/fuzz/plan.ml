@@ -1,0 +1,227 @@
+open Darsie_isa
+
+type src =
+  | SItem of int
+  | SImm of int
+  | SParam of int
+  | SSreg of Instr.sreg
+
+type target = Gbuf of int | Shm
+
+type op = Bop of Instr.binop | Uop of Instr.unop | Top of Instr.ternop
+
+type cond = {
+  ckind : Instr.cmp_kind;
+  ccmp : Instr.cmp;
+  ca : src;
+  cb : src;
+}
+
+type item =
+  | Arith of { id : int; op : op; a : src; b : src; c : src }
+  | Select of { id : int; cond : cond; a : src; b : src }
+  | Load of { id : int; tgt : target; idx : src }
+  | Store of { tgt : target; idx : src; v : src }
+  | Atomic of { id : int; aop : Instr.atom_op; buf : int; idx : src; v : src }
+  | Barrier
+  | If of { cond : cond; body : item list }
+  | Loop of { id : int; trip : int; body : item list }
+
+type t = {
+  name : string;
+  grid : int * int;
+  block : int * int * int;
+  buffers : (int * int) list;
+  scalars : int list;
+  shared_log2 : int option;
+  body : item list;
+}
+
+type case = {
+  cname : string;
+  kernel : Kernel.t;
+  c_grid : int * int;
+  c_block : int * int * int;
+  c_buffers : (int * int) list;
+  c_scalars : int list;
+}
+
+let rec size_items items =
+  List.fold_left
+    (fun acc it ->
+      acc
+      +
+      match it with
+      | If { body; _ } -> 1 + size_items body
+      | Loop { body; _ } -> 1 + size_items body
+      | _ -> 1)
+    0 items
+
+let size p = size_items p.body
+
+exception Bad of string
+
+let build (p : t) : (case, string) result =
+  let gx, gy = p.grid in
+  let bx, by, bz = p.block in
+  let nbufs = List.length p.buffers in
+  let nscalars = List.length p.scalars in
+  try
+    if gx < 1 || gy < 1 || bx < 1 || by < 1 || bz < 1 then
+      raise (Bad "non-positive launch dimension");
+    if bx * by * bz > 1024 then raise (Bad "threadblock exceeds 1024 threads");
+    let shared_words =
+      match p.shared_log2 with
+      | Some l when l < 0 || l > 12 -> raise (Bad "shared_log2 out of range")
+      | Some l -> 1 lsl l
+      | None -> 0
+    in
+    let b =
+      Builder.create ~name:p.name ~nparams:(nbufs + nscalars)
+        ~shared_bytes:(4 * shared_words) ()
+    in
+    let module O = Builder.O in
+    (* item id -> vector register holding its (latest) value *)
+    let regs : (int, int) Hashtbl.t = Hashtbl.create 16 in
+    let operand_of = function
+      | SItem id -> (
+          match Hashtbl.find_opt regs id with
+          | Some r -> O.r r
+          | None -> O.i 0)
+      | SImm v -> Instr.Imm (Value.truncate v)
+      | SParam k -> if k >= 0 && k < nscalars then O.p (nbufs + k) else O.i 0
+      | SSreg s -> Instr.Sreg s
+    in
+    let emit_cond c =
+      let pr = Builder.pred b in
+      Builder.setp b c.ckind c.ccmp pr (operand_of c.ca) (operand_of c.cb);
+      pr
+    in
+    (* Mask the index into the target's word count and scale to a byte
+       offset: addresses are non-negative, word-aligned and in-bounds by
+       construction, so no generated kernel can fault the emulator. *)
+    let addr_reg tgt idx =
+      let words_log2, base =
+        match tgt with
+        | Gbuf k ->
+            if k < 0 || k >= nbufs then
+              raise (Bad (Printf.sprintf "Gbuf %d out of range" k));
+            (fst (List.nth p.buffers k), Some (O.p k))
+        | Shm -> (
+            match p.shared_log2 with
+            | None -> raise (Bad "Shm access without shared memory")
+            | Some l -> (l, None))
+      in
+      let m = Builder.reg b in
+      Builder.bin b Instr.And m (operand_of idx) (O.i ((1 lsl words_log2) - 1));
+      let sh = Builder.reg b in
+      Builder.shl b sh (O.r m) (O.i 2);
+      match base with
+      | None -> sh
+      | Some base ->
+          let a = Builder.reg b in
+          Builder.add b a (O.r sh) base;
+          a
+    in
+    let rec emit_items items = List.iter emit_item items
+    and emit_item = function
+      | Arith { id; op; a; b = ob; c } -> (
+          let d = Builder.reg b in
+          Hashtbl.replace regs id d;
+          match op with
+          | Bop o -> Builder.bin b o d (operand_of a) (operand_of ob)
+          | Uop o -> Builder.un b o d (operand_of a)
+          | Top o ->
+              Builder.emit b
+                (Instr.Tern (o, d, operand_of a, operand_of ob, operand_of c)))
+      | Select { id; cond; a; b = ob } ->
+          let pr = emit_cond cond in
+          let d = Builder.reg b in
+          Hashtbl.replace regs id d;
+          Builder.selp b d (operand_of a) (operand_of ob) pr
+      | Load { id; tgt; idx } ->
+          let a = addr_reg tgt idx in
+          let space =
+            match tgt with Gbuf _ -> Instr.Global | Shm -> Instr.Shared
+          in
+          let d = Builder.reg b in
+          Hashtbl.replace regs id d;
+          Builder.ld b space d (O.r a) ()
+      | Store { tgt; idx; v } ->
+          let a = addr_reg tgt idx in
+          let space =
+            match tgt with Gbuf _ -> Instr.Global | Shm -> Instr.Shared
+          in
+          Builder.st b space (O.r a) (operand_of v)
+      | Atomic { id; aop; buf; idx; v } ->
+          let a = addr_reg (Gbuf buf) idx in
+          let d = Builder.reg b in
+          Hashtbl.replace regs id d;
+          Builder.atom b aop d (O.r a) (operand_of v)
+      | Barrier -> Builder.bar b
+      | If { cond; body } ->
+          let pr = emit_cond cond in
+          let l = Builder.fresh_label b in
+          Builder.bra b ~guard:(false, pr) l;
+          emit_items body;
+          Builder.place b l
+      | Loop { id; trip; body } ->
+          let trip = max 1 trip in
+          let c = Builder.reg b in
+          Hashtbl.replace regs id c;
+          Builder.mov b c (O.i 0);
+          let top = Builder.here b in
+          emit_items body;
+          Builder.add b c (O.r c) (O.i 1);
+          let pr = Builder.pred b in
+          Builder.setp b Instr.Scmp Instr.Lt pr (O.r c) (O.i trip);
+          Builder.bra b ~guard:(true, pr) top
+    in
+    emit_items p.body;
+    Builder.exit_ b;
+    match Builder.finish_result b with
+    | Ok kernel ->
+        Ok
+          {
+            cname = p.name;
+            kernel;
+            c_grid = p.grid;
+            c_block = p.block;
+            c_buffers = p.buffers;
+            c_scalars = p.scalars;
+          }
+    | Error e -> Error (Builder.error_message e)
+  with Bad msg -> Error msg
+
+let prepared (c : case) =
+  let mem = Darsie_emu.Memory.create () in
+  let bases =
+    List.map
+      (fun (words_log2, fill) ->
+        let words = 1 lsl words_log2 in
+        let base = Darsie_emu.Memory.alloc mem (4 * words) in
+        for j = 0 to words - 1 do
+          Darsie_emu.Memory.store_u32 mem (base + (4 * j)) (Sprng.hash2 fill j)
+        done;
+        base)
+      c.c_buffers
+  in
+  let params =
+    Array.of_list
+      (List.map Value.truncate bases
+      @ List.map Value.truncate c.c_scalars)
+  in
+  let gx, gy = c.c_grid in
+  let bx, by, bz = c.c_block in
+  let launch =
+    Kernel.launch c.kernel
+      ~grid:(Kernel.dim3 gx ~y:gy)
+      ~block:(Kernel.dim3 bx ~y:by ~z:bz)
+      ~params
+  in
+  { Darsie_workloads.Workload.mem; launch; verify = (fun _ -> Ok ()) }
+
+let subject (c : case) =
+  { Darsie_check.Oracle.name = c.cname; fresh = (fun () -> prepared c) }
+
+let instruction_count (c : case) = Array.length c.kernel.Kernel.insts

@@ -1,0 +1,97 @@
+(** Generation plans: the structured representation of a fuzzed kernel.
+
+    The generator does not emit instructions directly — it emits a
+    {e plan}: launch geometry, input buffers, and a tree of high-level
+    items (arithmetic, memory ops, barriers, structured [If]/[Loop]
+    control flow). {!build} lowers a plan through
+    {!Darsie_isa.Builder}, so every generated kernel is well-formed by
+    construction (masked word-aligned addressing, converging forward
+    branches, counted uniform loops, a final [exit]); the shrinker
+    operates on the same representation, where "drop an instruction" or
+    "collapse a branch" are single-constructor edits that cannot produce
+    an ill-formed kernel. *)
+
+(** A value source. [SItem id] refers to the value produced by the item
+    with that id; a dangling reference (possible after shrinking removed
+    the producer) lowers to immediate [0]. Out-of-range [SParam]s lower
+    to immediate [0] for the same reason. *)
+type src =
+  | SItem of int
+  | SImm of int  (** 32-bit pattern *)
+  | SParam of int  (** index into {!t.scalars} *)
+  | SSreg of Darsie_isa.Instr.sreg
+
+(** A memory target: global buffer [k] of the plan, or threadblock
+    shared memory. *)
+type target = Gbuf of int | Shm
+
+type op =
+  | Bop of Darsie_isa.Instr.binop
+  | Uop of Darsie_isa.Instr.unop
+  | Top of Darsie_isa.Instr.ternop
+
+type cond = {
+  ckind : Darsie_isa.Instr.cmp_kind;
+  ccmp : Darsie_isa.Instr.cmp;
+  ca : src;
+  cb : src;
+}
+
+type item =
+  | Arith of { id : int; op : op; a : src; b : src; c : src }
+      (** [b]/[c] ignored for unary/binary ops *)
+  | Select of { id : int; cond : cond; a : src; b : src }
+  | Load of { id : int; tgt : target; idx : src }
+      (** loads word [(idx mod words) * 4] of the target *)
+  | Store of { tgt : target; idx : src; v : src }
+  | Atomic of { id : int; aop : Darsie_isa.Instr.atom_op; buf : int;
+                idx : src; v : src }
+  | Barrier  (** only valid at nesting depth 0 (outside any [If]) *)
+  | If of { cond : cond; body : item list }
+      (** forward branch over [body]; reconverges immediately after *)
+  | Loop of { id : int; trip : int; body : item list }
+      (** counted uniform loop; [id] exposes the counter register as a
+          value (current iteration inside the body, [trip] after) *)
+
+type t = {
+  name : string;
+  grid : int * int;
+  block : int * int * int;
+  buffers : (int * int) list;
+      (** per global buffer: [(words_log2, fill_seed)]; size is
+          [2^words_log2] words, word [j] is filled with
+          [Sprng.hash2 fill_seed j] *)
+  scalars : int list;  (** 32-bit scalar parameters, after the buffer bases *)
+  shared_log2 : int option;  (** shared-memory words (log2); required by [Shm] *)
+  body : item list;
+}
+
+(** A built, runnable kernel plus everything needed to reconstruct its
+    launch state from scratch. *)
+type case = {
+  cname : string;
+  kernel : Darsie_isa.Kernel.t;
+  c_grid : int * int;
+  c_block : int * int * int;
+  c_buffers : (int * int) list;
+  c_scalars : int list;
+}
+
+val build : t -> (case, string) result
+(** Lower the plan to a kernel. Fails (with a message) on invalid
+    geometry, a [Gbuf] out of range, [Shm] without [shared_log2], or a
+    {!Darsie_isa.Builder} well-formedness rejection — the shrinker
+    treats a failing build as a rejected edit. *)
+
+val prepared : case -> Darsie_workloads.Workload.prepared
+(** Fresh memory (buffers allocated and deterministically filled),
+    launch, and a trivial reference check — generated kernels are
+    validated differentially, not against a CPU oracle. *)
+
+val subject : case -> Darsie_check.Oracle.subject
+
+val instruction_count : case -> int
+
+val size : t -> int
+(** Total item count, nested items included — the shrinker's progress
+    metric. *)

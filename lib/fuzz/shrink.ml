@@ -1,0 +1,245 @@
+open Plan
+
+(* ---- traversals ------------------------------------------------------ *)
+
+let rec iter_srcs f items =
+  List.iter
+    (fun it ->
+      match it with
+      | Arith { a; b; c; _ } -> f a; f b; f c
+      | Select { cond; a; b; _ } -> f cond.ca; f cond.cb; f a; f b
+      | Load { idx; _ } -> f idx
+      | Store { idx; v; _ } -> f idx; f v
+      | Atomic { idx; v; _ } -> f idx; f v
+      | Barrier -> ()
+      | If { cond; body } -> f cond.ca; f cond.cb; iter_srcs f body
+      | Loop { body; _ } -> iter_srcs f body)
+    items
+
+let rec iter_targets f items =
+  List.iter
+    (fun it ->
+      match it with
+      | Load { tgt; _ } | Store { tgt; _ } -> f tgt
+      | Atomic { buf; _ } -> f (Gbuf buf)
+      | If { body; _ } | Loop { body; _ } -> iter_targets f body
+      | _ -> ())
+    items
+
+let rec map_body ~src ~tgt items =
+  let cond c = { c with ca = src c.ca; cb = src c.cb } in
+  List.map
+    (fun it ->
+      match it with
+      | Arith { id; op; a; b; c } ->
+          Arith { id; op; a = src a; b = src b; c = src c }
+      | Select { id; cond = c; a; b } ->
+          Select { id; cond = cond c; a = src a; b = src b }
+      | Load { id; tgt = t; idx } -> Load { id; tgt = tgt t; idx = src idx }
+      | Store { tgt = t; idx; v } ->
+          Store { tgt = tgt t; idx = src idx; v = src v }
+      | Atomic { id; aop; buf; idx; v } ->
+          let buf = match tgt (Gbuf buf) with Gbuf b -> b | Shm -> buf in
+          Atomic { id; aop; buf; idx = src idx; v = src v }
+      | Barrier -> Barrier
+      | If { cond = c; body } -> If { cond = cond c; body = map_body ~src ~tgt body }
+      | Loop { id; trip; body } ->
+          Loop { id; trip; body = map_body ~src ~tgt body })
+    items
+
+(* ---- edit menus ------------------------------------------------------ *)
+
+let geometry_edits p =
+  let gx, gy = p.grid and bx, by, bz = p.block in
+  let threads = bx * by * bz in
+  let grids =
+    List.filter
+      (fun g -> g <> p.grid && fst g * snd g < gx * gy)
+      [ (1, 1); (2, 1) ]
+  in
+  let blocks =
+    List.filter
+      (fun (x, y, z) ->
+        (x, y, z) <> p.block && x * y * z <= threads && (x, y, z) <> (bx, by, bz))
+      [ (1, 1, 1); (2, 2, 1); (bx, 1, 1); (bx, by, 1); (4, 2, 1) ]
+    |> List.sort_uniq compare
+  in
+  List.map (fun g -> { p with grid = g }) grids
+  @ List.map (fun b -> { p with block = b }) blocks
+
+(* One-level candidate bodies: ddmin-style chunk removals, then
+   structural collapses, recursing into nested bodies. *)
+let rec body_variants items =
+  let n = List.length items in
+  let arr = Array.of_list items in
+  let remove_slice start len =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun i -> if i >= start && i < start + len then None else Some arr.(i))
+            (Seq.init n Fun.id)))
+  in
+  let chunked len =
+    if len < 1 || len >= n + 1 then []
+    else
+      List.init ((n + len - 1) / len) (fun k -> remove_slice (k * len) len)
+  in
+  let removals =
+    (if n >= 4 then chunked (n / 2) else [])
+    @ (if n >= 8 then chunked (n / 4) else [])
+    @ (if n >= 1 then chunked 1 else [])
+  in
+  let replace i it' = Array.to_list (Array.mapi (fun j x -> if j = i then it' else x) arr) in
+  let splice i body =
+    List.concat
+      (List.mapi
+         (fun j x -> if j = i then body else [ x ])
+         items)
+  in
+  let structural =
+    List.concat
+      (List.mapi
+         (fun i it ->
+           match it with
+           | If { cond; body } ->
+               splice i body
+               :: List.map
+                    (fun b -> replace i (If { cond; body = b }))
+                    (body_variants body)
+           | Loop { id; trip; body } ->
+               (splice i body
+               ::
+               (if trip > 1 then [ replace i (Loop { id; trip = 1; body }) ]
+                else []))
+               @ List.map
+                   (fun b -> replace i (Loop { id; trip; body = b }))
+                   (body_variants body)
+           | _ -> [])
+         items)
+  in
+  removals @ structural
+
+let body_edits p = List.map (fun b -> { p with body = b }) (body_variants p.body)
+
+let buffer_edits p =
+  let nbufs = List.length p.buffers in
+  let used = Array.make (max nbufs 1) false in
+  iter_targets
+    (function Gbuf k when k >= 0 && k < nbufs -> used.(k) <- true | _ -> ())
+    p.body;
+  let drops =
+    List.concat
+      (List.init nbufs (fun k ->
+           if used.(k) || nbufs = 1 then []
+           else
+             let buffers = List.filteri (fun j _ -> j <> k) p.buffers in
+             let tgt = function
+               | Gbuf j when j > k -> Gbuf (j - 1)
+               | t -> t
+             in
+             [
+               {
+                 p with
+                 buffers;
+                 body = map_body ~src:Fun.id ~tgt p.body;
+               };
+             ]))
+  in
+  let resizes =
+    List.concat
+      (List.mapi
+         (fun k (l, f) ->
+           (if l > 3 then
+              [ { p with buffers = List.mapi (fun j b -> if j = k then (3, f) else b) p.buffers } ]
+            else [])
+           @
+           if f <> 0 then
+             [ { p with buffers = List.mapi (fun j b -> if j = k then (l, 0) else b) p.buffers } ]
+           else [])
+         p.buffers)
+  in
+  drops @ resizes
+
+let scalar_edits p =
+  let ns = List.length p.scalars in
+  let used = Array.make (max ns 1) false in
+  iter_srcs
+    (function SParam k when k >= 0 && k < ns -> used.(k) <- true | _ -> ())
+    p.body;
+  let drops =
+    List.concat
+      (List.init ns (fun k ->
+           if used.(k) then []
+           else
+             let scalars = List.filteri (fun j _ -> j <> k) p.scalars in
+             let src = function
+               | SParam j when j > k -> SParam (j - 1)
+               | s -> s
+             in
+             [ { p with scalars; body = map_body ~src ~tgt:Fun.id p.body } ]))
+  in
+  let zeros =
+    List.concat
+      (List.mapi
+         (fun k v ->
+           if v <> 0 then
+             [ { p with scalars = List.mapi (fun j x -> if j = k then 0 else x) p.scalars } ]
+           else [])
+         p.scalars)
+  in
+  drops @ zeros
+
+let shared_edits p =
+  match p.shared_log2 with
+  | None -> []
+  | Some l ->
+      let uses_shm = ref false in
+      iter_targets (function Shm -> uses_shm := true | _ -> ()) p.body;
+      (if !uses_shm then [] else [ { p with shared_log2 = None } ])
+      @ if l > 3 then [ { p with shared_log2 = Some 3 } ] else []
+
+let imm_edits p =
+  let values = ref [] in
+  iter_srcs
+    (function
+      | SImm v when v <> 0 && v <> 1 && not (List.mem v !values) ->
+          values := v :: !values
+      | _ -> ())
+    p.body;
+  List.concat_map
+    (fun v ->
+      List.map
+        (fun v' ->
+          let src = function SImm x when x = v -> SImm v' | s -> s in
+          { p with body = map_body ~src ~tgt:Fun.id p.body })
+        [ 0; 1 ])
+    (List.rev !values)
+
+let edits p =
+  geometry_edits p @ body_edits p @ buffer_edits p @ scalar_edits p
+  @ shared_edits p @ imm_edits p
+
+(* ---- greedy fixpoint ------------------------------------------------- *)
+
+let shrink ~predicate ~max_evals plan =
+  let evals = ref 0 in
+  let keep p =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      predicate p
+    end
+  in
+  let rec improve p =
+    if !evals >= max_evals then p
+    else
+      let rec first = function
+        | [] -> p
+        | c :: rest -> if keep c then improve c else first rest
+      in
+      first (edits p)
+  in
+  (* Bind before pairing: tuple components evaluate right-to-left, which
+     would read [evals] before [improve] has run. *)
+  let shrunk = improve plan in
+  (shrunk, !evals)

@@ -1,0 +1,22 @@
+(** Delta-debugging minimizer over generation plans.
+
+    Works on the {!Plan} representation, not on instruction streams, so
+    every candidate edit yields a well-formed kernel by construction.
+    Greedy fixpoint over an ordered edit menu — geometry ladder, ddmin
+    chunk/single removal of body items (recursing into [If]/[Loop]
+    bodies), structure collapse ([If]/[Loop] replaced by their body,
+    trip counts dropped to 1), unused buffer/scalar dropping with
+    reference renumbering, buffer-size and immediate simplification.
+    An edit is kept iff [predicate] still holds on the edited plan; the
+    caller's predicate pins the original failure kind, so shrinking
+    cannot wander from (say) an oracle mismatch onto an unrelated crash.
+    Deterministic: the result depends only on the input plan and the
+    predicate. *)
+
+val shrink :
+  predicate:(Plan.t -> bool) ->
+  max_evals:int ->
+  Plan.t ->
+  Plan.t * int
+(** [(minimized, evals_used)]. [predicate] must hold on the input plan;
+    at most [max_evals] predicate evaluations are spent. *)

@@ -1,0 +1,59 @@
+(* SplitMix64 (Steele, Lea, Flood 2014): a tiny splittable generator with
+   excellent statistical quality for fuzzing purposes. State is one int64;
+   each draw adds the golden-gamma and finalizes with a murmur-style
+   mixer. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let for_index ~seed ~index =
+  (* Mix seed and index through two rounds so that nearby (seed, index)
+     pairs land far apart. *)
+  let z = mix64 (Int64.add (mix64 (Int64.of_int seed)) (Int64.of_int index)) in
+  { state = z }
+
+let split t = { state = next t }
+
+let bits32 t = Int64.to_int (Int64.logand (next t) 0xFFFFFFFFL)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Sprng.int: bound must be positive";
+  (* 62 uniform bits mod bound: bias is negligible for fuzzing bounds. *)
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let in_range t lo hi = lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let chance t pct = int t 100 < pct
+
+let choose t = function
+  | [] -> invalid_arg "Sprng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let weighted t pairs =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 pairs in
+  if total <= 0 then invalid_arg "Sprng.weighted: non-positive total weight";
+  let n = int t total in
+  let rec pick n = function
+    | [] -> invalid_arg "Sprng.weighted: empty list"
+    | (w, x) :: rest -> if n < w then x else pick (n - w) rest
+  in
+  pick n pairs
+
+let hash2 a b =
+  let z = mix64 (Int64.add (mix64 (Int64.of_int a)) (Int64.of_int b)) in
+  Int64.to_int (Int64.logand z 0xFFFFFFFFL)

@@ -1,0 +1,46 @@
+(** Splittable deterministic PRNG (SplitMix64).
+
+    The fuzzer's only randomness source. Splittability is what makes the
+    campaign embarrassingly parallel yet bit-reproducible: the kernel at
+    index [i] of seed [s] is generated from [for_index ~seed:s ~index:i],
+    a stream that depends on nothing but [(s, i)] — not on scheduling
+    order, not on the number of worker domains, not on any other kernel.
+    [darsie fuzz --replay S:I] re-creates exactly that stream. *)
+
+type t
+
+val create : int -> t
+(** Stream seeded from a single integer. *)
+
+val for_index : seed:int -> index:int -> t
+(** The canonical per-kernel stream: deterministic in [(seed, index)]
+    only. *)
+
+val split : t -> t
+(** Child stream derived from (and advancing) the parent — the two then
+    evolve independently. *)
+
+val bits32 : t -> int
+(** Next 32 uniform bits as a non-negative int in [0, 2^32). *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound); [bound] must be
+    positive. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] draws uniformly from [lo, hi] inclusive. *)
+
+val bool : t -> bool
+
+val chance : t -> int -> bool
+(** [chance t pct] is true with probability [pct]/100. *)
+
+val choose : t -> 'a list -> 'a
+(** Uniform pick; the list must be non-empty. *)
+
+val weighted : t -> (int * 'a) list -> 'a
+(** Pick with the given positive integer weights. *)
+
+val hash2 : int -> int -> int
+(** Stateless 32-bit mix of two integers — deterministic buffer-fill
+    patterns. *)

@@ -20,6 +20,7 @@ type app_report = {
   oracle : Oracle.report option;
   injections : injection list;
   elapsed_s : float;
+  replay : string;
 }
 
 type report = { apps : app_report list; elapsed_s : float }
@@ -37,6 +38,39 @@ let capture f =
   | exception Interp.Fault m -> Error (Sim_error.Memory_fault { message = m })
   | exception e ->
     Error (Sim_error.Invariant_violation { message = Printexc.to_string e })
+
+(* The exact command line that re-runs this app's checks in isolation;
+   only non-default flags are spelled out, so a clean default run replays
+   as just [darsie check <abbr>]. Budget and machine overrides are
+   included too — a failure tripped by [--max-cycles] must replay with
+   the budget that tripped it. *)
+let replay_command ?cfg ?deadline ~machines ~scale ~oracle ~inject ~seed abbr =
+  let module C = Darsie_timing.Config in
+  let d = C.default in
+  let cfg = Option.value cfg ~default:d in
+  String.concat ""
+    ([ "darsie check "; abbr ]
+    @ (if machines = default_machines then []
+       else
+         List.map
+           (fun m -> Printf.sprintf " -m %s" (Suite.machine_name m))
+           machines)
+    @ [
+        (if scale <> 1 then Printf.sprintf " --scale %d" scale else "");
+        (if not oracle then " --no-oracle" else "");
+        (if inject > 0 then Printf.sprintf " --inject %d --seed %d" inject seed
+         else "");
+        (match deadline with
+        | Some s -> Printf.sprintf " --deadline %g" s
+        | None -> "");
+        (if cfg.C.max_cycles <> d.C.max_cycles then
+           Printf.sprintf " --max-cycles %d" cfg.C.max_cycles
+         else "");
+        (if cfg.C.watchdog_cycles <> d.C.watchdog_cycles then
+           Printf.sprintf " --watchdog %d" cfg.C.watchdog_cycles
+         else "");
+        (if not cfg.C.fast_forward then " --no-fast-forward" else "");
+      ])
 
 let check_app ?cfg ?(scale = 1) ?(machines = default_machines) ?(oracle = true)
     ?(inject = 0) ?(seed = 1) ?deadline ?cache (w : W.t) =
@@ -146,6 +180,9 @@ let check_app ?cfg ?(scale = 1) ?(machines = default_machines) ?(oracle = true)
     oracle = oracle_report;
     injections;
     elapsed_s = Sys.time () -. t0;
+    replay =
+      replay_command ?cfg ?deadline ~machines ~scale ~oracle ~inject ~seed
+        w.W.abbr;
   }
 
 let check_suite ?cfg ?scale ?machines ?oracle ?inject ?seed ?deadline ?cache
@@ -216,7 +253,8 @@ let render r =
           Printf.sprintf "; %d/%d faults detected" det (List.length l)
       in
       line "%s %-4s %s%s%s (%.2fs)" status a.abbr timing oracle inj a.elapsed_s;
-      List.iter (fun e -> line "       - %s" (Sim_error.summary e)) a.errors)
+      List.iter (fun e -> line "       - %s" (Sim_error.summary e)) a.errors;
+      if not (app_passed a) then line "       replay: %s" a.replay)
     r.apps;
   let ok = List.length (List.filter app_passed r.apps) in
   let injected, detected =
@@ -280,6 +318,7 @@ let app_to_json a =
         match a.oracle with None -> Json.Null | Some o -> oracle_to_json o );
       ("injections", Json.List (List.map injection_to_json a.injections));
       ("elapsed_s", Json.Float a.elapsed_s);
+      ("replay", Json.String a.replay);
     ]
 
 let to_json r =

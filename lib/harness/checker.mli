@@ -30,6 +30,11 @@ type app_report = {
   oracle : Darsie_check.Oracle.report option;
   injections : injection list;
   elapsed_s : float;  (** processor seconds spent on this app *)
+  replay : string;
+      (** the exact [darsie check] command line that re-runs this app's
+          checks in isolation (scale/oracle/injection flags included);
+          printed under every failing app so a suite failure is
+          reproducible by copy-paste *)
 }
 
 type report = { apps : app_report list; elapsed_s : float }

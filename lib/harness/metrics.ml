@@ -356,6 +356,145 @@ let validate_check_string s =
   in
   validate_check doc
 
+(* ------------------------------------------------------------------ *)
+(* Fuzz-campaign documents (darsie fuzz --json)                        *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_schema_version = 1
+
+(* Structural check of a fuzz-campaign report, re-verifying the
+   bookkeeping from the serialized values: style counts sum to the
+   kernel count, clean campaigns account every kernel as either passed
+   or failed, shrinking never grows a counterexample, and inject-mode
+   witnesses carry a site and a non-empty kernel when detected. *)
+let validate_fuzz doc =
+  let* () =
+    match J.member "kind" doc with
+    | Some (J.String "fuzz_campaign") -> Ok ()
+    | _ -> Error "kind is not \"fuzz_campaign\""
+  in
+  let* v = field "schema_version" J.to_int doc in
+  let* () =
+    if v = fuzz_schema_version then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema_version %d, expected %d" v fuzz_schema_version)
+  in
+  let* count = field "count" J.to_int doc in
+  let* kernels = field "kernels" J.to_int doc in
+  let* () =
+    if kernels = count then Ok ()
+    else Error (Printf.sprintf "kernels %d does not match count %d" kernels count)
+  in
+  let* passed = field "passed" J.to_int doc in
+  let* inject = field "inject" to_bool doc in
+  let* style_sum =
+    match J.member "styles" doc with
+    | Some (J.Obj fields) ->
+      Ok
+        (List.fold_left
+           (fun acc (_, v) ->
+             match J.to_int v with Some i -> acc + i | None -> acc)
+           0 fields)
+    | _ -> Error "missing styles object"
+  in
+  let* () =
+    if style_sum = kernels then Ok ()
+    else
+      Error
+        (Printf.sprintf "style counts sum to %d, expected %d kernels" style_sum
+           kernels)
+  in
+  let* totals =
+    match J.member "totals" doc with
+    | Some (J.Obj _ as t) -> Ok t
+    | _ -> Error "missing totals object"
+  in
+  let* () =
+    List.fold_left
+      (fun acc name ->
+        let* () = acc in
+        let* n = field name J.to_int totals in
+        if n >= 0 then Ok ()
+        else Error (Printf.sprintf "negative total %S" name))
+      (Ok ())
+      [ "warp_insts"; "forwards"; "skips"; "cycles" ]
+  in
+  let* failures =
+    match J.member "failures" doc with
+    | Some (J.List l) -> Ok l
+    | _ -> Error "missing failures list"
+  in
+  let* () =
+    List.fold_left
+      (fun acc f ->
+        let* () = acc in
+        let* index = field "index" J.to_int f in
+        let* () =
+          if index >= 0 && index < count then Ok ()
+          else Error (Printf.sprintf "failure index %d out of range" index)
+        in
+        let* before = field "items_before" J.to_int f in
+        let* after = field "items_after" J.to_int f in
+        let* () =
+          if after <= before then Ok ()
+          else
+            Error
+              (Printf.sprintf "failure %d shrank %d items to %d (grew)" index
+                 before after)
+        in
+        match J.member "replay" f with
+        | Some (J.String s) when s <> "" -> Ok ()
+        | _ -> Error (Printf.sprintf "failure %d lacks a replay command" index))
+      (Ok ()) failures
+  in
+  let* injected =
+    match J.member "injected" doc with
+    | Some (J.List l) -> Ok l
+    | _ -> Error "missing injected list"
+  in
+  let* () =
+    if (not inject) && injected <> [] then
+      Error "clean campaign carries injected witnesses"
+    else if inject && failures <> [] then
+      Error "inject campaign carries clean-mode failures"
+    else Ok ()
+  in
+  let* () =
+    if inject || passed + List.length failures = kernels then Ok ()
+    else
+      Error
+        (Printf.sprintf "%d passed + %d failures does not cover %d kernels"
+           passed (List.length failures) kernels)
+  in
+  List.fold_left
+    (fun acc w ->
+      let* () = acc in
+      let* fault =
+        match J.member "fault" w with
+        | Some (J.String s) -> Ok s
+        | _ -> Error "witness lacks a fault kind"
+      in
+      let* detected = field "detected" to_bool w in
+      if not detected then Ok ()
+      else
+        let* _ = field "index" J.to_int w in
+        let* insts = field "instructions" J.to_int w in
+        let* () =
+          if insts >= 1 then Ok ()
+          else Error (Printf.sprintf "witness %s has an empty kernel" fault)
+        in
+        match J.member "site" w with
+        | Some (J.Obj _) -> Ok ()
+        | _ -> Error (Printf.sprintf "witness %s lacks an injection site" fault))
+    (Ok ()) injected
+
+let validate_fuzz_string s =
+  let* doc =
+    match J.of_string s with Ok d -> Ok d | Error e -> Error ("bad JSON: " ^ e)
+  in
+  validate_fuzz doc
+
 let write_file path doc =
   let oc = open_out path in
   Fun.protect

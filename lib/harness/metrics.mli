@@ -41,6 +41,21 @@ val validate_check : Darsie_obs.Json.t -> (unit, string) result
 val validate_check_string : string -> (unit, string) result
 (** Parse then {!validate_check}. *)
 
+val fuzz_schema_version : int
+(** Version of the fuzz-campaign document ([darsie fuzz --json]). *)
+
+val validate_fuzz : Darsie_obs.Json.t -> (unit, string) result
+(** Structural check of a fuzz-campaign report: kind tag, schema
+    version, and the campaign bookkeeping re-verified from the
+    serialized values (style counts sum to the kernel count, every
+    kernel is accounted passed or failed, shrinking never grew a
+    counterexample, every failure carries a replay command line, and
+    detected inject-mode witnesses carry a site and a non-empty
+    kernel). *)
+
+val validate_fuzz_string : string -> (unit, string) result
+(** Parse then {!validate_fuzz}. *)
+
 val write_file : string -> Darsie_obs.Json.t -> unit
 (** Write any JSON document to [path]: pretty-printed, trailing
     newline. *)

@@ -108,24 +108,135 @@ let bar b = emit b Bar
 
 let exit_ b = emit b Exit
 
-let finish b =
+let count b = b.count
+
+let regs_used b = b.next_reg
+
+let preds_used b = b.next_pred
+
+let decision_trace b =
+  let pendings = Array.of_list (List.rev b.code) in
+  let labels_at = Hashtbl.create 8 in
+  for l = 0 to b.next_label - 1 do
+    match b.label_positions.(l) with
+    | Some i ->
+      Hashtbl.replace labels_at i (l :: Option.value ~default:[] (Hashtbl.find_opt labels_at i))
+    | None -> ()
+  done;
+  let lines = ref [] in
+  let line s = lines := s :: !lines in
+  for i = 0 to Array.length pendings do
+    (match Hashtbl.find_opt labels_at i with
+    | Some ls -> List.iter (fun l -> line (Printf.sprintf "L%d:" l)) (List.sort compare ls)
+    | None -> ());
+    if i < Array.length pendings then begin
+      let p = pendings.(i) in
+      match p.target with
+      | Some l ->
+        let guard =
+          match p.guard with
+          | Some (true, pr) -> Printf.sprintf "@%%p%d " pr
+          | Some (false, pr) -> Printf.sprintf "@!%%p%d " pr
+          | None -> ""
+        in
+        line (Printf.sprintf "%s%sL%d;" guard "bra " l)
+      | None -> line (Printer.instr_to_string { Instr.body = p.body; guard = p.guard })
+    end
+  done;
+  List.rev !lines
+
+type error =
+  | Empty_kernel
+  | No_terminator of { last : string }
+  | Unplaced_label of { label : int }
+  | Label_out_of_range of { label : int; index : int }
+  | Unallocated_register of { reg : int; at : int }
+  | Unallocated_predicate of { pred : int; at : int }
+
+let error_message = function
+  | Empty_kernel -> "Builder.finish: empty kernel"
+  | No_terminator { last } ->
+    Printf.sprintf
+      "Builder.finish: control can fall off the end (last instruction is %S, \
+       not exit or an unguarded bra)"
+      last
+  | Unplaced_label { label } ->
+    Printf.sprintf "Builder.finish: label L%d referenced but never placed" label
+  | Label_out_of_range { label; index } ->
+    Printf.sprintf
+      "Builder.finish: label L%d placed at index %d, past the last instruction"
+      label index
+  | Unallocated_register { reg; at } ->
+    Printf.sprintf
+      "Builder.finish: instruction %d references vector register %%r%d, which \
+       was never allocated"
+      at reg
+  | Unallocated_predicate { pred; at } ->
+    Printf.sprintf
+      "Builder.finish: instruction %d references predicate %%p%d, which was \
+       never allocated"
+      at pred
+
+exception Reject of error
+
+let finish_result b =
   let resolve l =
     match b.label_positions.(l) with
-    | Some i -> i
-    | None -> invalid_arg "Builder.finish: label referenced but never placed"
+    | Some i ->
+      if i >= b.count then raise (Reject (Label_out_of_range { label = l; index = i }));
+      i
+    | None -> raise (Reject (Unplaced_label { label = l }))
   in
-  let pendings = Array.of_list (List.rev b.code) in
-  let insts =
-    Array.map
-      (fun p ->
-        let body =
-          match p.target with Some l -> Bra (resolve l) | None -> p.body
+  match
+    let pendings = Array.of_list (List.rev b.code) in
+    if Array.length pendings = 0 then raise (Reject Empty_kernel);
+    let insts =
+      Array.map
+        (fun p ->
+          let body =
+            match p.target with Some l -> Bra (resolve l) | None -> p.body
+          in
+          { Instr.body; guard = p.guard })
+        pendings
+    in
+    (* Register discipline: every referenced vector/predicate register
+       must have come from the builder's allocators. *)
+    Array.iteri
+      (fun at inst ->
+        let check_reg r =
+          if r < 0 || r >= b.next_reg then
+            raise (Reject (Unallocated_register { reg = r; at }))
         in
-        { Instr.body; guard = p.guard })
-      pendings
-  in
-  Kernel.make ~name:b.name ~npregs:b.next_pred ~nparams:b.nparams
-    ~shared_bytes:b.shared_bytes insts
+        let check_pred p =
+          if p < 0 || p >= b.next_pred then
+            raise (Reject (Unallocated_predicate { pred = p; at }))
+        in
+        Option.iter check_reg (Instr.dst_reg inst);
+        List.iter check_reg (Instr.src_regs inst);
+        Option.iter check_pred (Instr.dst_pred inst);
+        List.iter check_pred (Instr.src_preds inst))
+      insts;
+    (* Fall-off-the-end check: the final instruction must be a
+       terminator — exit, or an unconditional branch backward. *)
+    let last = insts.(Array.length insts - 1) in
+    let terminates =
+      match (last.Instr.body, last.Instr.guard) with
+      | Exit, None -> true
+      | Bra _, None -> true
+      | _ -> false
+    in
+    if not terminates then
+      raise (Reject (No_terminator { last = Printer.instr_to_string last }));
+    Kernel.make ~name:b.name ~npregs:b.next_pred ~nparams:b.nparams
+      ~shared_bytes:b.shared_bytes insts
+  with
+  | kernel -> Ok kernel
+  | exception Reject e -> Error e
+
+let finish b =
+  match finish_result b with
+  | Ok k -> k
+  | Error e -> invalid_arg (error_message e)
 
 module O = struct
   let r n = Reg n

@@ -40,10 +40,63 @@ val here : t -> label
 
 val emit : t -> ?guard:bool * int -> Instr.body -> unit
 
-val finish : t -> Kernel.t
-(** Resolve all branch targets and produce the kernel.
+(** {1 Generator hooks}
 
-    @raise Invalid_argument if a referenced label was never placed. *)
+    Query accessors and a decision-trace recorder for programmatic
+    clients (the property-based kernel fuzzer walks the builder through
+    these). *)
+
+val count : t -> int
+(** Instructions emitted so far (the index the next emission gets). *)
+
+val regs_used : t -> int
+(** Vector registers allocated so far through {!reg}/{!regs}. *)
+
+val preds_used : t -> int
+(** Predicate registers allocated so far through {!pred}. *)
+
+val decision_trace : t -> string list
+(** The builder's decision trace: one line per eDSL decision taken so
+    far, in emission order — label placements as ["L<i>:"], emitted
+    instructions as their assembly text (symbolic [L<i>] targets for
+    not-yet-resolved branches). The fuzzer prints this next to shrunk
+    counterexamples so a failure is readable as the exact builder walk
+    that produced it. *)
+
+(** {1 Finishing}
+
+    A kernel can be malformed in ways only visible once the whole
+    instruction stream exists: control can fall off the end, a branch
+    can reference a label that was never placed (or placed past the last
+    instruction), and an operand can name a register that was never
+    allocated through {!reg}/{!pred}. [finish_result] rejects all of
+    these with a typed error — the fuzzer's well-formedness backstop. *)
+
+type error =
+  | Empty_kernel
+  | No_terminator of { last : string }
+      (** the final instruction is not [exit] or an unguarded [bra], so
+          execution can fall off the program *)
+  | Unplaced_label of { label : int }
+      (** a branch references a label that was never {!place}d *)
+  | Label_out_of_range of { label : int; index : int }
+      (** a label was placed past the last instruction, so a branch to it
+          would leave the program *)
+  | Unallocated_register of { reg : int; at : int }
+      (** instruction [at] names vector register [reg], but only
+          {!regs_used} registers were ever allocated *)
+  | Unallocated_predicate of { pred : int; at : int }
+
+val error_message : error -> string
+
+val finish_result : t -> (Kernel.t, error) result
+(** Resolve all branch targets, validate well-formedness, and produce
+    the kernel. *)
+
+val finish : t -> Kernel.t
+(** [finish_result], raising on malformed kernels.
+
+    @raise Invalid_argument with {!error_message} on any {!error}. *)
 
 (** {1 Instruction sugar} *)
 

@@ -12,6 +12,7 @@ type t = {
   is_branch : bool array;
   is_barrier : bool array;
   is_load : bool array;
+  mem_dep : bool array;
   is_store : bool array;
   is_atomic : bool array;
   src_regs : int list array;
@@ -50,6 +51,7 @@ let of_promotion (promotion : Promotion.t) (launch : Kernel.launch) =
     is_branch = Array.map Instr.is_branch insts;
     is_barrier = Array.map Instr.is_barrier insts;
     is_load = Array.map Instr.is_load insts;
+    mem_dep = Array.init n (Analysis.mem_dep analysis);
     is_store = Array.map Instr.is_store insts;
     is_atomic = Array.map Instr.is_atomic insts;
     src_regs = Array.map Instr.src_regs insts;

@@ -14,6 +14,9 @@ type t = {
   is_branch : bool array;
   is_barrier : bool array;
   is_load : bool array;
+  mem_dep : bool array;
+      (** load or transitively load-derived ({!Analysis.mem_dep}); what a
+          store/atomic invalidates in the skip table *)
   is_store : bool array;
   is_atomic : bool array;
   src_regs : int list array;

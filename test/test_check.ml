@@ -207,9 +207,9 @@ let test_skip_table_invariants () =
     | Error msg -> Alcotest.failf "%s: %s" label msg
   in
   ok "fresh table" (St.check_invariants t);
-  St.allocate t ~pc:3 ~occ:0 ~leader:0 ~is_load:false;
-  St.allocate t ~pc:3 ~occ:1 ~leader:1 ~is_load:true;
-  St.allocate t ~pc:7 ~occ:0 ~leader:2 ~is_load:false;
+  St.allocate t ~pc:3 ~occ:0 ~leader:0 ~mem_dep:false;
+  St.allocate t ~pc:3 ~occ:1 ~leader:1 ~mem_dep:true;
+  St.allocate t ~pc:7 ~occ:0 ~leader:2 ~mem_dep:false;
   ok "after allocation" (St.check_invariants t);
   St.mark_writeback t ~pc:3 ~occ:0 ~majority:0b1111;
   St.mark_passed t ~pc:3 ~occ:0 ~warp:1 ~majority:0b1111;

@@ -34,7 +34,7 @@ let test_majority () =
 let test_skip_table_lifecycle () =
   let t = Skip_table.create ~max_entries:8 ~rename_regs:4 in
   check_int "freelist full" 4 (Skip_table.free_regs t);
-  Skip_table.allocate t ~pc:10 ~occ:0 ~leader:2 ~is_load:false;
+  Skip_table.allocate t ~pc:10 ~occ:0 ~leader:2 ~mem_dep:false;
   check_int "one reg consumed" 3 (Skip_table.free_regs t);
   check_int "one entry" 1 (Skip_table.live_entries t);
   (match Skip_table.find t ~pc:10 ~occ:0 with
@@ -54,33 +54,33 @@ let test_skip_table_lifecycle () =
 let test_skip_table_versions () =
   let t = Skip_table.create ~max_entries:8 ~rename_regs:4 in
   (* two loop iterations of the same PC live simultaneously *)
-  Skip_table.allocate t ~pc:5 ~occ:0 ~leader:0 ~is_load:false;
-  Skip_table.allocate t ~pc:5 ~occ:1 ~leader:0 ~is_load:false;
+  Skip_table.allocate t ~pc:5 ~occ:0 ~leader:0 ~mem_dep:false;
+  Skip_table.allocate t ~pc:5 ~occ:1 ~leader:0 ~mem_dep:false;
   check_int "one entry, two versions" 1 (Skip_table.live_entries t);
   check_int "two instances" 2 (Skip_table.live_instances t);
   check_bool "distinct instances" true
     (Skip_table.find t ~pc:5 ~occ:0 != Skip_table.find t ~pc:5 ~occ:1);
   Alcotest.check_raises "duplicate version rejected"
     (Invalid_argument "Skip_table.allocate: instance already live") (fun () ->
-      Skip_table.allocate t ~pc:5 ~occ:0 ~leader:1 ~is_load:false)
+      Skip_table.allocate t ~pc:5 ~occ:0 ~leader:1 ~mem_dep:false)
 
 let test_skip_table_capacity () =
   let t = Skip_table.create ~max_entries:2 ~rename_regs:8 in
-  Skip_table.allocate t ~pc:0 ~occ:0 ~leader:0 ~is_load:false;
-  Skip_table.allocate t ~pc:1 ~occ:0 ~leader:0 ~is_load:false;
+  Skip_table.allocate t ~pc:0 ~occ:0 ~leader:0 ~mem_dep:false;
+  Skip_table.allocate t ~pc:1 ~occ:0 ~leader:0 ~mem_dep:false;
   check_bool "third PC refused" false (Skip_table.can_allocate t ~pc:2);
   check_bool "existing PC still ok" true (Skip_table.can_allocate t ~pc:1);
   let t2 = Skip_table.create ~max_entries:8 ~rename_regs:1 in
-  Skip_table.allocate t2 ~pc:0 ~occ:0 ~leader:0 ~is_load:false;
+  Skip_table.allocate t2 ~pc:0 ~occ:0 ~leader:0 ~mem_dep:false;
   check_bool "freelist exhausted" false (Skip_table.can_allocate t2 ~pc:1);
   Alcotest.check_raises "allocate past capacity"
     (Invalid_argument "Skip_table.allocate: table or freelist exhausted")
-    (fun () -> Skip_table.allocate t2 ~pc:1 ~occ:0 ~leader:0 ~is_load:false)
+    (fun () -> Skip_table.allocate t2 ~pc:1 ~occ:0 ~leader:0 ~mem_dep:false)
 
 let test_skip_table_flush_loads () =
   let t = Skip_table.create ~max_entries:8 ~rename_regs:8 in
-  Skip_table.allocate t ~pc:0 ~occ:0 ~leader:0 ~is_load:true;
-  Skip_table.allocate t ~pc:1 ~occ:0 ~leader:0 ~is_load:false;
+  Skip_table.allocate t ~pc:0 ~occ:0 ~leader:0 ~mem_dep:true;
+  Skip_table.allocate t ~pc:1 ~occ:0 ~leader:0 ~mem_dep:false;
   Skip_table.flush_loads t ~kind:`Store;
   check_bool "load entry gone" true (Skip_table.find t ~pc:0 ~occ:0 = None);
   check_bool "alu entry kept" true (Skip_table.find t ~pc:1 ~occ:0 <> None);
@@ -91,7 +91,7 @@ let test_skip_table_flush_loads () =
 
 let test_skip_table_majority_shrink () =
   let t = Skip_table.create ~max_entries:8 ~rename_regs:8 in
-  Skip_table.allocate t ~pc:0 ~occ:0 ~leader:0 ~is_load:false;
+  Skip_table.allocate t ~pc:0 ~occ:0 ~leader:0 ~mem_dep:false;
   Skip_table.mark_writeback t ~pc:0 ~occ:0 ~majority:0b11;
   (* warp 1 never passes, but it leaves the majority *)
   check_int "still held for warp 1" 1 (Skip_table.live_instances t);
@@ -117,7 +117,7 @@ let qcheck_skip_table =
             if
               Skip_table.can_allocate t ~pc
               && Skip_table.find t ~pc ~occ = None
-            then Skip_table.allocate t ~pc ~occ ~leader:0 ~is_load:(pc = 0)
+            then Skip_table.allocate t ~pc ~occ ~leader:0 ~mem_dep:(pc = 0)
           | 1 -> Skip_table.mark_writeback t ~pc ~occ ~majority:0b11
           | 2 -> Skip_table.mark_passed t ~pc ~occ ~warp:1 ~majority:0b11
           | 3 -> Skip_table.flush_loads t ~kind:`Store

@@ -439,7 +439,7 @@ let test_builder_unplaced_label () =
   Builder.bra b l;
   Builder.exit_ b;
   Alcotest.check_raises "unplaced label"
-    (Invalid_argument "Builder.finish: label referenced but never placed")
+    (Invalid_argument "Builder.finish: label L0 referenced but never placed")
     (fun () -> ignore (Builder.finish b))
 
 (* ------------------------------------------------------------------ *)
