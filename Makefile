@@ -5,7 +5,7 @@ SMOKE_DIR ?= /tmp/darsie-smoke
 
 .PHONY: all build test verify doc cli-docs bench profile-smoke check-smoke \
   fuzz-smoke annotate-smoke explain-smoke cache-smoke fastforward-smoke \
-  bench-compare clean
+  telemetry-smoke bench-compare clean
 
 all: build
 
@@ -118,14 +118,34 @@ fastforward-smoke: build
 	  --no-fast-forward --json $(SMOKE_DIR)/ff_off.json > /dev/null
 	diff $(SMOKE_DIR)/ff_on.json $(SMOKE_DIR)/ff_off.json
 
+# Host-telemetry smoke: a full-matrix run with spans on, the exported
+# document's integer invariant — sum of per-phase self_ns equals sum of
+# per-domain busy_ns, exactly — re-proved from the file by jq (the CLI
+# already validated it before writing; this checks the serialized
+# form), the traceEvents list confirmed non-empty and well-formed, and
+# the summary renderer run over the same file.
+telemetry-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	$(DUNE) exec bin/darsie.exe -- experiment fig8 -j 2 \
+	  --telemetry $(SMOKE_DIR)/telemetry.json > /dev/null
+	jq -e '.host_telemetry | ([.phases[].self_ns] | add) == ([.domains[].busy_ns] | add)' \
+	  $(SMOKE_DIR)/telemetry.json > /dev/null \
+	  || { echo "telemetry self-time identity violated"; exit 1; }
+	jq -e '(.traceEvents | length) > 0 and ([.traceEvents[] | has("ph")] | all)' \
+	  $(SMOKE_DIR)/telemetry.json > /dev/null \
+	  || { echo "telemetry traceEvents malformed"; exit 1; }
+	$(DUNE) exec bin/darsie.exe -- telemetry-summary $(SMOKE_DIR)/telemetry.json \
+	  | grep -q "host telemetry:"
+
 # Record a fresh bench trajectory point into bench/history/ and gate it
 # against the committed baseline. Deterministic simulated metrics use a
 # 0.5% threshold; wall-clock metrics 25%. Exits nonzero on regression.
-# The fast-forward baseline; earlier records are kept with identical
-# simulated metrics and slower wall: bench/BENCH_2026-08-06.json
-# (serial seed) and bench/BENCH_2026-08-06_parallel.json
-# (parallel+cache, pre-fast-forward).
-BENCH_BASELINE ?= bench/BENCH_2026-08-06_fastforward.json
+# The telemetry baseline (first record carrying host_phases +
+# cache_hit_rate); earlier records are kept with identical simulated
+# metrics: bench/BENCH_2026-08-06.json (serial seed),
+# bench/BENCH_2026-08-06_parallel.json (parallel+cache) and
+# bench/BENCH_2026-08-06_fastforward.json (event-driven cycle loop).
+BENCH_BASELINE ?= bench/BENCH_2026-08-09_telemetry.json
 bench-compare: build
 	mkdir -p bench/history
 	$(DUNE) exec bench/main.exe -- --trend bench/history/current.json

@@ -6,6 +6,8 @@
 
 open Darsie_harness
 module J = Darsie_obs.Json
+module Tel = Darsie_telemetry.Telemetry
+module Host_trace = Darsie_telemetry.Host_trace
 
 let section title paper =
   Printf.printf "\n================================================================\n";
@@ -253,6 +255,13 @@ let trend_repeats () =
   | Some n when n >= 1 -> n
   | _ -> 1
 
+(* --telemetry FILE captures host spans/counters for the whole bench run
+   and writes the validated host_telemetry document there; --progress /
+   --progress-json stream pool heartbeats to stderr. Spans are also
+   enabled implicitly under --trend so the trajectory record can carry
+   per-phase host wall times. *)
+let telemetry_path () = flag_value "--telemetry"
+
 let iso_date () =
   let tm = Unix.localtime (Unix.time ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
@@ -288,6 +297,9 @@ let () =
   let repeats = if trend_path () = None then 1 else trend_repeats () in
   let jobs = jobs () in
   let cache = cache () in
+  if has_flag "--progress-json" then Tel.Progress.configure Tel.Progress.Ndjson
+  else if has_flag "--progress" then Tel.Progress.configure Tel.Progress.Human;
+  if telemetry_path () <> None || trend_path () <> None then Tel.enable ();
   (* --no-fast-forward steps every cycle instead of jumping over idle
      spans; deterministic metrics are bit-identical either way, only the
      wall clock moves. *)
@@ -339,10 +351,40 @@ let () =
       | Some l -> l
       | None -> "local"
     in
+    let snap = Tel.snapshot () in
+    let host_phases =
+      List.map
+        (fun (name, (_count, _total_ns, self_ns)) ->
+          (name, float_of_int self_ns /. 1e9))
+        (Tel.phases snap)
+    in
+    let counter name =
+      match List.assoc_opt name snap.Tel.sn_counters with
+      | Some v -> v
+      | None -> 0
+    in
+    let cache_hit_rate =
+      let hits = counter "trace_cache.hits"
+      and misses = counter "trace_cache.misses" in
+      if hits + misses = 0 then None
+      else Some (float_of_int hits /. float_of_int (hits + misses))
+    in
     let record =
-      Trendline.of_matrix ~date:(iso_date ()) ~label ~wall_s ~repeats m
+      Trendline.of_matrix ~host_phases ?cache_hit_rate ~date:(iso_date ())
+        ~label ~wall_s ~repeats m
     in
     Trendline.write_file path record;
     Printf.printf "bench trajectory record: %s (%.2fs wall, min of %d)\n" path
       wall_s repeats);
+  (match telemetry_path () with
+  | None -> ()
+  | Some path ->
+    let doc = Host_trace.document (Tel.snapshot ()) in
+    (match Metrics.validate_telemetry doc with
+    | Ok () -> ()
+    | Error msg ->
+      Printf.eprintf "bench: telemetry document invalid (%s)\n" msg;
+      exit 2);
+    Metrics.write_file path doc;
+    Printf.printf "telemetry: %s\n" path);
   print_endline "\nbench: done."

@@ -16,6 +16,9 @@
                                  compiler's static story
      bench-compare BASE CUR    - diff two bench trajectory records,
                                  exit nonzero on statistical regression
+     telemetry-summary FILE    - render a --telemetry document: host
+                                 phases ranked by self wall, per-domain
+                                 utilization, counter totals
      limit APP                 - redundancy limit study of one app
      experiment ID             - regenerate a paper figure/table
      check [APP]               - robustness checks: differential oracle,
@@ -31,6 +34,8 @@
 open Cmdliner
 module W = Darsie_workloads.Workload
 module Obs = Darsie_obs
+module Tel = Darsie_telemetry.Telemetry
+module Host_trace = Darsie_telemetry.Host_trace
 
 let find_app abbr =
   match Darsie_workloads.Registry.find abbr with
@@ -138,6 +143,50 @@ let finish () =
     List.iter (fun v -> Printf.eprintf "invariant violation: %s\n" v) vs;
     exit 2
 
+let telemetry_arg =
+  let doc =
+    "Record host-side telemetry (phase spans, domain-pool and trace-cache \
+     counters) and write it to $(docv): a Chrome trace_event document \
+     (loadable in Perfetto, one track per domain) that also carries the \
+     versioned host_telemetry summary section; render it with $(b,darsie \
+     telemetry-summary)."
+  in
+  Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Emit rate-limited progress heartbeats on stderr: suite item k/n with \
+     ETA, simulation cycles/sec, pool straggler warnings."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let progress_json_arg =
+  let doc =
+    "Like $(b,--progress) but machine-readable: one NDJSON object per line \
+     on stderr."
+  in
+  Arg.(value & flag & info [ "progress-json" ] ~doc)
+
+(* Every telemetry-capable subcommand calls this first. It configures the
+   progress channel, enables span recording when a file was requested,
+   and returns the finalizer that snapshots, self-validates and writes
+   the document — called right before [finish ()] so an invalid export
+   still reaches disk but trips exit 2. *)
+let setup_telemetry telemetry_file progress progress_json =
+  if progress_json then Tel.Progress.configure Tel.Progress.Ndjson
+  else if progress then Tel.Progress.configure Tel.Progress.Human;
+  match telemetry_file with
+  | None -> fun () -> ()
+  | Some path ->
+    Tel.enable ();
+    fun () ->
+      let doc = Host_trace.document (Tel.snapshot ()) in
+      (match Darsie_harness.Metrics.validate_telemetry doc with
+      | Ok () -> ()
+      | Error msg -> violation "telemetry document invalid (%s)" msg);
+      Darsie_harness.Metrics.write_file path doc;
+      Printf.printf "telemetry: %s\n" path
+
 let check_run abbr (r : Darsie_harness.Suite.run) =
   (match Darsie_timing.Gpu.check_attribution r.Darsie_harness.Suite.gpu with
   | Ok () -> ()
@@ -191,7 +240,9 @@ let json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run abbr machine scale json_file jobs cache_dir no_ff =
+  let run abbr machine scale json_file jobs cache_dir no_ff telemetry_file
+      progress progress_json =
+    let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     let w = or_die (find_app abbr) in
     let cfg = cfg_of_ff no_ff in
     let cache = cache_of cache_dir in
@@ -210,6 +261,7 @@ let run_cmd =
     let base, r =
       match
         Darsie_harness.Parallel.map ~jobs:(effective_jobs jobs)
+          ~label:Darsie_harness.Suite.machine_name
           (Darsie_harness.Suite.run_app ~cfg app)
           [ Darsie_harness.Suite.Base; machine ]
       with
@@ -237,17 +289,20 @@ let run_cmd =
       Printf.printf "metrics: %s\n" path
     | None -> ());
     report_cache cache;
+    write_telemetry ();
     finish ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one application through the timing model")
     Term.(
       const run $ app_arg $ machine_arg $ scale_arg $ json_arg $ jobs_arg
-      $ cache_arg $ no_ff_arg)
+      $ cache_arg $ no_ff_arg $ telemetry_arg $ progress_arg
+      $ progress_json_arg)
 
 let profile_cmd =
   let run abbr machine scale json_file trace_file csv_file interval cache_dir
-      no_ff =
+      no_ff telemetry_file progress progress_json =
+    let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     let w = or_die (find_app abbr) in
     if interval < 1 then or_die (Error "--interval must be >= 1");
     let cfg = cfg_of_ff no_ff in
@@ -293,8 +348,15 @@ let profile_cmd =
     | None -> ());
     (match trace_file with
     | Some path ->
+      (* When host telemetry is on, its span tracks (own pid, so no
+         collision with the per-SM processes) ride along in the same
+         trace file. *)
+      let extra =
+        if Tel.enabled () then Host_trace.chrome_events (Tel.snapshot ())
+        else []
+      in
       let trace =
-        Obs.Export.chrome_trace ?recorder ~series:gpu.Gpu.series
+        Obs.Export.chrome_trace ?recorder ~series:gpu.Gpu.series ~extra
           ~name:
             (Printf.sprintf "%s/%s" abbr
                (Darsie_harness.Suite.machine_name machine))
@@ -319,6 +381,7 @@ let profile_cmd =
       Printf.printf "csv series: %s\n" path
     | None -> ());
     report_cache cache;
+    write_telemetry ();
     finish ()
   in
   let trace_arg =
@@ -344,7 +407,8 @@ let profile_cmd =
           time-series, JSON metrics and Chrome-trace export")
     Term.(
       const run $ app_arg $ machine_arg $ scale_arg $ json_arg $ trace_arg
-      $ csv_arg $ interval_arg $ cache_arg $ no_ff_arg)
+      $ csv_arg $ interval_arg $ cache_arg $ no_ff_arg $ telemetry_arg
+      $ progress_arg $ progress_json_arg)
 
 let limit_cmd =
   let run abbr scale =
@@ -441,8 +505,10 @@ let experiment_cmd =
         other;
       exit 1
   in
-  let run id jobs cache_dir no_ff =
+  let run id jobs cache_dir no_ff telemetry_file progress progress_json =
+    let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     run id jobs cache_dir no_ff;
+    write_telemetry ();
     finish ()
   in
   let id_arg =
@@ -451,13 +517,16 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper figure or table")
-    Term.(const run $ id_arg $ jobs_arg $ cache_arg $ no_ff_arg)
+    Term.(const run $ id_arg $ jobs_arg $ cache_arg $ no_ff_arg
+          $ telemetry_arg $ progress_arg $ progress_json_arg)
 
 let check_cmd =
   let module Checker = Darsie_harness.Checker in
   let module Sim_error = Darsie_check.Sim_error in
   let run app_opt machines scale no_oracle inject seed deadline max_cycles
-      watchdog json_file jobs cache_dir no_ff =
+      watchdog json_file jobs cache_dir no_ff telemetry_file progress
+      progress_json =
+    let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     let apps =
       match app_opt with
       | Some abbr -> [ or_die (find_app abbr) ]
@@ -495,6 +564,7 @@ let check_cmd =
       Darsie_harness.Metrics.write_file path doc;
       Printf.printf "report: %s\n" path
     | None -> ());
+    write_telemetry ();
     finish ();
     (* each failure class gets its own exit code so scripts and CI can
        tell a deadlock from an oracle mismatch *)
@@ -551,10 +621,13 @@ let check_cmd =
           differential oracle and fault injection, crash-isolated per app")
     Term.(const run $ app_opt_arg $ machines_arg $ scale_arg $ no_oracle_arg
           $ inject_arg $ seed_arg $ deadline_arg $ max_cycles_arg
-          $ watchdog_arg $ json_arg $ jobs_arg $ cache_arg $ no_ff_arg)
+          $ watchdog_arg $ json_arg $ jobs_arg $ cache_arg $ no_ff_arg
+          $ telemetry_arg $ progress_arg $ progress_json_arg)
 
 let annotate_cmd =
-  let run abbr machines scale top json_file jobs cache_dir no_ff =
+  let run abbr machines scale top json_file jobs cache_dir no_ff
+      telemetry_file progress progress_json =
+    let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     let w = or_die (find_app abbr) in
     let cfg = cfg_of_ff no_ff in
     let machines =
@@ -565,6 +638,7 @@ let annotate_cmd =
     let app = Darsie_harness.Suite.load_app ~scale ?cache w in
     let runs =
       Darsie_harness.Parallel.map ~jobs:(effective_jobs jobs)
+        ~label:Darsie_harness.Suite.machine_name
         (fun m ->
           let r = Darsie_harness.Suite.run_app ~cfg ~pcstat:true app m in
           (Darsie_harness.Suite.machine_name m, r))
@@ -591,6 +665,7 @@ let annotate_cmd =
       Printf.printf "metrics: %s\n" path
     | None -> ());
     report_cache cache;
+    write_telemetry ();
     finish ()
   in
   let machines_arg =
@@ -615,10 +690,13 @@ let annotate_cmd =
           PTX-lite)")
     Term.(
       const run $ app_arg $ machines_arg $ scale_arg $ top_arg $ json_arg
-      $ jobs_arg $ cache_arg $ no_ff_arg)
+      $ jobs_arg $ cache_arg $ no_ff_arg $ telemetry_arg $ progress_arg
+      $ progress_json_arg)
 
 let explain_cmd =
-  let run abbr machine scale top json_file cache_dir no_ff =
+  let run abbr machine scale top json_file cache_dir no_ff telemetry_file
+      progress progress_json =
+    let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     let w = or_die (find_app abbr) in
     let cfg = cfg_of_ff no_ff in
     let cache = cache_of cache_dir in
@@ -644,6 +722,7 @@ let explain_cmd =
       Printf.printf "metrics: %s\n" path
     | None -> ());
     report_cache cache;
+    write_telemetry ();
     finish ()
   in
   let top_arg =
@@ -664,7 +743,8 @@ let explain_cmd =
           ledger's conservation invariant is violated")
     Term.(
       const run $ app_arg $ machine_arg $ scale_arg $ top_arg $ json_arg
-      $ cache_arg $ no_ff_arg)
+      $ cache_arg $ no_ff_arg $ telemetry_arg $ progress_arg
+      $ progress_json_arg)
 
 let bench_compare_cmd =
   let module T = Darsie_harness.Trendline in
@@ -724,6 +804,48 @@ let bench_compare_cmd =
     Term.(const run $ baseline_arg $ current_arg $ det_arg $ wall_arg
           $ warn_arg)
 
+let telemetry_summary_cmd =
+  let run file =
+    let text =
+      match
+        let ic = open_in file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | exception Sys_error e -> Error e
+      | s -> (
+        match Obs.Json.of_string s with
+        | Error e -> Error (Printf.sprintf "%s: bad JSON (%s)" file e)
+        | Ok doc -> (
+          match Host_trace.summary_of_document doc with
+          | None ->
+            Error
+              (Printf.sprintf "%s carries no host_telemetry section" file)
+          | Some section -> (
+            match Darsie_harness.Metrics.validate_telemetry section with
+            | Error e ->
+              Error (Printf.sprintf "%s: invalid host_telemetry (%s)" file e)
+            | Ok () -> Host_trace.render_summary section)))
+    in
+    print_string (or_die text)
+  in
+  let file_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Telemetry document written by --telemetry (or a bare \
+                host_telemetry section).")
+  in
+  Cmd.v
+    (Cmd.info "telemetry-summary"
+       ~doc:
+         "Render a --telemetry document as a table: phases ranked by self \
+          wall time, per-domain utilization, counter totals; validates the \
+          self-time accounting first and exits nonzero if it does not \
+          hold")
+    Term.(const run $ file_arg)
+
 let area_cmd =
   let run () =
     let _, text = Darsie_harness.Figures.area () in
@@ -735,7 +857,8 @@ let area_cmd =
 let fuzz_cmd =
   let module Campaign = Darsie_fuzz.Campaign in
   let run seed count jobs max_shrink corpus inject json_file replay
-      replay_corpus =
+      replay_corpus telemetry_file progress progress_json =
+    let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     match (replay, replay_corpus) with
     | Some spec, _ ->
       (* --replay SEED:INDEX re-runs exactly one generated kernel *)
@@ -780,6 +903,7 @@ let fuzz_cmd =
         Darsie_harness.Metrics.write_file path doc;
         Printf.printf "report: %s\n" path
       | None -> ());
+      write_telemetry ();
       finish ();
       let code = Campaign.exit_code report in
       if code <> 0 then exit code
@@ -832,14 +956,15 @@ let fuzz_cmd =
           shrink any failure to a minimal replayable counterexample")
     Term.(const run $ seed_arg $ count_arg $ jobs_arg $ max_shrink_arg
           $ corpus_arg $ inject_arg $ json_arg $ replay_arg
-          $ replay_corpus_arg)
+          $ replay_corpus_arg $ telemetry_arg $ progress_arg
+          $ progress_json_arg)
 
 let main =
   let doc = "DARSIE: dimensionality-aware redundant SIMT instruction elimination" in
   Cmd.group (Cmd.info "darsie" ~version:"1.0.0" ~doc)
     [ list_cmd; asm_cmd; analyze_cmd; run_cmd; profile_cmd; annotate_cmd;
       explain_cmd; limit_cmd; experiment_cmd; check_cmd; fuzz_cmd;
-      bench_compare_cmd; area_cmd ]
+      bench_compare_cmd; telemetry_summary_cmd; area_cmd ]
 
 (* Typed simulation errors escaping any subcommand (e.g. a deadlock during
    [darsie run]) exit with their distinct code and a one-line summary. *)

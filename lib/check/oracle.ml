@@ -475,7 +475,11 @@ let candidates_subject s =
     skip_sites = List.rev c.skip;
   }
 
-let check ?scale w = check_subject (subject_of_workload ?scale w)
+let check ?scale w =
+  Darsie_telemetry.Telemetry.span
+    ~args:[ ("app", Darsie_telemetry.Telemetry.Str w.W.abbr) ]
+    "oracle.replay"
+    (fun () -> check_subject (subject_of_workload ?scale w))
 
 let check_fault ?scale w fault =
   check_fault_subject (subject_of_workload ?scale w) fault

@@ -267,6 +267,7 @@ let run cfg =
   let worker = if cfg.inject then inject_worker cfg else clean_worker cfg in
   let outcomes =
     Parallel.run ?jobs:cfg.jobs
+      ~label:(Printf.sprintf "kernel %d")
       (fun i ->
         try worker i
         with e ->

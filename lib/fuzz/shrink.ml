@@ -222,11 +222,13 @@ let edits p =
 (* ---- greedy fixpoint ------------------------------------------------- *)
 
 let shrink ~predicate ~max_evals plan =
+  Darsie_telemetry.Telemetry.span "fuzz.shrink" @@ fun () ->
   let evals = ref 0 in
   let keep p =
     if !evals >= max_evals then false
     else begin
       incr evals;
+      Darsie_telemetry.Telemetry.incr "shrink.evals";
       predicate p
     end
   in

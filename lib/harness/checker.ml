@@ -74,6 +74,10 @@ let replay_command ?cfg ?deadline ~machines ~scale ~oracle ~inject ~seed abbr =
 
 let check_app ?cfg ?(scale = 1) ?(machines = default_machines) ?(oracle = true)
     ?(inject = 0) ?(seed = 1) ?deadline ?cache (w : W.t) =
+  Darsie_telemetry.Telemetry.span
+    ~args:[ ("app", Darsie_telemetry.Telemetry.Str w.W.abbr) ]
+    "check.app"
+  @@ fun () ->
   let t0 = Sys.time () in
   let errors = ref [] in
   let note e = errors := e :: !errors in
@@ -193,6 +197,7 @@ let check_suite ?cfg ?scale ?machines ?oracle ?inject ?seed ?deadline ?cache
      the input-ordered merge. *)
   let reports =
     Parallel.map ~jobs
+      ~label:(fun w -> w.W.abbr)
       (fun w ->
         check_app ?cfg ?scale ?machines ?oracle ?inject ?seed ?deadline ?cache w)
       apps

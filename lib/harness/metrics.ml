@@ -495,6 +495,118 @@ let validate_fuzz_string s =
   in
   validate_fuzz doc
 
+(* ------------------------------------------------------------------ *)
+(* Host-telemetry documents (--telemetry FILE)                         *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_schema_version = Darsie_telemetry.Host_trace.schema_version
+
+(* Structural check of a host_telemetry section (or of a full telemetry
+   document carrying one), re-proving the self-time accounting from the
+   serialized integers: every phase's self wall is within [0, total],
+   every domain's busy+idle reproduces the snapshot wall, and the sum of
+   phase self-times equals the sum of domain busy times exactly — the
+   integer identity the monotone span clock guarantees at capture. *)
+let validate_telemetry doc =
+  let section =
+    match J.member "host_telemetry" doc with Some s -> s | None -> doc
+  in
+  let* () =
+    (match J.member "traceEvents" doc with
+    | None | Some (J.List _) -> Ok ()
+    | Some _ -> Error "traceEvents is not a list")
+  in
+  let* () =
+    match J.member "kind" section with
+    | Some (J.String "host_telemetry") -> Ok ()
+    | _ -> Error "kind is not \"host_telemetry\""
+  in
+  let* v = field "schema_version" J.to_int section in
+  let* () =
+    if v = telemetry_schema_version then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema_version %d, expected %d" v
+           telemetry_schema_version)
+  in
+  let* wall_ns = field "wall_ns" J.to_int section in
+  let* () = if wall_ns >= 0 then Ok () else Error "negative wall_ns" in
+  let* phases =
+    match J.member "phases" section with
+    | Some (J.List l) -> Ok l
+    | _ -> Error "missing phases list"
+  in
+  let* self_sum =
+    List.fold_left
+      (fun acc p ->
+        let* sum = acc in
+        let* name =
+          match J.member "name" p with
+          | Some (J.String s) -> Ok s
+          | _ -> Error "phase entry missing name"
+        in
+        let* count = field "count" J.to_int p in
+        let* total = field "total_ns" J.to_int p in
+        let* self = field "self_ns" J.to_int p in
+        if count < 1 then
+          Error (Printf.sprintf "phase %S has count %d" name count)
+        else if self < 0 || self > total then
+          Error
+            (Printf.sprintf
+               "phase %S breaks the self-time bound: self %d ns not in [0, \
+                total %d ns]"
+               name self total)
+        else Ok (sum + self))
+      (Ok 0) phases
+  in
+  let* domains =
+    match J.member "domains" section with
+    | Some (J.List l) -> Ok l
+    | _ -> Error "missing domains list"
+  in
+  let* busy_sum =
+    List.fold_left
+      (fun acc d ->
+        let* sum = acc in
+        let* id = field "id" J.to_int d in
+        let* busy = field "busy_ns" J.to_int d in
+        let* idle = field "idle_ns" J.to_int d in
+        if busy < 0 || idle < 0 then
+          Error (Printf.sprintf "domain %d has negative busy/idle" id)
+        else if busy + idle <> wall_ns then
+          Error
+            (Printf.sprintf
+               "domain %d: busy %d + idle %d != wall %d ns" id busy idle
+               wall_ns)
+        else Ok (sum + busy))
+      (Ok 0) domains
+  in
+  let* () =
+    if self_sum = busy_sum then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "phase self-times sum to %d ns but domain busy times sum to %d ns"
+           self_sum busy_sum)
+  in
+  match J.member "counters" section with
+  | Some (J.Obj fields) ->
+    List.fold_left
+      (fun acc (k, v) ->
+        let* () = acc in
+        match J.to_int v with
+        | Some i when i >= 0 -> Ok ()
+        | Some i -> Error (Printf.sprintf "counter %S is negative (%d)" k i)
+        | None -> Error (Printf.sprintf "counter %S is not an integer" k))
+      (Ok ()) fields
+  | _ -> Error "missing counters object"
+
+let validate_telemetry_string s =
+  let* doc =
+    match J.of_string s with Ok d -> Ok d | Error e -> Error ("bad JSON: " ^ e)
+  in
+  validate_telemetry doc
+
 let write_file path doc =
   let oc = open_out path in
   Fun.protect

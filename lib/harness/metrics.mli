@@ -56,6 +56,20 @@ val validate_fuzz : Darsie_obs.Json.t -> (unit, string) result
 val validate_fuzz_string : string -> (unit, string) result
 (** Parse then {!validate_fuzz}. *)
 
+val telemetry_schema_version : int
+(** Version of the [host_telemetry] section
+    ([Darsie_telemetry.Host_trace.schema_version]). *)
+
+val validate_telemetry : Darsie_obs.Json.t -> (unit, string) result
+(** Structural check of a [host_telemetry] section, or of a full
+    [--telemetry] document carrying one: kind tag, schema version, and
+    the self-time accounting re-proved from the serialized integers —
+    [0 <= self_ns <= total_ns] for every phase, [busy + idle = wall] for
+    every domain, and [Σ phase self = Σ domain busy] exactly. *)
+
+val validate_telemetry_string : string -> (unit, string) result
+(** Parse then {!validate_telemetry}. *)
+
 val write_file : string -> Darsie_obs.Json.t -> unit
 (** Write any JSON document to [path]: pretty-printed, trailing
     newline. *)

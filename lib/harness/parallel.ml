@@ -3,24 +3,84 @@
    exactly one worker and read only after the joins, so the join's
    happens-before edge is the only synchronization the results need. *)
 
+module Tel = Darsie_telemetry.Telemetry
+
 let default_jobs () = Domain.recommended_domain_count ()
 
-let run_seq f items = List.map (fun x -> try Ok (f x) with e -> Error e) items
+let item_label label i x =
+  match label with Some l -> l x | None -> Printf.sprintf "item %d" i
 
-let run ?jobs f items =
+(* One job inside its telemetry envelope: a [pool.item] span carrying the
+   label, the pool counters, a wall meter for busy time, and a progress
+   tick. Returns the outcome plus the item's duration so the caller can
+   spot stragglers. Counting happens on the worker's own domain, so the
+   envelope adds no synchronization to the pool. *)
+let timed ~lbl ~index ~done_ ~n f x =
+  let sp =
+    Tel.begin_span
+      ~args:[ ("label", Tel.Str lbl); ("index", Tel.Int index) ]
+      "pool.item"
+  in
+  let t0 = Tel.elapsed_ns () in
+  let res = try Ok (f x) with e -> Error e in
+  let dur_ns = Tel.elapsed_ns () - t0 in
+  (match res with
+  | Ok _ -> Tel.end_span sp
+  | Error _ -> Tel.end_span ~args:[ ("raised", Tel.Bool true) ] sp);
+  Tel.incr "pool.items";
+  Tel.add_wall "pool.busy_s" (float_of_int dur_ns /. 1e9);
+  (if Tel.Progress.mode () <> Tel.Progress.Off then
+     let k = 1 + Atomic.fetch_and_add done_ 1 in
+     Tel.Progress.item ~k ~n ~label:lbl);
+  (res, dur_ns)
+
+let run_seq ?label f items =
+  let n = List.length items in
+  let done_ = Atomic.make 0 in
+  List.mapi
+    (fun i x -> fst (timed ~lbl:(item_label label i x) ~index:i ~done_ ~n f x))
+    items
+
+(* A straggler is one item monopolizing the pool: it alone covered more
+   than half the pool's wall time, so adding workers cannot help and the
+   run's latency is that item. Surfaced through the progress channel
+   only — never a counter — because which item ends up longest is
+   scheduling-dependent and counters must stay deterministic. *)
+let warn_straggler label arr durs pool_wall_ns =
+  let imax = ref 0 in
+  Array.iteri (fun i d -> if d > durs.(!imax) then imax := i) durs;
+  let top = durs.(!imax) in
+  if pool_wall_ns > 0 && 2 * top > pool_wall_ns then
+    Tel.Progress.warn
+      (Printf.sprintf
+         "pool straggler: %s ran %.2fs of the pool's %.2fs wall (%.0f%%)"
+         (item_label label !imax arr.(!imax))
+         (float_of_int top /. 1e9)
+         (float_of_int pool_wall_ns /. 1e9)
+         (100.0 *. float_of_int top /. float_of_int pool_wall_ns))
+
+let run ?jobs ?label f items =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let arr = Array.of_list items in
   let n = Array.length arr in
   let jobs = min jobs n in
-  if jobs <= 1 then run_seq f items
+  if jobs <= 1 then run_seq ?label f items
   else begin
     let results = Array.make n None in
+    let durs = Array.make n 0 in
     let next = Atomic.make 0 in
+    let done_ = Atomic.make 0 in
+    let t0 = Tel.elapsed_ns () in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e);
+          let res, dur =
+            timed ~lbl:(item_label label i arr.(i)) ~index:i ~done_ ~n f
+              arr.(i)
+          in
+          results.(i) <- Some res;
+          durs.(i) <- dur;
           loop ()
         end
       in
@@ -29,6 +89,8 @@ let run ?jobs f items =
     let helpers = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     Array.iter Domain.join helpers;
+    if n >= 2 && Tel.Progress.mode () <> Tel.Progress.Off then
+      warn_straggler label arr durs (Tel.elapsed_ns () - t0);
     Array.to_list
       (Array.map
          (function
@@ -37,10 +99,20 @@ let run ?jobs f items =
          results)
   end
 
-let map ?jobs f items =
+let map ?jobs ?label f items =
   match jobs with
-  | Some j when j <= 1 -> List.map f items
+  | Some j when j <= 1 ->
+    (* Fail-fast, exactly like [List.map]: the first failing job raises
+       before any later job runs. *)
+    let n = List.length items in
+    let done_ = Atomic.make 0 in
+    List.mapi
+      (fun i x ->
+        match timed ~lbl:(item_label label i x) ~index:i ~done_ ~n f x with
+        | Ok v, _ -> v
+        | Error e, _ -> raise e)
+      items
   | _ ->
     List.map
       (function Ok v -> v | Error e -> raise e)
-      (run ?jobs f items)
+      (run ?jobs ?label f items)

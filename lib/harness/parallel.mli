@@ -18,21 +18,33 @@
     - {b Crash isolation.} A raising job poisons only its own slot
       ({!run} returns it as [Error exn]); every other job still runs.
       This is the same boundary {!Checker} draws around apps, so typed
-      {!Darsie_check.Sim_error} values pass through unchanged. *)
+      {!Darsie_check.Sim_error} values pass through unchanged.
+
+    Every job additionally runs inside a telemetry envelope: a
+    [pool.item] span (when spans are enabled) carrying the item's label,
+    the [pool.items] counter and [pool.busy_s] wall meter, and an
+    item-finished tick on the progress channel. After a parallel run the
+    pool checks for a {e straggler} — one item that alone covered more
+    than half the pool's wall time — and reports it through
+    [Telemetry.Progress.warn] (never a counter: which item is longest is
+    scheduling-dependent, and counters stay deterministic). *)
 
 val default_jobs : unit -> int
 (** Number of workers used when [?jobs] is omitted:
     [Domain.recommended_domain_count ()], i.e. the cores available to
     this process. *)
 
-val run : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+val run :
+  ?jobs:int -> ?label:('a -> string) -> ('a -> 'b) -> 'a list ->
+  ('b, exn) result list
 (** [run ~jobs f items] applies [f] to every item across [jobs] workers
     and returns the crash-isolated outcomes in input order. [jobs]
     defaults to {!default_jobs}; values [<= 1] (and singleton or empty
     input) run sequentially in the calling domain. Never raises: an
-    exception escaping [f] becomes that item's [Error]. *)
+    exception escaping [f] becomes that item's [Error]. [label] names
+    items for spans and progress lines (default ["item <index>"]). *)
 
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?jobs:int -> ?label:('a -> string) -> ('a -> 'b) -> 'a list -> 'b list
 (** Like {!run} but re-raises instead of returning [Error]: with
     [jobs <= 1] the first failing job raises immediately (fail-fast,
     exactly like [List.map]); with parallel execution every job still

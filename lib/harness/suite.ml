@@ -1,5 +1,6 @@
 open Darsie_timing
 module W = Darsie_workloads.Workload
+module Tel = Darsie_telemetry.Telemetry
 
 type app = {
   workload : W.t;
@@ -8,14 +9,21 @@ type app = {
 }
 
 let load_app ?(scale = 1) ?cache (workload : W.t) =
-  let prepared = workload.W.prepare ~scale in
-  let kinfo = Kinfo.make ~warp_size:32 prepared.W.launch in
+  let args = [ ("app", Tel.Str workload.W.abbr) ] in
+  let prepared =
+    Tel.span ~args "app.prepare" (fun () -> workload.W.prepare ~scale)
+  in
+  let kinfo =
+    Tel.span ~args "app.compile" (fun () ->
+        Kinfo.make ~warp_size:32 prepared.W.launch)
+  in
   let trace =
-    match cache with
-    | None -> Darsie_trace.Record.generate prepared.W.mem prepared.W.launch
-    | Some c ->
-      Darsie_trace.Cache.generate c ~name:workload.W.abbr ~scale prepared.W.mem
-        prepared.W.launch
+    Tel.span ~args "trace.load" (fun () ->
+        match cache with
+        | None -> Darsie_trace.Record.generate prepared.W.mem prepared.W.launch
+        | Some c ->
+          Darsie_trace.Cache.generate c ~name:workload.W.abbr ~scale
+            prepared.W.mem prepared.W.launch)
   in
   { workload; trace; kinfo }
 
@@ -74,14 +82,22 @@ let run_app_checked ?(cfg = Config.default) ?sink ?sample_interval
     | Silicon_sync -> { cfg with Config.sync_at_branches = true }
     | _ -> cfg
   in
-  match
-    Gpu.run ~cfg ?sink ?sample_interval ?event_window ?deadline ?pcstat
-      (factory_of machine) app.kinfo app.trace
-  with
-  | Ok gpu ->
-    let energy = Darsie_energy.Energy_model.account cfg gpu.Gpu.stats in
-    Ok { machine; gpu; energy }
-  | Error e -> Error e
+  Tel.span
+    ~args:
+      [
+        ("app", Tel.Str app.workload.W.abbr);
+        ("machine", Tel.Str (machine_name machine));
+      ]
+    "sim.run"
+    (fun () ->
+      match
+        Gpu.run ~cfg ?sink ?sample_interval ?event_window ?deadline ?pcstat
+          (factory_of machine) app.kinfo app.trace
+      with
+      | Ok gpu ->
+        let energy = Darsie_energy.Energy_model.account cfg gpu.Gpu.stats in
+        Ok { machine; gpu; energy }
+      | Error e -> Error e)
 
 let run_app ?cfg ?sink ?sample_interval ?pcstat app machine =
   match run_app_checked ?cfg ?sink ?sample_interval ?pcstat app machine with
@@ -98,12 +114,19 @@ let run_app ?cfg ?sink ?sample_interval ?pcstat app machine =
 let build_matrix ?(cfg = Config.default) ?(scale = 1)
     ?(machines = all_machines)
     ?(apps = Darsie_workloads.Registry.all) ?(jobs = 1) ?cache () =
-  let apps = Parallel.map ~jobs (fun w -> load_app ~scale ?cache w) apps in
+  let apps =
+    Parallel.map ~jobs
+      ~label:(fun w -> w.W.abbr)
+      (fun w -> load_app ~scale ?cache w)
+      apps
+  in
   let cells =
     List.concat_map (fun app -> List.map (fun m -> (app, m)) machines) apps
   in
   let results =
     Parallel.map ~jobs
+      ~label:(fun (app, m) ->
+        app.workload.W.abbr ^ "/" ^ machine_name m)
       (fun (app, m) -> ((app.workload.W.abbr, m), run_app ~cfg app m))
       cells
   in

@@ -24,6 +24,13 @@ type record = {
       (** DARSIE skip-ledger redundancy coverage per app; [[]] in records
           written before the ledger existed — compared only when both
           sides carry an app *)
+  host_phases : (string * float) list;
+      (** per-phase host self wall (seconds) from the telemetry snapshot;
+          [[]] in records written before host telemetry existed. Wall
+          quantities: gated at the loose threshold *)
+  cache_hit_rate : float option;
+      (** trace-cache hits / lookups for the run; [None] in old records
+          or when the run made no lookups *)
 }
 
 (* Run [f] [repeats] times and keep the fastest wall time — the standard
@@ -43,7 +50,8 @@ let measure ?(clock = Sys.time) ~repeats f =
   done;
   (Option.get !result, !best)
 
-let of_matrix ~date ~label ~wall_s ~repeats (m : Suite.matrix) =
+let of_matrix ?(host_phases = []) ?cache_hit_rate ~date ~label ~wall_s ~repeats
+    (m : Suite.matrix) =
   let _, g1, g2, _ = Figures.fig8 m in
   let total_cycles =
     Hashtbl.fold
@@ -89,6 +97,8 @@ let of_matrix ~date ~label ~wall_s ~repeats (m : Suite.matrix) =
         darsie_runs;
     per_app_coverage =
       List.map (fun (abbr, r) -> (abbr, coverage_of r)) darsie_runs;
+    host_phases;
+    cache_hit_rate;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -97,7 +107,7 @@ let of_matrix ~date ~label ~wall_s ~repeats (m : Suite.matrix) =
 
 let to_json r =
   J.Obj
-    [
+    ([
       ("schema_version", J.Int schema_version);
       ("kind", J.String "bench_record");
       ("date", J.String r.date);
@@ -112,7 +122,13 @@ let to_json r =
         J.Obj (List.map (fun (k, v) -> (k, J.Int v)) r.per_app_cycles) );
       ( "per_app_coverage",
         J.Obj (List.map (fun (k, v) -> (k, J.Float v)) r.per_app_coverage) );
+      ( "host_phases",
+        J.Obj (List.map (fun (k, v) -> (k, J.Float v)) r.host_phases) );
     ]
+    @
+    match r.cache_hit_rate with
+    | Some rate -> [ ("cache_hit_rate", J.Float rate) ]
+    | None -> [])
 
 let to_float = function
   | J.Float f -> Some f
@@ -166,8 +182,16 @@ let of_json doc =
     | None -> Ok []
     | Some _ -> assoc "per_app_coverage" to_float doc
   in
+  (* Host telemetry postdates the baselines too: both fields read as
+     absent, and the gate pairs nothing. *)
+  let* host_phases =
+    match J.member "host_phases" doc with
+    | None -> Ok []
+    | Some _ -> assoc "host_phases" to_float doc
+  in
+  let cache_hit_rate = Option.bind (J.member "cache_hit_rate" doc) to_float in
   Ok { date; label; wall_s; repeats; cycles_per_sec; gmeans; per_app_ipc;
-       per_app_cycles; per_app_coverage }
+       per_app_cycles; per_app_coverage; host_phases; cache_hit_rate }
 
 let write_file path r =
   let oc = open_out path in
@@ -249,6 +273,25 @@ let compare_records ?(det_threshold = det_threshold)
         judge ~metric ~threshold:det_threshold ~dir ~baseline:b ~current:c)
       det
   in
+  (* Cache hit rate is deterministic for a fixed cache state (CI compares
+     cold-cache runs), but only when both records carry it. *)
+  let cache_verdicts =
+    match (baseline.cache_hit_rate, current.cache_hit_rate) with
+    | Some b, Some c ->
+      [
+        judge ~metric:"cache_hit_rate" ~threshold:det_threshold
+          ~dir:Higher_is_better ~baseline:b ~current:c;
+      ]
+    | _ -> []
+  in
+  (* Host phase self-walls are wall-clock quantities: loose threshold. *)
+  let phase_verdicts =
+    List.map
+      (fun (metric, b, c) ->
+        judge ~metric ~threshold:wall_threshold ~dir:Lower_is_better
+          ~baseline:b ~current:c)
+      (paired "host_phase" baseline.host_phases current.host_phases)
+  in
   let wall_verdicts =
     [
       judge ~metric:"wall_s" ~threshold:wall_threshold ~dir:Lower_is_better
@@ -258,7 +301,7 @@ let compare_records ?(det_threshold = det_threshold)
         ~current:current.cycles_per_sec;
     ]
   in
-  det_verdicts @ wall_verdicts
+  det_verdicts @ cache_verdicts @ phase_verdicts @ wall_verdicts
 
 let regressions verdicts = List.filter (fun v -> v.regressed) verdicts
 

@@ -21,6 +21,14 @@ type record = {
   per_app_coverage : (string * float) list;
       (** DARSIE skip-ledger redundancy coverage (captured ÷ statically
           eliminable) per app; [[]] when the record predates the ledger *)
+  host_phases : (string * float) list;
+      (** per-phase host self wall (seconds) from the telemetry
+          snapshot; [[]] when the record predates host telemetry.
+          Wall-clock quantities, gated at {!wall_threshold} *)
+  cache_hit_rate : float option;
+      (** trace-cache hits ÷ lookups; [None] when the record predates
+          host telemetry or the run made no lookups. Compared (at
+          {!det_threshold}) only when both records carry it *)
 }
 
 val measure : ?clock:(unit -> float) -> repeats:int -> (unit -> 'a) -> 'a * float
@@ -31,13 +39,17 @@ val measure : ?clock:(unit -> float) -> repeats:int -> (unit -> 'a) -> 'a * floa
     @raise Invalid_argument when [repeats < 1]. *)
 
 val of_matrix :
+  ?host_phases:(string * float) list ->
+  ?cache_hit_rate:float ->
   date:string ->
   label:string ->
   wall_s:float ->
   repeats:int ->
   Suite.matrix ->
   record
-(** Project a bench record out of an evaluation matrix. *)
+(** Project a bench record out of an evaluation matrix. [host_phases]
+    and [cache_hit_rate] come from the caller's telemetry snapshot
+    (default: absent, matching pre-telemetry records). *)
 
 val to_json : record -> Darsie_obs.Json.t
 (** Serialize as a versioned ["bench_record"] object
@@ -45,8 +57,9 @@ val to_json : record -> Darsie_obs.Json.t
 
 val of_json : Darsie_obs.Json.t -> (record, string) result
 (** Parse a record back; every field is required — except
-    [per_app_coverage], which reads as [[]] when absent so baselines
-    written before the skip ledger existed keep loading — and the schema
+    [per_app_coverage] (reads as [[]] when absent), [host_phases]
+    (likewise) and [cache_hit_rate] (reads as [None]), so baselines
+    written before those sections existed keep loading — and the schema
     version must match {!schema_version}. *)
 
 val write_file : string -> record -> unit

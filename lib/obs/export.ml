@@ -62,7 +62,7 @@ let ledger_events ~ts ledger =
       ];
   ]
 
-let chrome_trace ?recorder ?(series = [||]) ?ledger ~name () =
+let chrome_trace ?recorder ?(series = [||]) ?ledger ?(extra = []) ~name () =
   let sms = Hashtbl.create 8 in
   let note_sm id = Hashtbl.replace sms id () in
   Array.iteri (fun sm _ -> note_sm sm) series;
@@ -124,7 +124,8 @@ let chrome_trace ?recorder ?(series = [||]) ?ledger ~name () =
   Json.Obj
     [
       ( "traceEvents",
-        Json.List (metas @ truncation @ instants @ counters @ ledger_track) );
+        Json.List
+          (metas @ truncation @ instants @ counters @ ledger_track @ extra) );
       ("displayTimeUnit", Json.String "ms");
     ]
 

@@ -17,6 +17,7 @@ val chrome_trace :
   ?recorder:Recorder.t ->
   ?series:Series.t array ->
   ?ledger:Ledger.t ->
+  ?extra:Json.t list ->
   name:string ->
   unit ->
   Json.t
@@ -24,7 +25,9 @@ val chrome_trace :
     naming each SM process after [name] and, when the recorder dropped
     events, an instant event flagging the truncation. [ledger], when
     given, adds one [skip_ledger] counter sample (per-fate totals) at the
-    trace's last timestamp. *)
+    trace's last timestamp. [extra] events are appended verbatim — used
+    to merge host-telemetry span tracks (which live under their own
+    process id) into the same file. *)
 
 val csv_of_series : Series.t array -> string
 (** Header [sm,cycle,<counter...>]; one row per (SM, interval) sample. *)

@@ -1,0 +1,228 @@
+module Json = Darsie_obs.Json
+open Telemetry
+
+let schema_version = 1
+
+let host_pid = 1000
+
+let json_of_arg = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.String s
+  | Bool b -> Json.Bool b
+
+let args_obj args = Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace events                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let us_of_ns ns = Json.Float (float_of_int ns /. 1e3)
+
+let chrome_events snap =
+  let meta name pid tid payload =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("ph", Json.String "M");
+        ("pid", Json.Int pid);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String payload) ]);
+      ]
+  in
+  let metas =
+    meta "process_name" host_pid 0 "darsie host"
+    :: List.mapi
+         (fun i d ->
+           meta "thread_name" host_pid i (Printf.sprintf "domain %d" d.dv_id))
+         snap.sn_domains
+  in
+  let rec events_of tid (n : span_node) acc =
+    let e =
+      Json.Obj
+        [
+          ("name", Json.String n.sp_name);
+          ("ph", Json.String "X");
+          ("ts", us_of_ns n.sp_start_ns);
+          ("dur", us_of_ns n.sp_dur_ns);
+          ("pid", Json.Int host_pid);
+          ("tid", Json.Int tid);
+          ("args", args_obj n.sp_args);
+        ]
+    in
+    List.fold_left (fun acc c -> events_of tid c acc) (e :: acc) n.sp_children
+  in
+  let spans =
+    List.concat
+      (List.mapi
+         (fun i d ->
+           List.rev (List.fold_left (fun acc r -> events_of i r acc) [] d.dv_roots))
+         snap.sn_domains)
+  in
+  metas @ spans
+
+(* ------------------------------------------------------------------ *)
+(* host_telemetry section                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec count_spans (n : span_node) =
+  1 + List.fold_left (fun acc c -> acc + count_spans c) 0 n.sp_children
+
+let host_telemetry_json snap =
+  let phase_row (name, (count, total_ns, self_ns)) =
+    Json.Obj
+      [
+        ("name", Json.String name);
+        ("count", Json.Int count);
+        ("total_ns", Json.Int total_ns);
+        ("self_ns", Json.Int self_ns);
+      ]
+  in
+  let domain_row d =
+    Json.Obj
+      [
+        ("id", Json.Int d.dv_id);
+        ("busy_ns", Json.Int d.dv_busy_ns);
+        ("idle_ns", Json.Int (max 0 (snap.sn_wall_ns - d.dv_busy_ns)));
+        ("spans", Json.Int (List.fold_left (fun a r -> a + count_spans r) 0 d.dv_roots));
+      ]
+  in
+  Json.Obj
+    [
+      ("kind", Json.String "host_telemetry");
+      ("schema_version", Json.Int schema_version);
+      ("wall_ns", Json.Int snap.sn_wall_ns);
+      ("phases", Json.List (List.map phase_row (phases snap)));
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.sn_counters) );
+      ( "wall_meters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) snap.sn_walls) );
+      ("domains", Json.List (List.map domain_row snap.sn_domains));
+    ]
+
+let document snap =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (chrome_events snap));
+      ("displayTimeUnit", Json.String "ms");
+      ("host_telemetry", host_telemetry_json snap);
+    ]
+
+let summary_of_document doc =
+  match Json.member "host_telemetry" doc with
+  | Some s -> Some s
+  | None -> (
+    match Json.member "kind" doc with
+    | Some (Json.String "host_telemetry") -> Some doc
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let s_of_ns ns = float_of_int ns /. 1e9
+
+let render_summary section =
+  let ( let* ) r f = match r with Ok x -> f x | Error _ as e -> e in
+  let* wall_ns =
+    match Option.bind (Json.member "wall_ns" section) Json.to_int with
+    | Some w -> Ok w
+    | None -> Error "host_telemetry section lacks wall_ns"
+  in
+  let* phases =
+    match Json.member "phases" section with
+    | Some (Json.List l) -> Ok l
+    | _ -> Error "host_telemetry section lacks a phases list"
+  in
+  let* domains =
+    match Json.member "domains" section with
+    | Some (Json.List l) -> Ok l
+    | _ -> Error "host_telemetry section lacks a domains list"
+  in
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "host telemetry: %.3fs wall, %d domain(s)" (s_of_ns wall_ns)
+    (List.length domains);
+  line "";
+  line "%-24s %8s %12s %12s %6s" "phase" "count" "total(s)" "self(s)" "self%";
+  let row p =
+    let get k = Option.bind (Json.member k p) Json.to_int in
+    let name =
+      match Json.member "name" p with Some (Json.String s) -> s | _ -> "?"
+    in
+    match (get "count", get "total_ns", get "self_ns") with
+    | Some c, Some t, Some s ->
+      Some
+        ( s,
+          Printf.sprintf "%-24s %8d %12.4f %12.4f %5.1f%%" name c (s_of_ns t)
+            (s_of_ns s)
+            (if wall_ns = 0 then 0.0
+             else 100.0 *. float_of_int s /. float_of_int wall_ns) )
+    | _ -> None
+  in
+  List.filter_map row phases
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+  |> List.iter (fun (_, l) -> line "%s" l);
+  line "";
+  line "%-10s %12s %12s %6s" "domain" "busy(s)" "idle(s)" "util%";
+  List.iter
+    (fun d ->
+      let get k = Option.bind (Json.member k d) Json.to_int in
+      match (get "id", get "busy_ns", get "idle_ns") with
+      | Some id, Some busy, Some idle ->
+        line "%-10s %12.4f %12.4f %5.1f%%"
+          (Printf.sprintf "domain %d" id)
+          (s_of_ns busy) (s_of_ns idle)
+          (if wall_ns = 0 then 0.0
+           else 100.0 *. float_of_int busy /. float_of_int wall_ns)
+      | _ -> ())
+    domains;
+  (match Json.member "counters" section with
+  | Some (Json.Obj (_ :: _ as fields)) ->
+    line "";
+    line "%-32s %12s" "counter" "total";
+    List.iter
+      (fun (k, v) ->
+        match Json.to_int v with
+        | Some i -> line "%-32s %12d" k i
+        | None -> ())
+      fields
+  | _ -> ());
+  Ok (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Normalized forms                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec normalize_node (n : span_node) =
+  let children =
+    List.map normalize_node n.sp_children
+    |> List.sort (fun a b -> compare (Json.to_string a) (Json.to_string b))
+  in
+  Json.Obj
+    [
+      ("name", Json.String n.sp_name);
+      ("args", args_obj n.sp_args);
+      ("children", Json.List children);
+    ]
+
+let normalized_spans snap =
+  let roots =
+    List.concat_map (fun d -> List.map normalize_node d.dv_roots) snap.sn_domains
+    |> List.sort (fun a b -> compare (Json.to_string a) (Json.to_string b))
+  in
+  Json.List roots
+
+let normalized_summary snap =
+  Json.Obj
+    [
+      ( "phases",
+        Json.List
+          (List.map
+             (fun (name, (count, _, _)) ->
+               Json.Obj [ ("name", Json.String name); ("count", Json.Int count) ])
+             (phases snap)) );
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.sn_counters) );
+      ("domains", Json.Int (List.length snap.sn_domains));
+    ]

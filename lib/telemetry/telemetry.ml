@@ -1,0 +1,388 @@
+module Json = Darsie_obs.Json
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain buffers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type spanrec = {
+  s_name : string;
+  mutable s_args : (string * arg) list;
+  s_start_ns : int;
+  mutable s_dur_ns : int;
+  mutable s_children_rev : spanrec list;
+}
+
+type buf = {
+  b_gen : int;  (** registry generation this buffer belongs to *)
+  b_id : int;  (** raw [Domain.self] id *)
+  mutable b_last_ns : int;  (** monotone clamp for this domain's clock *)
+  mutable b_stack : spanrec list;  (** open spans, innermost first *)
+  mutable b_roots_rev : spanrec list;
+  b_counters : (string, int ref) Hashtbl.t;
+  b_walls : (string, float ref) Hashtbl.t;
+}
+
+(* The registry: every buffer ever handed to a domain, in order of first
+   use. Guarded by a mutex taken once per domain lifetime (at first
+   touch), never on the record paths. [reset] bumps the generation so
+   live domains (the main one, between tests) lazily re-register a fresh
+   buffer instead of appending to a dropped one. *)
+let registry : buf list ref = ref []
+
+let registry_mu = Mutex.create ()
+
+let generation = ref 0
+
+let span_recording = ref false
+
+let epoch = ref (Unix.gettimeofday ())
+
+let raw_ns () =
+  let t = Unix.gettimeofday () -. !epoch in
+  if t <= 0.0 then 0 else int_of_float (t *. 1e9)
+
+let make_buf gen =
+  {
+    b_gen = gen;
+    b_id = (Domain.self () :> int);
+    b_last_ns = 0;
+    b_stack = [];
+    b_roots_rev = [];
+    b_counters = Hashtbl.create 16;
+    b_walls = Hashtbl.create 8;
+  }
+
+let key : buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let gen = !generation in
+      let b = make_buf gen in
+      Mutex.protect registry_mu (fun () -> registry := b :: !registry);
+      b)
+
+let buf () =
+  let b = Domain.DLS.get key in
+  if b.b_gen = !generation then b
+  else begin
+    let gen = !generation in
+    let b = make_buf gen in
+    Mutex.protect registry_mu (fun () -> registry := b :: !registry);
+    Domain.DLS.set key b;
+    b
+  end
+
+(* The domain's clock never steps backwards: that single clamp is what
+   turns the nesting discipline into exact integer invariants (children
+   are disjoint sub-intervals of their parent, so their durations sum to
+   at most the parent's). *)
+let now_ns b =
+  let t = raw_ns () in
+  if t < b.b_last_ns then b.b_last_ns
+  else begin
+    b.b_last_ns <- t;
+    t
+  end
+
+let elapsed_ns () = raw_ns ()
+
+let enable () = span_recording := true
+
+let enabled () = !span_recording
+
+let reset () =
+  Mutex.protect registry_mu (fun () ->
+      incr generation;
+      registry := []);
+  epoch := Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type handle = spanrec option
+
+let begin_span ?(args = []) name : handle =
+  if not !span_recording then None
+  else begin
+    let b = buf () in
+    let s =
+      {
+        s_name = name;
+        s_args = args;
+        s_start_ns = now_ns b;
+        s_dur_ns = 0;
+        s_children_rev = [];
+      }
+    in
+    b.b_stack <- s :: b.b_stack;
+    Some s
+  end
+
+let end_span ?(args = []) (h : handle) =
+  match h with
+  | None -> ()
+  | Some s -> (
+    let b = buf () in
+    s.s_args <- s.s_args @ args;
+    s.s_dur_ns <- now_ns b - s.s_start_ns;
+    match b.b_stack with
+    | top :: rest when top == s -> (
+      b.b_stack <- rest;
+      match rest with
+      | parent :: _ -> parent.s_children_rev <- s :: parent.s_children_rev
+      | [] -> b.b_roots_rev <- s :: b.b_roots_rev)
+    | _ ->
+      (* mis-nested end (or a reset raced the span): drop it rather than
+         corrupt the stack *)
+      ())
+
+let span ?args name f =
+  let h = begin_span ?args name in
+  match f () with
+  | v ->
+    end_span h;
+    v
+  | exception e ->
+    end_span ~args:[ ("raised", Bool true) ] h;
+    raise e
+
+(* ------------------------------------------------------------------ *)
+(* Counters and wall meters                                            *)
+(* ------------------------------------------------------------------ *)
+
+let incr ?(by = 1) name =
+  let b = buf () in
+  match Hashtbl.find_opt b.b_counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add b.b_counters name (ref by)
+
+let add_wall name secs =
+  let b = buf () in
+  match Hashtbl.find_opt b.b_walls name with
+  | Some r -> r := !r +. secs
+  | None -> Hashtbl.add b.b_walls name (ref secs)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type span_node = {
+  sp_name : string;
+  sp_args : (string * arg) list;
+  sp_start_ns : int;
+  sp_dur_ns : int;
+  sp_children : span_node list;
+}
+
+type domain_view = {
+  dv_id : int;
+  dv_roots : span_node list;
+  dv_busy_ns : int;
+}
+
+type snapshot = {
+  sn_wall_ns : int;
+  sn_domains : domain_view list;
+  sn_counters : (string * int) list;
+  sn_walls : (string * float) list;
+}
+
+let rec freeze (s : spanrec) =
+  {
+    sp_name = s.s_name;
+    sp_args = s.s_args;
+    sp_start_ns = s.s_start_ns;
+    sp_dur_ns = s.s_dur_ns;
+    sp_children = List.rev_map freeze s.s_children_rev;
+  }
+
+let snapshot () =
+  let bufs =
+    Mutex.protect registry_mu (fun () -> List.rev !registry)
+  in
+  let counters = Hashtbl.create 32 in
+  let walls = Hashtbl.create 8 in
+  let merge tbl find_add src =
+    Hashtbl.iter (fun k r -> find_add tbl k r) src
+  in
+  let domains =
+    List.map
+      (fun b ->
+        merge counters
+          (fun tbl k r ->
+            match Hashtbl.find_opt tbl k with
+            | Some acc -> acc := !acc + !r
+            | None -> Hashtbl.add tbl k (ref !r))
+          b.b_counters;
+        merge walls
+          (fun tbl k r ->
+            match Hashtbl.find_opt tbl k with
+            | Some acc -> acc := !acc +. !r
+            | None -> Hashtbl.add tbl k (ref !r))
+          b.b_walls;
+        let roots = List.rev_map freeze b.b_roots_rev in
+        {
+          dv_id = b.b_id;
+          dv_roots = roots;
+          dv_busy_ns =
+            List.fold_left (fun acc r -> acc + r.sp_dur_ns) 0 roots;
+        })
+      bufs
+  in
+  let sorted tbl get =
+    Hashtbl.fold (fun k r acc -> (k, get r) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  (* The snapshot wall must bound every domain's span-covered time even
+     if the underlying wall clock stepped backwards between domains, so
+     idle = wall - busy stays non-negative. *)
+  let wall_ns =
+    List.fold_left
+      (fun acc b -> max acc b.b_last_ns)
+      (raw_ns ()) bufs
+  in
+  {
+    sn_wall_ns = wall_ns;
+    sn_domains = domains;
+    sn_counters = sorted counters (fun r -> !r);
+    sn_walls = sorted walls (fun r -> !r);
+  }
+
+let phases snap =
+  let tbl = Hashtbl.create 32 in
+  let rec visit (n : span_node) =
+    let children_ns =
+      List.fold_left (fun acc c -> acc + c.sp_dur_ns) 0 n.sp_children
+    in
+    let self = max 0 (n.sp_dur_ns - children_ns) in
+    (match Hashtbl.find_opt tbl n.sp_name with
+    | Some (c, t, s) -> Hashtbl.replace tbl n.sp_name (c + 1, t + n.sp_dur_ns, s + self)
+    | None -> Hashtbl.add tbl n.sp_name (1, n.sp_dur_ns, self));
+    List.iter visit n.sp_children
+  in
+  List.iter (fun d -> List.iter visit d.dv_roots) snap.sn_domains;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Progress channel                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Progress = struct
+  type mode =
+    | Off
+    | Human
+    | Ndjson
+
+  type state = {
+    mutable p_mode : mode;
+    mutable p_out : string -> unit;
+    mutable p_last : float;  (** last rate-limited emission *)
+    mutable p_t0 : float option;  (** first item of the current run *)
+  }
+
+  let st =
+    {
+      p_mode = Off;
+      p_out =
+        (fun line ->
+          prerr_string line;
+          prerr_newline ());
+      p_last = 0.0;
+      p_t0 = None;
+    }
+
+  let mu = Mutex.create ()
+
+  (* Emissions from pool workers and the main domain interleave; the
+     mutex keeps lines whole and the rate limiter race-free. *)
+  let min_interval_s = 0.2
+
+  let configure ?out mode =
+    Mutex.protect mu (fun () ->
+        st.p_mode <- mode;
+        (match out with Some f -> st.p_out <- f | None -> ());
+        st.p_last <- 0.0;
+        st.p_t0 <- None)
+
+  let mode () = st.p_mode
+
+  let json_line fields = Json.to_string (Json.Obj fields)
+
+  let item ~k ~n ~label =
+    if st.p_mode <> Off then
+      Mutex.protect mu (fun () ->
+          let now = Unix.gettimeofday () in
+          let t0 =
+            match st.p_t0 with
+            | Some t -> t
+            | None ->
+              st.p_t0 <- Some now;
+              now
+          in
+          if now -. st.p_last >= min_interval_s || k >= n then begin
+            st.p_last <- now;
+            let elapsed = now -. t0 in
+            let eta =
+              if k <= 0 then 0.0 else elapsed /. float_of_int k *. float_of_int (n - k)
+            in
+            match st.p_mode with
+            | Off -> ()
+            | Human ->
+              st.p_out
+                (Printf.sprintf "progress: %d/%d %s (%.1fs elapsed, eta %.1fs)" k
+                   n label elapsed eta)
+            | Ndjson ->
+              st.p_out
+                (json_line
+                   [
+                     ("event", Json.String "item");
+                     ("k", Json.Int k);
+                     ("n", Json.Int n);
+                     ("label", Json.String label);
+                     ("elapsed_s", Json.Float elapsed);
+                     ("eta_s", Json.Float eta);
+                   ])
+          end)
+
+  let cycles ~cycles ~cycles_per_sec ~engine =
+    if st.p_mode <> Off then
+      Mutex.protect mu (fun () ->
+          let now = Unix.gettimeofday () in
+          if now -. st.p_last >= min_interval_s then begin
+            st.p_last <- now;
+            match st.p_mode with
+            | Off -> ()
+            | Human ->
+              st.p_out
+                (Printf.sprintf "progress: %s at cycle %d (%.0f cycles/sec)"
+                   engine cycles cycles_per_sec)
+            | Ndjson ->
+              st.p_out
+                (json_line
+                   [
+                     ("event", Json.String "cycles");
+                     ("engine", Json.String engine);
+                     ("cycles", Json.Int cycles);
+                     ("cycles_per_sec", Json.Float cycles_per_sec);
+                   ])
+          end)
+
+  let warn msg =
+    if st.p_mode <> Off then
+      Mutex.protect mu (fun () ->
+          match st.p_mode with
+          | Off -> ()
+          | Human -> st.p_out ("warning: " ^ msg)
+          | Ndjson ->
+            st.p_out
+              (json_line
+                 [
+                   ("event", Json.String "warn"); ("message", Json.String msg);
+                 ]))
+end

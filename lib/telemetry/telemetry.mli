@@ -1,0 +1,137 @@
+(** Host-side telemetry: who is the {e simulator} spending its wall time
+    on?
+
+    Every other observability layer (events, stall attribution, pcstat,
+    the skip ledger) watches the simulated GPU; this one watches the
+    OCaml process that simulates it. Three primitives:
+
+    - {b Spans}: named begin/end intervals with typed args, nested via a
+      per-domain stack. Each domain buffers its own spans, so recording
+      takes no lock; buffers are merged at {!snapshot} (safe because the
+      pool joins its domains before anyone snapshots).
+    - {b Counters}: named monotonic integers (trace-cache hits, jumps
+      fast-forwarded, shrinker evaluations ...), again accumulated
+      per-domain and summed at {!snapshot}.
+    - {b Progress}: a rate-limited heartbeat channel for long runs —
+      item k/n, current app, cycles/sec — as human lines or NDJSON on
+      stderr.
+
+    Everything is always compiled in. Counters always count (an int
+    increment through domain-local state). Spans are recorded only while
+    {!enable}d, so un-instrumented runs pay one branch per site.
+
+    Time is kept as integer nanoseconds on a per-domain monotone clock
+    (wall time clamped to never step backwards), which makes the
+    self-time accounting exact: for every span, the durations of its
+    children sum to at most its own duration, so phase self-times are
+    non-negative by construction and [Σ self = Σ root walls] holds as an
+    integer identity that validators can re-prove from serialized
+    documents. *)
+
+(** {1 Lifecycle} *)
+
+val enable : unit -> unit
+(** Start recording spans (counters are always on). Also (re)marks the
+    process epoch if none is set. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded spans, counters and domain buffers and restart the
+    epoch. Test harnesses call this between cases; buffers left behind by
+    joined pool domains are discarded too. *)
+
+val elapsed_ns : unit -> int
+(** Nanoseconds since the epoch (raw, not domain-clamped) — the cheap
+    duration source for callers that time work without opening a span. *)
+
+(** {1 Spans} *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+val span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a span. Exception-safe: the span closes
+    (and is recorded) even if [f] raises. When disabled, [f] runs bare. *)
+
+type handle
+
+val begin_span : ?args:(string * arg) list -> string -> handle
+(** Manual form for sites where a closure is awkward. Must be closed with
+    {!end_span} on the same domain, in LIFO order. *)
+
+val end_span : ?args:(string * arg) list -> handle -> unit
+(** Close a span; [?args] are appended to the ones given at begin (for
+    results known only at the end, e.g. the cycle count of a run). *)
+
+(** {1 Counters} *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a named counter on the calling domain. Always on. *)
+
+val add_wall : string -> float -> unit
+(** Accumulate seconds into a named wall-time meter (kept separate from
+    the integer counters: wall meters are nondeterministic and are
+    excluded from determinism comparisons). *)
+
+(** {1 Snapshot} *)
+
+type span_node = {
+  sp_name : string;
+  sp_args : (string * arg) list;
+  sp_start_ns : int;  (** relative to the epoch *)
+  sp_dur_ns : int;
+  sp_children : span_node list;  (** in start order *)
+}
+
+type domain_view = {
+  dv_id : int;  (** raw [Domain.self] id; 0-indexed order of first use *)
+  dv_roots : span_node list;  (** completed top-level spans, in order *)
+  dv_busy_ns : int;  (** Σ root durations — span-covered wall *)
+}
+
+type snapshot = {
+  sn_wall_ns : int;  (** epoch to snapshot time *)
+  sn_domains : domain_view list;  (** in order of first use *)
+  sn_counters : (string * int) list;  (** sorted by name *)
+  sn_walls : (string * float) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** Merge every domain buffer. Open spans are not included; call it
+    after the work (and its pool joins) completed. *)
+
+val phases : snapshot -> (string * (int * int * int)) list
+(** Per-phase summary over all domains: [name -> (count, total_ns,
+    self_ns)], sorted by name. [self = total - Σ children of every
+    instance]; by the clock-monotonicity argument above [0 <= self <=
+    total], and [Σ self over phases = Σ busy over domains] exactly. *)
+
+(** {1 Progress channel} *)
+
+module Progress : sig
+  type mode =
+    | Off
+    | Human  (** one-line heartbeats, rate-limited *)
+    | Ndjson  (** machine-readable, one JSON object per line *)
+
+  val configure : ?out:(string -> unit) -> mode -> unit
+  (** [out] receives complete lines (no trailing newline); default
+      writes to stderr. Reconfiguring resets the rate limiter. *)
+
+  val mode : unit -> mode
+
+  val item : k:int -> n:int -> label:string -> unit
+  (** A pool item finished: emits [k/n], the item's label and an ETA,
+      subject to rate limiting (the final item always emits). *)
+
+  val cycles : cycles:int -> cycles_per_sec:float -> engine:string -> unit
+  (** Simulation heartbeat from inside [Gpu.run], rate-limited. *)
+
+  val warn : string -> unit
+  (** Out-of-band warning (e.g. pool straggler); never rate-limited,
+      emitted in both Human and Ndjson modes. *)
+end

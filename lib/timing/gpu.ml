@@ -1,6 +1,7 @@
 open Darsie_isa
 open Darsie_trace
 module Obs = Darsie_obs
+module Tel = Darsie_telemetry.Telemetry
 
 type result = {
   cycles : int;
@@ -47,9 +48,8 @@ let merge_notes per_sm_notes =
     per_sm_notes;
   List.rev_map (fun k -> (k, Hashtbl.find acc k)) !order
 
-let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
-    ?(event_window = 0) ?deadline ?(pcstat = false) factory (kinfo : Kinfo.t)
-    (trace : Record.t) =
+let run_body ~cfg ~sink ~sample_interval ~event_window ~deadline ~pcstat
+    factory (kinfo : Kinfo.t) (trace : Record.t) =
   let kernel = kinfo.Kinfo.kernel in
   let warps_per_tb = Record.warps_per_tb trace in
   let tbs_per_sm = occupancy cfg kernel ~warps_per_tb in
@@ -115,9 +115,13 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
     }
   in
   let started = Sys.time () in
+  let hb_t0 = Tel.elapsed_ns () in
   let progress = ref (-1) in
   let idle = ref 0 in
   let error = ref None in
+  (* Telemetry counters are accumulated in plain refs on the hot path and
+     flushed once after the loop, so instrumented runs pay integer adds. *)
+  let tel_jumps = ref 0 and tel_elided = ref 0 and tel_arms = ref 0 in
   (* Deadlock watchdog: every SM's progress token frozen with no operation
      between issue and writeback for watchdog_cycles. [span] is how many
      simulated cycles elapsed since the previous check (1 when stepping,
@@ -132,6 +136,7 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
         Array.fold_left (fun acc sm -> acc + Sm.inflight_count sm) 0 sms
       in
       if token = !progress && inflight = 0 then begin
+        if !idle = 0 then incr tel_arms;
         idle := !idle + span;
         if !idle >= cfg.Config.watchdog_cycles then
           error :=
@@ -214,6 +219,8 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
         in
         let span = target - !cycles in
         if span > 0 then begin
+          incr tel_jumps;
+          tel_elided := !tel_elided + span;
           cycles := target;
           check_watchdog span;
           check_wall ()
@@ -252,10 +259,24 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
         else Array.iter Sm.step sms;
         dispatch ();
         check_watchdog 1;
-        check_wall ()
+        check_wall ();
+        if !cycles land 0xFFFF = 0 && Tel.Progress.mode () <> Tel.Progress.Off
+        then begin
+          let elapsed_s =
+            float_of_int (Tel.elapsed_ns () - hb_t0) /. 1e9
+          in
+          Tel.Progress.cycles ~cycles:!cycles
+            ~cycles_per_sec:
+              (if elapsed_s <= 0.0 then 0.0
+               else float_of_int !cycles /. elapsed_s)
+            ~engine:(Sm.engine_name sms.(0))
+        end
       end
     end
   done;
+  if !tel_jumps > 0 then Tel.incr ~by:!tel_jumps "ff.jumps";
+  if !tel_elided > 0 then Tel.incr ~by:!tel_elided "ff.cycles_elided";
+  if !tel_arms > 0 then Tel.incr ~by:!tel_arms "watchdog.arms";
   (* Lagging SMs charge their tail idle span up to the final cycle so the
      attribution invariant (bucket total = cycles on every SM) holds. *)
   if cfg.Config.fast_forward then begin
@@ -331,6 +352,26 @@ let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
         ledger;
         per_sm_ledger;
       }
+
+let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
+    ?(event_window = 0) ?deadline ?(pcstat = false) factory (kinfo : Kinfo.t)
+    (trace : Record.t) =
+  let sp = Tel.begin_span "gpu.run" in
+  match
+    run_body ~cfg ~sink ~sample_interval ~event_window ~deadline ~pcstat
+      factory kinfo trace
+  with
+  | Ok r as res ->
+    Tel.end_span
+      ~args:[ ("engine", Tel.Str r.engine); ("cycles", Tel.Int r.cycles) ]
+      sp;
+    res
+  | Stdlib.Error _ as res ->
+    Tel.end_span ~args:[ ("error", Tel.Bool true) ] sp;
+    res
+  | exception e ->
+    Tel.end_span ~args:[ ("raised", Tel.Bool true) ] sp;
+    raise e
 
 let run_exn ?cfg ?sink ?sample_interval ?event_window ?deadline ?pcstat
     factory kinfo trace =

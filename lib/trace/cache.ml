@@ -57,23 +57,28 @@ let path t key = Filename.concat t.dir (key ^ ".trace")
 let lookup t ~key ~check =
   let p = path t key in
   let entry =
-    if not (Sys.file_exists p) then None
-    else
-      try
-        let ic = open_in_bin p in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () ->
-            let m = really_input_string ic (String.length magic) in
-            if m <> magic then None
-            else
-              let (r : Record.t) = Marshal.from_channel ic in
-              if check r then Some r else None)
-      with _ -> None
+    Darsie_telemetry.Telemetry.span "cache.lookup" (fun () ->
+        if not (Sys.file_exists p) then None
+        else
+          try
+            let ic = open_in_bin p in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                let m = really_input_string ic (String.length magic) in
+                if m <> magic then None
+                else
+                  let (r : Record.t) = Marshal.from_channel ic in
+                  if check r then Some r else None)
+          with _ -> None)
   in
   (match entry with
-  | Some _ -> Atomic.incr t.hits
-  | None -> Atomic.incr t.misses);
+  | Some _ ->
+    Atomic.incr t.hits;
+    Darsie_telemetry.Telemetry.incr "trace_cache.hits"
+  | None ->
+    Atomic.incr t.misses;
+    Darsie_telemetry.Telemetry.incr "trace_cache.misses");
   entry
 
 let find t ~key = lookup t ~key ~check:(fun _ -> true)
@@ -94,7 +99,8 @@ let store t ~key record =
         output_string oc magic;
         Marshal.to_channel oc record []);
     Sys.rename tmp final;
-    Atomic.incr t.stores
+    Atomic.incr t.stores;
+    Darsie_telemetry.Telemetry.incr "trace_cache.stores"
   with _ -> ()
 
 let generate ?(warp_size = 32) t ~name ~scale mem launch =

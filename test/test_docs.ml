@@ -66,6 +66,7 @@ let validate_example e =
       match J.of_string e.json with
       | Error msg -> Error msg
       | Ok j -> Result.map ignore (Trendline.of_json j))
+    | "host_telemetry" -> Metrics.validate_telemetry_string e.json
     | other -> Error (Printf.sprintf "unknown validate kind %S" other)
   in
   match result with
@@ -82,7 +83,9 @@ let test_examples_validate () =
      profiled metrics document exercising the per_pc validator *)
   Alcotest.(check bool) "at least two metrics examples" true (count "metrics" >= 2);
   Alcotest.(check bool) "a check-report example" true (count "check" >= 1);
-  Alcotest.(check bool) "a trendline example" true (count "trendline" >= 1)
+  Alcotest.(check bool) "a trendline example" true (count "trendline" >= 1);
+  Alcotest.(check bool) "a host-telemetry example" true
+    (count "host_telemetry" >= 1)
 
 (* The doc's versioning table quotes the constants; make sure the quoted
    numbers track the code. *)
@@ -102,7 +105,10 @@ let test_versions_quoted () =
   Alcotest.(check bool) "check version quoted" true
     (contains (quoted "Metrics.check_schema_version" Metrics.check_schema_version));
   Alcotest.(check bool) "trendline version quoted" true
-    (contains (quoted "Trendline.schema_version" Trendline.schema_version))
+    (contains (quoted "Trendline.schema_version" Trendline.schema_version));
+  Alcotest.(check bool) "host-telemetry version quoted" true
+    (contains
+       (quoted "Host_trace.schema_version" Metrics.telemetry_schema_version))
 
 let () =
   Alcotest.run "docs"

@@ -245,6 +245,8 @@ let sample_record () =
     per_app_ipc = [ ("MM", 3.1); ("LIB", 1.7) ];
     per_app_cycles = [ ("MM", 7000); ("LIB", 8600) ];
     per_app_coverage = [ ("MM", 0.92); ("LIB", 0.88) ];
+    host_phases = [ ("sim.run", 3.8); ("trace.load", 0.4) ];
+    cache_hit_rate = Some 0.5;
   }
 
 let test_trendline_roundtrip () =
