@@ -5,7 +5,7 @@ SMOKE_DIR ?= /tmp/darsie-smoke
 
 .PHONY: all build test verify doc cli-docs bench profile-smoke check-smoke \
   fuzz-smoke annotate-smoke explain-smoke cache-smoke fastforward-smoke \
-  telemetry-smoke bench-compare clean
+  telemetry-smoke fidelity-smoke bench-compare clean
 
 all: build
 
@@ -109,14 +109,20 @@ cache-smoke: build
 # Fast-forward smoke: the event-driven cycle loop must leave every
 # simulated metric bit-identical to stepping each cycle. One
 # memory-bound app (the subset where the jumps are biggest), serial,
-# full metrics document on vs off, byte-diffed.
+# full metrics document on vs off, byte-diffed after masking the
+# machine_config.fast_forward echo (schema v3 records which strategy
+# produced the file; everything simulated must still match exactly).
 fastforward-smoke: build
 	mkdir -p $(SMOKE_DIR)
 	$(DUNE) exec bin/darsie.exe -- run BIN -m DARSIE -j 1 \
 	  --json $(SMOKE_DIR)/ff_on.json > /dev/null
 	$(DUNE) exec bin/darsie.exe -- run BIN -m DARSIE -j 1 \
 	  --no-fast-forward --json $(SMOKE_DIR)/ff_off.json > /dev/null
-	diff $(SMOKE_DIR)/ff_on.json $(SMOKE_DIR)/ff_off.json
+	jq '.machine_config.fast_forward = true' $(SMOKE_DIR)/ff_on.json \
+	  > $(SMOKE_DIR)/ff_on.cmp
+	jq '.machine_config.fast_forward = true' $(SMOKE_DIR)/ff_off.json \
+	  > $(SMOKE_DIR)/ff_off.cmp
+	diff $(SMOKE_DIR)/ff_on.cmp $(SMOKE_DIR)/ff_off.cmp
 
 # Host-telemetry smoke: a full-matrix run with spans on, the exported
 # document's integer invariant — sum of per-phase self_ns equals sum of
@@ -137,15 +143,37 @@ telemetry-smoke: build
 	$(DUNE) exec bin/darsie.exe -- telemetry-summary $(SMOKE_DIR)/telemetry.json \
 	  | grep -q "host telemetry:"
 
+# Machine-fidelity smoke: one app at non-default knobs (dual-issue
+# fetch bundles + a per-warp MSHR limit), with the cycle-conservation
+# invariant — every stall bucket of every SM sums back to the simulated
+# cycle count, eight buckets including the knob-introduced mem_struct —
+# re-proved from the exported JSON by jq, and the machine_config echo
+# checked against the flags that produced the file.
+fidelity-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	$(DUNE) exec bin/darsie.exe -- run MM -m DARSIE \
+	  --issue-width 2 --mshrs 8 --json $(SMOKE_DIR)/fidelity.json > /dev/null
+	jq -e '([.stall_attribution.total[]] | add) == .cycles * .num_sms' \
+	  $(SMOKE_DIR)/fidelity.json > /dev/null \
+	  || { echo "stall buckets do not sum to cycles x SMs"; exit 1; }
+	jq -e '.cycles as $$c | [.stall_attribution.per_sm[] | ([.[]] | add) == $$c] | all' \
+	  $(SMOKE_DIR)/fidelity.json > /dev/null \
+	  || { echo "per-SM stall buckets do not sum to cycles"; exit 1; }
+	jq -e '(.stall_attribution.total | has("mem_struct")) and .machine_config.issue_width == 2 and .machine_config.mshrs == 8' \
+	  $(SMOKE_DIR)/fidelity.json > /dev/null \
+	  || { echo "machine_config echo or mem_struct bucket missing"; exit 1; }
+
 # Record a fresh bench trajectory point into bench/history/ and gate it
 # against the committed baseline. Deterministic simulated metrics use a
 # 0.5% threshold; wall-clock metrics 25%. Exits nonzero on regression.
-# The telemetry baseline (first record carrying host_phases +
-# cache_hit_rate); earlier records are kept with identical simulated
-# metrics: bench/BENCH_2026-08-06.json (serial seed),
-# bench/BENCH_2026-08-06_parallel.json (parallel+cache) and
-# bench/BENCH_2026-08-06_fastforward.json (event-driven cycle loop).
-BENCH_BASELINE ?= bench/BENCH_2026-08-09_telemetry.json
+# The fidelity baseline (recorded after the machine-model knobs landed;
+# default-config simulated metrics bit-identical to the telemetry
+# record); earlier records are kept with identical simulated metrics:
+# bench/BENCH_2026-08-06.json (serial seed),
+# bench/BENCH_2026-08-06_parallel.json (parallel+cache),
+# bench/BENCH_2026-08-06_fastforward.json (event-driven cycle loop) and
+# bench/BENCH_2026-08-09_telemetry.json (host telemetry).
+BENCH_BASELINE ?= bench/BENCH_2026-08-09_fidelity.json
 bench-compare: build
 	mkdir -p bench/history
 	$(DUNE) exec bench/main.exe -- --trend bench/history/current.json

@@ -117,13 +117,50 @@ let no_ff_arg =
   in
   Arg.(value & flag & info [ "no-fast-forward" ] ~doc)
 
-let cfg_of_ff no_ff =
-  if no_ff then
-    {
-      Darsie_timing.Config.default with
-      Darsie_timing.Config.fast_forward = false;
-    }
-  else Darsie_timing.Config.default
+(* The three fidelity knobs (docs/machine-model.md). Defaults reproduce
+   the stock machine bit-for-bit; every non-default setting is covered
+   by the fuzz stack and test_fidelity. *)
+let issue_width_arg =
+  let doc =
+    "Fetch-bundle width: up to $(docv) sequential instructions fetched from \
+     the selected warp per cycle (2 models dual-issue superscalar fetch; 1, \
+     the default, is the classic single fetch)."
+  in
+  Arg.(value & opt int 1 & info [ "issue-width" ] ~docv:"W" ~doc)
+
+let mshrs_arg =
+  let doc =
+    "Per-warp MSHR limit: at most $(docv) outstanding global-load misses per \
+     warp, completing out of order; 0 (the default) models unlimited MSHRs."
+  in
+  Arg.(value & opt int 0 & info [ "mshrs" ] ~docv:"N" ~doc)
+
+let smem_banks_arg =
+  let doc =
+    "Shared-memory banks with serialized conflict replay: conflicting \
+     accesses replay through $(docv) banks one cycle per extra bank access, \
+     holding the shared port; 0 (the default) keeps the legacy latency-only \
+     conflict model."
+  in
+  Arg.(value & opt int 0 & info [ "smem-banks" ] ~docv:"N" ~doc)
+
+let knobs_term =
+  Term.(
+    const (fun issue_width mshrs smem_banks -> (issue_width, mshrs, smem_banks))
+    $ issue_width_arg $ mshrs_arg $ smem_banks_arg)
+
+let cfg_of ?(base = Darsie_timing.Config.default) no_ff
+    (issue_width, mshrs, smem_banks) =
+  if issue_width < 1 then or_die (Error "--issue-width must be >= 1");
+  if mshrs < 0 then or_die (Error "--mshrs must be >= 0");
+  if smem_banks < 0 then or_die (Error "--smem-banks must be >= 0");
+  {
+    base with
+    Darsie_timing.Config.fast_forward = not no_ff;
+    issue_width;
+    mshrs;
+    smem_banks;
+  }
 
 let report_cache = function
   | Some c -> Printf.printf "%s\n" (Darsie_trace.Cache.summary c)
@@ -240,11 +277,11 @@ let json_arg =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run abbr machine scale json_file jobs cache_dir no_ff telemetry_file
-      progress progress_json =
+  let run abbr machine scale json_file jobs cache_dir no_ff knobs
+      telemetry_file progress progress_json =
     let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     let w = or_die (find_app abbr) in
-    let cfg = cfg_of_ff no_ff in
+    let cfg = cfg_of no_ff knobs in
     let cache = cache_of cache_dir in
     Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
     let app = Darsie_harness.Suite.load_app ~scale ?cache w in
@@ -296,16 +333,16 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one application through the timing model")
     Term.(
       const run $ app_arg $ machine_arg $ scale_arg $ json_arg $ jobs_arg
-      $ cache_arg $ no_ff_arg $ telemetry_arg $ progress_arg
+      $ cache_arg $ no_ff_arg $ knobs_term $ telemetry_arg $ progress_arg
       $ progress_json_arg)
 
 let profile_cmd =
   let run abbr machine scale json_file trace_file csv_file interval cache_dir
-      no_ff telemetry_file progress progress_json =
+      no_ff knobs telemetry_file progress progress_json =
     let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     let w = or_die (find_app abbr) in
     if interval < 1 then or_die (Error "--interval must be >= 1");
-    let cfg = cfg_of_ff no_ff in
+    let cfg = cfg_of no_ff knobs in
     let cache = cache_of cache_dir in
     Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
     let app = Darsie_harness.Suite.load_app ~scale ?cache w in
@@ -407,8 +444,8 @@ let profile_cmd =
           time-series, JSON metrics and Chrome-trace export")
     Term.(
       const run $ app_arg $ machine_arg $ scale_arg $ json_arg $ trace_arg
-      $ csv_arg $ interval_arg $ cache_arg $ no_ff_arg $ telemetry_arg
-      $ progress_arg $ progress_json_arg)
+      $ csv_arg $ interval_arg $ cache_arg $ no_ff_arg $ knobs_term
+      $ telemetry_arg $ progress_arg $ progress_json_arg)
 
 let limit_cmd =
   let run abbr scale =
@@ -431,7 +468,7 @@ let limit_cmd =
     Term.(const run $ app_arg $ scale_arg)
 
 let experiment_cmd =
-  let run id jobs cache_dir no_ff =
+  let run id jobs cache_dir no_ff knobs json_file =
     let module F = Darsie_harness.Figures in
     let needs_matrix =
       [ "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "coverage" ]
@@ -444,7 +481,7 @@ let experiment_cmd =
            jobs;
          let cache = cache_of cache_dir in
          let m =
-           Darsie_harness.Suite.build_matrix ~cfg:(cfg_of_ff no_ff) ~jobs
+           Darsie_harness.Suite.build_matrix ~cfg:(cfg_of no_ff knobs) ~jobs
              ?cache ()
          in
          Hashtbl.iter (fun (abbr, _) r -> check_run abbr r)
@@ -497,34 +534,57 @@ let experiment_cmd =
       print_string
         (Darsie_harness.Ablations.render_schedulers
            (Darsie_harness.Ablations.scheduler_comparison apps))
+    | "sensitivity" ->
+      let module Sens = Darsie_harness.Sensitivity in
+      let jobs = effective_jobs jobs in
+      Printf.printf
+        "sensitivity sweep (13 apps x 2 machines x {1,2} issue-width x \
+         {1,64} mshrs, 32 banks, %d job(s))...\n%!"
+        jobs;
+      let cache = cache_of cache_dir in
+      let t = Sens.run ~cfg:(cfg_of no_ff knobs) ~jobs ?cache
+          ~check:check_run ()
+      in
+      print_string (Sens.render t);
+      report_cache cache;
+      let doc = Sens.to_json t in
+      (match Darsie_harness.Metrics.validate_sensitivity doc with
+      | Ok () -> ()
+      | Error msg -> violation "sensitivity document invalid (%s)" msg);
+      (match json_file with
+      | Some path ->
+        Darsie_harness.Metrics.write_file path doc;
+        Printf.printf "sweep: %s\n" path
+      | None -> ())
     | other ->
       ignore needs_matrix;
       Printf.eprintf
         "unknown experiment %S (fig1 fig2 fig6 fig8 fig9 fig10 fig11 fig12 \
-         coverage table1 table2 table3 area ablations)\n"
+         coverage table1 table2 table3 area ablations sensitivity)\n"
         other;
       exit 1
   in
-  let run id jobs cache_dir no_ff telemetry_file progress progress_json =
+  let run id jobs cache_dir no_ff knobs json_file telemetry_file progress
+      progress_json =
     let write_telemetry = setup_telemetry telemetry_file progress progress_json in
-    run id jobs cache_dir no_ff;
+    run id jobs cache_dir no_ff knobs json_file;
     write_telemetry ();
     finish ()
   in
   let id_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID"
-           ~doc:"Experiment id, e.g. fig8 or table1.")
+           ~doc:"Experiment id, e.g. fig8, table1 or sensitivity.")
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper figure or table")
-    Term.(const run $ id_arg $ jobs_arg $ cache_arg $ no_ff_arg
-          $ telemetry_arg $ progress_arg $ progress_json_arg)
+    Term.(const run $ id_arg $ jobs_arg $ cache_arg $ no_ff_arg $ knobs_term
+          $ json_arg $ telemetry_arg $ progress_arg $ progress_json_arg)
 
 let check_cmd =
   let module Checker = Darsie_harness.Checker in
   let module Sim_error = Darsie_check.Sim_error in
   let run app_opt machines scale no_oracle inject seed deadline max_cycles
-      watchdog json_file jobs cache_dir no_ff telemetry_file progress
+      watchdog json_file jobs cache_dir no_ff knobs telemetry_file progress
       progress_json =
     let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     let apps =
@@ -537,10 +597,9 @@ let check_cmd =
     let cache = cache_of cache_dir in
     let cfg =
       {
-        Darsie_timing.Config.default with
+        (cfg_of no_ff knobs) with
         Darsie_timing.Config.max_cycles;
         watchdog_cycles = watchdog;
-        fast_forward = not no_ff;
       }
     in
     Printf.printf
@@ -622,14 +681,14 @@ let check_cmd =
     Term.(const run $ app_opt_arg $ machines_arg $ scale_arg $ no_oracle_arg
           $ inject_arg $ seed_arg $ deadline_arg $ max_cycles_arg
           $ watchdog_arg $ json_arg $ jobs_arg $ cache_arg $ no_ff_arg
-          $ telemetry_arg $ progress_arg $ progress_json_arg)
+          $ knobs_term $ telemetry_arg $ progress_arg $ progress_json_arg)
 
 let annotate_cmd =
-  let run abbr machines scale top json_file jobs cache_dir no_ff
+  let run abbr machines scale top json_file jobs cache_dir no_ff knobs
       telemetry_file progress progress_json =
     let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     let w = or_die (find_app abbr) in
-    let cfg = cfg_of_ff no_ff in
+    let cfg = cfg_of no_ff knobs in
     let machines =
       if machines = [] then [ Darsie_harness.Suite.Darsie ] else machines
     in
@@ -690,15 +749,15 @@ let annotate_cmd =
           PTX-lite)")
     Term.(
       const run $ app_arg $ machines_arg $ scale_arg $ top_arg $ json_arg
-      $ jobs_arg $ cache_arg $ no_ff_arg $ telemetry_arg $ progress_arg
-      $ progress_json_arg)
+      $ jobs_arg $ cache_arg $ no_ff_arg $ knobs_term $ telemetry_arg
+      $ progress_arg $ progress_json_arg)
 
 let explain_cmd =
-  let run abbr machine scale top json_file cache_dir no_ff telemetry_file
-      progress progress_json =
+  let run abbr machine scale top json_file cache_dir no_ff knobs
+      telemetry_file progress progress_json =
     let write_telemetry = setup_telemetry telemetry_file progress progress_json in
     let w = or_die (find_app abbr) in
-    let cfg = cfg_of_ff no_ff in
+    let cfg = cfg_of no_ff knobs in
     let cache = cache_of cache_dir in
     Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
     let app = Darsie_harness.Suite.load_app ~scale ?cache w in
@@ -743,7 +802,7 @@ let explain_cmd =
           ledger's conservation invariant is violated")
     Term.(
       const run $ app_arg $ machine_arg $ scale_arg $ top_arg $ json_arg
-      $ cache_arg $ no_ff_arg $ telemetry_arg $ progress_arg
+      $ cache_arg $ no_ff_arg $ knobs_term $ telemetry_arg $ progress_arg
       $ progress_json_arg)
 
 let bench_compare_cmd =
@@ -857,8 +916,11 @@ let area_cmd =
 let fuzz_cmd =
   let module Campaign = Darsie_fuzz.Campaign in
   let run seed count jobs max_shrink corpus inject json_file replay
-      replay_corpus telemetry_file progress progress_json =
+      replay_corpus knobs telemetry_file progress progress_json =
     let write_telemetry = setup_telemetry telemetry_file progress progress_json in
+    (* The differential stack runs fast-forward both on and off itself,
+       so only the fidelity knobs matter here. *)
+    let base_cfg = cfg_of false knobs in
     match (replay, replay_corpus) with
     | Some spec, _ ->
       (* --replay SEED:INDEX re-runs exactly one generated kernel *)
@@ -874,11 +936,11 @@ let fuzz_cmd =
                (Printf.sprintf "bad --replay spec %S (expected SEED:INDEX)"
                   spec))
       in
-      let text, code = Campaign.replay ~seed:rseed ~index:rindex in
+      let text, code = Campaign.replay ~base_cfg ~seed:rseed ~index:rindex () in
       print_string text;
       if code <> 0 then exit code
     | None, Some dir ->
-      let text, code = Campaign.replay_corpus ~dir in
+      let text, code = Campaign.replay_corpus ~base_cfg ~dir () in
       print_string text;
       if code <> 0 then exit code
     | None, None ->
@@ -890,6 +952,7 @@ let fuzz_cmd =
           max_shrink;
           corpus_dir = corpus;
           inject;
+          base_cfg;
         }
       in
       let report = Campaign.run cfg in
@@ -956,7 +1019,7 @@ let fuzz_cmd =
           shrink any failure to a minimal replayable counterexample")
     Term.(const run $ seed_arg $ count_arg $ jobs_arg $ max_shrink_arg
           $ corpus_arg $ inject_arg $ json_arg $ replay_arg
-          $ replay_corpus_arg $ telemetry_arg $ progress_arg
+          $ replay_corpus_arg $ knobs_term $ telemetry_arg $ progress_arg
           $ progress_json_arg)
 
 let main =

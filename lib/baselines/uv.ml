@@ -43,6 +43,7 @@ let factory : Engine.factory =
     bulk_skip = (fun ~cycle:_ ~n:_ -> ());
     on_fast_forward = (fun ~cycle:_ -> ());
     can_fetch = (fun _ -> true);
+    recheck_fetch = (fun _ -> true);
     remove_at_fetch = (fun _ _ -> false);
     on_issue;
     on_writeback;

@@ -444,6 +444,21 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
     end
   in
   let can_fetch (w : Engine.wctx) = w.Engine.fetch_ok in
+  (* A fetch-bundle follower slot advanced [fi] past the instruction the
+     skip phase gated on, so [fetch_ok] is stale; re-run the single-warp
+     pre-fetch window at the new cursor. This shares the cycle's
+     [probed] port table (a follower consult competes for the same
+     PC-coalescer ports) and mutates exactly like the skip phase —
+     register a sync arrival, park, or chain skips. Any mutation it
+     makes follows a real fetch this cycle, and a fetch already forces
+     the SM to step normally ([skip_reads_warp_state]), so the
+     fast-forward steadiness snapshot is never trusted after it. *)
+  let recheck_fetch (w : Engine.wctx) =
+    (match Hashtbl.find_opt slots w.Engine.tb_slot with
+    | Some slot -> process_warp slot w
+    | None -> set_ok w true);
+    w.Engine.fetch_ok
+  in
   let on_issue ~cycle:_ (w : Engine.wctx) (op : Record.op) =
     (match Hashtbl.find_opt slots w.Engine.tb_slot with
     | None -> ()
@@ -574,6 +589,7 @@ let make ?(options = default_options) (kinfo : Kinfo.t) (cfg : Config.t)
          instance lifetimes flushed on the landing cycle are identical. *)
       (fun ~cycle -> Skip_table.Telemetry.set_now telemetry cycle);
     can_fetch;
+    recheck_fetch;
     remove_at_fetch = (fun _ _ -> false);
     on_issue;
     on_writeback;

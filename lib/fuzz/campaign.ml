@@ -11,6 +11,7 @@ type config = {
   max_shrink : int;
   corpus_dir : string option;
   inject : bool;
+  base_cfg : Darsie_timing.Config.t;
 }
 
 type failure_rec = {
@@ -111,7 +112,7 @@ let clean_worker cfg index =
         o_fail = Some ("build", msg, shrunk, evals, items_before);
       }
   | Ok case -> (
-      let v = Differential.check_case case in
+      let v = Differential.check_case ~base_cfg:cfg.base_cfg case in
       let base =
         {
           (no_outcome style promoted) with
@@ -128,7 +129,10 @@ let clean_worker cfg index =
             match Plan.build p with
             | Error _ -> f.Differential.f_kind = "build"
             | Ok c -> (
-                match (Differential.check_case c).Differential.v_failure with
+                match
+                  (Differential.check_case ~base_cfg:cfg.base_cfg c)
+                    .Differential.v_failure
+                with
                 | Some f' -> f'.Differential.f_kind = f.Differential.f_kind
                 | None -> false)
           in
@@ -504,7 +508,7 @@ let render_case (c : Plan.case) =
   Buffer.add_string b (Darsie_isa.Printer.kernel_to_string c.Plan.kernel);
   Buffer.contents b
 
-let replay ~seed ~index =
+let replay ?base_cfg ~seed ~index () =
   let style, plan = Gen.generate ~seed ~index in
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
@@ -518,7 +522,7 @@ let replay ~seed ~index =
       let analysis = Darsie_compiler.Analysis.analyze case.Plan.kernel in
       Buffer.add_string b
         (Format.asprintf "%a" Darsie_compiler.Analysis.pp_markings analysis);
-      let v = Differential.check_case case in
+      let v = Differential.check_case ?base_cfg case in
       match v.Differential.v_failure with
       | None ->
           line "PASS: %d warp insts, %d forwards, %d skips, %d cycles"
@@ -530,7 +534,7 @@ let replay ~seed ~index =
           line "replay: %s" (replay_command ~seed ~index);
           (Buffer.contents b, Differential.exit_code f))
 
-let replay_corpus ~dir =
+let replay_corpus ?base_cfg ~dir () =
   let b = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
   let worst = ref 0 in
@@ -547,7 +551,7 @@ let replay_corpus ~dir =
         | Ok e -> (
             match e.Corpus.e_kind with
             | None -> (
-                let v = Differential.check_case e.Corpus.e_case in
+                let v = Differential.check_case ?base_cfg e.Corpus.e_case in
                 match v.Differential.v_failure with
                 | None -> line "%s: clean, full stack passes" fname
                 | Some f ->

@@ -20,6 +20,11 @@ type config = {
           pass, find a kernel with an applicable injection site for each
           fault kind, verify the stacked oracle detects the injected
           fault, and shrink that kernel to a minimal witness *)
+  base_cfg : Darsie_timing.Config.t;
+      (** machine point the timing stages run at (pass
+          [Darsie_timing.Config.default] for the legacy behaviour);
+          lets campaigns exercise non-default [issue_width] / [mshrs] /
+          [smem_banks] settings through the whole stack *)
 }
 
 type failure_rec = {
@@ -78,12 +83,16 @@ val to_json : report -> Darsie_obs.Json.t
 (** ["fuzz_campaign"] document, validated by
     {!Darsie_harness.Metrics.validate_fuzz}. *)
 
-val replay : seed:int -> index:int -> string * int
+val replay :
+  ?base_cfg:Darsie_timing.Config.t -> seed:int -> index:int -> unit ->
+  string * int
 (** Regenerate kernel [index] of campaign [seed], run the full stack on
-    it alone, and return the rendered case (geometry, assembly, verdict)
-    plus a process exit code. *)
+    it alone (at [base_cfg], default the stock machine), and return the
+    rendered case (geometry, assembly, verdict) plus a process exit
+    code. *)
 
-val replay_corpus : dir:string -> string * int
+val replay_corpus :
+  ?base_cfg:Darsie_timing.Config.t -> dir:string -> unit -> string * int
 (** Re-run every [*.fuzz] file: clean entries must pass the stacked
     differential; injected entries must pass clean {e and} have their
     recorded fault detected when re-injected. *)

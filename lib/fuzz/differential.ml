@@ -28,8 +28,8 @@ let failed ?(forwards = 0) ?(warp_insts = 0) f =
 
 (* Cap the simulation: generated kernels are tiny, so a run that needs
    millions of cycles is itself a bug worth reporting. *)
-let cfg ~fast_forward =
-  { Config.default with Config.fast_forward; max_cycles = 5_000_000 }
+let cfg ~base ~fast_forward =
+  { base with Config.fast_forward; Config.max_cycles = 5_000_000 }
 
 let ledger_string l = Json.to_string (Darsie_obs.Ledger.to_json l)
 
@@ -77,7 +77,7 @@ let oracle_detail (rep : Oracle.report) =
     rep.Oracle.mismatches;
   String.concat "; " (List.rev !shown)
 
-let check_case (case : Plan.case) : verdict =
+let check_case ?(base_cfg = Config.default) (case : Plan.case) : verdict =
   match Oracle.check_subject (Plan.subject case) with
   | exception e -> failed (fail "crash" ("oracle stage: " ^ Printexc.to_string e))
   | rep when not (Oracle.passed rep) ->
@@ -97,7 +97,7 @@ let check_case (case : Plan.case) : verdict =
             prep.Darsie_workloads.Workload.launch
         in
         let run ff =
-          Gpu.run ~cfg:(cfg ~fast_forward:ff)
+          Gpu.run ~cfg:(cfg ~base:base_cfg ~fast_forward:ff)
             (Darsie_core.Darsie_engine.factory ())
             kinfo trace
         in

@@ -32,7 +32,13 @@ type verdict = {
   v_skips : int;  (** instructions skipped by the timing engine *)
 }
 
-val check_case : Plan.case -> verdict
+val check_case : ?base_cfg:Darsie_timing.Config.t -> Plan.case -> verdict
+(** [base_cfg] (default {!Darsie_timing.Config.default}) sets the
+    machine point the timing stages run at — e.g. a non-default
+    [issue_width] / [mshrs] / [smem_banks] — so fuzz campaigns can
+    exercise the whole differential stack at every fidelity knob
+    setting. The [fast_forward] and [max_cycles] fields are overridden
+    by the stack itself. *)
 
 val exit_code : failure -> int
 (** Process exit code for a campaign that ends on this failure: oracle

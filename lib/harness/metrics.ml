@@ -48,6 +48,20 @@ let json_of_energy (e : Darsie_energy.Energy_model.breakdown) =
       ("total_pj", J.Float e.total);
     ]
 
+(* schema_version 3 added this echo of the exact configuration the run
+   used: the scheduler name, the two behaviour flags, and every integer
+   knob from Config.knobs. Named "machine_config" (the "machine" field
+   already carries the paper-variant string, e.g. "DARSIE"). *)
+let json_of_machine_config (cfg : Config.t) =
+  J.Obj
+    (("scheduler",
+      J.String (match cfg.Config.scheduler with
+                | Config.Gto -> "GTO"
+                | Config.Lrr -> "LRR"))
+    :: ("fast_forward", J.Bool cfg.Config.fast_forward)
+    :: ("sync_at_branches", J.Bool cfg.Config.sync_at_branches)
+    :: List.map (fun (k, v) -> (k, J.Int v)) (Config.knobs cfg))
+
 let of_run ~app ?(scale = 1) (r : Suite.run) =
   let gpu = r.Suite.gpu in
   let stats = gpu.Gpu.stats in
@@ -56,6 +70,7 @@ let of_run ~app ?(scale = 1) (r : Suite.run) =
       ("schema_version", J.Int schema_version);
       ("app", J.String app);
       ("machine", J.String (Suite.machine_name r.Suite.machine));
+      ("machine_config", json_of_machine_config r.Suite.cfg);
       ("scale", J.Int scale);
       ("num_sms", J.Int (Array.length gpu.Gpu.per_sm));
       ("cycles", J.Int gpu.Gpu.cycles);
@@ -110,8 +125,13 @@ let attrib_sum = function
 let validate doc =
   let* v = field "schema_version" J.to_int doc in
   let* () =
-    if v = schema_version then Ok ()
-    else Error (Printf.sprintf "schema_version %d, expected %d" v schema_version)
+    (* Backward-tolerant: version-2 documents (pre machine_config, pre
+       mem_struct bucket) still validate — the conservation arguments
+       below hold for them unchanged. *)
+    if v >= 2 && v <= schema_version then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema_version %d, expected 2..%d" v schema_version)
   in
   let* cycles = field "cycles" J.to_int doc in
   let* num_sms = field "num_sms" J.to_int doc in
@@ -124,6 +144,47 @@ let validate doc =
     match J.member "app" doc, J.member "machine" doc with
     | Some (J.String _), Some (J.String _) -> Ok ()
     | _ -> Error "missing app/machine strings"
+  in
+  (* machine_config: required from schema_version 3 on, absent before.
+     The echoed [num_sms] knob is cross-checked against the document's
+     own top-level count so a spliced file fails loudly. *)
+  let* () =
+    match J.member "machine_config" doc with
+    | None -> if v < 3 then Ok ()
+              else Error "missing machine_config (schema_version 3 requires it)"
+    | Some (J.Obj fields as mc) ->
+      let* () =
+        match J.member "scheduler" mc with
+        | Some (J.String ("GTO" | "LRR")) -> Ok ()
+        | _ -> Error "machine_config.scheduler is not \"GTO\"/\"LRR\""
+      in
+      let* () =
+        match (J.member "fast_forward" mc, J.member "sync_at_branches" mc) with
+        | Some (J.Bool _), Some (J.Bool _) -> Ok ()
+        | _ -> Error "machine_config missing fast_forward/sync_at_branches"
+      in
+      let* () =
+        List.fold_left
+          (fun acc (k, jv) ->
+            let* () = acc in
+            match jv with
+            | J.Int i when i >= 0 -> Ok ()
+            | J.Int i ->
+              Error (Printf.sprintf "machine_config.%s is negative (%d)" k i)
+            | J.String _ | J.Bool _ -> Ok ()
+            | _ -> Error (Printf.sprintf "machine_config.%s is ill-typed" k))
+          (Ok ()) fields
+      in
+      (match J.member "num_sms" mc with
+       | Some (J.Int n) when n = num_sms -> Ok ()
+       | Some (J.Int n) ->
+         Error
+           (Printf.sprintf
+              "machine_config.num_sms (%d) disagrees with the document's \
+               num_sms (%d)"
+              n num_sms)
+       | _ -> Error "machine_config missing num_sms")
+    | Some _ -> Error "machine_config is not an object"
   in
   let* attr =
     match J.member "stall_attribution" doc with
@@ -159,8 +220,8 @@ let validate doc =
     if attrib_sum total = num_sms * cycles then Ok ()
     else Error "total stall attribution != num_sms * cycles"
   in
-  (* per_pc is additive but its key must be present at schema_version 2
-     (null when the run was not profiled — a version that claims a
+  (* per_pc is additive but its key must be present from schema_version
+     2 on (null when the run was not profiled — a version that claims a
      section may not silently omit it); when non-null its per-row stall
      charges plus the unattributed remainder must reproduce the total
      attribution — the serialized form of the Gpu.check_attribution
@@ -168,7 +229,7 @@ let validate doc =
   let* () =
     match J.member "per_pc" doc with
     | None ->
-      Error "missing per_pc key (schema_version 2 requires it; null when \
+      Error "missing per_pc key (schema_version >= 2 requires it; null when \
              the run was not profiled)"
     | Some J.Null -> Ok ()
     | Some per_pc ->
@@ -201,12 +262,12 @@ let validate doc =
               cycles (%d)"
              charged un (num_sms * cycles))
   in
-  (* The skip ledger is always on, so schema_version 2 requires the
+  (* The skip ledger is always on, so schema_version >= 2 requires the
      section outright, and the validator re-proves the conservation
      invariant from the serialized numbers — the Gpu.check_ledger
      argument, replayed over the file. *)
   match J.member "skip_ledger" doc with
-  | None -> Error "missing skip_ledger section (schema_version 2 requires it)"
+  | None -> Error "missing skip_ledger section (schema_version >= 2 requires it)"
   | Some sl ->
     let* expected_total = field "expected_total" J.to_int sl in
     let* captured = field "captured" J.to_int sl in
@@ -494,6 +555,134 @@ let validate_fuzz_string s =
     match J.of_string s with Ok d -> Ok d | Error e -> Error ("bad JSON: " ^ e)
   in
   validate_fuzz doc
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity-sweep documents (darsie experiment sensitivity --json)  *)
+(* ------------------------------------------------------------------ *)
+
+let sensitivity_schema_version = 1
+
+let to_float = function
+  | J.Float f -> Some f
+  | J.Int i -> Some (float_of_int i)
+  | _ -> None
+
+(* Two serialized floats agree up to printing/re-parsing noise. *)
+let close a b =
+  Float.abs (a -. b)
+  <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+(* Structural check of a sensitivity-sweep document, re-deriving every
+   derived number from the serialized raw cycles: each app's speedup
+   must equal base_cycles / darsie_cycles, each cell's geomean must
+   equal the geomean of its app speedups, each cell must cover exactly
+   the apps the header lists, and the swept knob values must be sane
+   (issue_width >= 1, mshrs >= 0, smem_banks >= 0). *)
+let validate_sensitivity doc =
+  let* () =
+    match J.member "kind" doc with
+    | Some (J.String "sensitivity_sweep") -> Ok ()
+    | _ -> Error "kind is not \"sensitivity_sweep\""
+  in
+  let* v = field "schema_version" J.to_int doc in
+  let* () =
+    if v = sensitivity_schema_version then Ok ()
+    else
+      Error
+        (Printf.sprintf "schema_version %d, expected %d" v
+           sensitivity_schema_version)
+  in
+  let* _scale = field "scale" J.to_int doc in
+  let* banks = field "smem_banks" J.to_int doc in
+  let* () =
+    if banks >= 0 then Ok ()
+    else Error (Printf.sprintf "negative smem_banks (%d)" banks)
+  in
+  let* apps =
+    match J.member "apps" doc with
+    | Some (J.List l) ->
+      List.fold_left
+        (fun acc a ->
+          let* names = acc in
+          match a with
+          | J.String s -> Ok (s :: names)
+          | _ -> Error "apps entry is not a string")
+        (Ok []) l
+      |> Result.map List.rev
+    | _ -> Error "missing apps list"
+  in
+  let* () = if apps <> [] then Ok () else Error "empty apps list" in
+  let* cells =
+    match J.member "cells" doc with
+    | Some (J.List l) -> Ok l
+    | _ -> Error "missing cells list"
+  in
+  let* () = if cells <> [] then Ok () else Error "empty cells list" in
+  List.fold_left
+    (fun acc cell ->
+      let* () = acc in
+      let* iw = field "issue_width" J.to_int cell in
+      let* m = field "mshrs" J.to_int cell in
+      let* () =
+        if iw >= 1 then Ok ()
+        else Error (Printf.sprintf "cell issue_width %d < 1" iw)
+      in
+      let* () =
+        if m >= 0 then Ok ()
+        else Error (Printf.sprintf "cell mshrs %d < 0" m)
+      in
+      let label = Printf.sprintf "cell issue_width=%d mshrs=%d" iw m in
+      let* rows =
+        match J.member "speedups" cell with
+        | Some (J.List l) -> Ok l
+        | _ -> Error (label ^ " missing speedups list")
+      in
+      let* speedups =
+        List.fold_left
+          (fun acc r ->
+            let* sps = acc in
+            let* app =
+              match J.member "app" r with
+              | Some (J.String s) -> Ok s
+              | _ -> Error (label ^ ": speedup row missing app string")
+            in
+            let* base = field "base_cycles" J.to_int r in
+            let* darsie = field "darsie_cycles" J.to_int r in
+            let* sp = field "speedup" to_float r in
+            let* () =
+              if base > 0 && darsie > 0 then Ok ()
+              else
+                Error
+                  (Printf.sprintf "%s: app %s has non-positive cycles" label
+                     app)
+            in
+            if close sp (float_of_int base /. float_of_int darsie) then
+              Ok ((app, sp) :: sps)
+            else
+              Error
+                (Printf.sprintf
+                   "%s: app %s speedup %g does not equal %d / %d" label app
+                   sp base darsie))
+          (Ok []) rows
+        |> Result.map List.rev
+      in
+      let* () =
+        if List.map fst speedups = apps then Ok ()
+        else Error (label ^ " does not cover exactly the listed apps")
+      in
+      let* g = field "geomean" to_float cell in
+      if close g (Stats_util.geomean (List.map snd speedups)) then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "%s: geomean %g does not reproduce from the app speedups" label g))
+    (Ok ()) cells
+
+let validate_sensitivity_string s =
+  let* doc =
+    match J.of_string s with Ok d -> Ok d | Error e -> Error ("bad JSON: " ^ e)
+  in
+  validate_sensitivity doc
 
 (* ------------------------------------------------------------------ *)
 (* Host-telemetry documents (--telemetry FILE)                         *)

@@ -24,7 +24,10 @@ val validate : Darsie_obs.Json.t -> (unit, string) result
     fields, and the attribution conservation invariants re-computed from
     the serialized numbers (per-SM buckets sum to [cycles], totals sum to
     [num_sms * cycles], per-PC charges plus unattributed cover every
-    cycle). *)
+    cycle). Backward-tolerant: accepts schema version 2 documents (which
+    predate the [machine_config] echo) as well as the current version 3,
+    where [machine_config] is required and its echoed [num_sms] must
+    agree with the document's own count. *)
 
 val validate_string : string -> (unit, string) result
 (** Parse then {!validate}. *)
@@ -55,6 +58,21 @@ val validate_fuzz : Darsie_obs.Json.t -> (unit, string) result
 
 val validate_fuzz_string : string -> (unit, string) result
 (** Parse then {!validate_fuzz}. *)
+
+val sensitivity_schema_version : int
+(** Version of the sensitivity-sweep document
+    ([darsie experiment sensitivity --json]). *)
+
+val validate_sensitivity : Darsie_obs.Json.t -> (unit, string) result
+(** Structural check of a sensitivity-sweep document: kind tag, schema
+    version, and every derived number re-computed from the serialized
+    raw cycles — each app's speedup equals
+    [base_cycles /. darsie_cycles], each cell's geomean reproduces from
+    its app speedups, and each cell covers exactly the apps the header
+    lists. *)
+
+val validate_sensitivity_string : string -> (unit, string) result
+(** Parse then {!validate_sensitivity}. *)
 
 val telemetry_schema_version : int
 (** Version of the [host_telemetry] section

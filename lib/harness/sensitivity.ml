@@ -1,0 +1,172 @@
+open Darsie_timing
+module W = Darsie_workloads.Workload
+module J = Darsie_obs.Json
+
+type speedup = {
+  abbr : string;
+  base_cycles : int;
+  darsie_cycles : int;
+  speedup : float;
+}
+
+type cell = {
+  issue_width : int;
+  mshrs : int;
+  speedups : speedup list;
+  geomean : float;
+}
+
+type t = {
+  scale : int;
+  smem_banks : int;
+  apps : string list;
+  cells : cell list;
+}
+
+(* One cell = the DARSIE-vs-BASE comparison with both machines run at
+   the same knob setting, so the speedup isolates the elimination
+   mechanism, not the fetch-width or MLP change itself. Traces are
+   machine- and knob-invariant, so the apps are loaded once and every
+   cell replays the same traces. *)
+let run ?(cfg = Config.default) ?(scale = 1)
+    ?(apps = Darsie_workloads.Registry.all) ?(jobs = 1) ?cache ?check
+    ?(issue_widths = [ 1; 2 ]) ?(mshr_limits = [ 1; 64 ])
+    ?(smem_banks = 32) () =
+  let loaded =
+    Parallel.map ~jobs
+      ~label:(fun w -> w.W.abbr)
+      (fun w -> Suite.load_app ~scale ?cache w)
+      apps
+  in
+  let points =
+    List.concat_map
+      (fun iw -> List.map (fun m -> (iw, m)) mshr_limits)
+      issue_widths
+  in
+  let inputs =
+    List.concat_map
+      (fun point ->
+        List.concat_map
+          (fun app ->
+            [ (point, app, Suite.Base); (point, app, Suite.Darsie) ])
+          loaded)
+      points
+  in
+  let full_runs =
+    Parallel.map ~jobs
+      ~label:(fun ((iw, m), app, machine) ->
+        Printf.sprintf "%s/%s iw=%d mshrs=%d" app.Suite.workload.W.abbr
+          (Suite.machine_name machine) iw m)
+      (fun ((iw, m), app, machine) ->
+        let cfg =
+          { cfg with Config.issue_width = iw; mshrs = m; smem_banks }
+        in
+        Suite.run_app ~cfg app machine)
+      inputs
+  in
+  (* Invariant checks run serially in the calling domain so callers may
+     accumulate violations without synchronization. *)
+  (match check with
+  | None -> ()
+  | Some f ->
+    List.iter2
+      (fun (_, app, _) r -> f app.Suite.workload.W.abbr r)
+      inputs full_runs);
+  let runs = List.map (fun r -> r.Suite.gpu.Gpu.cycles) full_runs in
+  (* Results come back in input order: per point, per app, BASE then
+     DARSIE. Re-fold them into cells. *)
+  let take2 = function
+    | b :: d :: rest -> ((b, d), rest)
+    | _ -> invalid_arg "sensitivity: odd run count"
+  in
+  let cells, leftover =
+    List.fold_left
+      (fun (cells, rem) (iw, m) ->
+        let speedups, rem =
+          List.fold_left
+            (fun (sps, rem) app ->
+              let (b, d), rem = take2 rem in
+              ( {
+                  abbr = app.Suite.workload.W.abbr;
+                  base_cycles = b;
+                  darsie_cycles = d;
+                  speedup = float_of_int b /. float_of_int d;
+                }
+                :: sps,
+                rem ))
+            ([], rem) loaded
+        in
+        let speedups = List.rev speedups in
+        ( {
+            issue_width = iw;
+            mshrs = m;
+            speedups;
+            geomean =
+              Stats_util.geomean (List.map (fun s -> s.speedup) speedups);
+          }
+          :: cells,
+          rem ))
+      ([], runs) points
+  in
+  assert (leftover = []);
+  {
+    scale;
+    smem_banks;
+    apps = List.map (fun a -> a.Suite.workload.W.abbr) loaded;
+    cells = List.rev cells;
+  }
+
+let cell_label c = Printf.sprintf "iw=%d mshrs=%d" c.issue_width c.mshrs
+
+(* One column per swept (issue_width, mshrs) point, one row per app,
+   GMEAN last — DARSIE speedup over BASE at that machine setting. *)
+let render t =
+  let header = "App" :: List.map cell_label t.cells in
+  let row abbr =
+    abbr
+    :: List.map
+         (fun c ->
+           let s = List.find (fun s -> s.abbr = abbr) c.speedups in
+           Render.f2 s.speedup)
+         t.cells
+  in
+  Printf.sprintf
+    "DARSIE speedup over BASE vs fetch-bundle width and per-warp MSHRs\n\
+     (smem_banks = %d, scale = %d)\n\n%s"
+    t.smem_banks t.scale
+    (Render.table ~header
+       (List.map row t.apps
+       @ [ "GMEAN" :: List.map (fun c -> Render.f2 c.geomean) t.cells ]))
+
+let to_json t =
+  J.Obj
+    [
+      ("kind", J.String "sensitivity_sweep");
+      ("schema_version", J.Int Metrics.sensitivity_schema_version);
+      ("scale", J.Int t.scale);
+      ("smem_banks", J.Int t.smem_banks);
+      ("apps", J.List (List.map (fun a -> J.String a) t.apps));
+      ( "cells",
+        J.List
+          (List.map
+             (fun c ->
+               J.Obj
+                 [
+                   ("issue_width", J.Int c.issue_width);
+                   ("mshrs", J.Int c.mshrs);
+                   ( "speedups",
+                     J.List
+                       (List.map
+                          (fun s ->
+                            J.Obj
+                              [
+                                ("app", J.String s.abbr);
+                                ("base_cycles", J.Int s.base_cycles);
+                                ("darsie_cycles", J.Int s.darsie_cycles);
+                                ("speedup", J.Float s.speedup);
+                              ])
+                          c.speedups) );
+                   ("geomean", J.Float c.geomean);
+                 ])
+             t.cells) );
+    ]

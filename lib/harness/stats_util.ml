@@ -42,6 +42,7 @@ let to_assoc (s : Stats.t) =
     ("mem_ops", s.Stats.mem_ops);
     ("shared_accesses", s.Stats.shared_accesses);
     ("shared_bank_conflicts", s.Stats.shared_bank_conflicts);
+    ("smem_replay_cycles", s.Stats.smem_replay_cycles);
     ("l1_accesses", s.Stats.l1_accesses);
     ("l1_misses", s.Stats.l1_misses);
     ("dram_transactions", s.Stats.dram_transactions);

@@ -51,6 +51,7 @@ let all_machines =
 
 type run = {
   machine : machine;
+  cfg : Config.t;  (* the exact configuration the cell ran under *)
   gpu : Gpu.result;
   energy : Darsie_energy.Energy_model.breakdown;
 }
@@ -96,7 +97,7 @@ let run_app_checked ?(cfg = Config.default) ?sink ?sample_interval
       with
       | Ok gpu ->
         let energy = Darsie_energy.Energy_model.account cfg gpu.Gpu.stats in
-        Ok { machine; gpu; energy }
+        Ok { machine; cfg; gpu; energy }
       | Error e -> Error e)
 
 let run_app ?cfg ?sink ?sample_interval ?pcstat app machine =

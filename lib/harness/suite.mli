@@ -46,6 +46,10 @@ val all_machines : machine list
 (** One matrix cell: a timing-model run plus its energy accounting. *)
 type run = {
   machine : machine;
+  cfg : Darsie_timing.Config.t;
+      (** the exact configuration the cell ran under (machine variants
+          adjust the caller's base config, e.g. SILICON-SYNC forces
+          [sync_at_branches]); echoed into the metrics document *)
   gpu : Darsie_timing.Gpu.result;
   energy : Darsie_energy.Energy_model.breakdown;
 }

@@ -5,10 +5,12 @@ type bucket =
   | Barrier
   | Darsie_sync
   | Mem_pending
+  | Mem_struct
   | Idle
 
 let all_buckets =
-  [ Active; Fetch_starved; Scoreboard; Barrier; Darsie_sync; Mem_pending; Idle ]
+  [ Active; Fetch_starved; Scoreboard; Barrier; Darsie_sync; Mem_pending;
+    Mem_struct; Idle ]
 
 let bucket_name = function
   | Active -> "active"
@@ -17,6 +19,7 @@ let bucket_name = function
   | Barrier -> "barrier"
   | Darsie_sync -> "darsie_sync"
   | Mem_pending -> "mem_pending"
+  | Mem_struct -> "mem_struct"
   | Idle -> "idle"
 
 type t = {
@@ -26,6 +29,7 @@ type t = {
   mutable barrier : int;
   mutable darsie_sync : int;
   mutable mem_pending : int;
+  mutable mem_struct : int;
   mutable idle : int;
 }
 
@@ -37,6 +41,7 @@ let create () =
     barrier = 0;
     darsie_sync = 0;
     mem_pending = 0;
+    mem_struct = 0;
     idle = 0;
   }
 
@@ -47,6 +52,7 @@ let bump t = function
   | Barrier -> t.barrier <- t.barrier + 1
   | Darsie_sync -> t.darsie_sync <- t.darsie_sync + 1
   | Mem_pending -> t.mem_pending <- t.mem_pending + 1
+  | Mem_struct -> t.mem_struct <- t.mem_struct + 1
   | Idle -> t.idle <- t.idle + 1
 
 let bump_n t b n =
@@ -57,6 +63,7 @@ let bump_n t b n =
   | Barrier -> t.barrier <- t.barrier + n
   | Darsie_sync -> t.darsie_sync <- t.darsie_sync + n
   | Mem_pending -> t.mem_pending <- t.mem_pending + n
+  | Mem_struct -> t.mem_struct <- t.mem_struct + n
   | Idle -> t.idle <- t.idle + n
 
 let get t = function
@@ -66,11 +73,12 @@ let get t = function
   | Barrier -> t.barrier
   | Darsie_sync -> t.darsie_sync
   | Mem_pending -> t.mem_pending
+  | Mem_struct -> t.mem_struct
   | Idle -> t.idle
 
 let total t =
   t.active + t.fetch_starved + t.scoreboard + t.barrier + t.darsie_sync
-  + t.mem_pending + t.idle
+  + t.mem_pending + t.mem_struct + t.idle
 
 let add acc x =
   acc.active <- acc.active + x.active;
@@ -79,6 +87,7 @@ let add acc x =
   acc.barrier <- acc.barrier + x.barrier;
   acc.darsie_sync <- acc.darsie_sync + x.darsie_sync;
   acc.mem_pending <- acc.mem_pending + x.mem_pending;
+  acc.mem_struct <- acc.mem_struct + x.mem_struct;
   acc.idle <- acc.idle + x.idle
 
 let to_assoc t = List.map (fun b -> (bucket_name b, get t b)) all_buckets

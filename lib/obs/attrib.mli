@@ -22,6 +22,12 @@ type bucket =
           LeaderWB wait, freelist pressure) *)
   | Mem_pending
       (** progress is blocked behind in-flight memory operations *)
+  | Mem_struct
+      (** an aged, scoreboard-ready head was held back by a structural
+          memory limit: the warp's MSHRs are all occupied
+          ([Config.mshrs]) or the shared-memory port is serializing
+          bank-conflict replays ([Config.smem_banks]). Always zero when
+          both knobs are at their defaults (off) *)
   | Idle  (** no resident work: the SM drained or never got a TB *)
 
 val all_buckets : bucket list
@@ -35,6 +41,7 @@ type t = {
   mutable barrier : int;
   mutable darsie_sync : int;
   mutable mem_pending : int;
+  mutable mem_struct : int;
   mutable idle : int;
 }
 

@@ -1,4 +1,4 @@
-let schema_version = 2
+let schema_version = 3
 
 (* Chrome trace_event format: ts is in microseconds; we map one simulated
    cycle to one microsecond so Perfetto's timeline reads in cycles. *)

@@ -11,6 +11,7 @@ type t = {
   scheduler : scheduler;
   issue_per_scheduler : int;
   fetch_width : int;
+  issue_width : int;
   ibuf_depth : int;
   shared_bytes_per_sm : int;
   barrier_lat : int;
@@ -27,6 +28,8 @@ type t = {
   l1_line : int;
   dram_lat : int;
   dram_txn_cycles : int;
+  mshrs : int;
+  smem_banks : int;
   sfu_per_cycle : int;
   mem_per_cycle : int;
   sync_at_branches : bool;
@@ -51,6 +54,7 @@ let default =
     scheduler = Gto;
     issue_per_scheduler = 2;
     fetch_width = 2;
+    issue_width = 1;
     ibuf_depth = 2;
     shared_bytes_per_sm = 96 * 1024;
     barrier_lat = 20;
@@ -67,6 +71,8 @@ let default =
     l1_line = 128;
     dram_lat = 220;
     dram_txn_cycles = 2;
+    mshrs = 0;
+    smem_banks = 0;
     sfu_per_cycle = 1;
     mem_per_cycle = 1;
     sync_at_branches = false;
@@ -84,20 +90,67 @@ let pp fmt c =
     "GPU        | %d SMs, %d warps/SM, %d thread blocks/SM@\n\
      SM         | %d SIMD width, %d vector registers per SM@\n\
      Scheduler  | %d warp schedulers/SM, %s scheduling, dual issue %d@\n\
-     Frontend   | fetch width %d, %d-entry I-buffers, %d KB I-cache@\n\
-     Shared mem | %d KB/SM, latency %d@\n\
+     Frontend   | fetch width %d, bundle width %d, %d-entry I-buffers, %d KB \
+     I-cache@\n\
+     Shared mem | %d KB/SM, latency %d, %s@\n\
      L1         | %d KB, %d-way, %dB lines, hit latency %d@\n\
-     DRAM       | latency %d, %d cycles/transaction@\n\
+     DRAM       | latency %d, %d cycles/transaction, %s@\n\
      DARSIE     | %d skip entries/TB, %d rename regs/TB, %d coalescer ports@\n\
      Limits     | %d max cycles, watchdog %s"
     c.num_sms c.max_warps_per_sm c.max_tbs_per_sm c.warp_size c.regfile_vregs
     c.num_schedulers
     (match c.scheduler with Gto -> "GTO" | Lrr -> "LRR")
-    c.issue_per_scheduler c.fetch_width c.ibuf_depth
+    c.issue_per_scheduler c.fetch_width c.issue_width c.ibuf_depth
     (c.icache_bytes / 1024)
     (c.shared_bytes_per_sm / 1024)
-    c.shared_lat (c.l1_bytes / 1024) c.l1_assoc c.l1_line c.l1_lat c.dram_lat
-    c.dram_txn_cycles c.skip_entries_per_tb c.rename_regs_per_tb
-    c.coalescer_ports c.max_cycles
+    c.shared_lat
+    (if c.smem_banks = 0 then "no bank-conflict replay"
+     else Printf.sprintf "%d banks with conflict replay" c.smem_banks)
+    (c.l1_bytes / 1024) c.l1_assoc c.l1_line c.l1_lat c.dram_lat
+    c.dram_txn_cycles
+    (if c.mshrs = 0 then "unlimited MSHRs"
+     else Printf.sprintf "%d MSHRs/warp" c.mshrs)
+    c.skip_entries_per_tb c.rename_regs_per_tb c.coalescer_ports c.max_cycles
     (if c.watchdog_cycles = 0 then "off"
      else Printf.sprintf "%d idle cycles" c.watchdog_cycles)
+
+(* Stable name -> value listing of every integer knob; docs/machine-model.md
+   quotes these as "`name` = value" and test_docs cross-checks the quoted
+   defaults against this table, so the doc cannot drift from the code. *)
+let knobs c =
+  [
+    ("num_sms", c.num_sms);
+    ("warp_size", c.warp_size);
+    ("max_warps_per_sm", c.max_warps_per_sm);
+    ("max_tbs_per_sm", c.max_tbs_per_sm);
+    ("regfile_vregs", c.regfile_vregs);
+    ("rf_banks", c.rf_banks);
+    ("num_schedulers", c.num_schedulers);
+    ("issue_per_scheduler", c.issue_per_scheduler);
+    ("fetch_width", c.fetch_width);
+    ("issue_width", c.issue_width);
+    ("ibuf_depth", c.ibuf_depth);
+    ("shared_bytes_per_sm", c.shared_bytes_per_sm);
+    ("barrier_lat", c.barrier_lat);
+    ("alu_lat", c.alu_lat);
+    ("sfu_lat", c.sfu_lat);
+    ("shared_lat", c.shared_lat);
+    ("icache_bytes", c.icache_bytes);
+    ("icache_line", c.icache_line);
+    ("icache_miss_lat", c.icache_miss_lat);
+    ("collector_units", c.collector_units);
+    ("l1_lat", c.l1_lat);
+    ("l1_bytes", c.l1_bytes);
+    ("l1_assoc", c.l1_assoc);
+    ("l1_line", c.l1_line);
+    ("dram_lat", c.dram_lat);
+    ("dram_txn_cycles", c.dram_txn_cycles);
+    ("mshrs", c.mshrs);
+    ("smem_banks", c.smem_banks);
+    ("sfu_per_cycle", c.sfu_per_cycle);
+    ("mem_per_cycle", c.mem_per_cycle);
+    ("skip_entries_per_tb", c.skip_entries_per_tb);
+    ("rename_regs_per_tb", c.rename_regs_per_tb);
+    ("coalescer_ports", c.coalescer_ports);
+    ("max_skips_per_warp_cycle", c.max_skips_per_warp_cycle);
+  ]

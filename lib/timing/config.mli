@@ -20,7 +20,14 @@ type t = {
   num_schedulers : int;
   scheduler : scheduler;
   issue_per_scheduler : int;  (** dual issue = 2 *)
-  fetch_width : int;  (** instructions fetched per SM per cycle *)
+  fetch_width : int;  (** warps fetched from per SM per cycle *)
+  issue_width : int;
+      (** fetch-bundle width: sequential instructions fetched from one
+          selected warp in one cycle (milo832-style dual-issue
+          superscalar fetch = 2). Each bundle slot re-consults the
+          engine's fetch gate and pre-fetch skip path independently, so
+          a skipped leader can pair with its follower. [1] (default)
+          reproduces the original single-issue fetch exactly *)
   ibuf_depth : int;  (** per-warp instruction buffer entries *)
   shared_bytes_per_sm : int;
   barrier_lat : int;
@@ -41,6 +48,20 @@ type t = {
   l1_line : int;
   dram_lat : int;
   dram_txn_cycles : int;  (** cycles of DRAM channel occupancy per 128B transaction *)
+  mshrs : int;
+      (** per-warp miss-status holding registers: outstanding L1-missed
+          lines a single warp may have in flight; a global load needs a
+          free MSHR to issue and allocates one per missed line, released
+          out of order at writeback. [0] (default) models unlimited
+          MSHRs — the original idealized memory path, bit-identical to
+          the pre-knob simulator. The milo832 spec value is 64 *)
+  smem_banks : int;
+      (** shared-memory banks with conflict {e replay}: a conflicting
+          shared access holds the shared port for its serialized replay
+          cycles, blocking further shared issues and charging the
+          [Mem_struct] stall bucket. [0] (default) keeps the legacy
+          model — conflicts only lengthen the access's own latency
+          (computed over [warp_size] banks) without occupying the port *)
   sfu_per_cycle : int;
   mem_per_cycle : int;  (** memory instructions issued per SM per cycle *)
   sync_at_branches : bool;
@@ -68,3 +89,8 @@ val default : t
 
 val pp : Format.formatter -> t -> unit
 (** Render the configuration as a Table-2 style listing. *)
+
+val knobs : t -> (string * int) list
+(** Stable [(name, value)] listing of every integer knob. The
+    machine-model doc quotes defaults as ["`name` = value"]; the docs
+    test validates each quoted default against [knobs default]. *)

@@ -13,6 +13,7 @@ type wctx = {
   mutable last_issued : int;
   mutable fetch_ready_at : int;
   mutable mem_inflight : int;
+  mutable mshr_used : int;
   (* Engine-owned per-warp scratch, inlined here so the skip phase's
      hottest per-warp-per-cycle accesses are field reads instead of
      Hashtbl traffic. Only the engine writes these. *)
@@ -54,6 +55,9 @@ type t = {
   bulk_skip : cycle:int -> n:int -> unit;
   on_fast_forward : cycle:int -> unit;
   can_fetch : wctx -> bool;
+  (* Fresh fetch-gate decision at the warp's current cursor; bundle
+     follower slots must use this, not the (stale) [can_fetch]. *)
+  recheck_fetch : wctx -> bool;
   remove_at_fetch : wctx -> Darsie_trace.Record.op -> bool;
   on_issue : cycle:int -> wctx -> Darsie_trace.Record.op -> issue_decision;
   on_writeback : cycle:int -> wctx -> Darsie_trace.Record.op -> unit;
@@ -81,6 +85,7 @@ let base () =
     bulk_skip = (fun ~cycle:_ ~n:_ -> ());
     on_fast_forward = (fun ~cycle:_ -> ());
     can_fetch = (fun _ -> true);
+    recheck_fetch = (fun _ -> true);
     remove_at_fetch = (fun _ _ -> false);
     on_issue = (fun ~cycle:_ _ _ -> Execute);
     on_writeback = (fun ~cycle:_ _ _ -> ());

@@ -37,6 +37,11 @@ type wctx = {
       (** in-flight memory operations issued by this warp and not yet
           written back; maintained by the SM so stall classification
           needs no scan over the in-flight list *)
+  mutable mshr_used : int;
+      (** miss-status holding registers this warp occupies: one per
+          L1-missed line still in flight, released (out of order) at
+          writeback. Gates global-load issue when [Config.mshrs] > 0;
+          stays 0 when the knob is off. Maintained by the SM *)
   mutable fetch_ok : bool;
       (** engine fetch gate ([can_fetch] for the gating engines); owned
           by the engine, inlined here so the per-warp-per-cycle skip
@@ -105,6 +110,18 @@ type t = {
           current cycle (DARSIE's skip-table telemetry clock) resync
           here; called only when [quiescent ()] held *)
   can_fetch : wctx -> bool;
+  recheck_fetch : wctx -> bool;
+      (** re-evaluate the fetch gate for [w] at its {e current} cursor.
+          [can_fetch] reads the decision the skip phase made for the
+          cursor it saw at the top of the cycle; a fetch-bundle follower
+          slot ([Config.issue_width] > 1) has since advanced [fi], so
+          the stale gate must not be trusted — a warp could sail past a
+          branch synchronization without registering arrival. Gating
+          engines re-run the single-warp pre-fetch window (registering
+          syncs, parking, or chaining skips exactly as the skip phase
+          would) and return the fresh gate; stateless engines return
+          [true]. Called by the SM's fetch phase only between bundle
+          slots, never for the first slot of a cycle *)
   remove_at_fetch : wctx -> Darsie_trace.Record.op -> bool;
   on_issue : cycle:int -> wctx -> Darsie_trace.Record.op -> issue_decision;
   on_writeback : cycle:int -> wctx -> Darsie_trace.Record.op -> unit;

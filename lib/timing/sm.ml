@@ -13,6 +13,7 @@ type in_flight = {
   fly_warp : Engine.wctx;
   fly_op : Record.op;
   finish : int;
+  fly_mshrs : int;  (* MSHR entries this op holds until writeback *)
 }
 
 type t = {
@@ -47,6 +48,12 @@ type t = {
   mutable issue_slots_used : int;  (* issues + drops this cycle *)
   mutable active_pc : int;  (* first PC issued/dropped this cycle *)
   mutable last_barrier_pc : int;  (* most recent barrier-setting PC *)
+  (* Shared-memory bank-conflict replay port (smem_banks > 0): the port
+     is busy serializing replays through [smem_replay_until], and
+     [smem_replay_pc] names the occupying access for stall blame. Both
+     stay at their initial values when the knob is off. *)
+  mutable smem_replay_until : int;
+  mutable smem_replay_pc : int;
 }
 
 (* Counters snapshotted into the per-interval time-series; the order here
@@ -113,6 +120,8 @@ let create ?(sm_id = 0) ?(sink = Obs.Sink.null) ?series ?pcstat cfg kinfo
     issue_slots_used = 0;
     active_pc = -1;
     last_barrier_pc = -1;
+    smem_replay_until = 0;
+    smem_replay_pc = -1;
   }
 
 let pc_note t f = match t.pcstat with None -> () | Some p -> f p
@@ -160,6 +169,7 @@ let launch_tb t ~tb_id ~traces =
           last_issued = 0;
           fetch_ready_at = 0;
           mem_inflight = 0;
+          mshr_used = 0;
           fetch_ok = true;
           parked_at = -1;
           skip_stall = 0;
@@ -290,11 +300,15 @@ let is_mem_class t idx =
 (* Record one operation entering the pipeline between issue and
    writeback; every insertion site must go through here so the
    maintained counters ([n_inflight], [next_wb], per-warp
-   [mem_inflight]) stay consistent with the list. *)
-let add_inflight t (w : Engine.wctx) op ~finish =
-  t.inflight <- { fly_warp = w; fly_op = op; finish } :: t.inflight;
+   [mem_inflight], [mshr_used]) stay consistent with the list.
+   [mshrs] is the number of MSHR entries the op allocated (missed
+   lines of a gated global load; 0 everywhere else). *)
+let add_inflight ?(mshrs = 0) t (w : Engine.wctx) op ~finish =
+  t.inflight <- { fly_warp = w; fly_op = op; finish; fly_mshrs = mshrs }
+                :: t.inflight;
   t.n_inflight <- t.n_inflight + 1;
   if finish < t.next_wb then t.next_wb <- finish;
+  if mshrs > 0 then w.Engine.mshr_used <- w.Engine.mshr_used + mshrs;
   if is_mem_class t op.Record.idx then
     w.Engine.mem_inflight <- w.Engine.mem_inflight + 1
 
@@ -316,6 +330,8 @@ let writeback t =
           t.slots.(w.Engine.tb_slot).inflight_ops <-
             t.slots.(w.Engine.tb_slot).inflight_ops - 1;
           t.n_inflight <- t.n_inflight - 1;
+          if f.fly_mshrs > 0 then
+            w.Engine.mshr_used <- w.Engine.mshr_used - f.fly_mshrs;
           if is_mem_class t f.fly_op.Record.idx then
             w.Engine.mem_inflight <- w.Engine.mem_inflight - 1;
           t.engine.Engine.on_writeback ~cycle:t.cycle w f.fly_op
@@ -426,6 +442,24 @@ type issue_budget = {
   mutable sfu_left : int;
 }
 
+(* Structural memory-limit gate for the head instruction at [idx] of
+   warp [w]: true when a configured fidelity knob blocks issue this
+   cycle — the shared port is still serializing a bank-conflict replay
+   (smem_banks > 0), or a global load finds no free MSHR (mshrs > 0).
+   Both knobs default to 0, making this a constant [false] and keeping
+   the default model bit-identical. Cycles lost here are charged to the
+   [Mem_struct] bucket by [classify_stall]. *)
+let mem_struct_blocked t (w : Engine.wctx) idx =
+  let cfg = t.cfg in
+  match t.kinfo.Kinfo.unit_of.(idx) with
+  | Kinfo.Mem_shared -> cfg.Config.smem_banks > 0 && t.cycle <= t.smem_replay_until
+  | Kinfo.Mem_global ->
+    cfg.Config.mshrs > 0
+    && (not t.kinfo.Kinfo.is_store.(idx))
+    && (not t.kinfo.Kinfo.is_atomic.(idx))
+    && w.Engine.mshr_used >= cfg.Config.mshrs
+  | Kinfo.Alu | Kinfo.Sfu | Kinfo.Ctrl -> false
+
 (* Issue one op from warp [w]; returns false if the head op cannot issue. *)
 let try_issue_head t budget (w : Engine.wctx) =
   if w.Engine.at_barrier then false
@@ -455,12 +489,14 @@ let try_issue_head t budget (w : Engine.wctx) =
         end
       in
       if fetch_cycle >= t.cycle || not structural_ok || collector = None
-         || not (scoreboard_ready w kinfo idx)
+         || (not (scoreboard_ready w kinfo idx))
+         || mem_struct_blocked t w idx
       then false
       else begin
         ignore (Queue.pop w.Engine.ibuf);
         let stats = t.stats in
         let cfg = t.cfg in
+        let mshrs_alloc = ref 0 in
         w.Engine.last_issued <- t.cycle;
         t.issue_slots_used <- t.issue_slots_used + 1;
         if t.issue_slots_used = 1 then t.active_pc <- idx;
@@ -533,14 +569,26 @@ let try_issue_head t budget (w : Engine.wctx) =
               budget.mem_left <- budget.mem_left - 1;
               stats.Stats.mem_ops <- stats.Stats.mem_ops + 1;
               emit t ~warp:w.Engine.wid Obs.Event.Mem_access;
+              let banks =
+                if cfg.Config.smem_banks > 0 then cfg.Config.smem_banks
+                else cfg.Config.warp_size
+              in
               let sc =
-                Mem_model.shared_conflicts ~banks:cfg.Config.warp_size
-                  op.Record.accesses
+                Mem_model.shared_conflicts ~banks op.Record.accesses
               in
               stats.Stats.shared_accesses <-
                 stats.Stats.shared_accesses + 1 + sc;
               stats.Stats.shared_bank_conflicts <-
                 stats.Stats.shared_bank_conflicts + sc;
+              (* Conflict replay: the shared port stays busy while the
+                 [sc] replay passes serialize; the gate above keeps
+                 further shared accesses out until it frees. *)
+              if cfg.Config.smem_banks > 0 && sc > 0 then begin
+                t.smem_replay_until <- t.cycle + sc;
+                t.smem_replay_pc <- idx;
+                stats.Stats.smem_replay_cycles <-
+                  stats.Stats.smem_replay_cycles + sc
+              end;
               t.cycle + cfg.Config.shared_lat + sc + !conflicts
             | Kinfo.Mem_global ->
               budget.mem_left <- budget.mem_left - 1;
@@ -585,6 +633,10 @@ let try_issue_head t budget (w : Engine.wctx) =
                 if misses = 0 then
                   t.cycle + cfg.Config.l1_lat + nlines - 1 + !conflicts
                 else begin
+                  (* the gate guaranteed at least one free MSHR; the
+                     load allocates one per missed line, released at
+                     writeback *)
+                  if cfg.Config.mshrs > 0 then mshrs_alloc := misses;
                   stats.Stats.dram_transactions <-
                     stats.Stats.dram_transactions + misses;
                   emit t ~warp:w.Engine.wid Obs.Event.L1_miss;
@@ -608,7 +660,7 @@ let try_issue_head t budget (w : Engine.wctx) =
           | None -> ());
           t.slots.(w.Engine.tb_slot).inflight_ops <-
             t.slots.(w.Engine.tb_slot).inflight_ops + 1;
-          add_inflight t w op ~finish);
+          add_inflight ~mshrs:!mshrs_alloc t w op ~finish);
         true
       end
 
@@ -618,7 +670,12 @@ let issueable t wid =
   match t.warps.(wid) with
   | Some w when not w.Engine.at_barrier -> (
     match Queue.peek_opt w.Engine.ibuf with
-    | Some (op, fc) -> fc < t.cycle && scoreboard_ready w t.kinfo op.Record.idx
+    | Some (op, fc) ->
+      fc < t.cycle
+      && scoreboard_ready w t.kinfo op.Record.idx
+      (* structural memory gates (MSHR / replay port) hide the warp from
+         the schedulers so GTO moves on instead of sticking to it *)
+      && not (mem_struct_blocked t w op.Record.idx)
     | None -> false)
   | _ -> false
 
@@ -718,50 +775,79 @@ let fetch t =
              && Queue.length w.Engine.ibuf < cfg.Config.ibuf_depth
              && (not (Engine.warp_done w))
              && t.engine.Engine.can_fetch w -> begin
-        (* Zero-cost stream removal (DAC-IDEAL). *)
-        let continue_removing = ref true in
-        while !continue_removing do
+        (* Fetch a bundle of up to [issue_width] sequential instructions
+           from the selected warp in this one cycle (dual-issue
+           superscalar fetch at 2). Every bundle slot independently
+           re-runs the zero-cost removal loop and re-consults the
+           engine's fetch gate, so a leader the engine skipped or
+           removed can pair with its follower; an I-cache miss or a
+           full I-buffer ends the bundle. The warp consumes one
+           [fetch_width] slot regardless of bundle fill. *)
+        let slot_used = ref false in
+        let bundle_left = ref cfg.Config.issue_width in
+        let continue_slot = ref true in
+        while !continue_slot do
+          continue_slot := false;
+          (* Zero-cost stream removal (DAC-IDEAL). *)
+          let continue_removing = ref true in
+          while !continue_removing do
+            match Engine.next_op w with
+            | Some op when t.engine.Engine.remove_at_fetch w op ->
+              t.fetch_mutated <- true;
+              if t.kinfo.Kinfo.marked_eligible.(op.Record.idx) then
+                Obs.Ledger.note t.ledger ~pc:op.Record.idx Obs.Ledger.Skipped;
+              w.Engine.fi <- w.Engine.fi + 1;
+              t.stats.Stats.skipped_prefetch <-
+                t.stats.Stats.skipped_prefetch + 1;
+              pc_note t (fun p -> Obs.Pcstat.note_skip p ~pc:op.Record.idx);
+              emit t ~warp:w.Engine.wid Obs.Event.Skip_prefetch;
+              (match t.kinfo.Kinfo.shape.(op.Record.idx) with
+              | Darsie_compiler.Marking.Uniform ->
+                t.stats.Stats.elim_uniform <- t.stats.Stats.elim_uniform + 1
+              | Darsie_compiler.Marking.Affine ->
+                t.stats.Stats.elim_affine <- t.stats.Stats.elim_affine + 1
+              | Darsie_compiler.Marking.Unstructured
+              | Darsie_compiler.Marking.Varying ->
+                t.stats.Stats.elim_unstructured <-
+                  t.stats.Stats.elim_unstructured + 1)
+            | _ -> continue_removing := false
+          done;
           match Engine.next_op w with
-          | Some op when t.engine.Engine.remove_at_fetch w op ->
+          | Some op ->
+            if not !slot_used then begin
+              slot_used := true;
+              incr fetched
+            end;
             t.fetch_mutated <- true;
-            if t.kinfo.Kinfo.marked_eligible.(op.Record.idx) then
-              Obs.Ledger.note t.ledger ~pc:op.Record.idx Obs.Ledger.Skipped;
-            w.Engine.fi <- w.Engine.fi + 1;
-            t.stats.Stats.skipped_prefetch <- t.stats.Stats.skipped_prefetch + 1;
-            pc_note t (fun p -> Obs.Pcstat.note_skip p ~pc:op.Record.idx);
-            emit t ~warp:w.Engine.wid Obs.Event.Skip_prefetch;
-            (match t.kinfo.Kinfo.shape.(op.Record.idx) with
-            | Darsie_compiler.Marking.Uniform ->
-              t.stats.Stats.elim_uniform <- t.stats.Stats.elim_uniform + 1
-            | Darsie_compiler.Marking.Affine ->
-              t.stats.Stats.elim_affine <- t.stats.Stats.elim_affine + 1
-            | Darsie_compiler.Marking.Unstructured | Darsie_compiler.Marking.Varying
-              ->
-              t.stats.Stats.elim_unstructured <-
-                t.stats.Stats.elim_unstructured + 1)
-          | _ -> continue_removing := false
+            let pc = Darsie_isa.Kernel.pc_of_index op.Record.idx in
+            if Mem_model.L1.access t.icache pc then begin
+              t.stats.Stats.fetched <- t.stats.Stats.fetched + 1;
+              pc_note t (fun p -> Obs.Pcstat.note_fetch p ~pc:op.Record.idx);
+              emit t ~warp:w.Engine.wid Obs.Event.Fetch;
+              note_exec_fate t w op;
+              Queue.push (op, t.cycle) w.Engine.ibuf;
+              w.Engine.fi <- w.Engine.fi + 1;
+              decr bundle_left;
+              if
+                !bundle_left > 0
+                && Queue.length w.Engine.ibuf < cfg.Config.ibuf_depth
+                && (not (Engine.warp_done w))
+                (* [can_fetch] is stale once [fi] moved: the follower
+                   slot must re-consult the engine at the new cursor, or
+                   a warp could fetch past a branch sync it never
+                   arrived at. *)
+                && t.engine.Engine.recheck_fetch w
+              then continue_slot := true
+            end
+            else begin
+              (* I-cache miss: the line fills and the warp refetches *)
+              t.stats.Stats.icache_misses <- t.stats.Stats.icache_misses + 1;
+              emit t ~warp:w.Engine.wid Obs.Event.Icache_miss;
+              w.Engine.fetch_ready_at <- t.cycle + cfg.Config.icache_miss_lat
+            end
+          | None -> ()
         done;
-        match Engine.next_op w with
-        | Some op ->
-          incr fetched;
-          t.fetch_mutated <- true;
-          let pc = Darsie_isa.Kernel.pc_of_index op.Record.idx in
-          if Mem_model.L1.access t.icache pc then begin
-            t.stats.Stats.fetched <- t.stats.Stats.fetched + 1;
-            pc_note t (fun p -> Obs.Pcstat.note_fetch p ~pc:op.Record.idx);
-            emit t ~warp:w.Engine.wid Obs.Event.Fetch;
-            note_exec_fate t w op;
-            Queue.push (op, t.cycle) w.Engine.ibuf;
-            w.Engine.fi <- w.Engine.fi + 1
-          end
-          else begin
-            (* I-cache miss: the line fills and the warp refetches *)
-            t.stats.Stats.icache_misses <- t.stats.Stats.icache_misses + 1;
-            emit t ~warp:w.Engine.wid Obs.Event.Icache_miss;
-            w.Engine.fetch_ready_at <- t.cycle + cfg.Config.icache_miss_lat
-          end;
-          t.fetch_ptr <- (!ptr + 1) mod nw
-        | None -> ()
+        if !slot_used then t.fetch_ptr <- (!ptr + 1) mod nw
       end
       | _ -> ());
       incr ptr;
@@ -872,12 +958,45 @@ let classify_stall t =
       match !mem_w with
       | Some w -> (Obs.Attrib.Mem_pending, nearest_inflight_pc ~w t)
       | None ->
-        let pc =
-          match t.warps.(!first_aged) with
-          | Some w -> head_pc w
-          | None -> -1
-        in
-        (Obs.Attrib.Scoreboard, pc)
+        (* Structural memory gates (fidelity knobs): an aged head that
+           cleared the scoreboard but was held back by a full MSHR file
+           or the busy shared replay port. The scan is skipped entirely
+           at the default knob settings, where the gate is constant
+           false, so the classification is unchanged. *)
+        let struct_w = ref None in
+        if t.cfg.Config.mshrs > 0 || t.cfg.Config.smem_banks > 0 then begin
+          let i = ref !first_aged in
+          while !struct_w = None && !i < nw do
+            (match t.warps.(!i) with
+            | Some w when (not (warp_drained w)) && not w.Engine.at_barrier -> (
+              match Queue.peek_opt w.Engine.ibuf with
+              | Some (op, fc)
+                when fc < t.cycle
+                     && scoreboard_ready w t.kinfo op.Record.idx
+                     && mem_struct_blocked t w op.Record.idx ->
+                struct_w := Some (w, op.Record.idx)
+              | _ -> ())
+            | _ -> ());
+            incr i
+          done
+        end;
+        (match !struct_w with
+        | Some (w, idx) ->
+          (* blame the access occupying the port, or the nearest of the
+             warp's own in-flight misses holding its MSHRs *)
+          let pc =
+            match t.kinfo.Kinfo.unit_of.(idx) with
+            | Kinfo.Mem_shared -> t.smem_replay_pc
+            | _ -> nearest_inflight_pc ~w t
+          in
+          (Obs.Attrib.Mem_struct, pc)
+        | None ->
+          let pc =
+            match t.warps.(!first_aged) with
+            | Some w -> head_pc w
+            | None -> -1
+          in
+          (Obs.Attrib.Scoreboard, pc))
     end
     else begin
       let gated = ref None in
@@ -982,6 +1101,15 @@ let next_event_cycle t =
     let wake = ref max_int in
     let note c = if c < !wake then wake := c in
     if t.inflight <> [] then note (max now1 t.next_wb);
+    (* Fidelity-knob event sources. MSHR entries free at writeback, so
+       their releases ride on [next_wb] above. The shared replay port
+       frees the cycle after [smem_replay_until]; noting it bounds any
+       jump at the port release. (A head blocked by either gate is
+       scoreboard-ready, so the per-warp issue-side source below already
+       pins the wake to [now1] whenever a warp is actually waiting —
+       this source only matters when the port drains unobserved.) *)
+    if t.smem_replay_until > t.cycle then
+      note (max now1 (t.smem_replay_until + 1));
     let wpt = t.warps_per_tb in
     Array.iteri
       (fun slot_idx slot ->
@@ -1067,6 +1195,11 @@ let fast_forward t ~to_ =
           t.stats.Stats.barrier_stall_cycles <-
             t.stats.Stats.barrier_stall_cycles + (span * slot.n_at_barrier))
       t.slots;
+    (* Every skipped cycle is issue-less, and the stepped path resets
+       each scheduler's greedy pick on issue-less cycles: without this
+       a stale greedy warp would beat a lower, equally-ready warp out
+       of the post-landing scan order and reorder issues vs stepping. *)
+    Array.fill t.greedy 0 (Array.length t.greedy) (-1);
     (* the engine's skip phase would have run once per skipped cycle *)
     t.engine.Engine.bulk_skip ~cycle:to_ ~n:span;
     t.engine.Engine.on_fast_forward ~cycle:to_

@@ -16,6 +16,7 @@ type t = {
   mutable mem_ops : int;
   mutable shared_accesses : int;
   mutable shared_bank_conflicts : int;
+  mutable smem_replay_cycles : int;
   mutable l1_accesses : int;
   mutable l1_misses : int;
   mutable dram_transactions : int;
@@ -48,6 +49,7 @@ let create () =
     mem_ops = 0;
     shared_accesses = 0;
     shared_bank_conflicts = 0;
+    smem_replay_cycles = 0;
     l1_accesses = 0;
     l1_misses = 0;
     dram_transactions = 0;
@@ -79,6 +81,7 @@ let add acc x =
   acc.mem_ops <- acc.mem_ops + x.mem_ops;
   acc.shared_accesses <- acc.shared_accesses + x.shared_accesses;
   acc.shared_bank_conflicts <- acc.shared_bank_conflicts + x.shared_bank_conflicts;
+  acc.smem_replay_cycles <- acc.smem_replay_cycles + x.smem_replay_cycles;
   acc.l1_accesses <- acc.l1_accesses + x.l1_accesses;
   acc.l1_misses <- acc.l1_misses + x.l1_misses;
   acc.dram_transactions <- acc.dram_transactions + x.dram_transactions;

@@ -24,6 +24,9 @@ type t = {
   mutable mem_ops : int;
   mutable shared_accesses : int;
   mutable shared_bank_conflicts : int;
+  mutable smem_replay_cycles : int;
+      (** shared-port cycles spent serializing bank-conflict replays;
+          counted only when [Config.smem_banks] > 0 *)
   mutable l1_accesses : int;
   mutable l1_misses : int;
   mutable dram_transactions : int;

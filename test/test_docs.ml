@@ -1,7 +1,8 @@
-(* Keeps docs/metrics-schema.md honest: every JSON example in the doc
-   tagged with a [<!-- validate: kind -->] comment is extracted and fed
-   through the validator for that kind, so the documented schema cannot
-   drift from what the exporters and validators actually implement. *)
+(* Keeps docs/metrics-schema.md and EXPERIMENTS.md honest: every JSON
+   example tagged with a [<!-- validate: kind -->] comment is extracted
+   and fed through the validator for that kind, so the documented
+   schema cannot drift from what the exporters and validators actually
+   implement. *)
 
 open Darsie_harness
 module J = Darsie_obs.Json
@@ -10,7 +11,7 @@ module J = Darsie_obs.Json
    test dep so it is mirrored into the build tree. *)
 let doc_path = Filename.concat Filename.parent_dir_name "docs/metrics-schema.md"
 
-type example = { kind : string; line : int; json : string }
+type example = { src : string; kind : string; line : int; json : string }
 
 (* Scan for "<!-- validate: KIND -->" followed by a ```json fence and
    collect the fence body. *)
@@ -50,7 +51,9 @@ let extract_examples path =
        let body =
          String.concat "\n" (Array.to_list (Array.sub lines start (!stop - start)))
        in
-       examples := { kind; line = !i + 1; json = body } :: !examples;
+       examples :=
+         { src = Filename.basename path; kind; line = !i + 1; json = body }
+         :: !examples;
        i := !stop
      end);
     incr i
@@ -66,26 +69,36 @@ let validate_example e =
       match J.of_string e.json with
       | Error msg -> Error msg
       | Ok j -> Result.map ignore (Trendline.of_json j))
+    | "sensitivity" -> Metrics.validate_sensitivity_string e.json
     | "host_telemetry" -> Metrics.validate_telemetry_string e.json
     | other -> Error (Printf.sprintf "unknown validate kind %S" other)
   in
   match result with
   | Ok () -> ()
   | Error msg ->
-    Alcotest.failf "metrics-schema.md:%d: %s example rejected: %s" e.line e.kind
-      msg
+    Alcotest.failf "%s:%d: %s example rejected: %s" e.src e.line e.kind msg
+
+let experiments_path =
+  Filename.concat Filename.parent_dir_name "EXPERIMENTS.md"
 
 let test_examples_validate () =
   let examples = extract_examples doc_path in
+  let cookbook = extract_examples experiments_path in
   List.iter validate_example examples;
+  List.iter validate_example cookbook;
   let count k = List.length (List.filter (fun e -> e.kind = k) examples) in
   (* the doc must keep at least one live example per document kind, and a
      profiled metrics document exercising the per_pc validator *)
   Alcotest.(check bool) "at least two metrics examples" true (count "metrics" >= 2);
   Alcotest.(check bool) "a check-report example" true (count "check" >= 1);
   Alcotest.(check bool) "a trendline example" true (count "trendline" >= 1);
+  Alcotest.(check bool) "a sensitivity example" true
+    (count "sensitivity" >= 1);
   Alcotest.(check bool) "a host-telemetry example" true
-    (count "host_telemetry" >= 1)
+    (count "host_telemetry" >= 1);
+  (* the EXPERIMENTS.md sweep cookbook must keep its measured excerpt *)
+  Alcotest.(check bool) "a cookbook sensitivity excerpt" true
+    (List.exists (fun e -> e.kind = "sensitivity") cookbook)
 
 (* The doc's versioning table quotes the constants; make sure the quoted
    numbers track the code. *)
@@ -106,9 +119,36 @@ let test_versions_quoted () =
     (contains (quoted "Metrics.check_schema_version" Metrics.check_schema_version));
   Alcotest.(check bool) "trendline version quoted" true
     (contains (quoted "Trendline.schema_version" Trendline.schema_version));
+  Alcotest.(check bool) "sensitivity version quoted" true
+    (contains
+       (quoted "Metrics.sensitivity_schema_version"
+          Metrics.sensitivity_schema_version));
   Alcotest.(check bool) "host-telemetry version quoted" true
     (contains
        (quoted "Host_trace.schema_version" Metrics.telemetry_schema_version))
+
+(* docs/machine-model.md quotes every integer knob's default as
+   "`name` = value"; cross-check each against Config.knobs so the
+   documented machine cannot drift from the simulated one. *)
+let model_path = Filename.concat Filename.parent_dir_name "docs/machine-model.md"
+
+let test_machine_model_defaults () =
+  let ic = open_in model_path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let contains needle =
+    let nl = String.length needle and bl = String.length body in
+    let rec go i = i + nl <= bl && (String.sub body i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "default for %s quoted" name)
+        true
+        (contains (Printf.sprintf "`%s` = %d" name v)))
+    (Darsie_timing.Config.knobs Darsie_timing.Config.default)
 
 let () =
   Alcotest.run "docs"
@@ -118,5 +158,10 @@ let () =
           Alcotest.test_case "examples validate" `Quick test_examples_validate;
           Alcotest.test_case "version constants quoted" `Quick
             test_versions_quoted;
+        ] );
+      ( "machine-model",
+        [
+          Alcotest.test_case "knob defaults quoted" `Quick
+            test_machine_model_defaults;
         ] );
     ]

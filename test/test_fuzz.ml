@@ -225,6 +225,7 @@ let campaign_config jobs =
     max_shrink = 200;
     corpus_dir = None;
     inject = false;
+    base_cfg = Darsie_timing.Config.default;
   }
 
 let test_campaign_jobs_identical () =
@@ -241,7 +242,7 @@ let test_campaign_jobs_identical () =
   | Error m -> Alcotest.failf "fuzz report does not validate: %s" m
 
 let test_campaign_replay () =
-  let text, code = Campaign.replay ~seed:9 ~index:4 in
+  let text, code = Campaign.replay ~seed:9 ~index:4 () in
   check_int "replay of a clean kernel exits 0" 0 code;
   let contains needle hay =
     let n = String.length needle and h = String.length hay in
@@ -292,7 +293,7 @@ let test_corpus_replay_checked_in () =
           true
           (e.Corpus.e_kind <> None && e.Corpus.e_site <> None))
     entries;
-  let text, code = Campaign.replay_corpus ~dir:"corpus" in
+  let text, code = Campaign.replay_corpus ~dir:"corpus" () in
   if code <> 0 then Alcotest.failf "corpus replay failed:\n%s" text
 
 (* ------------------------------------------------------------------ *)
