@@ -5,7 +5,7 @@ SMOKE_DIR ?= /tmp/darsie-smoke
 
 .PHONY: all build test verify doc cli-docs bench profile-smoke check-smoke \
   fuzz-smoke annotate-smoke explain-smoke cache-smoke fastforward-smoke \
-  telemetry-smoke fidelity-smoke bench-compare clean
+  telemetry-smoke fidelity-smoke shard-smoke bench-compare clean
 
 all: build
 
@@ -63,6 +63,8 @@ fuzz-smoke: build
 	mkdir -p $(SMOKE_DIR)
 	$(DUNE) exec bin/darsie.exe -- fuzz --seed 0 --count 100 \
 	  --json $(SMOKE_DIR)/fuzz.json
+	$(DUNE) exec bin/darsie.exe -- fuzz --seed 0 --count 100 --sm-domains 2 \
+	  --json $(SMOKE_DIR)/fuzz_shard.json
 	$(DUNE) exec bin/darsie.exe -- fuzz --replay-corpus test/corpus
 
 # Hotspot-annotation smoke: per-instruction listing for MM on two
@@ -163,17 +165,38 @@ fidelity-smoke: build
 	  $(SMOKE_DIR)/fidelity.json > /dev/null \
 	  || { echo "machine_config echo or mem_struct bucket missing"; exit 1; }
 
+# Sharded-cycle-loop smoke: one big-grid simulation (MM at --scale 4,
+# 64 thread blocks) with the SM array sharded across worker domains
+# must produce a metrics document byte-identical to the serial loop.
+# --sm-domains is a host knob excluded from the machine_config echo, so
+# the diff needs no masking at all; both auto-sizing (0) and an
+# explicit count are compared against serial (1).
+shard-smoke: build
+	mkdir -p $(SMOKE_DIR)
+	$(DUNE) exec bin/darsie.exe -- run MM -m DARSIE --scale 4 -j 1 \
+	  --cache $(SMOKE_DIR)/shardcache --sm-domains 1 \
+	  --json $(SMOKE_DIR)/shard_serial.json > /dev/null
+	$(DUNE) exec bin/darsie.exe -- run MM -m DARSIE --scale 4 -j 1 \
+	  --cache $(SMOKE_DIR)/shardcache --sm-domains 0 \
+	  --json $(SMOKE_DIR)/shard_auto.json > /dev/null
+	$(DUNE) exec bin/darsie.exe -- run MM -m DARSIE --scale 4 -j 1 \
+	  --cache $(SMOKE_DIR)/shardcache --sm-domains 2 \
+	  --json $(SMOKE_DIR)/shard_two.json > /dev/null
+	diff $(SMOKE_DIR)/shard_serial.json $(SMOKE_DIR)/shard_auto.json
+	diff $(SMOKE_DIR)/shard_serial.json $(SMOKE_DIR)/shard_two.json
+
 # Record a fresh bench trajectory point into bench/history/ and gate it
 # against the committed baseline. Deterministic simulated metrics use a
 # 0.5% threshold; wall-clock metrics 25%. Exits nonzero on regression.
-# The fidelity baseline (recorded after the machine-model knobs landed;
-# default-config simulated metrics bit-identical to the telemetry
+# The shard baseline (recorded after the sharded cycle loop landed;
+# default-config simulated metrics bit-identical to the fidelity
 # record); earlier records are kept with identical simulated metrics:
 # bench/BENCH_2026-08-06.json (serial seed),
 # bench/BENCH_2026-08-06_parallel.json (parallel+cache),
-# bench/BENCH_2026-08-06_fastforward.json (event-driven cycle loop) and
-# bench/BENCH_2026-08-09_telemetry.json (host telemetry).
-BENCH_BASELINE ?= bench/BENCH_2026-08-09_fidelity.json
+# bench/BENCH_2026-08-06_fastforward.json (event-driven cycle loop),
+# bench/BENCH_2026-08-09_telemetry.json (host telemetry) and
+# bench/BENCH_2026-08-09_fidelity.json (machine-fidelity knobs).
+BENCH_BASELINE ?= bench/BENCH_2026-08-09_shard.json
 bench-compare: build
 	mkdir -p bench/history
 	$(DUNE) exec bench/main.exe -- --trend bench/history/current.json

@@ -1,0 +1,71 @@
+(* Wall-time scaling of ONE simulation sharded across OCaml domains
+   (--sm-domains): the paper-scale MM grid (scale 8: a 512x512 matmul,
+   256 thread blocks) on the DARSIE machine at 1, 2 and 4 domains.
+   Sharding is timing-invisible, so every configuration must report the
+   exact same simulated cycle count — only the wall clock moves. This
+   is the measurement behind the sharding gating baseline; see
+   ARCHITECTURE.md ("Sharded cycle loop"). *)
+
+module W = Darsie_workloads.Workload
+module Suite = Darsie_harness.Suite
+module Config = Darsie_timing.Config
+module Gpu = Darsie_timing.Gpu
+
+let getenv_int name default =
+  match Option.bind (Sys.getenv_opt name) int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | _ -> default
+
+(* scale 4 is a 256x256 matmul: 64 thread blocks, 16x the scale-1 grid —
+   enough work per epoch that barrier overhead is amortized, while one
+   serial run still completes in seconds on a laptop core. *)
+let scale = getenv_int "SHARD_BENCH_SCALE" 4
+
+let repeats = getenv_int "SHARD_BENCH_REPEATS" 3
+
+let machine = Suite.Darsie
+
+let time_run ~cfg app =
+  let best = ref infinity and cycles = ref 0 in
+  for _ = 1 to repeats do
+    let t0 = Unix.gettimeofday () in
+    let r = Suite.run_app ~cfg app machine in
+    best := min !best (Unix.gettimeofday () -. t0);
+    cycles := r.Suite.gpu.Gpu.cycles
+  done;
+  (!best, !cycles)
+
+let () =
+  let cache = Darsie_trace.Cache.create () in
+  let app = Suite.load_app ~scale ~cache Darsie_workloads.Matmul.workload in
+  let ntbs =
+    Darsie_isa.Kernel.dim3_count
+      app.Suite.kinfo.Darsie_timing.Kinfo.launch.Darsie_isa.Kernel.grid_dim
+  in
+  Printf.printf
+    "MM scale %d (%d thread blocks), %s machine, one simulation, %d host \
+     core(s), best of %d:\n"
+    scale ntbs
+    (Suite.machine_name machine)
+    (Darsie_harness.Parallel.default_jobs ())
+    repeats;
+  let serial_s, serial_cy = time_run ~cfg:Config.default app in
+  Printf.printf "  sm-domains 1: %.3f s  (%d cycles, %.0f cycles/s)\n" serial_s
+    serial_cy
+    (float_of_int serial_cy /. serial_s);
+  List.iter
+    (fun d ->
+      let cfg = { Config.default with Config.sm_domains = d } in
+      let s, cy = time_run ~cfg app in
+      if cy <> serial_cy then begin
+        Printf.eprintf
+          "FAIL: %d domains simulated %d cycles, serial simulated %d\n" d cy
+          serial_cy;
+        exit 1
+      end;
+      Printf.printf
+        "  sm-domains %d: %.3f s  (%d cycles, %.0f cycles/s)  speedup %.2fx\n"
+        d s cy
+        (float_of_int cy /. s)
+        (serial_s /. s))
+    [ 2; 4 ]

@@ -144,22 +144,50 @@ let smem_banks_arg =
   in
   Arg.(value & opt int 0 & info [ "smem-banks" ] ~docv:"N" ~doc)
 
+(* The two host-side sharding knobs. Unlike the fidelity knobs they are
+   timing-invisible: sharded runs are bit-identical to serial stepping
+   (test_shard), so neither appears in the metrics machine_config echo. *)
+let sm_domains_arg =
+  let doc =
+    "Shard each simulation's SM array across $(docv) worker domains, \
+     advancing in lockstep epochs with DRAM traffic replayed in canonical \
+     serial order at every barrier. Results are bit-identical for every \
+     value; 1 (the default) is the serial cycle loop, 0 auto-sizes to the \
+     available cores. Under a $(b,-j) pool the per-run domains are divided \
+     down so pool x sharding never oversubscribes the machine."
+  in
+  Arg.(value & opt int 1 & info [ "sm-domains" ] ~docv:"N" ~doc)
+
+let epoch_slack_arg =
+  let doc =
+    "Epoch length (cycles between shard barriers) for $(b,--sm-domains). 0 \
+     (the default) auto-sizes to the soundness bound l1_lat + dram_lat; \
+     explicit values are clamped to that bound. Timing-invisible."
+  in
+  Arg.(value & opt int 0 & info [ "epoch-slack" ] ~docv:"CYCLES" ~doc)
+
 let knobs_term =
   Term.(
-    const (fun issue_width mshrs smem_banks -> (issue_width, mshrs, smem_banks))
-    $ issue_width_arg $ mshrs_arg $ smem_banks_arg)
+    const (fun issue_width mshrs smem_banks sm_domains epoch_slack ->
+        (issue_width, mshrs, smem_banks, sm_domains, epoch_slack))
+    $ issue_width_arg $ mshrs_arg $ smem_banks_arg $ sm_domains_arg
+    $ epoch_slack_arg)
 
 let cfg_of ?(base = Darsie_timing.Config.default) no_ff
-    (issue_width, mshrs, smem_banks) =
+    (issue_width, mshrs, smem_banks, sm_domains, epoch_slack) =
   if issue_width < 1 then or_die (Error "--issue-width must be >= 1");
   if mshrs < 0 then or_die (Error "--mshrs must be >= 0");
   if smem_banks < 0 then or_die (Error "--smem-banks must be >= 0");
+  if sm_domains < 0 then or_die (Error "--sm-domains must be >= 0");
+  if epoch_slack < 0 then or_die (Error "--epoch-slack must be >= 0");
   {
     base with
     Darsie_timing.Config.fast_forward = not no_ff;
     issue_width;
     mshrs;
     smem_banks;
+    sm_domains;
+    epoch_slack;
   }
 
 let report_cache = function
@@ -295,9 +323,13 @@ let run_cmd =
     | Error e ->
       Printf.printf "functional check: FAILED (%s)\n" e;
       violation "%s: functional check failed (%s)" abbr e);
+    (* two sims fan out here, so the core budget divides by that pool
+       size, not by the full -j default *)
+    let pool = min (effective_jobs jobs) 2 in
+    let cfg = Darsie_harness.Suite.divide_domains ~jobs:pool cfg in
     let base, r =
       match
-        Darsie_harness.Parallel.map ~jobs:(effective_jobs jobs)
+        Darsie_harness.Parallel.map ~jobs:pool
           ~label:Darsie_harness.Suite.machine_name
           (Darsie_harness.Suite.run_app ~cfg app)
           [ Darsie_harness.Suite.Base; machine ]
@@ -468,7 +500,7 @@ let limit_cmd =
     Term.(const run $ app_arg $ scale_arg)
 
 let experiment_cmd =
-  let run id jobs cache_dir no_ff knobs json_file =
+  let run id scale jobs cache_dir no_ff knobs json_file =
     let module F = Darsie_harness.Figures in
     let needs_matrix =
       [ "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "coverage" ]
@@ -477,12 +509,14 @@ let experiment_cmd =
       lazy
         (let jobs = effective_jobs jobs in
          Printf.printf
-           "building evaluation matrix (13 apps x 7 machines, %d job(s))...\n%!"
-           jobs;
+           "building evaluation matrix (13 apps x 7 machines, scale %d, %d \
+            job(s))...\n\
+            %!"
+           scale jobs;
          let cache = cache_of cache_dir in
          let m =
-           Darsie_harness.Suite.build_matrix ~cfg:(cfg_of no_ff knobs) ~jobs
-             ?cache ()
+           Darsie_harness.Suite.build_matrix ~cfg:(cfg_of no_ff knobs) ~scale
+             ~jobs ?cache ()
          in
          Hashtbl.iter (fun (abbr, _) r -> check_run abbr r)
            m.Darsie_harness.Suite.runs;
@@ -564,10 +598,10 @@ let experiment_cmd =
         other;
       exit 1
   in
-  let run id jobs cache_dir no_ff knobs json_file telemetry_file progress
-      progress_json =
+  let run id scale jobs cache_dir no_ff knobs json_file telemetry_file
+      progress progress_json =
     let write_telemetry = setup_telemetry telemetry_file progress progress_json in
-    run id jobs cache_dir no_ff knobs json_file;
+    run id scale jobs cache_dir no_ff knobs json_file;
     write_telemetry ();
     finish ()
   in
@@ -577,8 +611,9 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper figure or table")
-    Term.(const run $ id_arg $ jobs_arg $ cache_arg $ no_ff_arg $ knobs_term
-          $ json_arg $ telemetry_arg $ progress_arg $ progress_json_arg)
+    Term.(const run $ id_arg $ scale_arg $ jobs_arg $ cache_arg $ no_ff_arg
+          $ knobs_term $ json_arg $ telemetry_arg $ progress_arg
+          $ progress_json_arg)
 
 let check_cmd =
   let module Checker = Darsie_harness.Checker in
@@ -695,8 +730,10 @@ let annotate_cmd =
     let cache = cache_of cache_dir in
     Printf.printf "preparing %s (scale %d)...\n%!" w.W.abbr scale;
     let app = Darsie_harness.Suite.load_app ~scale ?cache w in
+    let pool = min (effective_jobs jobs) (List.length machines) in
+    let cfg = Darsie_harness.Suite.divide_domains ~jobs:pool cfg in
     let runs =
-      Darsie_harness.Parallel.map ~jobs:(effective_jobs jobs)
+      Darsie_harness.Parallel.map ~jobs:pool
         ~label:Darsie_harness.Suite.machine_name
         (fun m ->
           let r = Darsie_harness.Suite.run_app ~cfg ~pcstat:true app m in

@@ -192,6 +192,7 @@ let check_app ?cfg ?(scale = 1) ?(machines = default_machines) ?(oracle = true)
 let check_suite ?cfg ?scale ?machines ?oracle ?inject ?seed ?deadline ?cache
     ?(jobs = 1) ?(apps = Darsie_workloads.Registry.all) () =
   let t0 = Sys.time () in
+  let cfg = Option.map (Suite.divide_domains ~jobs) cfg in
   (* check_app never raises (capture is its whole point), so Parallel.map
      cannot re-raise here; it is used purely for the domain fan-out and
      the input-ordered merge. *)

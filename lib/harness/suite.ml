@@ -105,6 +105,26 @@ let run_app ?cfg ?sink ?sample_interval ?pcstat app machine =
   | Ok r -> r
   | Error e -> raise (Darsie_check.Sim_error.Simulation_error e)
 
+(* Core-budget division: a pool of [jobs] worker domains each running a
+   simulation sharded over [cfg.sm_domains] further domains would
+   oversubscribe the machine [jobs * sm_domains] ways. Give each pool
+   worker its fair share of the physical cores instead: with P =
+   Parallel.default_jobs () cores, every worker may shard over at most
+   max 1 (P / jobs) domains. Auto-sizing (sm_domains = 0) resolves to
+   exactly that share; explicit requests are capped by it. Sharding is
+   timing-invisible, so dividing the budget never changes any simulated
+   result — only the schedule. *)
+let divide_domains ~jobs (cfg : Config.t) =
+  if jobs <= 1 || cfg.Config.sm_domains = 1 then cfg
+  else begin
+    let share = max 1 (Parallel.default_jobs () / jobs) in
+    let d =
+      if cfg.Config.sm_domains = 0 then share
+      else min cfg.Config.sm_domains share
+    in
+    { cfg with Config.sm_domains = d }
+  end
+
 (* The (app x machine) matrix build, fanned out over [jobs] domains.
    Both stages — trace generation per app, then one timing run per
    (app, machine) cell — use Parallel.map, whose results come back in
@@ -115,6 +135,7 @@ let run_app ?cfg ?sink ?sample_interval ?pcstat app machine =
 let build_matrix ?(cfg = Config.default) ?(scale = 1)
     ?(machines = all_machines)
     ?(apps = Darsie_workloads.Registry.all) ?(jobs = 1) ?cache () =
+  let cfg = divide_domains ~jobs cfg in
   let apps =
     Parallel.map ~jobs
       ~label:(fun w -> w.W.abbr)

@@ -87,6 +87,17 @@ val run_app :
 
     @raise Darsie_check.Sim_error.Simulation_error on failure. *)
 
+val divide_domains : jobs:int -> Darsie_timing.Config.t -> Darsie_timing.Config.t
+(** Core-budget division between the process pool and intra-run SM
+    sharding: with a pool of [jobs] workers on a machine with
+    [P = Parallel.default_jobs ()] cores, cap [cfg.sm_domains] at
+    [max 1 (P / jobs)] so the two levels multiplied never oversubscribe
+    the cores. Auto-sizing ([sm_domains = 0]) resolves to exactly that
+    share. [jobs <= 1] or a serial config ([sm_domains = 1]) passes
+    through unchanged. Sharding is timing-invisible, so this only
+    affects the schedule, never a simulated result. Applied by
+    {!build_matrix}, {!Checker.check_suite} and the CLI's [-j] fan-outs. *)
+
 val build_matrix :
   ?cfg:Darsie_timing.Config.t ->
   ?scale:int ->

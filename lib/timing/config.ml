@@ -40,6 +40,8 @@ type t = {
   max_cycles : int;
   watchdog_cycles : int;
   fast_forward : bool;
+  sm_domains : int;
+  epoch_slack : int;
 }
 
 let default =
@@ -83,6 +85,8 @@ let default =
     max_cycles = 500_000_000;
     watchdog_cycles = 50_000;
     fast_forward = true;
+    sm_domains = 1;
+    epoch_slack = 0;
   }
 
 let pp fmt c =

@@ -83,6 +83,22 @@ type t = {
           wake-up and bulk-charge the skipped span. Bit-identical to
           stepping every cycle; [false] forces the cycle-by-cycle path
           (the [--no-fast-forward] escape hatch) *)
+  sm_domains : int;
+      (** host-side worker domains one {!Gpu.run} shards its SM array
+          across. [1] (default) is the serial cycle loop, bit-identical
+          to the historical machine by construction; [0] auto-sizes to
+          [min num_sms (Domain.recommended_domain_count ())]. Sharded
+          runs are bit-identical to serial stepping — this is a host
+          performance knob, not a machine parameter, so it is excluded
+          from {!knobs} and from the metrics [machine_config] echo *)
+  epoch_slack : int;
+      (** epoch length (clock slack) of the sharded cycle loop: each
+          worker advances its SMs this many cycles between barriers.
+          [0] (default) auto-sizes to the soundness bound
+          [l1_lat + dram_lat]; explicit values are clamped to that
+          bound, below which a deferred DRAM request provably cannot
+          complete inside its own epoch. Like [sm_domains], timing
+          invisible *)
 }
 
 val default : t

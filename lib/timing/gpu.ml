@@ -48,6 +48,65 @@ let merge_notes per_sm_notes =
     per_sm_notes;
   List.rev_map (fun k -> (k, Hashtbl.find acc k)) !order
 
+(* Fold the drained SM array into a [result]; shared by the serial and
+   the sharded cycle loops (the sharded one always passes
+   [sample_interval = None] and [pcstat = false] — it falls back to the
+   serial loop whenever either is requested). *)
+let assemble ~cycles ~sample_interval ~pcstat ~tbs_per_sm (kernel : Kernel.t)
+    sms =
+  Array.iter Sm.finalize sms;
+  let per_sm = Array.map Sm.stats sms in
+  let agg = Stats.create () in
+  Array.iter (fun s -> Stats.add agg s) per_sm;
+  agg.Stats.cycles <- cycles;
+  let per_sm_attribution = Array.map Sm.attribution sms in
+  let attribution = Obs.Attrib.create () in
+  Array.iter (fun a -> Obs.Attrib.add attribution a) per_sm_attribution;
+  let series =
+    if sample_interval = None then [||]
+    else
+      Array.map
+        (fun sm -> match Sm.series sm with Some s -> s | None -> assert false)
+        sms
+  in
+  let per_sm_pcstat =
+    if not pcstat then [||]
+    else
+      Array.map
+        (fun sm -> match Sm.pcstat sm with Some p -> p | None -> assert false)
+        sms
+  in
+  let pcstat_agg =
+    if Array.length per_sm_pcstat = 0 then None
+    else begin
+      let acc = Obs.Pcstat.create ~n:(Array.length kernel.Kernel.insts) in
+      Array.iter (fun p -> Obs.Pcstat.add acc p) per_sm_pcstat;
+      Some acc
+    end
+  in
+  let skip_telemetry =
+    Obs.Pcstat.merge_skip_telemetry
+      (Array.to_list (Array.map Sm.skip_telemetry sms))
+  in
+  let per_sm_ledger = Array.map Sm.ledger sms in
+  let ledger = Obs.Ledger.create ~n:(Array.length kernel.Kernel.insts) in
+  Array.iter (fun l -> Obs.Ledger.add ledger l) per_sm_ledger;
+  {
+    cycles;
+    stats = agg;
+    per_sm;
+    engine = Sm.engine_name sms.(0);
+    tbs_per_sm;
+    attribution;
+    per_sm_attribution;
+    series;
+    pcstat = pcstat_agg;
+    per_sm_pcstat;
+    skip_telemetry;
+    ledger;
+    per_sm_ledger;
+  }
+
 let run_body ~cfg ~sink ~sample_interval ~event_window ~deadline ~pcstat
     factory (kinfo : Kinfo.t) (trace : Record.t) =
   let kernel = kinfo.Kinfo.kernel in
@@ -297,69 +356,442 @@ let run_body ~cfg ~sink ~sample_interval ~event_window ~deadline ~pcstat
   match !error with
   | Some e -> Stdlib.Error e
   | None ->
-    Array.iter Sm.finalize sms;
-    let per_sm = Array.map Sm.stats sms in
-    let agg = Stats.create () in
-    Array.iter (fun s -> Stats.add agg s) per_sm;
-    agg.Stats.cycles <- !cycles;
-    let per_sm_attribution = Array.map Sm.attribution sms in
-    let attribution = Obs.Attrib.create () in
-    Array.iter (fun a -> Obs.Attrib.add attribution a) per_sm_attribution;
-    let series =
-      if sample_interval = None then [||]
-      else
-        Array.map
-          (fun sm ->
-            match Sm.series sm with Some s -> s | None -> assert false)
-          sms
-    in
-    let per_sm_pcstat =
-      if not pcstat then [||]
-      else
-        Array.map
-          (fun sm ->
-            match Sm.pcstat sm with Some p -> p | None -> assert false)
-          sms
-    in
-    let pcstat_agg =
-      if Array.length per_sm_pcstat = 0 then None
-      else begin
-        let acc = Obs.Pcstat.create ~n:(Array.length kernel.Kernel.insts) in
-        Array.iter (fun p -> Obs.Pcstat.add acc p) per_sm_pcstat;
-        Some acc
+    Ok (assemble ~cycles:!cycles ~sample_interval ~pcstat ~tbs_per_sm kernel sms)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded cycle loop: one simulation across several domains           *)
+(* ------------------------------------------------------------------ *)
+
+(* How many worker domains [cfg.sm_domains] asks for on this machine:
+   1 stays 1 (the serial loop, bit-identical by construction), 0
+   auto-sizes to the host, anything else is capped at the SM count
+   (extra domains would own empty shards). *)
+let resolve_domains (cfg : Config.t) =
+  match cfg.Config.sm_domains with
+  | 1 -> 1
+  | 0 -> max 1 (min cfg.Config.num_sms (Domain.recommended_domain_count ()))
+  | n when n < 1 -> 1
+  | n -> min n cfg.Config.num_sms
+
+(* Epoch slack: how far a worker may run ahead of the earliest wake-up
+   before the next barrier. Soundness bound: a deferred DRAM request
+   issued at cycle [x] completes no earlier than [x + l1_lat +
+   dram_lat], so as long as the epoch ends before that, its [max_int]
+   placeholder is never consulted — the issuing SM cannot observe the
+   writeback inside the epoch. [0] picks the bound itself; explicit
+   values are clamped into [1, bound]. *)
+let resolve_slack (cfg : Config.t) =
+  let bound = cfg.Config.l1_lat + cfg.Config.dram_lat in
+  if cfg.Config.epoch_slack <= 0 then bound
+  else max 1 (min cfg.Config.epoch_slack bound)
+
+(* The epoch-barrier protocol.
+
+   Workers advance disjoint SM shards independently from barrier [B] to
+   barrier [E] (all cross-SM state is frozen for the epoch): DRAM
+   requests are queued SM-locally under placeholder completions, and a
+   worker *pauses* an SM right after any step that retires a
+   threadblock while TBs remain undispatched — the only instants the
+   serial loop's per-cycle dispatch scan can act. At the barrier the
+   driver, single-threaded:
+
+   1. replays the pause queue in (cycle, SM index) order — exactly the
+      serial dispatch order — launching TBs and advancing the paused SM
+      onward to [E] (which may pause it again, re-queued in order);
+   2. replays every deferred DRAM request against the shared channel in
+      canonical (cycle, SM index, issue sequence) order
+      ({!Sm.commit_epoch}), patching the placeholder completions;
+   3. re-derives each live SM's wake-up from the patched state, decides
+      termination / cycle-bound / deadlock-watchdog exactly as the
+      serial loop would have at [E], and picks the next [E].
+
+   Epoch ends are chosen as [min-wake + slack - 1] (no SM steps before
+   its wake-up, so every request of the epoch still completes after
+   [E]), additionally capped so the watchdog can only fire exactly at a
+   barrier, with exactly the serial loop's idle count and cycle. *)
+let sharded_body ~cfg ~deadline ~domains factory (kinfo : Kinfo.t)
+    (trace : Record.t) =
+  let kernel = kinfo.Kinfo.kernel in
+  let warps_per_tb = Record.warps_per_tb trace in
+  let tbs_per_sm = occupancy cfg kernel ~warps_per_tb in
+  let dram =
+    Mem_model.Dram.create ~txn_cycles:cfg.Config.dram_txn_cycles
+      ~latency:cfg.Config.dram_lat
+  in
+  let num_sms = cfg.Config.num_sms in
+  let sms =
+    Array.init num_sms (fun i ->
+        Sm.create ~sm_id:i ~deferred_dram:true cfg kinfo factory dram
+          ~slots:tbs_per_sm ~warps_per_tb)
+  in
+  let ntbs = Record.num_tbs trace in
+  let next_tb = ref 0 in
+  let slack = resolve_slack cfg in
+  let wakes = Array.make num_sms 1 in
+  (* cycle the SM went idle with dispatch closed; -1 = still live *)
+  let done_at = Array.make num_sms (-1) in
+  (* cycle the SM paused at for a dispatch scan; -1 = no pause pending *)
+  let pauses = Array.make num_sms (-1) in
+  let retired_seen = Array.make num_sms 0 in
+  let launch i c =
+    let sm = sms.(i) in
+    while !next_tb < ntbs && Sm.can_accept sm do
+      wakes.(i) <- c + 1;
+      Sm.launch_tb sm ~tb_id:!next_tb ~traces:trace.Record.tbs.(!next_tb);
+      incr next_tb
+    done
+  in
+  (* Advance SM [i] to epoch end [e]: the serial loop's per-SM schedule
+     (fast-forward to the wake-up, step there) with two extra exits —
+     done (idle with dispatch closed) and paused (retired a TB with
+     dispatch open). [open_] is the epoch's dispatch snapshot; only the
+     driver moves [next_tb], so it is exact for the whole epoch. *)
+  let advance ~open_ i e =
+    let sm = sms.(i) in
+    let continue = ref (done_at.(i) < 0) in
+    while !continue do
+      if (not (Sm.busy sm)) && not open_ then begin
+        done_at.(i) <- Sm.cycle sm;
+        continue := false
       end
-    in
-    let skip_telemetry =
-      Obs.Pcstat.merge_skip_telemetry
-        (Array.to_list (Array.map Sm.skip_telemetry sms))
-    in
-    let per_sm_ledger = Array.map Sm.ledger sms in
-    let ledger = Obs.Ledger.create ~n:(Array.length kernel.Kernel.insts) in
-    Array.iter (fun l -> Obs.Ledger.add ledger l) per_sm_ledger;
+      else if Sm.cycle sm >= e then continue := false
+      else begin
+        let wake = wakes.(i) in
+        if wake = max_int then begin
+          (* never wakes inside this epoch (idle or deadlocked: the
+             watchdog accounting happens at the barrier) *)
+          Sm.fast_forward sm ~to_:e;
+          continue := false
+        end
+        else begin
+          if wake > Sm.cycle sm + 1 then
+            Sm.fast_forward sm ~to_:(min (wake - 1) e);
+          if Sm.cycle sm < e then begin
+            Sm.step sm;
+            wakes.(i) <- Sm.next_event_cycle sm;
+            let r = Sm.tbs_retired sm in
+            if open_ && r <> retired_seen.(i) then begin
+              retired_seen.(i) <- r;
+              pauses.(i) <- Sm.cycle sm;
+              continue := false
+            end
+          end
+          else continue := false
+        end
+      end
+    done
+  in
+  (* --- persistent worker domains, released epoch-by-epoch ----------- *)
+  let nworkers = min domains (max 1 num_sms) in
+  let shard_lo w = w * num_sms / nworkers in
+  let m = Mutex.create () in
+  let cv_go = Condition.create () in
+  let cv_done = Condition.create () in
+  let epoch_id = ref 0 in
+  let remaining = ref 0 in
+  let target = ref 0 in
+  let open_snap = ref true in
+  let stop = ref false in
+  let worker_exn = ref None in
+  let worker_busy_ns = Array.make nworkers 0 in
+  let run_shard w ~open_ e =
+    let t0 = Tel.elapsed_ns () in
+    (try
+       for i = shard_lo w to shard_lo (w + 1) - 1 do
+         advance ~open_ i e
+       done
+     with exn ->
+       Mutex.lock m;
+       if !worker_exn = None then worker_exn := Some exn;
+       Mutex.unlock m);
+    worker_busy_ns.(w) <- worker_busy_ns.(w) + (Tel.elapsed_ns () - t0)
+  in
+  (* shard 0 runs on the driver domain itself, so only shards 1..n-1
+     get a spawned worker: at every barrier the driver has real work
+     instead of parking on the condition variable, saving one domain
+     handoff per epoch *)
+  let worker w =
+    let sp = Tel.begin_span ~args:[ ("worker", Tel.Int w) ] "sim.shard" in
+    let my_epoch = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock m;
+      while !epoch_id = !my_epoch && not !stop do
+        Condition.wait cv_go m
+      done;
+      let e = !target and open_ = !open_snap and stopped = !stop in
+      my_epoch := !epoch_id;
+      Mutex.unlock m;
+      if stopped then running := false
+      else begin
+        run_shard w ~open_ e;
+        Mutex.lock m;
+        remaining := !remaining - 1;
+        if !remaining = 0 then Condition.signal cv_done;
+        Mutex.unlock m
+      end
+    done;
+    Tel.end_span sp
+  in
+  let run_epoch e =
+    let open_ = !next_tb < ntbs in
+    if nworkers > 1 then begin
+      Mutex.lock m;
+      target := e;
+      open_snap := open_;
+      remaining := nworkers - 1;
+      incr epoch_id;
+      Condition.broadcast cv_go;
+      Mutex.unlock m
+    end;
+    run_shard 0 ~open_ e;
+    if nworkers > 1 then begin
+      Mutex.lock m;
+      while !remaining > 0 do
+        Condition.wait cv_done m
+      done;
+      Mutex.unlock m
+    end;
+    match !worker_exn with Some exn -> raise exn | None -> ()
+  in
+  let catch_up at =
+    Array.iter
+      (fun sm -> if Sm.cycle sm < at then Sm.fast_forward sm ~to_:at)
+      sms
+  in
+  let diag ~at ~cycles () =
+    catch_up at;
+    let attr = Obs.Attrib.create () in
+    Array.iter (fun sm -> Obs.Attrib.add attr (Sm.attribution sm)) sms;
+    {
+      Sim_error.d_cycle = cycles;
+      d_engine = Sm.engine_name sms.(0);
+      d_warps = List.concat_map Sm.warp_snapshots (Array.to_list sms);
+      d_attribution = Obs.Attrib.to_assoc attr;
+      d_events = [];
+      d_notes = merge_notes (Array.to_list (Array.map Sm.debug_state sms));
+    }
+  in
+  let started = Sys.time () in
+  let hb_t0 = Tel.elapsed_ns () in
+  let tel_epochs = ref 0 and tel_pauses = ref 0 and tel_batched = ref 0 in
+  let tel_arms = ref 0 in
+  let idle = ref 0 in
+  let error = ref None in
+  let finished = ref None in
+  (* the serial loop's pre-loop dispatch scan: fill every SM *)
+  for i = 0 to num_sms - 1 do
+    launch i 0
+  done;
+  let b = ref 0 in
+  let workers =
+    Array.init (nworkers - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  let stop_workers () =
+    Mutex.lock m;
+    stop := true;
+    Condition.broadcast cv_go;
+    Mutex.unlock m;
+    Array.iter Domain.join workers
+  in
+  (try
+     while !error = None && !finished = None do
+          (* earliest wake-up among live SMs decides where the next
+             barrier may land: no SM steps before it, so every DRAM
+             request of the epoch still completes after [e] *)
+          let s = ref max_int in
+          for i = 0 to num_sms - 1 do
+            if done_at.(i) < 0 && wakes.(i) < !s then s := wakes.(i)
+          done;
+          let e =
+            if !s = max_int then !b + slack (* deadlock: keep advancing *)
+            else !s + slack - 1
+          in
+          let e =
+            if cfg.Config.watchdog_cycles > 0 then
+              min e (!b + cfg.Config.watchdog_cycles - !idle)
+            else e
+          in
+          let e = min e cfg.Config.max_cycles in
+          let e = max e (!b + 1) in
+          incr tel_epochs;
+          run_epoch e;
+          (* serial dispatch replay, in (cycle, SM index) order *)
+          let rec resolve () =
+            let best = ref (-1) in
+            Array.iteri
+              (fun i c ->
+                if
+                  c >= 0
+                  && (!best < 0
+                     || c < pauses.(!best)
+                     || (c = pauses.(!best) && i < !best))
+                then best := i)
+              pauses;
+            if !best >= 0 then begin
+              let i = !best in
+              let c = pauses.(i) in
+              pauses.(i) <- -1;
+              incr tel_pauses;
+              launch i c;
+              advance ~open_:(!next_tb < ntbs) i e;
+              resolve ()
+            end
+          in
+          resolve ();
+          tel_batched := !tel_batched + Sm.commit_epoch ~dram sms;
+          for i = 0 to num_sms - 1 do
+            if done_at.(i) < 0 then wakes.(i) <- Sm.next_event_cycle sms.(i)
+          done;
+          if Array.for_all (fun d -> d >= 0) done_at then
+            (* the serial loop exits right after the cycle of the last
+               retirement; lagging SMs are caught up below *)
+            finished := Some (Array.fold_left max 0 done_at)
+          else begin
+            (* Deadlock watchdog, evaluated at the barrier from per-SM
+               timestamps: idle spans the checks the serial loop would
+               have made since the later of last token movement + 1 and
+               the last writeback (in-flight work drains exactly there).
+               The epoch caps above make the count hit [watchdog_cycles]
+               exactly at a barrier — the serial firing cycle. *)
+            if cfg.Config.watchdog_cycles > 0 then begin
+              let inflight =
+                Array.fold_left
+                  (fun acc sm -> acc + Sm.inflight_count sm)
+                  0 sms
+              in
+              let prev_idle = !idle in
+              if inflight > 0 then idle := 0
+              else begin
+                let f = ref 1 in
+                Array.iter
+                  (fun sm ->
+                    let p = Sm.last_progress sm + 1 in
+                    if p > !f then f := p;
+                    let wb = Sm.last_wb_cycle sm in
+                    if wb > !f then f := wb)
+                  sms;
+                idle := max 0 (e - !f + 1)
+              end;
+              if prev_idle = 0 && !idle > 0 then incr tel_arms;
+              if !idle >= cfg.Config.watchdog_cycles then
+                error :=
+                  Some
+                    (Sim_error.Deadlock
+                       {
+                         message =
+                           Printf.sprintf
+                             "no warp fetched, issued or skipped and no \
+                              operation was in flight for %d cycles"
+                             !idle;
+                         diag = diag ~at:e ~cycles:e ();
+                       })
+            end;
+            (* the serial loop only declares the bound exceeded when it
+               enters cycle max_cycles + 1, i.e. after the watchdog had
+               its chance at max_cycles *)
+            if !error = None && e >= cfg.Config.max_cycles then
+              error :=
+                Some
+                  (Sim_error.Cycle_bound
+                     {
+                       bound = cfg.Config.max_cycles;
+                       message =
+                         Printf.sprintf
+                           "simulation exceeded its cycle bound of %d cycles"
+                           cfg.Config.max_cycles;
+                       diag =
+                         diag ~at:cfg.Config.max_cycles
+                           ~cycles:(cfg.Config.max_cycles + 1) ();
+                     });
+            (match deadline with
+            | Some budget_s when !error = None ->
+              let elapsed = Sys.time () -. started in
+              if elapsed > budget_s then
+                error :=
+                  Some
+                    (Sim_error.Wall_timeout
+                       {
+                         budget_s;
+                         cycle = e;
+                         message =
+                           Printf.sprintf
+                             "wall-clock budget of %gs exhausted at cycle %d"
+                             budget_s e;
+                       })
+            | _ -> ());
+            if
+              !b lsr 16 <> e lsr 16
+              && Tel.Progress.mode () <> Tel.Progress.Off
+            then begin
+              let elapsed_s = float_of_int (Tel.elapsed_ns () - hb_t0) /. 1e9 in
+              Tel.Progress.cycles ~cycles:e
+                ~cycles_per_sec:
+                  (if elapsed_s <= 0.0 then 0.0
+                   else float_of_int e /. elapsed_s)
+                ~engine:(Sm.engine_name sms.(0))
+            end
+          end;
+          b := e
+        done
+   with exn ->
+     stop_workers ();
+     raise exn);
+  stop_workers ();
+  if !tel_epochs > 0 then Tel.incr ~by:!tel_epochs "shard.epochs";
+  if !tel_pauses > 0 then Tel.incr ~by:!tel_pauses "shard.pauses";
+  if !tel_batched > 0 then Tel.incr ~by:!tel_batched "shard.dram_batched";
+  if !tel_arms > 0 then Tel.incr ~by:!tel_arms "watchdog.arms";
+  (* straggler report: a shard that dominates the epoch wall time caps
+     the speedup; say so when someone is watching progress *)
+  (if Tel.Progress.mode () <> Tel.Progress.Off && nworkers > 1 then begin
+     let total = Array.fold_left ( + ) 0 worker_busy_ns in
+     let busiest = ref 0 in
+     Array.iteri
+       (fun w ns -> if ns > worker_busy_ns.(!busiest) then busiest := w)
+       worker_busy_ns;
+     if total > 0 then begin
+       let share =
+         float_of_int worker_busy_ns.(!busiest) /. float_of_int total
+       in
+       if share > 1.5 /. float_of_int nworkers then
+         Tel.Progress.warn
+           (Printf.sprintf
+              "shard straggler: domain %d carried %.0f%% of %d domains' \
+               simulation time"
+              !busiest (100.0 *. share) nworkers)
+     end
+   end);
+  match !error with
+  | Some e -> Stdlib.Error e
+  | None ->
+    let cycles = match !finished with Some c -> c | None -> assert false in
+    catch_up cycles;
     Ok
-      {
-        cycles = !cycles;
-        stats = agg;
-        per_sm;
-        engine = Sm.engine_name sms.(0);
-        tbs_per_sm;
-        attribution;
-        per_sm_attribution;
-        series;
-        pcstat = pcstat_agg;
-        per_sm_pcstat;
-        skip_telemetry;
-        ledger;
-        per_sm_ledger;
-      }
+      (assemble ~cycles ~sample_interval:None ~pcstat:false ~tbs_per_sm kernel
+         sms)
 
 let run ?(cfg = Config.default) ?(sink = Obs.Sink.null) ?sample_interval
     ?(event_window = 0) ?deadline ?(pcstat = false) factory (kinfo : Kinfo.t)
     (trace : Record.t) =
   let sp = Tel.begin_span "gpu.run" in
+  let domains = resolve_domains cfg in
+  (* The sharded loop trades away the per-cycle observability hooks; any
+     request for them (or a degenerate memory model whose requests could
+     complete inside an epoch) falls back to the serial loop, which is
+     always bit-identical anyway. *)
+  let sharded =
+    domains > 1 && (not pcstat)
+    && (not (Obs.Sink.enabled sink))
+    && event_window = 0 && sample_interval = None
+    && cfg.Config.l1_lat + cfg.Config.dram_lat >= 1
+  in
   match
-    run_body ~cfg ~sink ~sample_interval ~event_window ~deadline ~pcstat
-      factory kinfo trace
+    if sharded then
+      sharded_body ~cfg ~deadline ~domains factory kinfo trace
+    else
+      run_body ~cfg ~sink ~sample_interval ~event_window ~deadline ~pcstat
+        factory kinfo trace
   with
   | Ok r as res ->
     Tel.end_span

@@ -61,6 +61,15 @@ val run :
     forces the cycle-by-cycle path (the [--no-fast-forward] escape
     hatch).
 
+    When [cfg.sm_domains] is not 1, the SM array is sharded across that
+    many OCaml domains (0 auto-sizes to the host), advancing in lockstep
+    epochs of at most [l1_lat + dram_lat] cycles with DRAM requests
+    replayed in canonical serial order at every epoch barrier. Sharding
+    is timing-invisible: results are bit-identical to the serial loop at
+    every domain count. Runs that request serial-only diagnostics
+    ([pcstat], a non-null [sink], [sample_interval] or [event_window])
+    fall back to the serial loop automatically.
+
     Failures come back as typed {!Darsie_check.Sim_error.t} values
     carrying a diagnostic dump (per-warp state, stall attribution, engine
     counters, and — when [event_window] > 0 — the last that many pipeline

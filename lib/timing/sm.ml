@@ -12,8 +12,23 @@ type slot_state = {
 type in_flight = {
   fly_warp : Engine.wctx;
   fly_op : Record.op;
-  finish : int;
+  (* Mutable for the sharded cycle loop only: a deferred DRAM request
+     carries a [max_int] placeholder until the epoch barrier replays the
+     queue and patches the real completion in ([commit_epoch]). The
+     serial loop never mutates it. *)
+  mutable finish : int;
   fly_mshrs : int;  (* MSHR entries this op holds until writeback *)
+}
+
+(* One deferred DRAM channel access (sharded cycle loop): everything
+   needed to replay [Mem_model.Dram.request] at the epoch barrier in
+   canonical order, plus the in-flight record whose placeholder finish
+   the replay patches ([None] for stores, whose pipeline latency does
+   not depend on the channel). *)
+type dram_req = {
+  dq_now : int;  (* the [~now] the issue site would have passed *)
+  dq_ntxns : int;
+  mutable dq_fly : in_flight option;
 }
 
 type t = {
@@ -54,6 +69,23 @@ type t = {
      stay at their initial values when the knob is off. *)
   mutable smem_replay_until : int;
   mutable smem_replay_pc : int;
+  (* Sharded cycle loop (sm_domains > 1) bookkeeping; all dormant in the
+     serial loop. [dram_defer] routes issue-stage DRAM requests into
+     [dram_q] (reverse issue order) instead of the shared channel;
+     [dram_patch] carries the request between [dram_request] and the
+     [add_inflight] whose record it must patch. The remaining fields let
+     the epoch driver reproduce serial TB dispatch and the deadlock
+     watchdog exactly: [tbs_retired] is a monotone retirement counter
+     (a worker pauses at a retirement so the driver can replay the
+     serial dispatch scan), [last_wb_cycle] / [last_progress] timestamp
+     the most recent writeback and progress-token movement. *)
+  dram_defer : bool;
+  mutable dram_q : dram_req list;
+  mutable dram_patch : dram_req option;
+  mutable tbs_retired : int;
+  mutable last_wb_cycle : int;
+  mutable last_progress : int;
+  mutable progress_snapshot : int;
 }
 
 (* Counters snapshotted into the per-interval time-series; the order here
@@ -71,8 +103,8 @@ let sample_snapshot (s : Stats.t) =
     s.Stats.barrier_stall_cycles; s.Stats.darsie_sync_stalls;
   |]
 
-let create ?(sm_id = 0) ?(sink = Obs.Sink.null) ?series ?pcstat cfg kinfo
-    factory dram ~slots ~warps_per_tb =
+let create ?(sm_id = 0) ?(sink = Obs.Sink.null) ?series ?pcstat
+    ?(deferred_dram = false) cfg kinfo factory dram ~slots ~warps_per_tb =
   let stats = Stats.create () in
   let engine = factory kinfo cfg stats in
   (* The skip ledger is always on (a handful of int arrays); the engine
@@ -122,6 +154,17 @@ let create ?(sm_id = 0) ?(sink = Obs.Sink.null) ?series ?pcstat cfg kinfo
     last_barrier_pc = -1;
     smem_replay_until = 0;
     smem_replay_pc = -1;
+    dram_defer = deferred_dram;
+    dram_q = [];
+    dram_patch = None;
+    tbs_retired = 0;
+    last_wb_cycle = 0;
+    (* 1, not 0: the serial watchdog's progress ref starts one compare
+       behind the token (initialized to -1), so even a machine that
+       never progresses is only charged idle from cycle 2 on — the same
+       lag this seed reproduces in the barrier-time idle formula. *)
+    last_progress = 1;
+    progress_snapshot = 0;
   }
 
 let pc_note t f = match t.pcstat with None -> () | Some p -> f p
@@ -314,6 +357,9 @@ let add_inflight ?(mshrs = 0) t (w : Engine.wctx) op ~finish =
 
 let writeback t =
   if t.next_wb <= t.cycle then begin
+    (* [next_wb] is the minimum pending finish, so entering here means at
+       least one operation completes this cycle. *)
+    t.last_wb_cycle <- t.cycle;
     let stats = t.stats in
     let still = ref [] in
     let nwb = ref max_int in
@@ -411,6 +457,7 @@ let barriers_and_retirement t =
           for k = 0 to wpt - 1 do
             t.warps.(base + k) <- None
           done;
+          t.tbs_retired <- t.tbs_retired + 1;
           emit t ~warp:slot_idx Obs.Event.Tb_finish;
           t.engine.Engine.on_tb_finish ~tb_slot:slot_idx
         end
@@ -459,6 +506,24 @@ let mem_struct_blocked t (w : Engine.wctx) idx =
     && (not t.kinfo.Kinfo.is_atomic.(idx))
     && w.Engine.mshr_used >= cfg.Config.mshrs
   | Kinfo.Alu | Kinfo.Sfu | Kinfo.Ctrl -> false
+
+(* One DRAM channel access from the issue stage. The serial loop
+   consults the shared channel directly. A sharded SM defers: the
+   request is queued locally (no cross-domain traffic) under a
+   [max_int] placeholder completion, and the epoch barrier replays
+   every SM's queue against the real channel in canonical order
+   ([commit_epoch]), patching the in-flight records. Sound because the
+   epoch length is capped at [l1_lat + dram_lat]: a request issued
+   inside an epoch finishes strictly after it, so a placeholder is
+   never consulted before it is patched. *)
+let dram_request t ~now ~ntxns =
+  if not t.dram_defer then Mem_model.Dram.request t.dram ~now ~ntxns
+  else begin
+    let req = { dq_now = now; dq_ntxns = ntxns; dq_fly = None } in
+    t.dram_q <- req :: t.dram_q;
+    t.dram_patch <- Some req;
+    max_int
+  end
 
 (* Issue one op from warp [w]; returns false if the head op cannot issue. *)
 let try_issue_head t budget (w : Engine.wctx) =
@@ -605,8 +670,7 @@ let try_issue_head t budget (w : Engine.wctx) =
                 stats.Stats.dram_transactions <-
                   stats.Stats.dram_transactions + nlines;
                 emit t ~warp:w.Engine.wid Obs.Event.Dram_txn;
-                Mem_model.Dram.request t.dram ~now:(t.cycle + cfg.Config.l1_lat)
-                  ~ntxns:nlines
+                dram_request t ~now:(t.cycle + cfg.Config.l1_lat) ~ntxns:nlines
               end
               else if kinfo.Kinfo.is_store.(idx) then begin
                 (* Write-through, no-allocate: stores drain to DRAM and do
@@ -617,8 +681,11 @@ let try_issue_head t budget (w : Engine.wctx) =
                   stats.Stats.dram_transactions + nlines;
                 emit t ~warp:w.Engine.wid Obs.Event.Dram_txn;
                 ignore
-                  (Mem_model.Dram.request t.dram ~now:(t.cycle + cfg.Config.l1_lat)
+                  (dram_request t ~now:(t.cycle + cfg.Config.l1_lat)
                      ~ntxns:nlines);
+                (* the store's own finish is latency-independent of DRAM;
+                   the queued request only matters for channel ordering *)
+                t.dram_patch <- None;
                 t.cycle + cfg.Config.alu_lat
               end
               else begin
@@ -641,7 +708,7 @@ let try_issue_head t budget (w : Engine.wctx) =
                     stats.Stats.dram_transactions + misses;
                   emit t ~warp:w.Engine.wid Obs.Event.L1_miss;
                   emit t ~warp:w.Engine.wid Obs.Event.Dram_txn;
-                  Mem_model.Dram.request t.dram ~now:(t.cycle + cfg.Config.l1_lat)
+                  dram_request t ~now:(t.cycle + cfg.Config.l1_lat)
                     ~ntxns:misses
                 end
               end
@@ -660,7 +727,15 @@ let try_issue_head t budget (w : Engine.wctx) =
           | None -> ());
           t.slots.(w.Engine.tb_slot).inflight_ops <-
             t.slots.(w.Engine.tb_slot).inflight_ops + 1;
-          add_inflight ~mshrs:!mshrs_alloc t w op ~finish);
+          add_inflight ~mshrs:!mshrs_alloc t w op ~finish;
+          (* Deferred DRAM: bind the queued request to the in-flight
+             record just consed so [commit_epoch] can patch its real
+             completion cycle in. *)
+          (match t.dram_patch with
+          | Some req ->
+            req.dq_fly <- Some (List.hd t.inflight);
+            t.dram_patch <- None
+          | None -> ()));
         true
       end
 
@@ -1053,6 +1128,14 @@ let step t =
   let bucket, blocking_pc = classify_cycle t in
   Obs.Attrib.bump t.attr bucket;
   pc_note t (fun p -> Obs.Pcstat.charge p ~pc:blocking_pc bucket);
+  (* Sharded-loop watchdog bookkeeping: remember the last cycle this SM
+     fetched, issued, dropped or skipped anything (mirrors the serial
+     loop's global [progress_token] comparison). *)
+  let tok = progress_token t in
+  if tok <> t.progress_snapshot then begin
+    t.progress_snapshot <- tok;
+    t.last_progress <- t.cycle
+  end;
   match t.series with
   | Some s when Obs.Series.boundary s ~cycle:t.cycle ->
     Obs.Series.record s ~cycle:t.cycle (sample_snapshot t.stats)
@@ -1202,5 +1285,65 @@ let fast_forward t ~to_ =
     Array.fill t.greedy 0 (Array.length t.greedy) (-1);
     (* the engine's skip phase would have run once per skipped cycle *)
     t.engine.Engine.bulk_skip ~cycle:to_ ~n:span;
-    t.engine.Engine.on_fast_forward ~cycle:to_
+    t.engine.Engine.on_fast_forward ~cycle:to_;
+    (* bulk_skip can advance the skip counters, which the serial
+       watchdog counts as progress at the landing cycle *)
+    let tok = progress_token t in
+    if tok <> t.progress_snapshot then begin
+      t.progress_snapshot <- tok;
+      t.last_progress <- to_
+    end
   end
+
+(* ------------------------------------------------------------------ *)
+(* Epoch-batched DRAM commit (sharded cycle loop)                      *)
+(* ------------------------------------------------------------------ *)
+
+let tbs_retired t = t.tbs_retired
+let last_wb_cycle t = t.last_wb_cycle
+let last_progress t = t.last_progress
+
+(* Replay every SM's deferred DRAM requests against the real channel in
+   canonical serial order and patch the placeholder completions. The
+   serial loop steps SMs cycle-by-cycle in SM-index order, so the shared
+   channel observes requests ordered by (issue cycle, SM index, per-SM
+   issue sequence). Each deferred request carries [dq_now] =
+   issue cycle + l1_lat — the same constant offset for every site — so
+   sorting by [dq_now] recovers the cycle order, a stable sort over the
+   sm_id-ordered concatenation breaks ties by SM index, and each per-SM
+   queue is already in issue order (reversed from the cons list).
+   Returns the number of requests replayed (for telemetry). *)
+let commit_epoch ~dram sms =
+  let runs = ref [] in
+  Array.iter
+    (fun t ->
+      if t.dram_q <> [] then begin
+        (* cons list -> issue order *)
+        runs := List.rev t.dram_q :: !runs;
+        t.dram_q <- []
+      end)
+    sms;
+  (* sm_id-ordered concatenation of issue-ordered runs *)
+  let reqs = List.concat (List.rev !runs) in
+  match reqs with
+  | [] -> 0
+  | _ ->
+    let ordered =
+      List.stable_sort (fun a b -> compare (a.dq_now : int) b.dq_now) reqs
+    in
+    List.iter
+      (fun req ->
+        let finish = Mem_model.Dram.request dram ~now:req.dq_now ~ntxns:req.dq_ntxns in
+        match req.dq_fly with
+        | Some fly -> fly.finish <- finish
+        | None -> ())
+      ordered;
+    (* Placeholder finishes were [max_int], which never lowered
+       [next_wb]; recompute it from the patched list. *)
+    Array.iter
+      (fun t ->
+        if t.inflight <> [] then
+          t.next_wb <-
+            List.fold_left (fun acc f -> min acc f.finish) max_int t.inflight)
+      sms;
+    List.length ordered

@@ -19,6 +19,7 @@ val create :
   ?sink:Darsie_obs.Sink.t ->
   ?series:Darsie_obs.Series.t ->
   ?pcstat:Darsie_obs.Pcstat.t ->
+  ?deferred_dram:bool ->
   Config.t ->
   Kinfo.t ->
   Engine.factory ->
@@ -31,7 +32,10 @@ val create :
     given, receives an interval-sampled counter snapshot (see
     {!sample_names}); [pcstat], when given, receives per-static-PC
     occurrence counters and a per-cycle stall charge mirroring
-    {!attribution}. *)
+    {!attribution}; [deferred_dram] (default false, sharded cycle loop
+    only) queues issue-stage DRAM requests locally under a placeholder
+    completion until {!commit_epoch} replays them against the shared
+    channel. *)
 
 val can_accept : t -> bool
 (** Has a free threadblock slot. *)
@@ -96,6 +100,31 @@ val progress_token : t -> int
 (** Monotone counter that advances exactly when the SM fetched, issued,
     dropped or skipped something. The GPU-level deadlock watchdog fires
     when every SM's token freezes with nothing in flight. *)
+
+val tbs_retired : t -> int
+(** Monotone count of threadblocks this SM has retired. The sharded
+    cycle loop's workers pause an SM whenever this advances so the epoch
+    driver can replay the serial loop's dispatch scan at the exact
+    retirement instant. *)
+
+val last_wb_cycle : t -> int
+(** Cycle of this SM's most recent writeback (0 before any). With
+    {!last_progress}, lets the epoch driver evaluate the serial deadlock
+    watchdog exactly at epoch barriers. *)
+
+val last_progress : t -> int
+(** Most recent cycle at which this SM's {!progress_token} advanced
+    (1 before any, mirroring the serial watchdog's one-compare lag). *)
+
+val commit_epoch : dram:Mem_model.Dram.t -> t array -> int
+(** Epoch barrier of the sharded cycle loop: drain every SM's deferred
+    DRAM queue, replay the requests against [dram] in canonical serial
+    (cycle, SM index, issue sequence) order, patch the placeholder
+    completions of the affected in-flight records, and restore each SM's
+    earliest-writeback bound. Sound because the epoch length never
+    exceeds [l1_lat + dram_lat], so no deferred request can complete
+    within the epoch that issued it. Returns the number of requests
+    replayed. *)
 
 val warp_snapshots : t -> Darsie_check.Sim_error.warp_snapshot list
 (** Per-resident-warp state for failure diagnostics. *)

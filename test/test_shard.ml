@@ -1,0 +1,300 @@
+(* Differential tests for the sharded cycle loop: splitting one
+   simulation's SM array across OCaml domains (sm_domains > 1) must be
+   bit-identical to serial stepping — same cycles, stats, attribution
+   and ledgers on every app, machine, fidelity knob and fast-forward
+   setting, and the watchdog / cycle-bound error paths must fire at
+   exactly the same cycle with the same message. *)
+
+open Darsie_isa
+open Darsie_timing
+module Obs = Darsie_obs
+module Sim_error = Darsie_check.Sim_error
+module W = Darsie_workloads.Workload
+module Suite = Darsie_harness.Suite
+module J = Darsie_obs.Json
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let check_string = Alcotest.(check string)
+
+let domains n cfg = { cfg with Config.sm_domains = n }
+
+let ff_off cfg = { cfg with Config.fast_forward = false }
+
+let fidelity cfg = { cfg with Config.issue_width = 2; mshrs = 8 }
+
+(* ------------------------------------------------------------------ *)
+(* Crafted-kernel differential harness                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prep ?(grid = Kernel.dim3 1) ?(block = Kernel.dim3 32) ktext ~nparams =
+  let k = Parser.parse_kernel ktext in
+  let mem = Darsie_emu.Memory.create () in
+  let params =
+    Array.init nparams (fun _ ->
+        let b = Darsie_emu.Memory.alloc mem 65536 in
+        Darsie_emu.Memory.write_i32s mem b (Array.init 16384 (fun i -> i));
+        b)
+  in
+  let launch = Kernel.launch k ~grid ~block ~params in
+  (Kinfo.make ~warp_size:32 launch, Darsie_trace.Record.generate mem launch)
+
+(* Everything a sharded run observably produces, as one canonical byte
+   string (no pcstat / series: requesting either falls back to the
+   serial loop, so there is nothing to compare). *)
+let result_fingerprint (r : Gpu.result) =
+  let assoc a =
+    String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+         (Obs.Attrib.to_assoc a))
+  in
+  String.concat "\n"
+    ([
+       Printf.sprintf "cycles=%d" r.Gpu.cycles;
+       Format.asprintf "%a" Stats.pp r.Gpu.stats;
+       assoc r.Gpu.attribution;
+     ]
+    @ List.map assoc (Array.to_list r.Gpu.per_sm_attribution)
+    @ List.map
+        (fun (s : Stats.t) -> Format.asprintf "%a" Stats.pp s)
+        (Array.to_list r.Gpu.per_sm))
+
+let invariants label r =
+  (match Gpu.check_attribution r with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: attribution invariant: %s" label msg);
+  match Gpu.check_ledger r with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "%s: ledger invariant: %s" label msg
+
+(* Run serial and sharded, demand the per-shard invariants hold on both,
+   and demand identical fingerprints. *)
+let run_pair ?(cfg = Config.default) ?(engine = Engine.base_factory) ~n
+    (kinfo, trace) =
+  let serial = Gpu.run_exn ~cfg:(domains 1 cfg) engine kinfo trace in
+  let par = Gpu.run_exn ~cfg:(domains n cfg) engine kinfo trace in
+  invariants "serial" serial;
+  invariants (Printf.sprintf "%d domains" n) par;
+  check_string
+    (Printf.sprintf "serial vs %d domains" n)
+    (result_fingerprint serial) (result_fingerprint par);
+  par
+
+(* Every thread block hammers the same DRAM channel: per-TB disjoint
+   lines keep many requests in flight at once, and the final read of a
+   line another pass stored to makes the result sensitive to the exact
+   (cycle, SM) order the channel serviced requests in. *)
+let contention_kernel =
+  {|
+.kernel contend
+.params 1
+  mul.lo.u32 %r0, %ctaid.x, 2048;
+  mul.lo.u32 %r1, %tid.x, 4;
+  add.u32 %r2, %r0, %r1;
+  add.u32 %r3, %r2, %param0;
+  ld.global.u32 %r4, [%r3+0];
+  add.u32 %r5, %r4, 1;
+  st.global.u32 [%r3+0], %r5;
+  bar.sync;
+  ld.global.u32 %r6, [%r3+0];
+  add.u32 %r7, %r6, %r5;
+  exit;
+|}
+
+let dram_kernel =
+  {|
+.kernel dram
+.params 1
+  mul.lo.u32 %r0, %tid.x, 4;
+  add.u32 %r1, %r0, %param0;
+  ld.global.u32 %r2, [%r1+0];
+  add.u32 %r3, %r2, 1;
+  exit;
+|}
+
+let test_dram_contention () =
+  let case = prep ~grid:(Kernel.dim3 16) ~block:(Kernel.dim3 128)
+      contention_kernel ~nparams:1
+  in
+  List.iter
+    (fun n ->
+      let r = run_pair ~n case in
+      check_bool "contention scenario really hits DRAM" true
+        (r.Gpu.stats.Stats.dram_transactions > 100))
+    [ 2; 4 ];
+  ignore (run_pair ~cfg:(ff_off Config.default) ~n:4 case)
+
+let test_tb_turnover () =
+  (* many more TBs than slots: retirements open dispatch scans mid-epoch,
+     which the barrier must replay in exact serial order *)
+  let case = prep ~grid:(Kernel.dim3 64) dram_kernel ~nparams:1 in
+  ignore (run_pair ~n:2 case);
+  ignore (run_pair ~n:4 case);
+  ignore (run_pair ~cfg:(ff_off Config.default) ~n:2 case)
+
+let test_fidelity_knobs () =
+  let case = prep ~grid:(Kernel.dim3 16) ~block:(Kernel.dim3 128)
+      contention_kernel ~nparams:1
+  in
+  ignore (run_pair ~cfg:(fidelity Config.default) ~n:4 case);
+  ignore (run_pair ~cfg:(ff_off (fidelity Config.default)) ~n:4 case)
+
+let test_auto_and_slack_knobs () =
+  (* sm_domains 0 auto-sizes; tiny explicit epoch_slack still agrees *)
+  let case = prep ~grid:(Kernel.dim3 8) dram_kernel ~nparams:1 in
+  ignore (run_pair ~n:0 case);
+  ignore (run_pair ~cfg:{ Config.default with Config.epoch_slack = 7 } ~n:3 case);
+  ignore
+    (run_pair ~cfg:{ Config.default with Config.epoch_slack = 1 } ~n:2 case)
+
+(* ------------------------------------------------------------------ *)
+(* Error paths: same failure at the same cycle, serial or sharded      *)
+(* ------------------------------------------------------------------ *)
+
+let stuck_factory ki cfg stats =
+  let e = Engine.base_factory ki cfg stats in
+  { e with Engine.can_fetch = (fun _ -> false) }
+
+let test_watchdog_parity () =
+  let kinfo, trace = prep dram_kernel ~nparams:1 in
+  let go cfg =
+    match Gpu.run ~cfg stuck_factory kinfo trace with
+    | Error (Sim_error.Deadlock { message; diag }) ->
+      (message, diag.Sim_error.d_cycle, diag.Sim_error.d_attribution)
+    | Ok _ -> Alcotest.fail "stuck engine should deadlock"
+    | Error e ->
+      Alcotest.failf "expected deadlock, got %s" (Sim_error.kind_name e)
+  in
+  List.iter
+    (fun watchdog_cycles ->
+      let cfg = { Config.default with Config.watchdog_cycles } in
+      let msg_s, cyc_s, attr_s = go (domains 1 cfg) in
+      List.iter
+        (fun n ->
+          let msg_p, cyc_p, attr_p = go (domains n cfg) in
+          check_string "same deadlock message" msg_s msg_p;
+          check_int "same failing cycle" cyc_s cyc_p;
+          check_bool "same attribution at failure" true (attr_s = attr_p))
+        [ 2; 4 ])
+    [ 200; 1000 ]
+
+let test_cycle_bound_parity () =
+  let kinfo, trace = prep dram_kernel ~nparams:1 in
+  let cfg =
+    { Config.default with Config.watchdog_cycles = 0; max_cycles = 100 }
+  in
+  let go cfg =
+    match Gpu.run ~cfg Engine.base_factory kinfo trace with
+    | Error (Sim_error.Cycle_bound { bound; diag; _ }) ->
+      (bound, diag.Sim_error.d_cycle, diag.Sim_error.d_attribution)
+    | Ok _ -> Alcotest.fail "should hit the cycle bound"
+    | Error e ->
+      Alcotest.failf "expected cycle_bound, got %s" (Sim_error.kind_name e)
+  in
+  let b_s, c_s, a_s = go (domains 1 cfg) in
+  let b_p, c_p, a_p = go (domains 4 cfg) in
+  check_int "same bound" b_s b_p;
+  check_int "same failing cycle" c_s c_p;
+  check_bool "same attribution at failure" true (a_s = a_p)
+
+(* ------------------------------------------------------------------ *)
+(* Serial fallbacks: diagnostics force the serial loop, same results   *)
+(* ------------------------------------------------------------------ *)
+
+let test_diagnostic_fallbacks () =
+  let kinfo, trace = prep ~grid:(Kernel.dim3 8) dram_kernel ~nparams:1 in
+  let cfg = domains 4 Config.default in
+  let plain = Gpu.run_exn ~cfg Engine.base_factory kinfo trace in
+  (* pcstat / series requests take the serial loop but must agree with
+     the sharded result on everything both produce *)
+  let p = Gpu.run_exn ~cfg ~pcstat:true Engine.base_factory kinfo trace in
+  let s = Gpu.run_exn ~cfg ~sample_interval:64 Engine.base_factory kinfo trace in
+  check_int "pcstat fallback cycles" plain.Gpu.cycles p.Gpu.cycles;
+  check_int "series fallback cycles" plain.Gpu.cycles s.Gpu.cycles;
+  check_bool "pcstat fallback produced a profile" true (p.Gpu.pcstat <> None);
+  check_bool "series fallback produced samples" true
+    (Array.length s.Gpu.series > 0);
+  check_string "fallback stats agree"
+    (Format.asprintf "%a" Stats.pp plain.Gpu.stats)
+    (Format.asprintf "%a" Stats.pp p.Gpu.stats)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-suite differential: 13 apps x 7 machines, serial vs sharded   *)
+(* ------------------------------------------------------------------ *)
+
+let matrix_cells m =
+  List.concat_map
+    (fun (app : Suite.app) ->
+      List.map
+        (fun machine ->
+          let abbr = app.Suite.workload.W.abbr in
+          let r = Suite.get m abbr machine in
+          invariants (Printf.sprintf "%s/%s" abbr (Suite.machine_name machine))
+            r.Suite.gpu;
+          ( Printf.sprintf "%s/%s" abbr (Suite.machine_name machine),
+            J.to_string (Darsie_harness.Metrics.of_run ~app:abbr r) ))
+        Suite.all_machines)
+    m.Suite.apps
+
+let check_cell name a b =
+  if a <> b then begin
+    let n = min (String.length a) (String.length b) in
+    let i = ref 0 in
+    while !i < n && a.[!i] = b.[!i] do
+      incr i
+    done;
+    let window s =
+      let lo = max 0 (!i - 60) in
+      String.sub s lo (min 140 (String.length s - lo))
+    in
+    Alcotest.failf "%s diverges at byte %d:\n  serial:  %s\n  sharded: %s" name
+      !i (window a) (window b)
+  end
+
+(* sm_domains is a host knob, not a machine parameter: it is excluded
+   from the metrics machine_config echo, so the documents must be
+   byte-identical with no normalization at all. *)
+let suite_differential ~n cfg () =
+  (* jobs:1 keeps the process pool out of the picture: every run in the
+     matrix takes the sharded path (with jobs > 1 the core-budget rule
+     would divide sm_domains down) *)
+  let build cfg = Suite.build_matrix ~cfg ~jobs:1 () in
+  let m_serial = build (domains 1 cfg) in
+  let m_par = build (domains n cfg) in
+  List.iter2
+    (fun (name, serial) (_, par) -> check_cell name serial par)
+    (matrix_cells m_serial) (matrix_cells m_par)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "crafted",
+        [
+          Alcotest.test_case "dram contention" `Quick test_dram_contention;
+          Alcotest.test_case "tb turnover" `Quick test_tb_turnover;
+          Alcotest.test_case "fidelity knobs" `Quick test_fidelity_knobs;
+          Alcotest.test_case "auto domains and slack" `Quick
+            test_auto_and_slack_knobs;
+        ] );
+      ( "error-paths",
+        [
+          Alcotest.test_case "watchdog parity" `Quick test_watchdog_parity;
+          Alcotest.test_case "cycle bound parity" `Quick
+            test_cycle_bound_parity;
+          Alcotest.test_case "diagnostic fallbacks" `Quick
+            test_diagnostic_fallbacks;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "13 apps x 7 machines, 2 domains" `Quick
+            (suite_differential ~n:2 Config.default);
+          Alcotest.test_case "13 apps x 7 machines, 4 domains, no ff" `Quick
+            (suite_differential ~n:4 (ff_off Config.default));
+          Alcotest.test_case "13 apps x 7 machines, 4 domains, fidelity"
+            `Quick
+            (suite_differential ~n:4 (fidelity Config.default));
+        ] );
+    ]
